@@ -1,0 +1,303 @@
+//! The Availability API: "closest usable snapshot to time T".
+//!
+//! This is the endpoint IABot queries when patching a broken link, and its
+//! *latency* is the protagonist of §4.1: the bot applies a client-side
+//! timeout, and when no response arrives in time it concludes the URL was
+//! never archived. The API itself is modeled with the same heavy-tailed
+//! latency a shared public lookup service exhibits.
+
+use crate::snapshot::Snapshot;
+use crate::store::ArchiveStore;
+use permadead_net::latency::{LatencyModel, Millis};
+use permadead_net::SimTime;
+use permadead_url::Url;
+
+/// What the caller accepts as a "usable" copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvailabilityPolicy {
+    /// Only copies whose initial status was 200 — IABot's production policy
+    /// (it "conservatively links to a page's archived copy only if no
+    /// redirections were encountered when that copy was crawled", §1/§4.2).
+    Initial200Only,
+    /// 200s, or redirects (3xx). Used by the paper's counterfactual: how
+    /// many links could be patched if validated redirects were trusted?
+    AllowRedirects,
+    /// Any snapshot at all, even errors (used for diagnosis, not patching).
+    Any,
+}
+
+impl AvailabilityPolicy {
+    fn accepts(self, s: &Snapshot) -> bool {
+        match self {
+            AvailabilityPolicy::Initial200Only => s.is_initial_200(),
+            AvailabilityPolicy::AllowRedirects => s.is_initial_200() || s.is_redirect(),
+            AvailabilityPolicy::Any => true,
+        }
+    }
+}
+
+/// Availability lookup failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvailabilityError {
+    /// The API did not answer within the caller's timeout. The caller cannot
+    /// distinguish this from "service briefly overloaded" — IABot treats it
+    /// as "never archived", which is exactly the §4.1 bug class.
+    Timeout,
+}
+
+/// The Availability API endpoint.
+pub struct AvailabilityApi<'a> {
+    store: &'a ArchiveStore,
+    latency: LatencyModel,
+}
+
+impl<'a> AvailabilityApi<'a> {
+    pub fn new(store: &'a ArchiveStore, latency: LatencyModel) -> Self {
+        AvailabilityApi { store, latency }
+    }
+
+    /// With a well-behaved default latency model.
+    pub fn with_default_latency(store: &'a ArchiveStore, seed: u64) -> Self {
+        Self::new(store, LatencyModel::lookup_api(seed))
+    }
+
+    /// The snapshot acceptable under `policy` captured *closest to* `around`
+    /// (IABot requests the copy nearest to when the link was added to the
+    /// article, §2.1).
+    ///
+    /// `client_timeout_ms: None` waits forever (WaybackMedic style);
+    /// `Some(t)` gives up when the simulated response latency exceeds `t`.
+    /// `nonce` distinguishes repeated calls (each is an independent draw).
+    pub fn closest(
+        &self,
+        url: &Url,
+        around: SimTime,
+        policy: AvailabilityPolicy,
+        client_timeout_ms: Option<Millis>,
+        nonce: u64,
+    ) -> Result<Option<&'a Snapshot>, AvailabilityError> {
+        if let Some(timeout) = client_timeout_ms {
+            let key = format!("avail:{url}");
+            if self.latency.exceeds_timeout(&key, nonce, timeout) {
+                return Err(AvailabilityError::Timeout);
+            }
+        }
+        Ok(self
+            .store
+            .snapshots_of(url)
+            .into_iter()
+            .filter(|s| policy.accepts(s))
+            .min_by_key(|s| {
+                let d = (s.captured - around).as_seconds();
+                d.unsigned_abs()
+            }))
+    }
+
+    /// Batched lookup: one request carries many URLs, paying a single
+    /// latency draw for the whole batch (the real Availability API accepts
+    /// batches, and bots batch to amortize round-trips). The flip side —
+    /// and the §4.1 tradeoff in miniature — is that one slow response now
+    /// times out *every* URL in the batch.
+    pub fn closest_batch(
+        &self,
+        urls: &[&Url],
+        around: SimTime,
+        policy: AvailabilityPolicy,
+        client_timeout_ms: Option<Millis>,
+        nonce: u64,
+    ) -> Result<Vec<Option<&'a Snapshot>>, AvailabilityError> {
+        if let Some(timeout) = client_timeout_ms {
+            let key = format!("avail-batch:{}", urls.len());
+            if self.latency.exceeds_timeout(&key, nonce, timeout) {
+                return Err(AvailabilityError::Timeout);
+            }
+        }
+        Ok(urls
+            .iter()
+            .map(|url| {
+                self.store
+                    .snapshots_of(url)
+                    .into_iter()
+                    .filter(|s| policy.accepts(s))
+                    .min_by_key(|s| (s.captured - around).as_seconds().unsigned_abs())
+            })
+            .collect())
+    }
+
+    /// Like [`Self::closest`] but restricted to snapshots captured strictly
+    /// before `before` — "what existed when IABot looked" (§4's analyses).
+    pub fn closest_before(
+        &self,
+        url: &Url,
+        around: SimTime,
+        before: SimTime,
+        policy: AvailabilityPolicy,
+        client_timeout_ms: Option<Millis>,
+        nonce: u64,
+    ) -> Result<Option<&'a Snapshot>, AvailabilityError> {
+        if let Some(timeout) = client_timeout_ms {
+            let key = format!("avail:{url}");
+            if self.latency.exceeds_timeout(&key, nonce, timeout) {
+                return Err(AvailabilityError::Timeout);
+            }
+        }
+        Ok(self
+            .store
+            .snapshots_of(url)
+            .into_iter()
+            .filter(|s| s.captured < before && policy.accepts(s))
+            .min_by_key(|s| (s.captured - around).as_seconds().unsigned_abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::StatusCode;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32) -> SimTime {
+        SimTime::from_ymd(y, 1, 1)
+    }
+
+    fn snap(url: &str, at: SimTime, status: u16) -> Snapshot {
+        let target = if (300..400).contains(&status) {
+            Some(u("http://e.org/new"))
+        } else {
+            None
+        };
+        Snapshot::from_observation(&u(url), at, StatusCode(status), target, "b")
+    }
+
+    fn store() -> ArchiveStore {
+        let mut s = ArchiveStore::new();
+        s.insert(snap("http://e.org/a", t(2008), 200));
+        s.insert(snap("http://e.org/a", t(2012), 301));
+        s.insert(snap("http://e.org/a", t(2016), 404));
+        s.insert(snap("http://e.org/a", t(2018), 200));
+        s
+    }
+
+    /// A latency model that never trips timeouts (tail disabled, tiny median).
+    fn instant() -> LatencyModel {
+        LatencyModel::lookup_api(1).with_median(1.0).with_tail(0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn closest_picks_nearest_acceptable() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, instant());
+        // around 2013, 200-only: candidates are 2008 and 2018 → 2008 is 5y
+        // away, 2018 is 5y away; tie broken by min_by_key stability (first
+        // minimal = 2008)
+        let got = api
+            .closest(&u("http://e.org/a"), t(2014), AvailabilityPolicy::Initial200Only, None, 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.captured, t(2018)); // 4 years vs 6 years
+    }
+
+    #[test]
+    fn policy_filters() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, instant());
+        let url = u("http://e.org/a");
+        // around 2012: redirect copy is exactly there but 200-only skips it
+        let strict = api
+            .closest(&url, t(2012), AvailabilityPolicy::Initial200Only, None, 0)
+            .unwrap()
+            .unwrap();
+        assert_ne!(strict.captured, t(2012));
+        let relaxed = api
+            .closest(&url, t(2012), AvailabilityPolicy::AllowRedirects, None, 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(relaxed.captured, t(2012));
+        // Any accepts the 404 too
+        let any = api
+            .closest(&url, t(2016), AvailabilityPolicy::Any, None, 0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(any.captured, t(2016));
+    }
+
+    #[test]
+    fn closest_before_excludes_later_copies() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, instant());
+        let got = api
+            .closest_before(
+                &u("http://e.org/a"),
+                t(2014),
+                t(2017),
+                AvailabilityPolicy::Initial200Only,
+                None,
+                0,
+            )
+            .unwrap()
+            .unwrap();
+        // the 2018 copy exists but is after the cutoff
+        assert_eq!(got.captured, t(2008));
+    }
+
+    #[test]
+    fn unarchived_url_is_none_not_error() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, instant());
+        assert!(api
+            .closest(&u("http://e.org/never"), t(2014), AvailabilityPolicy::Any, None, 0)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn tight_timeout_times_out_sometimes() {
+        let s = store();
+        // heavy-tailed model + tight timeout
+        let api = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        let url = u("http://e.org/a");
+        let outcomes: Vec<_> = (0..200)
+            .map(|n| api.closest(&url, t(2014), AvailabilityPolicy::Any, Some(1_000), n))
+            .collect();
+        let timeouts = outcomes.iter().filter(|o| o.is_err()).count();
+        assert!(timeouts > 0, "expected some timeouts");
+        assert!(timeouts < 200, "expected some successes");
+    }
+
+    #[test]
+    fn batch_lookup_amortizes_and_fails_together() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, instant());
+        let u1 = u("http://e.org/a");
+        let u2 = u("http://e.org/never");
+        let got = api
+            .closest_batch(&[&u1, &u2], t(2014), AvailabilityPolicy::Initial200Only, None, 0)
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got[0].is_some());
+        assert!(got[1].is_none());
+
+        // with a heavy-tailed model + tight timeout, some batches fail as a
+        // whole — every URL in them goes unanswered
+        let slow = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        let outcomes: Vec<_> = (0..200)
+            .map(|n| slow.closest_batch(&[&u1, &u2], t(2014), AvailabilityPolicy::Any, Some(1_000), n))
+            .collect();
+        assert!(outcomes.iter().any(|o| o.is_err()));
+        assert!(outcomes.iter().any(|o| o.is_ok()));
+    }
+
+    #[test]
+    fn no_timeout_when_unbounded() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        for n in 0..200 {
+            assert!(api
+                .closest(&u("http://e.org/a"), t(2014), AvailabilityPolicy::Any, None, n)
+                .is_ok());
+        }
+    }
+}

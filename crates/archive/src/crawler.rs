@@ -1,0 +1,195 @@
+//! The capture side of the archive.
+//!
+//! The crawler fetches a URL from the live web at a scheduled instant and
+//! records what it saw. Like the real Wayback crawler it records *each hop*
+//! of a redirect chain as its own snapshot (which is why CDX rows carry
+//! initial statuses and redirect targets), and records error responses too —
+//! an archived 404 is still an archived copy, and §3 leans on exactly those
+//! ("the first of these copies is erroneous for 95% of links").
+//!
+//! Transport-level failures (DNS death, timeouts) leave no snapshot: the
+//! archive has nothing to store, which is how never-working typo URLs end up
+//! with zero copies (§5.1).
+
+use crate::snapshot::Snapshot;
+use crate::store::ArchiveStore;
+use permadead_net::http::Vantage;
+use permadead_net::{Client, Network, SimTime};
+use permadead_url::Url;
+
+/// Outcome of one capture attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// At least one snapshot was stored.
+    Stored { snapshots: usize },
+    /// The fetch failed at transport level; nothing stored.
+    Failed,
+}
+
+/// The archive's crawler.
+#[derive(Debug, Clone, Copy)]
+pub struct Crawler {
+    client: Client,
+    /// Whether to store snapshots for every hop of a redirect chain (the
+    /// real crawler does; disable to model minimal capture).
+    pub capture_redirect_hops: bool,
+}
+
+impl Default for Crawler {
+    fn default() -> Self {
+        Crawler {
+            client: Client::new().with_vantage(Vantage::Crawler),
+            capture_redirect_hops: true,
+        }
+    }
+}
+
+impl Crawler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch `url` from `web` at `t` and store what was observed.
+    pub fn capture<N: Network>(
+        &self,
+        store: &mut ArchiveStore,
+        web: &N,
+        url: &Url,
+        t: SimTime,
+    ) -> CaptureOutcome {
+        let record = self.client.get(web, url, t);
+        if record.hops.is_empty() {
+            return CaptureOutcome::Failed;
+        }
+        let mut stored = 0;
+        for (i, hop) in record.hops.iter().enumerate() {
+            let is_last = i + 1 == record.hops.len();
+            if i > 0 && !self.capture_redirect_hops {
+                break;
+            }
+            let body = if is_last { record.body.as_str() } else { "" };
+            store.insert(Snapshot::from_observation(
+                &hop.url,
+                t,
+                hop.status,
+                hop.location.clone(),
+                body,
+            ));
+            stored += 1;
+        }
+        CaptureOutcome::Stored { snapshots: stored }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::{FetchError, Request, Response, ServeResult, StatusCode};
+    use std::collections::HashMap;
+
+    struct TableNet(HashMap<String, ServeResult>);
+
+    impl Network for TableNet {
+        fn request(&self, req: &Request) -> ServeResult {
+            self.0
+                .get(&req.url.to_string())
+                .cloned()
+                .unwrap_or(Ok(Response::not_found()))
+        }
+    }
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(2014, 5, 1)
+    }
+
+    #[test]
+    fn captures_200_with_body() {
+        let net = TableNet(
+            [("http://e.org/a".to_string(), Ok(Response::ok("page body words".into())))]
+                .into_iter()
+                .collect(),
+        );
+        let mut store = ArchiveStore::new();
+        let out = Crawler::new().capture(&mut store, &net, &u("http://e.org/a"), t0());
+        assert_eq!(out, CaptureOutcome::Stored { snapshots: 1 });
+        let snaps = store.snapshots_of(&u("http://e.org/a"));
+        assert_eq!(snaps.len(), 1);
+        assert!(snaps[0].is_initial_200());
+        assert!(!snaps[0].sketch.empty);
+    }
+
+    #[test]
+    fn captures_each_redirect_hop() {
+        let net = TableNet(
+            [
+                (
+                    "http://e.org/old".to_string(),
+                    Ok(Response::redirect(StatusCode::MOVED_PERMANENTLY, u("http://e.org/new"))),
+                ),
+                ("http://e.org/new".to_string(), Ok(Response::ok("final".into()))),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let mut store = ArchiveStore::new();
+        let out = Crawler::new().capture(&mut store, &net, &u("http://e.org/old"), t0());
+        assert_eq!(out, CaptureOutcome::Stored { snapshots: 2 });
+        // the old URL's snapshot is a 301 with its target recorded
+        let old = store.snapshots_of(&u("http://e.org/old"));
+        assert_eq!(old[0].initial_status, StatusCode::MOVED_PERMANENTLY);
+        assert_eq!(old[0].redirect_target.as_ref().unwrap().path(), "/new");
+        // the new URL got its own 200 snapshot
+        assert!(store.snapshots_of(&u("http://e.org/new"))[0].is_initial_200());
+    }
+
+    #[test]
+    fn captures_404() {
+        let net = TableNet(HashMap::new()); // defaults to 404
+        let mut store = ArchiveStore::new();
+        let out = Crawler::new().capture(&mut store, &net, &u("http://e.org/gone"), t0());
+        assert_eq!(out, CaptureOutcome::Stored { snapshots: 1 });
+        assert_eq!(
+            store.snapshots_of(&u("http://e.org/gone"))[0].initial_status,
+            StatusCode::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn dns_failure_stores_nothing() {
+        struct DeadNet;
+        impl Network for DeadNet {
+            fn request(&self, _: &Request) -> ServeResult {
+                Err(FetchError::Dns(permadead_net::DnsError::NxDomain))
+            }
+        }
+        let mut store = ArchiveStore::new();
+        let out = Crawler::new().capture(&mut store, &DeadNet, &u("http://gone.org/x"), t0());
+        assert_eq!(out, CaptureOutcome::Failed);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn hop_capture_can_be_disabled() {
+        let net = TableNet(
+            [
+                (
+                    "http://e.org/old".to_string(),
+                    Ok(Response::redirect(StatusCode::FOUND, u("http://e.org/new"))),
+                ),
+                ("http://e.org/new".to_string(), Ok(Response::ok("final".into()))),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let mut store = ArchiveStore::new();
+        let mut crawler = Crawler::new();
+        crawler.capture_redirect_hops = false;
+        let out = crawler.capture(&mut store, &net, &u("http://e.org/old"), t0());
+        assert_eq!(out, CaptureOutcome::Stored { snapshots: 1 });
+        assert!(store.snapshots_of(&u("http://e.org/new")).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! A Wayback Machine simulator.
+//!
+//! The Internet Archive appears in the paper through three interfaces, all
+//! reproduced here:
+//!
+//! - **The snapshot store** ([`store`]): every capture of every URL, keyed
+//!   by SURT and timestamp, recording the *initial* status code and redirect
+//!   target observed at crawl time (§2.4's definition).
+//! - **The CDX API** ([`cdx`]): exact / directory-prefix / host queries with
+//!   status filters and time ranges — what the paper's §4.2 redirect
+//!   validation and §5.2 spatial analysis issue.
+//! - **The Availability API** ([`availability`]): "closest usable snapshot
+//!   to time T" lookups, *with simulated latency*. IABot's client-side
+//!   timeout on this API is the root cause of §4.1's misses, so latency is a
+//!   first-class citizen.
+//!
+//! [`crawler`] is the capture side: it fetches URLs from the live web (via
+//! the same redirect-following client everyone uses) and records snapshots.
+//! Crawl *scheduling* — the months-late first captures behind Figure 5 —
+//! lives in `permadead-sim`, which decides when the crawler visits what.
+
+pub mod availability;
+pub mod cdx;
+pub mod cdxfile;
+pub mod crawler;
+pub mod replay;
+pub mod snapshot;
+pub mod store;
+
+pub use availability::{AvailabilityApi, AvailabilityError, AvailabilityPolicy};
+pub use cdxfile::{from_cdx_string, to_cdx_string};
+pub use cdx::{CdxApi, CdxMatchType, CdxQuery, StatusFilter};
+pub use crawler::{CaptureOutcome, Crawler};
+pub use snapshot::{BodyClass, Snapshot};
+pub use replay::{ReplayNet, REPLAY_HOST};
+pub use store::ArchiveStore;

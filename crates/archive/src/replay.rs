@@ -1,0 +1,232 @@
+//! The replay service: `web.archive.sim` as a browsable host.
+//!
+//! When a bot patches a reference, the wikitext points at
+//! `http://web.archive.sim/web/<ts>/<original>`. [`ReplayNet`] makes those
+//! URLs actually *fetchable*: it wraps any live-web [`Network`] and answers
+//! replay requests from the snapshot store, the way the real Wayback replay
+//! frontend serves `web.archive.org/web/...` URLs:
+//!
+//! - content snapshots answer 200 with a replay banner body;
+//! - archived redirects answer 302 **to the replay URL of their target**
+//!   (Wayback rewrites redirects into the archive, not out of it);
+//! - error snapshots answer their archived status;
+//! - unknown captures answer 404, and the service picks the snapshot
+//!   *closest in time* to the requested timestamp, like the real one.
+
+use crate::store::ArchiveStore;
+use permadead_net::{FetchError, Network, Request, Response, SimTime, StatusCode};
+use permadead_url::Url;
+
+/// Hostname the replay service answers on (kept in sync with
+/// `permadead-bot`'s archive-url builder).
+pub const REPLAY_HOST: &str = "web.archive.sim";
+
+/// A live web plus the archive's replay frontend.
+pub struct ReplayNet<'a, N> {
+    pub web: &'a N,
+    pub archive: &'a ArchiveStore,
+}
+
+impl<'a, N> ReplayNet<'a, N> {
+    pub fn new(web: &'a N, archive: &'a ArchiveStore) -> Self {
+        ReplayNet { web, archive }
+    }
+
+    fn serve_replay(&self, req: &Request) -> Response {
+        let Some((original, ts)) = parse_replay_path(&req.url) else {
+            return Response::not_found();
+        };
+        let snaps = self.archive.snapshots_of(&original);
+        let Some(best) = snaps
+            .into_iter()
+            .min_by_key(|s| (s.captured - ts).as_seconds().unsigned_abs())
+        else {
+            return Response::not_found();
+        };
+        if best.initial_status.is_redirect() {
+            if let Some(target) = &best.redirect_target {
+                let replay_target = replay_url(target, best.captured);
+                return Response::redirect(StatusCode::FOUND, replay_target);
+            }
+            return Response::not_found();
+        }
+        if best.initial_status.is_success() {
+            return Response::ok(format!(
+                "<html><head><title>Archived copy</title></head><body>\
+                 <p>Snapshot of {} captured {} (digest {:016x}).</p>\
+                 </body></html>",
+                best.url,
+                best.captured,
+                best.sketch.digest
+            ));
+        }
+        Response::status_only(best.initial_status)
+    }
+}
+
+impl<'a, N: Network> Network for ReplayNet<'a, N> {
+    fn request(&self, req: &Request) -> Result<Response, FetchError> {
+        if req.url.host() == REPLAY_HOST {
+            return Ok(self.serve_replay(req));
+        }
+        self.web.request(req)
+    }
+}
+
+/// Build a replay URL (mirror of `permadead-bot`'s `archived_copy_url`,
+/// kept here so the archive crate is self-contained).
+pub fn replay_url(original: &Url, captured: SimTime) -> Url {
+    let ts = crate::cdxfile::timestamp14(captured);
+    Url::parse(&format!("http://{REPLAY_HOST}/web/{ts}/{original}"))
+        .expect("replay URLs always parse")
+}
+
+/// Recover `(original, timestamp)` from a replay URL path.
+pub fn parse_replay_path(replay: &Url) -> Option<(Url, SimTime)> {
+    let path = replay.path().strip_prefix("/web/")?;
+    let (ts, original) = path.split_once('/')?;
+    let t = crate::cdxfile::parse_timestamp14(ts)?;
+    let mut orig = original.to_string();
+    if let Some(q) = replay.query() {
+        orig.push('?');
+        orig.push_str(q);
+    }
+    Url::parse(&orig).ok().map(|u| (u, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use permadead_net::Client;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32) -> SimTime {
+        SimTime::from_ymd(y, 6, 1)
+    }
+
+    /// A live web where everything is dead — replay must still work.
+    struct DeadWeb;
+    impl Network for DeadWeb {
+        fn request(&self, _req: &Request) -> Result<Response, FetchError> {
+            Err(FetchError::Dns(permadead_net::DnsError::NxDomain))
+        }
+    }
+
+    fn store() -> ArchiveStore {
+        let mut s = ArchiveStore::new();
+        s.insert(Snapshot::from_observation(
+            &u("http://e.org/page"),
+            t(2013),
+            StatusCode::OK,
+            None,
+            "archived page words",
+        ));
+        s.insert(Snapshot::from_observation(
+            &u("http://e.org/old"),
+            t(2014),
+            StatusCode::MOVED_PERMANENTLY,
+            Some(u("http://e.org/new")),
+            "",
+        ));
+        s.insert(Snapshot::from_observation(
+            &u("http://e.org/new"),
+            t(2014),
+            StatusCode::OK,
+            None,
+            "target page words",
+        ));
+        s.insert(Snapshot::from_observation(
+            &u("http://e.org/gone"),
+            t(2015),
+            StatusCode::NOT_FOUND,
+            None,
+            "",
+        ));
+        s
+    }
+
+    #[test]
+    fn replay_serves_content_snapshot() {
+        let archive = store();
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        let url = replay_url(&u("http://e.org/page"), t(2013));
+        let rec = Client::new().get(&net, &url, t(2022));
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        assert!(rec.body.contains("Snapshot of http://e.org/page"));
+    }
+
+    #[test]
+    fn replay_rewrites_archived_redirects_into_the_archive() {
+        let archive = store();
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        let url = replay_url(&u("http://e.org/old"), t(2014));
+        let rec = Client::new().get(&net, &url, t(2022));
+        // 302 → replay URL of /new → archived 200 of /new
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        assert!(rec.was_redirected());
+        assert_eq!(rec.final_url().unwrap().host(), REPLAY_HOST);
+        assert!(rec.body.contains("e.org/new"));
+    }
+
+    #[test]
+    fn replay_closest_in_time_wins() {
+        let mut archive = store();
+        archive.insert(Snapshot::from_observation(
+            &u("http://e.org/page"),
+            t(2020),
+            StatusCode::NOT_FOUND,
+            None,
+            "",
+        ));
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        // ask for the 2013-adjacent copy: get the 200
+        let rec = Client::new().get(&net, &replay_url(&u("http://e.org/page"), t(2013)), t(2022));
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        // ask near 2020: get the archived 404
+        let rec = Client::new().get(&net, &replay_url(&u("http://e.org/page"), t(2020)), t(2022));
+        assert_eq!(rec.final_status(), Some(StatusCode::NOT_FOUND));
+    }
+
+    #[test]
+    fn unarchived_url_404s() {
+        let archive = store();
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        let rec = Client::new().get(&net, &replay_url(&u("http://never.org/x"), t(2013)), t(2022));
+        assert_eq!(rec.final_status(), Some(StatusCode::NOT_FOUND));
+    }
+
+    #[test]
+    fn malformed_replay_paths_404() {
+        let archive = store();
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        for bad in [
+            "http://web.archive.sim/web/notadate/http://e.org/x",
+            "http://web.archive.sim/other",
+        ] {
+            let rec = Client::new().get(&net, &u(bad), t(2022));
+            assert_eq!(rec.final_status(), Some(StatusCode::NOT_FOUND), "{bad}");
+        }
+    }
+
+    #[test]
+    fn non_replay_hosts_pass_through() {
+        let archive = store();
+        let net = ReplayNet::new(&DeadWeb, &archive);
+        let rec = Client::new().get(&net, &u("http://e.org/page"), t(2022));
+        // the underlying (dead) web answers
+        assert!(rec.outcome.is_err());
+    }
+
+    #[test]
+    fn replay_url_round_trip() {
+        let orig = u("http://e.org/a/b.html?x=1");
+        let at = t(2014);
+        let (back, ts) = parse_replay_path(&replay_url(&orig, at)).unwrap();
+        assert_eq!(back, orig);
+        assert_eq!(ts, at);
+    }
+}

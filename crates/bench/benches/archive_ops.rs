@@ -1,0 +1,65 @@
+//! Archive benchmarks: capture-time snapshot insertion and the CDX queries
+//! the §4.2/§5.2 analyses issue (exact, directory, host), on a store sized
+//! like a small world.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permadead_archive::{ArchiveStore, CdxApi, CdxQuery, Snapshot, StatusFilter};
+use permadead_net::{SimTime, StatusCode};
+use permadead_url::Url;
+
+fn populated_store(n_hosts: u64, pages_per_host: u32) -> ArchiveStore {
+    let mut store = ArchiveStore::new();
+    for h in 0..n_hosts {
+        for p in 0..pages_per_host {
+            let url = Url::parse(&format!("http://site{h}.example/dir{}/page{p}.html", p % 7))
+                .unwrap();
+            let at = SimTime::from_ymd(2008 + (p % 12) as i32, 1 + (p % 12), 1);
+            let status = if p % 9 == 0 { 404 } else { 200 };
+            store.insert(Snapshot::from_observation(
+                &url,
+                at,
+                StatusCode(status),
+                None,
+                "snapshot body text for benchmarking purposes",
+            ));
+        }
+    }
+    store
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("archive/insert_10k", |b| {
+        b.iter(|| black_box(populated_store(100, 100)))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = populated_store(200, 120); // 24k snapshots
+    let api = CdxApi::new(&store);
+    let exact = Url::parse("http://site42.example/dir3/page59.html").unwrap();
+    let dir = Url::parse("http://site42.example/dir3/anything.html").unwrap();
+
+    c.bench_function("archive/cdx_exact", |b| {
+        b.iter(|| black_box(api.query(&CdxQuery::exact(black_box(&exact)))))
+    });
+    c.bench_function("archive/cdx_directory_200s", |b| {
+        b.iter(|| {
+            black_box(api.distinct_url_count(
+                &CdxQuery::directory_of(black_box(&dir)).with_status(StatusFilter::Code(200)),
+            ))
+        })
+    });
+    c.bench_function("archive/cdx_host_200s", |b| {
+        b.iter(|| {
+            black_box(api.distinct_url_count(
+                &CdxQuery::host(black_box("site42.example")).with_status(StatusFilter::Code(200)),
+            ))
+        })
+    });
+    c.bench_function("archive/snapshots_of", |b| {
+        b.iter(|| black_box(store.snapshots_of(black_box(&exact))))
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

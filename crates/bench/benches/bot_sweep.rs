@@ -1,0 +1,79 @@
+//! Bot throughput: IABot article-sweep rate and WaybackMedic rescue rate —
+//! the operations that run at Wikipedia scale in production.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use permadead_bench::Repro;
+use permadead_bot::{IaBot, IaBotConfig, WaybackMedic};
+use permadead_sim::ScenarioConfig;
+use permadead_wiki::WikiStore;
+use std::sync::OnceLock;
+
+fn repro() -> &'static Repro {
+    static R: OnceLock<Repro> = OnceLock::new();
+    R.get_or_init(|| {
+        Repro::build(ScenarioConfig {
+            rot_links: 500,
+            ..ScenarioConfig::small(42)
+        })
+    })
+}
+
+fn clone_wiki(src: &WikiStore) -> WikiStore {
+    let mut w = WikiStore::new();
+    for a in src.articles() {
+        w.insert(a.clone());
+    }
+    w
+}
+
+fn bench_iabot_sweep(c: &mut Criterion) {
+    let r = repro();
+    c.bench_function("bot/iabot_full_sweep", |b| {
+        b.iter_batched(
+            || clone_wiki(&r.scenario.wiki),
+            |mut wiki| {
+                let mut bot = IaBot::new(IaBotConfig::default());
+                black_box(bot.sweep(
+                    &mut wiki,
+                    &r.scenario.web,
+                    &r.scenario.archive,
+                    r.scenario.config.study_time,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_medic_run(c: &mut Criterion) {
+    let r = repro();
+    c.bench_function("bot/wayback_medic_run", |b| {
+        b.iter_batched(
+            || clone_wiki(&r.scenario.wiki),
+            |mut wiki| {
+                black_box(WaybackMedic::new().run(
+                    &mut wiki,
+                    &r.scenario.archive,
+                    r.scenario.config.study_time,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_dead_check(c: &mut Criterion) {
+    let r = repro();
+    let bot = IaBot::new(IaBotConfig::default());
+    let urls: Vec<_> = r.march.entries.iter().take(64).map(|e| e.url.clone()).collect();
+    c.bench_function("bot/dead_check_64_links", |b| {
+        b.iter(|| {
+            for u in &urls {
+                black_box(bot.link_is_dead(&r.scenario.web, u, r.scenario.config.study_time));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_iabot_sweep, bench_medic_run, bench_dead_check);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Per-link costs of the measurement pipeline itself, on a shared small
+//! world: live checks, soft-404 probes, archival classification, redirect
+//! validation, spatial queries, typo scans — and each full figure
+//! regeneration (one bench per figure, per the reproduction contract).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use permadead_bench::Repro;
+use permadead_core::{
+    archival, find_typo_candidate, live_check, soft404_probe, spatial_coverage, temporal_analysis,
+    validate_redirect, ArchivalClass, Study,
+};
+use permadead_sim::ScenarioConfig;
+use std::sync::OnceLock;
+
+fn repro() -> &'static Repro {
+    static R: OnceLock<Repro> = OnceLock::new();
+    R.get_or_init(|| {
+        Repro::build(ScenarioConfig {
+            rot_links: 800,
+            ..ScenarioConfig::small(42)
+        })
+    })
+}
+
+fn bench_per_link(c: &mut Criterion) {
+    let r = repro();
+    let now = r.scenario.config.study_time;
+    let urls: Vec<_> = r.march.entries.iter().take(64).collect();
+
+    c.bench_function("pipeline/live_check", |b| {
+        b.iter(|| {
+            for e in &urls {
+                black_box(live_check(&r.scenario.web, &e.url, now));
+            }
+        })
+    });
+    c.bench_function("pipeline/soft404_probe", |b| {
+        b.iter(|| {
+            for (i, e) in urls.iter().enumerate() {
+                black_box(soft404_probe(&r.scenario.web, &e.url, now, i as u64));
+            }
+        })
+    });
+    c.bench_function("pipeline/classify_archival", |b| {
+        b.iter(|| {
+            for e in &urls {
+                black_box(archival::classify_archival(
+                    &r.scenario.archive,
+                    &e.url,
+                    e.marked_at,
+                ));
+            }
+        })
+    });
+    c.bench_function("pipeline/temporal_analysis", |b| {
+        b.iter(|| {
+            for e in &urls {
+                black_box(temporal_analysis(&r.scenario.archive, &e.url, e.added_at));
+            }
+        })
+    });
+    c.bench_function("pipeline/spatial_coverage", |b| {
+        b.iter(|| {
+            for e in &urls {
+                black_box(spatial_coverage(&r.scenario.archive, &e.url));
+            }
+        })
+    });
+    c.bench_function("pipeline/typo_scan", |b| {
+        b.iter(|| {
+            for e in &urls {
+                black_box(find_typo_candidate(&r.scenario.archive, &e.url));
+            }
+        })
+    });
+
+    // redirect validation needs a 3xx snapshot: find some
+    let snaps: Vec<_> = r
+        .march
+        .entries
+        .iter()
+        .filter(|e| {
+            archival::classify_archival(&r.scenario.archive, &e.url, e.marked_at)
+                == ArchivalClass::Had3xxOnly
+        })
+        .filter_map(|e| archival::first_3xx_before(&r.scenario.archive, &e.url, e.marked_at))
+        .take(32)
+        .collect();
+    c.bench_function("pipeline/validate_redirect", |b| {
+        b.iter(|| {
+            for s in &snaps {
+                black_box(validate_redirect(&r.scenario.archive, s));
+            }
+        })
+    });
+}
+
+/// One bench per paper artifact: the cost of regenerating each figure's
+/// series from an existing study.
+fn bench_figures(c: &mut Criterion) {
+    let r = repro();
+    c.bench_function("figures/full_study_march", |b| {
+        b.iter(|| {
+            black_box(Study::run(
+                &r.scenario.web,
+                &r.scenario.archive,
+                &r.march,
+                r.scenario.config.study_time,
+            ))
+        })
+    });
+
+    let study = r.march_study();
+    c.bench_function("figures/fig3a_urls_per_domain", |b| {
+        b.iter(|| black_box(r.march.urls_per_domain()))
+    });
+    c.bench_function("figures/fig3c_post_years", |b| {
+        b.iter(|| black_box(r.march.post_years()))
+    });
+    c.bench_function("figures/fig4_breakdown", |b| {
+        b.iter(|| black_box(study.live_breakdown()))
+    });
+    c.bench_function("figures/fig5_gaps", |b| {
+        b.iter(|| black_box(study.fig5_gap_days()))
+    });
+    c.bench_function("figures/fig6_counts", |b| {
+        b.iter(|| black_box(study.fig6_counts()))
+    });
+    c.bench_function("figures/headline_report", |b| {
+        b.iter_batched(|| &study, |s| black_box(s.report()), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_per_link, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Content machinery benchmarks: page generation, shingling, MinHash —
+//! the inner loops of the soft-404 probe and of snapshot storage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permadead_text::{shingle_similarity, shingles, ContentGen, MinHashSketch};
+
+fn bench_content_gen(c: &mut Criterion) {
+    let g = ContentGen::new(42);
+    c.bench_function("text/article_body", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(g.body(black_box("site9:page77"), 18, i));
+        })
+    });
+}
+
+fn bench_shingling(c: &mut Criterion) {
+    let g = ContentGen::new(42);
+    let doc = g.body("bench-doc", 18, 0);
+    c.bench_function("text/shingles_k5", |b| {
+        b.iter(|| black_box(shingles(black_box(&doc), 5)))
+    });
+    let other = g.body("bench-doc-2", 18, 0);
+    c.bench_function("text/shingle_similarity", |b| {
+        b.iter(|| black_box(shingle_similarity(black_box(&doc), black_box(&other), 5)))
+    });
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let g = ContentGen::new(42);
+    let doc = g.body("bench-doc", 18, 0);
+    c.bench_function("text/minhash_sketch", |b| {
+        b.iter(|| black_box(MinHashSketch::of(black_box(&doc), 5)))
+    });
+    let a = MinHashSketch::of(&doc, 5);
+    let b_ = MinHashSketch::of(&g.body("bench-doc-2", 18, 0), 5);
+    c.bench_function("text/minhash_similarity", |b| {
+        b.iter(|| black_box(a.similarity(black_box(&b_))))
+    });
+}
+
+criterion_group!(benches, bench_content_gen, bench_shingling, bench_minhash);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! URL machinery micro-benchmarks: the per-link costs the pipeline pays
+//! millions of times at paper scale (parse, normalize, SURT, PSL lookup,
+//! bounded edit distance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permadead_url::{
+    bounded_levenshtein, normalize, registrable_domain, surt, PublicSuffixList, Url,
+};
+
+const SAMPLES: &[&str] = &[
+    "http://www.example.org/news/2014/story.html?id=7#top",
+    "https://sub.domain.example.co.uk/a/b/c/d/e.php?x=1&y=2&z=3",
+    "http://jhpress.nli.org.il/Default/Scripting/ArticleWin.asp?From=Archive&Source=Page",
+    "http://www.lnr.fr/top-14-orange-histoire-parc-des-princes-paris-26-may-1984.html",
+];
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("url/parse", |b| {
+        b.iter(|| {
+            for s in SAMPLES {
+                black_box(Url::parse(black_box(s)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let urls: Vec<Url> = SAMPLES.iter().map(|s| Url::parse(s).unwrap()).collect();
+    c.bench_function("url/normalize", |b| {
+        b.iter(|| {
+            for u in &urls {
+                black_box(normalize(black_box(u)));
+            }
+        })
+    });
+}
+
+fn bench_surt(c: &mut Criterion) {
+    let urls: Vec<Url> = SAMPLES.iter().map(|s| Url::parse(s).unwrap()).collect();
+    c.bench_function("url/surt", |b| {
+        b.iter(|| {
+            for u in &urls {
+                black_box(surt(black_box(u)));
+            }
+        })
+    });
+}
+
+fn bench_psl(c: &mut Criterion) {
+    let psl = PublicSuffixList::default();
+    let hosts = [
+        "www.example.org",
+        "news.bbc.co.uk",
+        "a.b.c.d.example.com.au",
+        "www.parliament.tas.gov.au",
+    ];
+    c.bench_function("url/psl_registrable_domain", |b| {
+        b.iter(|| {
+            for h in hosts {
+                black_box(psl.registrable_domain(black_box(h)));
+            }
+        })
+    });
+    c.bench_function("url/psl_thread_local", |b| {
+        b.iter(|| {
+            for h in hosts {
+                black_box(registrable_domain(black_box(h)));
+            }
+        })
+    });
+}
+
+fn bench_editdist(c: &mut Criterion) {
+    let a = "http://www.lnr.fr/top-14-orange-histoire-parc-des-princes-paris-26-may-1984.html";
+    let b_ = "http://www.lnr.fr/top-14-orange-histoire-parc-des-princes-paris-26-mai-1984.html";
+    let far = "http://completely.different.example/another/path/entirely.php?q=1";
+    c.bench_function("url/bounded_levenshtein_hit", |b| {
+        b.iter(|| black_box(bounded_levenshtein(black_box(a), black_box(b_), 1)))
+    });
+    c.bench_function("url/bounded_levenshtein_early_exit", |b| {
+        b.iter(|| black_box(bounded_levenshtein(black_box(a), black_box(far), 1)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_normalize,
+    bench_surt,
+    bench_psl,
+    bench_editdist
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! World-generation throughput: how fast a 15-year history replays. This is
+//! the setup cost of every experiment; sample counts are kept low because a
+//! single iteration is already seconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permadead_sim::{build, Scenario, ScenarioConfig};
+
+fn bench_build_only(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        rot_links: 400,
+        ..ScenarioConfig::small(42)
+    };
+    c.bench_function("worldgen/build_400_links", |b| {
+        b.iter(|| black_box(build(black_box(&cfg))))
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worldgen");
+    group.sample_size(10);
+    let cfg = ScenarioConfig {
+        rot_links: 400,
+        ..ScenarioConfig::small(42)
+    };
+    group.bench_function("full_scenario_400_links", |b| {
+        b.iter(|| black_box(Scenario::generate(black_box(cfg.clone()))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_only, bench_full_scenario);
+criterion_main!(benches);

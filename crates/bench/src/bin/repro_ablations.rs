@@ -1,0 +1,204 @@
+//! E-ablations — the design choices DESIGN.md §7 calls out, each swept over
+//! a re-run of the same world:
+//!
+//! 1. IABot's availability-lookup timeout (∞ → 1s): how many links with
+//!    usable copies get spuriously tagged (§4.1's mechanism).
+//! 2. Archived-copy policy (strict initial-200 vs accepting redirects):
+//!    patch coverage vs how many of the §4.2 erroneous redirects would slip
+//!    through.
+//! 3. Dead-check attempts (1 vs 3 spread over days): false "dead" verdicts
+//!    from transient outages.
+//! 4. Redirect-validation window/sibling sensitivity.
+
+use permadead_archive::AvailabilityPolicy;
+use permadead_bot::IaBotConfig;
+use permadead_core::redirects::{validate_redirect_with, RedirectVerdict};
+use permadead_core::{archival, Dataset, Study};
+use permadead_net::Duration;
+use permadead_sim::{Scenario, ScenarioConfig};
+
+fn base_config() -> ScenarioConfig {
+    let seed = std::env::var("PERMADEAD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    match std::env::var("PERMADEAD_SCALE").as_deref() {
+        Ok("paper") => ScenarioConfig::paper(seed),
+        _ => ScenarioConfig::small(seed),
+    }
+}
+
+fn run_variant(label: &str, iabot: IaBotConfig) -> (String, Scenario) {
+    let cfg = ScenarioConfig {
+        iabot,
+        ..base_config()
+    };
+    eprintln!("[ablation] running variant: {label}");
+    (label.to_string(), Scenario::generate(cfg))
+}
+
+fn main() {
+    println!("=== Ablation 1: availability-lookup timeout ===\n");
+    println!(
+        "{:<14} {:>8} {:>8} {:>10} {:>16}",
+        "timeout", "tagged", "patched", "timeouts", "spurious tags"
+    );
+    for (label, timeout) in [
+        ("none", None),
+        ("8s", Some(8_000)),
+        ("4s (default)", Some(4_000)),
+        ("2s", Some(2_000)),
+        ("1s", Some(1_000)),
+    ] {
+        let (_, s) = run_variant(
+            label,
+            IaBotConfig {
+                availability_timeout_ms: timeout,
+                ..IaBotConfig::default()
+            },
+        );
+        let total = s.total_bot_report();
+        // spurious = tagged links that actually had an initial-200 copy
+        let ds = Dataset::random(&s.wiki, s.config.sample_size, 1);
+        let spurious = ds
+            .entries
+            .iter()
+            .filter(|e| {
+                archival::classify_archival(&s.archive, &e.url, e.marked_at)
+                    == permadead_core::ArchivalClass::Had200Copy
+            })
+            .count();
+        println!(
+            "{label:<14} {:>8} {:>8} {:>10} {:>10} ({:.1}%)",
+            total.tagged_permanently_dead,
+            total.patched,
+            total.availability_timeouts,
+            spurious,
+            spurious as f64 * 100.0 / ds.len().max(1) as f64,
+        );
+    }
+
+    println!("\n=== Ablation 2: archived-copy policy ===\n");
+    for (label, policy) in [
+        ("initial-200 only (production)", AvailabilityPolicy::Initial200Only),
+        ("accept redirects", AvailabilityPolicy::AllowRedirects),
+    ] {
+        let (_, s) = run_variant(
+            label,
+            IaBotConfig {
+                copy_policy: policy,
+                availability_timeout_ms: None,
+                ..IaBotConfig::default()
+            },
+        );
+        let total = s.total_bot_report();
+        println!(
+            "{label:<32} patched {:>6}  tagged {:>6}",
+            total.patched, total.tagged_permanently_dead
+        );
+    }
+
+    println!("\n=== Ablation 3: dead-check attempts ===\n");
+    for attempts in [1u32, 3] {
+        let (_, s) = run_variant(
+            &format!("{attempts} attempt(s)"),
+            IaBotConfig {
+                dead_check_attempts: attempts,
+                ..IaBotConfig::default()
+            },
+        );
+        // false-dead: tagged links whose ground truth says they never died
+        let ppd = s.permanently_dead_urls();
+        let false_dead = ppd
+            .iter()
+            .filter(|u| s.spec_for(u).is_some_and(|sp| sp.death.is_none()))
+            .count();
+        println!(
+            "attempts={attempts}: tagged {:>6}, of which never actually died: {false_dead}",
+            ppd.len()
+        );
+    }
+
+    println!("\n=== Ablation 5: re-checking tagged links (§3 implication) ===\n");
+    for (label, recheck) in [("never re-check (production)", false), ("re-check each sweep", true)] {
+        let (_, s) = run_variant(
+            label,
+            IaBotConfig {
+                recheck_tagged_dead: recheck,
+                ..IaBotConfig::default()
+            },
+        );
+        let ppd = s.permanently_dead_urls();
+        // ground truth: how many still-tagged links actually work right now
+        let alive_tagged = ppd
+            .iter()
+            .filter(|u| s.spec_for(u).is_some_and(|sp| sp.fate.revives()))
+            .count();
+        println!(
+            "{label:<28} tagged at study: {:>6}; of which revived & working: {alive_tagged}",
+            ppd.len()
+        );
+    }
+    println!(
+        "(the paper: links \"should be occasionally checked again; they should not always \
+         be excluded to maximize efficiency, as IABot currently does\")"
+    );
+
+    println!("\n=== Ablation 6 / E13: Save-Page-Now on posting (§5 implication) ===\n");
+    for (label, spn) in [("status quo", false), ("archive every link when posted", true)] {
+        let cfg = ScenarioConfig {
+            save_page_now: spn,
+            ..base_config()
+        };
+        eprintln!("[ablation] running variant: {label}");
+        let s = Scenario::generate(cfg);
+        let ppd = s.permanently_dead_urls();
+        let typos = ppd
+            .iter()
+            .filter(|u| s.spec_for(u).is_some_and(|sp| sp.fate.is_typo()))
+            .count();
+        println!(
+            "{label:<34} permanently dead: {:>6} (of which typos that never worked: {typos})",
+            ppd.len()
+        );
+    }
+    println!(
+        "(the paper: the permanently-dead count \"can likely be significantly reduced if the \
+         practice of capturing a copy of every URL as soon as it is posted were more \
+         comprehensive\")"
+    );
+
+    println!("\n=== Ablation 4: redirect-validation sensitivity ===\n");
+    let s = Scenario::generate(base_config());
+    let ds = Dataset::random(&s.wiki, s.config.sample_size, 1);
+    let study = Study::run(&s.web, &s.archive, &ds, s.config.study_time);
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "window", "2 sibs", "6 sibs", "20 sibs"
+    );
+    for days in [30i64, 90, 365] {
+        let mut row = format!("{days:>6}d   ");
+        for sibs in [2usize, 6, 20] {
+            let valid = study
+                .findings
+                .iter()
+                .filter(|f| f.archival == permadead_core::ArchivalClass::Had3xxOnly)
+                .filter_map(|f| {
+                    archival::first_3xx_before(&s.archive, &f.entry.url, f.entry.marked_at)
+                })
+                .filter(|snap| {
+                    matches!(
+                        validate_redirect_with(&s.archive, snap, Duration::days(days), sibs),
+                        RedirectVerdict::Valid
+                    )
+                })
+                .count();
+            row.push_str(&format!("{valid:>10}"));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\n(paper setting: 90 days, 6 siblings — tighter windows miss catch-alls \
+         and over-validate; wider windows are safer but cost more CDX rows)"
+    );
+}

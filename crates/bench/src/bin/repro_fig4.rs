@@ -1,0 +1,28 @@
+//! E4 — Figure 4: live-web outcome breakdown for both samples.
+//!
+//! Paper shape: DNS failures and 404s together exceed 70%; roughly 16% of
+//! fetches end in a final 200; the March and September distributions are
+//! largely identical.
+
+use permadead_bench::Repro;
+use permadead_stats::render_bar_chart;
+
+fn main() {
+    let repro = Repro::from_env();
+    for study in [repro.march_study(), repro.september_study()] {
+        let counts = study.live_breakdown();
+        println!(
+            "{}",
+            render_bar_chart(
+                &format!("Figure 4 — dataset '{}', fetched at {}", study.label, study.study_time),
+                &counts
+            )
+        );
+        let dns_404 = counts.fraction("DNS Failure") + counts.fraction("404");
+        println!(
+            "  DNS+404 share: {:.1}% (paper: >70%)    200 share: {:.1}% (paper: ~16%)\n",
+            dns_404 * 100.0,
+            counts.fraction("200") * 100.0,
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! E11 — the conclusion's headline table, paper vs measured, for both the
+//! March-style and September-style samples.
+
+use permadead_bench::Repro;
+
+fn main() {
+    let repro = Repro::from_env();
+    for study in [repro.march_study(), repro.september_study()] {
+        println!("{}", study.report().render_comparison());
+        println!();
+    }
+}

@@ -1,0 +1,26 @@
+//! E10 — §5.2 typo scan: never-archived links with a unique edit-distance-1
+//! archived neighbour (the paper finds 219, ≈2% of the sample).
+
+use permadead_bench::Repro;
+
+fn main() {
+    let repro = Repro::from_env();
+    let study = repro.march_study();
+    let report = study.report();
+
+    println!(
+        "typo scan over {} permanently dead links ({} never archived):\n",
+        report.n, report.never_archived
+    );
+    println!(
+        "  unique edit-distance-1 neighbours: {} ({:.1}% of sample; paper: 219 ≈ 2%)\n",
+        report.unique_edit_distance_1,
+        report.unique_edit_distance_1 as f64 * 100.0 / report.n.max(1) as f64
+    );
+
+    println!("examples (dead URL → probable intended URL):");
+    for f in study.findings.iter().filter(|f| f.typo.is_some()).take(8) {
+        let t = f.typo.as_ref().expect("filtered");
+        println!("  {}\n    → {}", t.typo_url, t.intended_url);
+    }
+}

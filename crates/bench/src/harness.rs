@@ -1,0 +1,92 @@
+//! Scenario + study construction shared by all repro binaries.
+
+use permadead_core::{Dataset, Study};
+use permadead_sim::{Scenario, ScenarioConfig};
+
+/// A generated scenario plus the two datasets and studies the paper uses.
+pub struct Repro {
+    pub scenario: Scenario,
+    /// March-style: first N articles of the category, alphabetical.
+    pub march: Dataset,
+    /// September-style: random sample at a later date.
+    pub september: Dataset,
+}
+
+impl Repro {
+    /// Read `PERMADEAD_SEED` / `PERMADEAD_SCALE` and build everything.
+    pub fn from_env() -> Repro {
+        let seed = std::env::var("PERMADEAD_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let scale = std::env::var("PERMADEAD_SCALE").unwrap_or_else(|_| "small".into());
+        let cfg = match scale.as_str() {
+            "paper" => ScenarioConfig::paper(seed),
+            _ => ScenarioConfig::small(seed),
+        };
+        Repro::build(cfg)
+    }
+
+    /// Build from an explicit config.
+    pub fn build(cfg: ScenarioConfig) -> Repro {
+        eprintln!(
+            "[permadead] generating world: {} rot links, seed {} ...",
+            cfg.rot_links, cfg.seed
+        );
+        let t0 = std::time::Instant::now();
+        let scenario = Scenario::generate(cfg);
+        eprintln!(
+            "[permadead] world ready in {:.1?}: {} snapshots archived, {} articles, {} permanently dead URLs",
+            t0.elapsed(),
+            scenario.archive.len(),
+            scenario.wiki.len(),
+            scenario.permanently_dead_urls().len(),
+        );
+        // The paper crawls the first 10,000 category articles; our category
+        // is smaller, so take ~60% of it alphabetically for the March
+        // flavour and sample from everywhere for September.
+        let category_size = scenario.wiki.permanently_dead_category().len();
+        let march_articles = (category_size * 6 / 10).max(1);
+        let march = Dataset::alphabetical(
+            &scenario.wiki,
+            march_articles,
+            scenario.config.sample_size,
+            scenario.config.seed ^ 0xA1,
+        );
+        let september = Dataset::random(
+            &scenario.wiki,
+            scenario.config.sample_size,
+            scenario.config.seed ^ 0xB2,
+        );
+        eprintln!(
+            "[permadead] datasets: march={} links, september={} links",
+            march.len(),
+            september.len()
+        );
+        Repro {
+            scenario,
+            march,
+            september,
+        }
+    }
+
+    /// Run the pipeline over the March dataset at study time.
+    pub fn march_study(&self) -> Study {
+        Study::run(
+            &self.scenario.web,
+            &self.scenario.archive,
+            &self.march,
+            self.scenario.config.study_time,
+        )
+    }
+
+    /// Run the pipeline over the September dataset at the later date.
+    pub fn september_study(&self) -> Study {
+        Study::run(
+            &self.scenario.web,
+            &self.scenario.archive,
+            &self.september,
+            self.scenario.config.random_sample_time,
+        )
+    }
+}

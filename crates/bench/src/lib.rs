@@ -1,0 +1,16 @@
+//! Shared harness for the reproduction binaries and benches.
+//!
+//! Every `repro_*` binary regenerates one figure or table from the paper:
+//! build the scenario, collect the dataset(s), run the pipeline, print the
+//! series. All of them go through [`harness::Repro`] so that the same world
+//! (same seed, same scale) backs every figure — exactly like the paper's
+//! single March dataset backs all of its analyses.
+//!
+//! Environment knobs (read once, at harness construction):
+//! - `PERMADEAD_SEED` — world seed (default 42);
+//! - `PERMADEAD_SCALE` — `small` (default; seconds) or `paper` (the full
+//!   ~18k-rot-link world; takes a few minutes).
+
+pub mod harness;
+
+pub use harness::Repro;

@@ -1,0 +1,138 @@
+//! A small, dependency-free argument parser: `--key value` flags and one
+//! positional subcommand. Unknown flags are errors (typos in flags should
+//! not silently run a three-minute world build with defaults).
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    MissingCommand,
+    DanglingFlag(String),
+    UnknownFlag(String),
+    BadValue { flag: String, value: String },
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "no subcommand given (try `permadead help`)"),
+            ArgsError::DanglingFlag(flag) => write!(f, "flag {flag} is missing its value"),
+            ArgsError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            ArgsError::BadValue { flag, value } => {
+                write!(f, "flag {flag} has invalid value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parse `argv[1..]`: first token is the subcommand, the rest are
+    /// `--flag value` pairs drawn from `allowed`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        argv: I,
+        allowed: &[&str],
+    ) -> Result<Args, ArgsError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgsError::MissingCommand)?;
+        let mut flags = HashMap::new();
+        let mut pending: Option<String> = None;
+        for token in it {
+            match pending.take() {
+                Some(flag) => {
+                    flags.insert(flag, token);
+                }
+                None => {
+                    let Some(name) = token.strip_prefix("--") else {
+                        return Err(ArgsError::UnknownFlag(token));
+                    };
+                    if !allowed.contains(&name) {
+                        return Err(ArgsError::UnknownFlag(format!("--{name}")));
+                    }
+                    pending = Some(name.to_string());
+                }
+            }
+        }
+        if let Some(flag) = pending {
+            return Err(ArgsError::DanglingFlag(format!("--{flag}")));
+        }
+        Ok(Args { command, flags })
+    }
+
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    pub fn get_u64(&self, flag: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    pub fn get_usize(&self, flag: &str, default: usize) -> Result<usize, ArgsError> {
+        Ok(self.get_u64(flag, default as u64)? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(v(&["audit", "--seed", "7", "--scale", "paper"]), &["seed", "scale"])
+            .unwrap();
+        assert_eq!(a.command, "audit");
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_u64("seed", 42).unwrap(), 7);
+        assert_eq!(a.get("scale"), Some("paper"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_u64("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert_eq!(
+            Args::parse(v(&["audit", "--sed", "7"]), &["seed"]).unwrap_err(),
+            ArgsError::UnknownFlag("--sed".into())
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert_eq!(
+            Args::parse(v(&["audit", "--seed"]), &["seed"]).unwrap_err(),
+            ArgsError::DanglingFlag("--seed".into())
+        );
+    }
+
+    #[test]
+    fn rejects_missing_command_and_bare_token() {
+        assert_eq!(Args::parse(v(&[]), &[]).unwrap_err(), ArgsError::MissingCommand);
+        assert!(matches!(
+            Args::parse(v(&["audit", "stray"]), &[]),
+            Err(ArgsError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn bad_numeric_value() {
+        let a = Args::parse(v(&["audit", "--seed", "notanumber"]), &["seed"]).unwrap();
+        assert!(matches!(a.get_u64("seed", 1), Err(ArgsError::BadValue { .. })));
+    }
+}

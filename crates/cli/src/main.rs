@@ -1,0 +1,249 @@
+//! `permadead` — the command-line face of the reproduction.
+//!
+//! ```text
+//! permadead audit    [--seed N] [--scale small|paper] [--csv PATH] [--cdx PATH]
+//! permadead figures  [--seed N] [--scale small|paper]
+//! permadead forensics[--seed N] [--limit K]
+//! permadead bots     [--seed N]
+//! permadead help
+//! ```
+
+mod args;
+mod export;
+
+use args::Args;
+use permadead_core::{Dataset, Study};
+use permadead_sim::{Scenario, ScenarioConfig};
+use permadead_stats::{percentile, render_bar_chart, render_cdf, Cdf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = Args::parse(
+        argv,
+        &["seed", "scale", "csv", "cdx", "limit", "sample"],
+    );
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "audit" => cmd_audit(&args),
+        "figures" => cmd_figures(&args),
+        "forensics" => cmd_forensics(&args),
+        "bots" => cmd_bots(&args),
+        "recommend" => cmd_recommend(&args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command {other:?} (try `permadead help`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "permadead — reproduction of 'Characterizing Permanently Dead Links on Wikipedia' (IMC 2022)\n\n\
+         USAGE:\n  permadead <command> [flags]\n\n\
+         COMMANDS:\n\
+         \x20 audit      generate a world, run the full pipeline, print the paper-vs-measured table\n\
+         \x20 figures    print Figures 3–6 as ASCII series\n\
+         \x20 forensics  narrate the life of individual permanently dead links\n\
+         \x20 bots       IABot sweep totals and the WaybackMedic rescue comparison\n\
+         \x20 recommend  the paper's implications as a work-list: what to untag, patch, or fix\n\
+         \x20 help       this text\n\n\
+         FLAGS:\n\
+         \x20 --seed N          world seed (default 42)\n\
+         \x20 --scale small|paper   world size (default small)\n\
+         \x20 --sample N        dataset sample size cap\n\
+         \x20 --csv PATH        (audit) write per-link findings as CSV\n\
+         \x20 --cdx PATH        (audit) dump the archive index as a CDX file\n\
+         \x20 --limit K         (forensics) how many links to narrate (default 5)"
+    );
+}
+
+fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
+    let seed = args.get_u64("seed", 42)?;
+    let mut cfg = match args.get("scale") {
+        Some("paper") => ScenarioConfig::paper(seed),
+        None | Some("small") => ScenarioConfig::small(seed),
+        Some(other) => return Err(format!("unknown scale {other:?}").into()),
+    };
+    cfg.sample_size = args.get_usize("sample", cfg.sample_size)?;
+    eprintln!("[permadead] generating world (seed {seed}, {} rot links)…", cfg.rot_links);
+    Ok(Scenario::generate(cfg))
+}
+
+fn march_study(scenario: &Scenario) -> Study {
+    let category = scenario.wiki.permanently_dead_category().len();
+    let ds = Dataset::alphabetical(
+        &scenario.wiki,
+        (category * 6 / 10).max(1),
+        scenario.config.sample_size,
+        scenario.config.seed ^ 0xA1,
+    );
+    Study::run(&scenario.web, &scenario.archive, &ds, scenario.config.study_time)
+}
+
+fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = scenario_from(args)?;
+    // reset the cost counters so we report what the *pipeline* spends, not
+    // what world generation spent
+    scenario.web.metrics.requests.reset();
+    scenario.web.metrics.transport_failures.reset();
+    scenario.archive.lookups.reset();
+    scenario.archive.rows_scanned.reset();
+    let study = march_study(&scenario);
+    println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
+    println!("{}", study.report().render_comparison());
+    println!(
+        "measurement cost: live web {}; archive index: {} scans touching {} rows",
+        scenario.web.metrics.summary(),
+        scenario.archive.lookups.get(),
+        scenario.archive.rows_scanned.get(),
+    );
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, export::study_to_csv(&study))?;
+        eprintln!("[permadead] wrote {} findings to {path}", study.len());
+    }
+    if let Some(path) = args.get("cdx") {
+        std::fs::write(path, permadead_archive::to_cdx_string(&scenario.archive))?;
+        eprintln!(
+            "[permadead] wrote {} snapshots to {path}",
+            scenario.archive.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = scenario_from(args)?;
+    let study = march_study(&scenario);
+    let ds_years = study
+        .findings
+        .iter()
+        .map(|f| f.entry.added_at.as_year_f64())
+        .collect::<Vec<_>>();
+    println!(
+        "{}",
+        render_cdf(
+            "Fig 3(c): date link posted",
+            &Cdf::new(ds_years),
+            &[2006.0, 2010.0, 2014.0, 2016.0, 2018.0, 2020.0, 2022.0],
+            "year",
+        )
+    );
+    println!("{}", render_bar_chart("Fig 4: live status", &study.live_breakdown()));
+    let gaps = study.fig5_gap_days();
+    if !gaps.is_empty() {
+        println!(
+            "{}",
+            render_cdf(
+                "Fig 5: archival lag (days)",
+                &Cdf::new(gaps.clone()),
+                &[1.0, 10.0, 100.0, 1000.0, 10000.0],
+                "days",
+            )
+        );
+        println!("  median lag: {:.0} days\n", percentile(&gaps, 50.0));
+    }
+    let (dir, host) = study.fig6_counts();
+    if !dir.is_empty() {
+        let grid = [0.0, 1.0, 10.0, 100.0, 1000.0];
+        println!("{}", render_cdf("Fig 6: archived-200 URLs in same directory", &Cdf::new(dir), &grid, "urls"));
+        println!("{}", render_cdf("Fig 6: archived-200 URLs on same host", &Cdf::new(host), &grid, "urls"));
+    }
+    Ok(())
+}
+
+fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = scenario_from(args)?;
+    let limit = args.get_usize("limit", 5)?;
+    let study = march_study(&scenario);
+    for f in study.findings.iter().take(limit) {
+        println!("── {}", f.entry.url);
+        println!("   cited in:       {}", f.entry.article);
+        println!("   added:          {}", f.entry.added_at.date());
+        println!("   tagged dead:    {}", f.entry.marked_at.date());
+        println!("   status today:   {}", f.live.status);
+        println!("   archival class: {:?}", f.archival);
+        if let Some(t) = &f.typo {
+            println!("   probable typo of {}", t.intended_url);
+        }
+        if let Some(r) = &f.param_rescue {
+            println!("   param-reorder copy exists: {}", r.archived_url);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = scenario_from(args)?;
+    let limit = args.get_usize("limit", 10)?;
+    let study = march_study(&scenario);
+    let recs = permadead_core::recommendations(&study, &scenario.archive);
+    println!(
+        "{} tagged links analyzed; {} actionable recommendations:\n",
+        study.len(),
+        recs.len()
+    );
+    for (kind, count) in permadead_core::summarize(&recs) {
+        println!("  {kind:<20} {count}");
+    }
+    println!("\nfirst {limit}:");
+    for r in recs.iter().take(limit) {
+        match r {
+            permadead_core::Recommendation::Untag { url } => {
+                println!("  untag          {url} (answers a genuine 200 today)");
+            }
+            permadead_core::Recommendation::PatchWith200Copy { url, captured } => {
+                println!("  patch-200      {url} ← copy of {}", captured.date());
+            }
+            permadead_core::Recommendation::PatchWithRedirectCopy { url, captured, target } => {
+                println!("  patch-redirect {url} ← {} copy redirecting to {target}", captured.date());
+            }
+            permadead_core::Recommendation::FixTypo { url, intended } => {
+                println!("  fix-typo       {url}\n                 → {intended}");
+            }
+            permadead_core::Recommendation::PatchWithParamReorder { url, archived_spelling } => {
+                println!("  param-reorder  {url}\n                 ← {archived_spelling}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bots(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = scenario_from(args)?;
+    for (t, report) in &scenario.bot_reports {
+        println!("sweep {}: {report}", t.date());
+    }
+    println!("\ntotal: {}", scenario.total_bot_report());
+
+    let mut wiki = permadead_wiki::WikiStore::new();
+    for a in scenario.wiki.articles() {
+        wiki.insert(a.clone());
+    }
+    let before = wiki.unique_permanently_dead_urls().len();
+    let medic = permadead_bot::WaybackMedic::new();
+    let report = medic.run(&mut wiki, &scenario.archive, scenario.config.study_time);
+    println!(
+        "\nWaybackMedic: {report}\npermanently dead: {before} → {}",
+        wiki.unique_permanently_dead_urls().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! End-to-end smoke tests of the `permadead` binary: the commands a user
+//! would actually type, run against a small world.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_permadead"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = bin().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["audit", "figures", "forensics", "bots", "recommend"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_fails_fast() {
+    let out = bin().args(["audit", "--sed", "7"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn audit_produces_report_and_exports() {
+    let dir = std::env::temp_dir().join("permadead-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("findings.csv");
+    let cdx = dir.join("archive.cdx");
+    let out = bin()
+        .args([
+            "audit",
+            "--seed",
+            "3",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--cdx",
+            cdx.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Figure 4"));
+    assert!(text.contains("paper"));
+    assert!(text.contains("measurement cost"));
+
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.lines().count() > 100, "CSV too small");
+    assert!(csv_text.starts_with("url,article,"));
+
+    let cdx_text = std::fs::read_to_string(&cdx).unwrap();
+    assert!(cdx_text.lines().count() > 1000, "CDX too small");
+    // and the dump parses back
+    let store = permadead_archive::from_cdx_string(&cdx_text).expect("CDX parses");
+    assert_eq!(store.len(), cdx_text.lines().count());
+}
+
+#[test]
+fn recommend_prints_worklist() {
+    let out = bin()
+        .args(["recommend", "--seed", "3", "--limit", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("actionable recommendations"));
+    assert!(text.contains("patch-200"));
+}

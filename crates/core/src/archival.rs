@@ -1,0 +1,248 @@
+//! Archived-copy analysis (§4) and the post-marking check (§3).
+//!
+//! IABot tags a link permanently dead when it finds no archived copy whose
+//! *initial* status was 200. That is not the same as "no archived copies":
+//! §4.1 finds 11% of tagged links had exactly such copies (missed through
+//! API timeouts), and §4.2 finds 38% had 3xx copies that IABot distrusts on
+//! principle. [`classify_archival`] reproduces that taxonomy from the
+//! archive alone.
+
+use permadead_archive::{ArchiveStore, Snapshot};
+use permadead_net::{Duration, SimTime, StatusCode};
+use permadead_url::Url;
+
+/// What existed on the archive *before the link was tagged*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchivalClass {
+    /// At least one initial-200 copy predates tagging: the tag was a §4.1
+    /// miss.
+    Had200Copy,
+    /// No 200 copies, but at least one 3xx copy predates tagging — the §4.2
+    /// candidates.
+    Had3xxOnly,
+    /// Copies predate tagging, but all are erroneous (4xx/5xx).
+    HadErroneousOnly,
+    /// Nothing was captured before tagging (though copies may exist after).
+    NothingBeforeMarking,
+    /// Nothing was ever captured at all (§5.2's population).
+    NeverArchived,
+}
+
+/// Classify a link's pre-marking archival state.
+pub fn classify_archival(archive: &ArchiveStore, url: &Url, marked_at: SimTime) -> ArchivalClass {
+    let all = archive.snapshots_of(url);
+    if all.is_empty() {
+        return ArchivalClass::NeverArchived;
+    }
+    let pre: Vec<&&Snapshot> = all.iter().filter(|s| s.captured < marked_at).collect();
+    if pre.is_empty() {
+        return ArchivalClass::NothingBeforeMarking;
+    }
+    if pre.iter().any(|s| s.is_initial_200()) {
+        return ArchivalClass::Had200Copy;
+    }
+    if pre.iter().any(|s| s.is_redirect()) {
+        return ArchivalClass::Had3xxOnly;
+    }
+    ArchivalClass::HadErroneousOnly
+}
+
+/// The first pre-marking 3xx snapshot, for §4.2's validation.
+pub fn first_3xx_before<'a>(
+    archive: &'a ArchiveStore,
+    url: &Url,
+    marked_at: SimTime,
+) -> Option<&'a Snapshot> {
+    archive
+        .snapshots_of(url)
+        .into_iter()
+        .find(|s| s.captured < marked_at && s.is_redirect())
+}
+
+/// §3's sanity check on IABot's single-fetch dead detection: for links with
+/// at least one copy captured *after* tagging, is the first such copy
+/// erroneous? (The paper finds yes for 95% — evidence the links really were
+/// dead when tagged.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostMarkingCheck {
+    /// No snapshot after tagging.
+    NoCopyAfterMarking,
+    /// First post-tagging copy was erroneous (non-200 status, or a 200 whose
+    /// body is a shared template — an archived soft-404).
+    FirstCopyErroneous,
+    /// First post-tagging copy looks fine.
+    FirstCopyGood,
+}
+
+/// How far around a 200 snapshot we look for an identical-body snapshot of a
+/// *different* URL on the same host — the archived-soft-404 heuristic.
+const TEMPLATE_WINDOW: Duration = Duration::days(365);
+
+pub fn post_marking_check(
+    archive: &ArchiveStore,
+    url: &Url,
+    marked_at: SimTime,
+) -> PostMarkingCheck {
+    let Some(first) = archive
+        .snapshots_of(url)
+        .into_iter()
+        .find(|s| s.captured >= marked_at)
+    else {
+        return PostMarkingCheck::NoCopyAfterMarking;
+    };
+    if snapshot_is_erroneous(archive, first) {
+        PostMarkingCheck::FirstCopyErroneous
+    } else {
+        PostMarkingCheck::FirstCopyGood
+    }
+}
+
+/// Is an archived copy erroneous? 4xx/5xx statuses are; a 3xx copy is judged
+/// by the §4.2 redirect validation (a genuine archived 301 is a *usable*
+/// copy, not an erroneous one); a 200 copy is suspect when another URL on
+/// the same host was captured with a byte-identical body around the same
+/// time (path-independent template ⇒ soft-404 or parked lander).
+pub fn snapshot_is_erroneous(archive: &ArchiveStore, snap: &Snapshot) -> bool {
+    if snap.initial_status.is_redirect() {
+        return !crate::redirects::validate_redirect(archive, snap).is_valid();
+    }
+    if snap.initial_status != StatusCode::OK {
+        return true;
+    }
+    let host_prefix = permadead_url::surt_host_prefix(snap.url.host());
+    archive.scan_surt_prefix(&host_prefix).any(|other| {
+        other.surt != snap.surt
+            && other.initial_status == StatusCode::OK
+            && (other.captured - snap.captured).as_seconds().unsigned_abs()
+                <= TEMPLATE_WINDOW.as_seconds().unsigned_abs()
+            && other.sketch.same_body(&snap.sketch)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_archive::Snapshot;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32, m: u32) -> SimTime {
+        SimTime::from_ymd(y, m, 1)
+    }
+
+    fn snap(url: &str, at: SimTime, status: u16, body: &str) -> Snapshot {
+        let target = (300..400)
+            .contains(&status)
+            .then(|| u("http://e.org/"));
+        Snapshot::from_observation(&u(url), at, StatusCode(status), target, body)
+    }
+
+    #[test]
+    fn classes() {
+        let marked = t(2020, 1);
+        let url = u("http://e.org/x");
+
+        let mut a = ArchiveStore::new();
+        assert_eq!(classify_archival(&a, &url, marked), ArchivalClass::NeverArchived);
+
+        a.insert(snap("http://e.org/x", t(2021, 1), 404, ""));
+        assert_eq!(
+            classify_archival(&a, &url, marked),
+            ArchivalClass::NothingBeforeMarking
+        );
+
+        a.insert(snap("http://e.org/x", t(2015, 1), 404, ""));
+        assert_eq!(
+            classify_archival(&a, &url, marked),
+            ArchivalClass::HadErroneousOnly
+        );
+
+        a.insert(snap("http://e.org/x", t(2016, 1), 301, ""));
+        assert_eq!(classify_archival(&a, &url, marked), ArchivalClass::Had3xxOnly);
+
+        a.insert(snap("http://e.org/x", t(2017, 1), 200, "good body"));
+        assert_eq!(classify_archival(&a, &url, marked), ArchivalClass::Had200Copy);
+    }
+
+    #[test]
+    fn boundary_is_strictly_before_marking() {
+        let marked = t(2020, 1);
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", marked, 200, "b"));
+        assert_eq!(
+            classify_archival(&a, &u("http://e.org/x"), marked),
+            ArchivalClass::NothingBeforeMarking
+        );
+    }
+
+    #[test]
+    fn first_3xx_lookup() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2014, 1), 404, ""));
+        a.insert(snap("http://e.org/x", t(2015, 1), 302, ""));
+        a.insert(snap("http://e.org/x", t(2016, 1), 301, ""));
+        let first = first_3xx_before(&a, &u("http://e.org/x"), t(2020, 1)).unwrap();
+        assert_eq!(first.captured, t(2015, 1));
+        assert!(first_3xx_before(&a, &u("http://e.org/x"), t(2014, 6)).is_none());
+    }
+
+    #[test]
+    fn post_marking_no_copy() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2015, 1), 200, "b"));
+        assert_eq!(
+            post_marking_check(&a, &u("http://e.org/x"), t(2020, 1)),
+            PostMarkingCheck::NoCopyAfterMarking
+        );
+    }
+
+    #[test]
+    fn post_marking_erroneous_404() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2021, 1), 404, ""));
+        a.insert(snap("http://e.org/x", t(2021, 6), 200, "revived body"));
+        assert_eq!(
+            post_marking_check(&a, &u("http://e.org/x"), t(2020, 1)),
+            PostMarkingCheck::FirstCopyErroneous
+        );
+    }
+
+    #[test]
+    fn post_marking_good_200() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2021, 1), 200, "a genuine page body"));
+        assert_eq!(
+            post_marking_check(&a, &u("http://e.org/x"), t(2020, 1)),
+            PostMarkingCheck::FirstCopyGood
+        );
+    }
+
+    #[test]
+    fn archived_soft404_detected_by_template_match() {
+        let template = "sorry page not found template body for host e.org";
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2021, 1), 200, template));
+        a.insert(snap("http://e.org/other", t(2021, 3), 200, template));
+        assert_eq!(
+            post_marking_check(&a, &u("http://e.org/x"), t(2020, 1)),
+            PostMarkingCheck::FirstCopyErroneous
+        );
+    }
+
+    #[test]
+    fn template_match_requires_same_host_and_window() {
+        let template = "identical body text";
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2021, 1), 200, template));
+        // same body on a different host: no evidence
+        a.insert(snap("http://other.org/y", t(2021, 1), 200, template));
+        // same body on same host but years away: no evidence
+        a.insert(snap("http://e.org/z", t(2010, 1), 200, template));
+        assert_eq!(
+            post_marking_check(&a, &u("http://e.org/x"), t(2020, 1)),
+            PostMarkingCheck::FirstCopyGood
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's measurement pipeline — the primary contribution, reproduced.
+//!
+//! Given a wiki, an archive, and the live web (all simulated elsewhere; this
+//! crate never reads ground truth), the pipeline answers the paper's four
+//! questions about every permanently-dead link (§2.3):
+//!
+//! 1. **What is its status on the live web today?** — [`livecheck`]
+//!    (Figure 4) plus the soft-404 probe ([`soft404`], §3).
+//! 2. **What archived copies existed before it was marked dead?** —
+//!    [`archival`] (§4.1) and the historical-redirect validation
+//!    ([`redirects`], §4.2).
+//! 3. **When was it first archived relative to posting?** — [`temporal`]
+//!    (Figure 5, §5.1).
+//! 4. **Is the coverage gap page-specific or wider?** — [`spatial`]
+//!    (Figure 6) and the edit-distance typo scan ([`typos`], §5.2).
+//!
+//! [`dataset`] builds the study samples the way the paper did (alphabetical
+//! March crawl + random September sample); [`report`] rolls everything into
+//! the headline numbers of the conclusion.
+
+pub mod archival;
+pub mod dataset;
+pub mod implications;
+pub mod livecheck;
+pub mod params;
+pub mod redirects;
+pub mod report;
+pub mod soft404;
+pub mod spatial;
+pub mod temporal;
+pub mod typos;
+
+pub use archival::{classify_archival, ArchivalClass, PostMarkingCheck};
+pub use dataset::{Dataset, DatasetEntry};
+pub use implications::{recommendations, summarize, Recommendation};
+pub use livecheck::{live_check, LiveCheck};
+pub use params::{find_param_reorder_copy, ParamReorderRescue};
+pub use redirects::{validate_redirect, RedirectVerdict};
+pub use report::{Study, StudyReport};
+pub use soft404::{soft404_probe, Soft404Verdict};
+pub use spatial::{spatial_coverage, SpatialCoverage};
+pub use temporal::{temporal_analysis, TemporalAnalysis};
+pub use typos::{find_typo_candidate, TypoCandidate};

@@ -1,0 +1,126 @@
+//! Live-web status checks (§3, Figure 4).
+//!
+//! "We issued a HTTP GET request for every URL and noted the outcome",
+//! classified into the five categories of [`LiveStatus`].
+
+use permadead_net::{Client, FetchRecord, LiveStatus, Network, SimTime};
+use permadead_stats::CategoricalCounts;
+use permadead_url::Url;
+
+/// The result of re-fetching one permanently-dead link today.
+#[derive(Debug, Clone)]
+pub struct LiveCheck {
+    pub record: FetchRecord,
+    pub status: LiveStatus,
+}
+
+impl LiveCheck {
+    /// Did the fetch end in a 200 after following redirects?
+    pub fn is_final_200(&self) -> bool {
+        self.status == LiveStatus::Ok
+    }
+
+    /// Did it traverse at least one redirect on the way? (§3: 79% of the
+    /// genuinely-revived links do.)
+    pub fn was_redirected(&self) -> bool {
+        self.record.was_redirected()
+    }
+}
+
+/// Fetch `url` at `now` and classify.
+pub fn live_check<N: Network>(web: &N, url: &Url, now: SimTime) -> LiveCheck {
+    let record = Client::new().get(web, url, now);
+    let status = record.live_status();
+    LiveCheck { record, status }
+}
+
+/// Figure 4: the categorical breakdown for a whole sample.
+pub fn status_breakdown(checks: &[LiveCheck]) -> CategoricalCounts {
+    let mut counts = CategoricalCounts::with_categories(&[
+        "DNS Failure",
+        "Timeout",
+        "404",
+        "200",
+        "Other",
+    ]);
+    for c in checks {
+        counts.add(c.status.label());
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::{FetchError, Request, Response, ServeResult, StatusCode};
+    use std::collections::HashMap;
+
+    struct TableNet(HashMap<String, ServeResult>);
+
+    impl Network for TableNet {
+        fn request(&self, req: &Request) -> ServeResult {
+            self.0
+                .get(&req.url.to_string())
+                .cloned()
+                .unwrap_or(Err(FetchError::Dns(permadead_net::DnsError::NxDomain)))
+        }
+    }
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(2022, 3, 15)
+    }
+
+    #[test]
+    fn classification_and_breakdown() {
+        let net = TableNet(
+            [
+                ("http://ok.org/a".to_string(), Ok(Response::ok("x".into()))),
+                ("http://gone.org/a".to_string(), Ok(Response::not_found())),
+                (
+                    "http://err.org/a".to_string(),
+                    Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)),
+                ),
+                ("http://slow.org/a".to_string(), Err(FetchError::ConnectTimeout)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let urls = [
+            "http://ok.org/a",
+            "http://gone.org/a",
+            "http://err.org/a",
+            "http://slow.org/a",
+            "http://nodns.org/a",
+        ];
+        let checks: Vec<LiveCheck> = urls.iter().map(|s| live_check(&net, &u(s), t0())).collect();
+        let counts = status_breakdown(&checks);
+        assert_eq!(counts.count("200"), 1);
+        assert_eq!(counts.count("404"), 1);
+        assert_eq!(counts.count("Other"), 1);
+        assert_eq!(counts.count("Timeout"), 1);
+        assert_eq!(counts.count("DNS Failure"), 1);
+        assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn redirect_tracking() {
+        let net = TableNet(
+            [
+                (
+                    "http://m.org/old".to_string(),
+                    Ok(Response::redirect(StatusCode::MOVED_PERMANENTLY, u("http://m.org/new"))),
+                ),
+                ("http://m.org/new".to_string(), Ok(Response::ok("y".into()))),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let check = live_check(&net, &u("http://m.org/old"), t0());
+        assert!(check.is_final_200());
+        assert!(check.was_redirected());
+    }
+}

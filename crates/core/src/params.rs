@@ -1,0 +1,120 @@
+//! Query-parameter rescue (§5.2 implications).
+//!
+//! "For URLs which include many query parameters, it might be possible to
+//! find archived copies for some of them by … looking for archived URLs
+//! which are identical except that they include the query parameters in a
+//! different order." This module implements that rescue as a first-class
+//! analysis: the paper proposes it as future work, so the reproduction
+//! includes it as an extension experiment (EXPERIMENTS.md E12).
+
+use permadead_archive::{ArchiveStore, CdxApi, CdxQuery, Snapshot, StatusFilter};
+use permadead_url::{same_params_any_order, Url};
+
+/// A rescuable never-archived URL: an initial-200 archived copy exists for
+/// the same path with the same parameters in a different order.
+#[derive(Debug, Clone)]
+pub struct ParamReorderRescue {
+    pub dead_url: Url,
+    /// The archived spelling (same path, permuted query).
+    pub archived_url: Url,
+}
+
+/// Look for an archived-200 copy of `url` modulo parameter order. Only
+/// meaningful for URLs with a query string; returns `None` otherwise.
+pub fn find_param_reorder_copy<'a>(
+    archive: &'a ArchiveStore,
+    url: &Url,
+) -> Option<(ParamReorderRescue, &'a Snapshot)> {
+    url.query()?;
+    let api = CdxApi::new(archive);
+    // all 200s in the same directory: permuted spellings share the path, so
+    // the directory prefix scan covers them
+    let rows = api.query(
+        &CdxQuery::directory_of(url)
+            .with_status(StatusFilter::Code(200))
+            .collapsed(),
+    );
+    for snap in rows {
+        if &snap.url != url && same_params_any_order(&snap.url, url) {
+            return Some((
+                ParamReorderRescue {
+                    dead_url: url.clone(),
+                    archived_url: snap.url.clone(),
+                },
+                snap,
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_archive::Snapshot;
+    use permadead_net::{SimTime, StatusCode};
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t() -> SimTime {
+        SimTime::from_ymd(2014, 5, 1)
+    }
+
+    fn archive_with(entries: &[(&str, u16)]) -> ArchiveStore {
+        let mut a = ArchiveStore::new();
+        for (url, status) in entries {
+            a.insert(Snapshot::from_observation(&u(url), t(), StatusCode(*status), None, "b"));
+        }
+        a
+    }
+
+    #[test]
+    fn finds_permuted_copy() {
+        let a = archive_with(&[(
+            "http://jh.example/win.asp?Skin=TAUHe&From=Archive&Source=Page",
+            200,
+        )]);
+        let dead = u("http://jh.example/win.asp?From=Archive&Source=Page&Skin=TAUHe");
+        let (rescue, snap) = find_param_reorder_copy(&a, &dead).unwrap();
+        assert_eq!(rescue.archived_url.query().unwrap(), "Skin=TAUHe&From=Archive&Source=Page");
+        assert!(snap.is_initial_200());
+    }
+
+    #[test]
+    fn rejects_different_params() {
+        let a = archive_with(&[("http://jh.example/win.asp?From=Archive&Skin=OTHER", 200)]);
+        assert!(find_param_reorder_copy(
+            &a,
+            &u("http://jh.example/win.asp?From=Archive&Skin=TAUHe")
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rejects_non_200_copies() {
+        let a = archive_with(&[("http://jh.example/win.asp?b=2&a=1", 404)]);
+        assert!(find_param_reorder_copy(&a, &u("http://jh.example/win.asp?a=1&b=2")).is_none());
+    }
+
+    #[test]
+    fn ignores_urls_without_query() {
+        let a = archive_with(&[("http://jh.example/win.asp", 200)]);
+        assert!(find_param_reorder_copy(&a, &u("http://jh.example/win.asp")).is_none());
+    }
+
+    #[test]
+    fn identical_spelling_does_not_count_as_rescue() {
+        // the rescue is about *other* spellings; an exact copy would have
+        // been found by the normal availability lookup
+        let a = archive_with(&[("http://jh.example/win.asp?a=1&b=2", 200)]);
+        assert!(find_param_reorder_copy(&a, &u("http://jh.example/win.asp?a=1&b=2")).is_none());
+    }
+
+    #[test]
+    fn different_path_not_matched() {
+        let a = archive_with(&[("http://jh.example/other.asp?b=2&a=1", 200)]);
+        assert!(find_param_reorder_copy(&a, &u("http://jh.example/win.asp?a=1&b=2")).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Historical-redirect validation (§4.2).
+//!
+//! IABot ignores every archived copy in which the crawler saw a redirect,
+//! because redirects are often erroneous (a dead article 302-ing to the
+//! homepage). The paper's counter-test: an archived redirection for URL `u`
+//! is *not* erroneous when its target was unique — no other URL in `u`'s
+//! directory redirected to the same target around that time. Concretely:
+//! compare the target against those seen for **up to 6 other URLs within 90
+//! days** of the copy.
+
+use permadead_archive::{ArchiveStore, CdxApi, CdxQuery, Snapshot, StatusFilter};
+use permadead_net::Duration;
+use permadead_url::Url;
+
+/// The comparison window around the archived copy.
+pub const WINDOW: Duration = Duration::days(90);
+/// How many sibling URLs are consulted.
+pub const MAX_SIBLINGS: usize = 6;
+
+/// Verdict on one archived 3xx copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedirectVerdict {
+    /// No sibling shared the target: the redirection looks genuine, and the
+    /// copy could patch the link.
+    Valid,
+    /// At least one sibling redirected to the same target — a catch-all.
+    Erroneous { shared_target: Url },
+    /// The snapshot carries no target (malformed capture) — unusable.
+    NoTarget,
+}
+
+impl RedirectVerdict {
+    pub fn is_valid(&self) -> bool {
+        matches!(self, RedirectVerdict::Valid)
+    }
+}
+
+/// Validate an archived redirect against its directory siblings, with the
+/// paper's parameters (±90 days, 6 siblings).
+pub fn validate_redirect(archive: &ArchiveStore, snap: &Snapshot) -> RedirectVerdict {
+    validate_redirect_with(archive, snap, WINDOW, MAX_SIBLINGS)
+}
+
+/// Parameterized variant, used by the sensitivity ablation (EXPERIMENTS.md
+/// §7): wider windows and more siblings catch more catch-alls but cost more
+/// CDX rows.
+pub fn validate_redirect_with(
+    archive: &ArchiveStore,
+    snap: &Snapshot,
+    window: Duration,
+    max_siblings: usize,
+) -> RedirectVerdict {
+    let Some(target) = &snap.redirect_target else {
+        return RedirectVerdict::NoTarget;
+    };
+    let api = CdxApi::new(archive);
+    let from = snap.captured - window;
+    let to = snap.captured + window;
+    // all captures in the same directory within the window, 3xx only
+    let rows = api.query(
+        &CdxQuery::directory_of(&snap.url)
+            .with_status(StatusFilter::Family(3))
+            .since(from)
+            .until(to),
+    );
+    let mut siblings_seen = 0usize;
+    let mut last_url: Option<&str> = None;
+    for other in rows {
+        if other.surt == snap.surt {
+            continue;
+        }
+        // count distinct sibling URLs, capped at MAX_SIBLINGS
+        if last_url != Some(other.surt.as_str()) {
+            siblings_seen += 1;
+            last_url = Some(other.surt.as_str());
+            if siblings_seen > max_siblings {
+                break;
+            }
+        }
+        if other.redirect_target.as_ref() == Some(target) {
+            return RedirectVerdict::Erroneous {
+                shared_target: target.clone(),
+            };
+        }
+    }
+    RedirectVerdict::Valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_archive::Snapshot;
+    use permadead_net::{SimTime, StatusCode};
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32, m: u32, d: u32) -> SimTime {
+        SimTime::from_ymd(y, m, d)
+    }
+
+    fn redirect_snap(url: &str, at: SimTime, to: &str) -> Snapshot {
+        Snapshot::from_observation(
+            &u(url),
+            at,
+            StatusCode::MOVED_PERMANENTLY,
+            Some(u(to)),
+            "",
+        )
+    }
+
+    #[test]
+    fn unique_target_is_valid() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap(
+            "http://m.org/region/floersheim/9204093.htm",
+            t(2014, 5, 1),
+            "http://m.org/lokales/floersheim/index.htm",
+        );
+        a.insert(snap.clone());
+        // a sibling captured nearby that redirects somewhere else
+        a.insert(redirect_snap(
+            "http://m.org/region/floersheim/other.htm",
+            t(2014, 5, 20),
+            "http://m.org/lokales/other/index.htm",
+        ));
+        // and a live sibling (no redirect at all)
+        a.insert(Snapshot::from_observation(
+            &u("http://m.org/region/floersheim/live.htm"),
+            t(2014, 5, 10),
+            StatusCode::OK,
+            None,
+            "body",
+        ));
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+
+    #[test]
+    fn shared_target_is_erroneous() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        a.insert(redirect_snap("http://n.org/news/b.html", t(2015, 2, 15), "http://n.org/"));
+        match validate_redirect(&a, &snap) {
+            RedirectVerdict::Erroneous { shared_target } => {
+                assert_eq!(shared_target, u("http://n.org/"));
+            }
+            other => panic!("expected erroneous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn siblings_outside_window_ignored() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        // same catch-all target, but a year later — outside ±90 days
+        a.insert(redirect_snap("http://n.org/news/b.html", t(2016, 6, 1), "http://n.org/"));
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+
+    #[test]
+    fn siblings_in_other_directories_ignored() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        a.insert(redirect_snap("http://n.org/sports/b.html", t(2015, 2, 10), "http://n.org/"));
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+
+    #[test]
+    fn sibling_cap_respected() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        // 6 decoy siblings with *different* targets sort before the
+        // catch-all one; the 7th (same target) is beyond the cap
+        for i in 0..6 {
+            a.insert(redirect_snap(
+                &format!("http://n.org/news/b{i}.html"),
+                t(2015, 2, 10),
+                &format!("http://n.org/elsewhere{i}"),
+            ));
+        }
+        a.insert(redirect_snap("http://n.org/news/zzz.html", t(2015, 2, 10), "http://n.org/"));
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+
+    #[test]
+    fn missing_target_unusable() {
+        let mut a = ArchiveStore::new();
+        let snap = Snapshot::from_observation(
+            &u("http://n.org/news/a.html"),
+            t(2015, 2, 1),
+            StatusCode::FOUND,
+            None,
+            "",
+        );
+        a.insert(snap.clone());
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::NoTarget);
+    }
+
+    #[test]
+    fn no_siblings_at_all_is_valid() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/new-a");
+        a.insert(snap.clone());
+        assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+}

@@ -1,0 +1,224 @@
+//! The soft-404 probe (§3), adapted from Bar-Yossef et al. (2004).
+//!
+//! A 200 response does not prove a link works: parked domains, branded
+//! "not found" templates, and catch-all redirects to the homepage all answer
+//! 200. The paper's test: given `u`, build `u'` by replacing everything
+//! after the last `/` with a random 25-character string. Since `u'` cannot
+//! exist, `u` is broken if
+//!
+//! - requests for `u` and `u'` redirect to the same URL, and that URL is not
+//!   a login page; or
+//! - the k-shingling similarity between the two final bodies exceeds 99%
+//!   (not 100% — even refetching the same page yields small differences).
+
+use permadead_net::{Client, LiveStatus, Network, SimTime};
+use permadead_text::{shingle_similarity, soft404::is_login_path, SOFT404_SIMILARITY_THRESHOLD};
+use permadead_url::{replace_last_segment, Url};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shingle window used for the similarity comparison.
+const SHINGLE_K: usize = 5;
+
+/// Probe verdict for a URL whose final status was 200.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Soft404Verdict {
+    /// The 200 looks genuine: the random sibling behaves differently.
+    Genuine,
+    /// Broken: `u` and `u'` redirect to the same non-login URL.
+    BrokenSameRedirect,
+    /// Broken: the bodies are near-identical (a path-independent template).
+    BrokenSimilarBody,
+    /// The URL did not answer 200 — probe not applicable.
+    NotApplicable,
+}
+
+impl Soft404Verdict {
+    pub fn is_broken(&self) -> bool {
+        matches!(
+            self,
+            Soft404Verdict::BrokenSameRedirect | Soft404Verdict::BrokenSimilarBody
+        )
+    }
+}
+
+/// Run the probe at time `now`. `seed` makes the random suffix
+/// deterministic per URL (the suffix content never matters, only that it
+/// cannot name a real page).
+pub fn soft404_probe<N: Network>(web: &N, url: &Url, now: SimTime, seed: u64) -> Soft404Verdict {
+    let client = Client::new();
+    let original = client.get(web, url, now);
+    if original.live_status() != LiveStatus::Ok {
+        return Soft404Verdict::NotApplicable;
+    }
+
+    let probe_url = replace_last_segment(url, &random_segment(url, seed));
+    let probe = client.get(web, &probe_url, now);
+
+    // same-redirect rule
+    if original.was_redirected() && probe.was_redirected() {
+        if let (Some(a), Some(b)) = (original.final_url(), probe.final_url()) {
+            if a == b && !is_login_path(a.path()) {
+                return Soft404Verdict::BrokenSameRedirect;
+            }
+        }
+    }
+
+    // similarity rule (only meaningful when the probe also answered 200)
+    if probe.live_status() == LiveStatus::Ok {
+        let sim = shingle_similarity(&original.body, &probe.body, SHINGLE_K);
+        if sim > SOFT404_SIMILARITY_THRESHOLD {
+            return Soft404Verdict::BrokenSimilarBody;
+        }
+    }
+
+    Soft404Verdict::Genuine
+}
+
+/// 25 random lowercase characters, deterministic in `(url, seed)`.
+fn random_segment(url: &Url, seed: u64) -> String {
+    let mut h: u64 = seed;
+    for b in url.to_string().bytes() {
+        h = h.wrapping_mul(0x100000001b3) ^ b as u64;
+    }
+    let mut rng = SmallRng::seed_from_u64(h);
+    (0..25).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::{Duration, SimTime};
+    use permadead_text::ContentGen;
+    use permadead_web::{LiveWeb, Page, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+
+    fn t() -> SimTime {
+        SimTime::from_ymd(2022, 3, 15)
+    }
+
+    fn world(policy: UnknownPathPolicy, parked: bool) -> LiveWeb {
+        let mut web = LiveWeb::new(99);
+        let mut lifecycle = SiteLifecycle::active_from(SimTime::from_ymd(2005, 1, 1));
+        if parked {
+            lifecycle = lifecycle.parked_at(SimTime::from_ymd(2020, 1, 1));
+        }
+        let mut site = Site::new(SiteId(1), "probe.example.org", lifecycle, policy);
+        site.add_page(Page::new(
+            PageId(1),
+            SimTime::from_ymd(2006, 1, 1),
+            "/news/real-story.html",
+        ));
+        web.add_site(site);
+        web
+    }
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn genuine_page_passes() {
+        let web = world(UnknownPathPolicy::NotFound, false);
+        let v = soft404_probe(&web, &u("http://probe.example.org/news/real-story.html"), t(), 7);
+        assert_eq!(v, Soft404Verdict::Genuine);
+    }
+
+    #[test]
+    fn soft404_template_detected_by_similarity() {
+        let web = world(UnknownPathPolicy::Soft404, false);
+        // a path that doesn't exist: the site answers its 200 template, and
+        // so does the probe → near-identical bodies
+        let v = soft404_probe(&web, &u("http://probe.example.org/news/gone.html"), t(), 7);
+        assert_eq!(v, Soft404Verdict::BrokenSimilarBody);
+    }
+
+    #[test]
+    fn parked_domain_detected() {
+        let web = world(UnknownPathPolicy::NotFound, true);
+        // even the real page now serves the parked lander
+        let v = soft404_probe(&web, &u("http://probe.example.org/news/real-story.html"), t(), 7);
+        assert_eq!(v, Soft404Verdict::BrokenSimilarBody);
+    }
+
+    #[test]
+    fn redirect_to_home_detected() {
+        let web = world(UnknownPathPolicy::RedirectHome, false);
+        let v = soft404_probe(&web, &u("http://probe.example.org/news/gone.html"), t(), 7);
+        assert_eq!(v, Soft404Verdict::BrokenSameRedirect);
+    }
+
+    #[test]
+    fn redirect_to_login_not_flagged_by_redirect_rule() {
+        let web = world(UnknownPathPolicy::RedirectLogin, false);
+        let v = soft404_probe(&web, &u("http://probe.example.org/news/gone.html"), t(), 7);
+        // both u and u' land on /login — but the paper excludes login pages
+        // from the same-redirect rule; the similarity rule then catches the
+        // identical login bodies instead
+        assert_eq!(v, Soft404Verdict::BrokenSimilarBody);
+    }
+
+    #[test]
+    fn genuinely_revived_redirect_passes() {
+        // a page that moved and redirects old→new: the probe URL 404s, so
+        // the link is genuine
+        let mut web = LiveWeb::new(99);
+        let mut site = Site::new(
+            SiteId(1),
+            "rev.example.org",
+            SiteLifecycle::active_from(SimTime::from_ymd(2005, 1, 1)),
+            UnknownPathPolicy::NotFound,
+        );
+        let mut p = Page::new(PageId(1), SimTime::from_ymd(2006, 1, 1), "/artists/steve");
+        p.push_event(
+            SimTime::from_ymd(2016, 1, 1),
+            permadead_web::PageEvent::Moved { to_path: "/portfolio/steve".into() },
+        );
+        p.push_event(SimTime::from_ymd(2021, 1, 1), permadead_web::PageEvent::RedirectAdded);
+        site.add_page(p);
+        web.add_site(site);
+        let v = soft404_probe(&web, &u("http://rev.example.org/artists/steve"), t(), 7);
+        assert_eq!(v, Soft404Verdict::Genuine);
+    }
+
+    #[test]
+    fn dead_url_not_applicable() {
+        let web = world(UnknownPathPolicy::NotFound, false);
+        let v = soft404_probe(&web, &u("http://probe.example.org/nope.html"), t(), 7);
+        assert_eq!(v, Soft404Verdict::NotApplicable);
+        assert!(!v.is_broken());
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        let web = world(UnknownPathPolicy::Soft404, false);
+        let url = u("http://probe.example.org/news/gone.html");
+        assert_eq!(
+            soft404_probe(&web, &url, t(), 7),
+            soft404_probe(&web, &url, t(), 7)
+        );
+    }
+
+    #[test]
+    fn random_segment_is_25_chars_and_url_specific() {
+        let a = random_segment(&u("http://a.org/x"), 1);
+        let b = random_segment(&u("http://b.org/x"), 1);
+        assert_eq!(a.len(), 25);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn refetch_jitter_does_not_false_positive() {
+        // fetching the same genuine page twice (different nonce via time)
+        // must stay similar but the probe compares *different* URLs, so a
+        // genuine page with jitter still passes
+        let web = world(UnknownPathPolicy::NotFound, false);
+        let url = u("http://probe.example.org/news/real-story.html");
+        let v1 = soft404_probe(&web, &url, t(), 1);
+        let v2 = soft404_probe(&web, &url, t() + Duration::days(1), 2);
+        assert_eq!(v1, Soft404Verdict::Genuine);
+        assert_eq!(v2, Soft404Verdict::Genuine);
+        // sanity: the page body itself is stable across fetches
+        let g = ContentGen::new(99);
+        let _ = g; // (content determinism is asserted in permadead-text)
+    }
+}

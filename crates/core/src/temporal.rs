@@ -1,0 +1,160 @@
+//! Temporal analysis (§5.1, Figure 5).
+//!
+//! For links with no usable copies, *why* did the archive miss them? The
+//! paper looks at the gap between posting and the first capture: the archive
+//! often shows up months or years late, by which time the URL is dead. It
+//! also finds links whose same-day first capture was already erroneous —
+//! they never worked (typos).
+
+use crate::archival::snapshot_is_erroneous;
+use permadead_archive::ArchiveStore;
+use permadead_net::{Duration, SimTime};
+use permadead_url::Url;
+
+/// Per-link temporal classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalAnalysis {
+    /// No copies at all — handled by the spatial analysis instead.
+    NeverArchived,
+    /// Copies exist, and at least one predates the posting (the paper's 619
+    /// excluded links).
+    ArchivedBeforePosting,
+    /// First capture at or after posting: the gap, and whether a same-day
+    /// capture was erroneous right away.
+    FirstCaptureAfterPosting {
+        gap: Duration,
+        same_day: bool,
+        first_copy_erroneous: bool,
+    },
+}
+
+impl TemporalAnalysis {
+    /// The Figure 5 sample value (gap in days), when applicable.
+    pub fn gap_days(&self) -> Option<f64> {
+        match self {
+            TemporalAnalysis::FirstCaptureAfterPosting { gap, .. } => {
+                Some(gap.as_days_f64().max(0.04)) // floor for the log axis
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Analyze one link.
+pub fn temporal_analysis(archive: &ArchiveStore, url: &Url, posted: SimTime) -> TemporalAnalysis {
+    let snaps = archive.snapshots_of(url);
+    if snaps.is_empty() {
+        return TemporalAnalysis::NeverArchived;
+    }
+    if snaps.iter().any(|s| s.captured < posted) {
+        return TemporalAnalysis::ArchivedBeforePosting;
+    }
+    let first = snaps.first().expect("non-empty");
+    let gap = first.captured - posted;
+    let same_day = gap.as_days() < 1;
+    TemporalAnalysis::FirstCaptureAfterPosting {
+        gap,
+        same_day,
+        first_copy_erroneous: snapshot_is_erroneous(archive, first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_archive::Snapshot;
+    use permadead_net::StatusCode;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32, m: u32, d: u32) -> SimTime {
+        SimTime::from_ymd(y, m, d)
+    }
+
+    fn snap(url: &str, at: SimTime, status: u16) -> Snapshot {
+        Snapshot::from_observation(&u(url), at, StatusCode(status), None, "some body text")
+    }
+
+    #[test]
+    fn never_archived() {
+        let a = ArchiveStore::new();
+        assert_eq!(
+            temporal_analysis(&a, &u("http://e.org/x"), t(2015, 1, 1)),
+            TemporalAnalysis::NeverArchived
+        );
+    }
+
+    #[test]
+    fn archived_before_posting() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2010, 1, 1), 404));
+        a.insert(snap("http://e.org/x", t(2016, 1, 1), 404));
+        assert_eq!(
+            temporal_analysis(&a, &u("http://e.org/x"), t(2015, 1, 1)),
+            TemporalAnalysis::ArchivedBeforePosting
+        );
+    }
+
+    #[test]
+    fn late_first_capture_gap() {
+        let mut a = ArchiveStore::new();
+        a.insert(snap("http://e.org/x", t(2017, 1, 1), 404));
+        let r = temporal_analysis(&a, &u("http://e.org/x"), t(2015, 1, 1));
+        match r {
+            TemporalAnalysis::FirstCaptureAfterPosting { gap, same_day, .. } => {
+                assert_eq!(gap.as_days(), 731);
+                assert!(!same_day);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(r.gap_days().unwrap() > 700.0);
+    }
+
+    #[test]
+    fn same_day_erroneous_typo_signature() {
+        let mut a = ArchiveStore::new();
+        // the EventStream captured the link the day it was posted — and got
+        // a 404 (the link never worked)
+        let posted = t(2018, 6, 5) + Duration::seconds(3600);
+        a.insert(snap("http://e.org/typo.html", posted + Duration::seconds(7200), 404));
+        let r = temporal_analysis(&a, &u("http://e.org/typo.html"), posted);
+        match r {
+            TemporalAnalysis::FirstCaptureAfterPosting {
+                same_day,
+                first_copy_erroneous,
+                ..
+            } => {
+                assert!(same_day);
+                assert!(first_copy_erroneous);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_day_good_capture() {
+        let mut a = ArchiveStore::new();
+        let posted = t(2018, 6, 5);
+        a.insert(snap("http://e.org/fine.html", posted + Duration::seconds(600), 200));
+        let r = temporal_analysis(&a, &u("http://e.org/fine.html"), posted);
+        match r {
+            TemporalAnalysis::FirstCaptureAfterPosting {
+                same_day,
+                first_copy_erroneous,
+                ..
+            } => {
+                assert!(same_day);
+                assert!(!first_copy_erroneous);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gap_days_only_for_after_posting() {
+        assert_eq!(TemporalAnalysis::NeverArchived.gap_days(), None);
+        assert_eq!(TemporalAnalysis::ArchivedBeforePosting.gap_days(), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Archived-copy URLs, Wayback style.
+//!
+//! The Wayback Machine addresses snapshots as
+//! `https://web.archive.org/web/<timestamp>/<original-url>`. Our simulated
+//! archive lives at `web.archive.sim` and uses the same shape, so patched
+//! wikitext looks like the real thing and the original URL plus capture time
+//! can be recovered from the archive-url alone.
+
+use permadead_net::SimTime;
+use permadead_url::Url;
+
+/// Hostname of the simulated archive's replay service.
+pub const ARCHIVE_HOST: &str = "web.archive.sim";
+
+/// Build the replay URL for a capture of `original` at `captured`.
+pub fn archived_copy_url(original: &Url, captured: SimTime) -> Url {
+    let d = captured.date();
+    let secs = captured.as_unix().rem_euclid(86_400);
+    let ts = format!(
+        "{:04}{:02}{:02}{:02}{:02}{:02}",
+        d.year,
+        d.month,
+        d.day,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    );
+    Url::parse(&format!("http://{ARCHIVE_HOST}/web/{ts}/{original}"))
+        .expect("replay URLs are always valid")
+}
+
+/// Recover `(original URL, capture time)` from a replay URL. Returns `None`
+/// for URLs not in replay form.
+pub fn parse_archived_copy_url(replay: &Url) -> Option<(Url, SimTime)> {
+    if replay.host() != ARCHIVE_HOST {
+        return None;
+    }
+    let path = replay.path().strip_prefix("/web/")?;
+    let (ts, original) = path.split_once('/')?;
+    if ts.len() != 14 || !ts.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let year: i32 = ts[0..4].parse().ok()?;
+    let month: u32 = ts[4..6].parse().ok()?;
+    let day: u32 = ts[6..8].parse().ok()?;
+    let h: i64 = ts[8..10].parse().ok()?;
+    let m: i64 = ts[10..12].parse().ok()?;
+    let s: i64 = ts[12..14].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) || h > 23 || m > 59 || s > 59 {
+        return None;
+    }
+    let t = SimTime::from_ymd(year, month, day)
+        + permadead_net::Duration::seconds(h * 3600 + m * 60 + s);
+    // the original URL keeps its query string: everything after the
+    // timestamp segment, including the replay URL's query, belongs to it
+    let mut orig = original.to_string();
+    if let Some(q) = replay.query() {
+        orig.push('?');
+        orig.push_str(q);
+    }
+    Url::parse(&orig).ok().map(|u| (u, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let orig = u("http://www.parliament.tas.gov.au/php/Almanac.htm");
+        let t = SimTime::from_ymd(2002, 7, 15) + permadead_net::Duration::hours(3);
+        let replay = archived_copy_url(&orig, t);
+        assert_eq!(replay.host(), ARCHIVE_HOST);
+        assert!(replay.to_string().contains("/web/20020715030000/"));
+        let (back_url, back_t) = parse_archived_copy_url(&replay).unwrap();
+        assert_eq!(back_url, orig);
+        assert_eq!(back_t, t);
+    }
+
+    #[test]
+    fn round_trip_with_query() {
+        let orig = u("http://jh.example/ArticleWin.asp?From=Archive&Skin=TAUHe");
+        let t = SimTime::from_ymd(2010, 1, 2);
+        let (back, _) = parse_archived_copy_url(&archived_copy_url(&orig, t)).unwrap();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn rejects_non_replay_urls() {
+        assert!(parse_archived_copy_url(&u("http://e.org/web/20100101000000/http://x.org/")).is_none());
+        assert!(parse_archived_copy_url(&u("http://web.archive.sim/other/path")).is_none());
+        assert!(parse_archived_copy_url(&u("http://web.archive.sim/web/notadate/http://x.org/")).is_none());
+        assert!(parse_archived_copy_url(&u("http://web.archive.sim/web/20101340000000/http://x.org/")).is_none());
+    }
+
+    #[test]
+    fn timestamp_is_lexicographically_sortable() {
+        let a = archived_copy_url(&u("http://e.org/x"), SimTime::from_ymd(2009, 12, 31));
+        let b = archived_copy_url(&u("http://e.org/x"), SimTime::from_ymd(2010, 1, 1));
+        assert!(a.to_string() < b.to_string());
+    }
+}

@@ -1,0 +1,33 @@
+//! Reimplementations of Wikipedia's link-rescue bots.
+//!
+//! [`IaBot`] follows the behaviour of InternetArchiveBot as the paper
+//! describes (and as its open-source code confirms, §2.4):
+//!
+//! 1. scan an article's references;
+//! 2. decide a link is **dead** from a *single* GET whose final status
+//!    (after redirects) is not 200 (§2.1, §3);
+//! 3. for dead links, ask the Wayback Availability API for the copy captured
+//!    closest to when the link was added — **with a client-side timeout**;
+//!    no answer in time means "never archived" (§4.1);
+//! 4. accept only copies whose *initial* status was 200 — any copy that was
+//!    a redirect when crawled is distrusted because redirects are often
+//!    erroneous (§4.2);
+//! 5. patch the reference with the archived copy, or failing all that, tag
+//!    it `{{dead link}}` — *permanently dead*;
+//! 6. never re-check links already tagged dead (an efficiency choice the
+//!    paper's §3 implications argue against — configurable here).
+//!
+//! [`WaybackMedic`] is the slower, manually-supervised alternative bot: no
+//! lookup timeout, so it finds the copies IABot missed. Pointing it at links
+//! IABot tagged permanently dead reproduces the paper's §4.1 experiment
+//! (20,080 rescued links).
+
+pub mod archiveurl;
+pub mod bot;
+pub mod medic;
+pub mod report;
+
+pub use archiveurl::{archived_copy_url, parse_archived_copy_url, ARCHIVE_HOST};
+pub use bot::{IaBot, IaBotConfig};
+pub use medic::{MedicReport, WaybackMedic};
+pub use report::BotRunReport;

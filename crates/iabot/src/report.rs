@@ -1,0 +1,92 @@
+//! Bot run accounting.
+
+use std::fmt;
+
+/// What happened during one bot sweep. The counters line up with the
+//  phenomena the paper quantifies: `availability_timeouts` is the §4.1 miss
+//  mechanism, `tagged_permanently_dead` is the §2.2 population.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BotRunReport {
+    /// References examined.
+    pub links_checked: usize,
+    /// References skipped because they were already tagged dead (IABot's
+    /// efficiency rule) or already patched.
+    pub links_skipped: usize,
+    /// References whose single-GET check said "dead".
+    pub dead_found: usize,
+    /// Dead references patched with an archived copy.
+    pub patched: usize,
+    /// Dead references tagged `{{dead link}}` (permanently dead).
+    pub tagged_permanently_dead: usize,
+    /// Availability lookups that timed out (each one risks a §4.1 miss).
+    pub availability_timeouts: usize,
+    /// Articles whose wikitext was modified (one revision each).
+    pub articles_edited: usize,
+}
+
+impl BotRunReport {
+    pub fn merge(&mut self, other: &BotRunReport) {
+        self.links_checked += other.links_checked;
+        self.links_skipped += other.links_skipped;
+        self.dead_found += other.dead_found;
+        self.patched += other.patched;
+        self.tagged_permanently_dead += other.tagged_permanently_dead;
+        self.availability_timeouts += other.availability_timeouts;
+        self.articles_edited += other.articles_edited;
+    }
+}
+
+impl fmt::Display for BotRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checked {} (skipped {}), dead {}, patched {}, tagged permanently dead {}, \
+             availability timeouts {}, articles edited {}",
+            self.links_checked,
+            self.links_skipped,
+            self.dead_found,
+            self.patched,
+            self.tagged_permanently_dead,
+            self.availability_timeouts,
+            self.articles_edited
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BotRunReport {
+            links_checked: 10,
+            dead_found: 3,
+            patched: 1,
+            tagged_permanently_dead: 2,
+            ..Default::default()
+        };
+        let b = BotRunReport {
+            links_checked: 5,
+            availability_timeouts: 1,
+            articles_edited: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.links_checked, 15);
+        assert_eq!(a.availability_timeouts, 1);
+        assert_eq!(a.patched, 1);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let r = BotRunReport {
+            links_checked: 7,
+            tagged_permanently_dead: 4,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("checked 7"));
+        assert!(s.contains("tagged permanently dead 4"));
+    }
+}

@@ -1,0 +1,398 @@
+//! A redirect-following GET client over an abstract [`Network`].
+//!
+//! The pipeline, the bots, and the archive crawler all fetch through this
+//! client. It records the *full hop chain*, because the paper's analyses need
+//! both the initial status ("prior to all redirections") and the final one
+//! ("after all redirections") — §2.4 defines the terms, §3 uses the final
+//! status for Figure 4, and §4.2 reasons about the redirect target itself.
+
+use crate::error::{FetchError, LiveStatus};
+use crate::http::{Request, Response, StatusCode, Vantage};
+use crate::time::SimTime;
+use permadead_url::Url;
+
+/// Anything that can answer one HTTP request without following redirects:
+/// the live web (the `permadead-web` crate), or a replay of an archived snapshot.
+pub trait Network {
+    /// Answer a single request at `req.time`, or fail at the transport layer.
+    fn request(&self, req: &Request) -> Result<Response, FetchError>;
+}
+
+/// Convenience alias for what a network returns.
+pub type ServeResult = Result<Response, FetchError>;
+
+/// One step of a redirect chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    pub url: Url,
+    pub status: StatusCode,
+    /// Where this hop redirected, if it did.
+    pub location: Option<Url>,
+}
+
+/// The complete record of a fetch: every hop plus the terminal outcome.
+#[derive(Debug, Clone)]
+pub struct FetchRecord {
+    /// The URL originally requested.
+    pub requested: Url,
+    /// When the fetch was issued.
+    pub time: SimTime,
+    /// Hops in order. Empty iff the very first request failed at transport
+    /// level (DNS, connect timeout).
+    pub hops: Vec<Hop>,
+    /// Final status code, or the transport error that ended the fetch.
+    pub outcome: Result<StatusCode, FetchError>,
+    /// Body of the final response (empty on errors and redirect dead-ends).
+    pub body: String,
+}
+
+impl FetchRecord {
+    /// Status of the first response — the paper's "initial status code".
+    pub fn initial_status(&self) -> Option<StatusCode> {
+        self.hops.first().map(|h| h.status)
+    }
+
+    /// Status after all redirections — the paper's "final status code".
+    pub fn final_status(&self) -> Option<StatusCode> {
+        self.outcome.ok()
+    }
+
+    /// The URL that produced the final response (differs from `requested`
+    /// when redirects were followed).
+    pub fn final_url(&self) -> Option<&Url> {
+        self.hops.last().map(|h| &h.url)
+    }
+
+    /// Did the fetch traverse at least one redirect? §3 reports that 79% of
+    /// the genuinely-revived links redirect before their final 200.
+    pub fn was_redirected(&self) -> bool {
+        self.hops.iter().any(|h| h.status.is_redirect())
+    }
+
+    /// Figure 4 classification of this fetch.
+    pub fn live_status(&self) -> LiveStatus {
+        LiveStatus::classify(&self.outcome)
+    }
+}
+
+/// The redirect-following client.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    /// Maximum redirect hops before giving up (curl's default is 50; bots
+    /// use much less).
+    pub max_redirects: usize,
+    pub vantage: Vantage,
+}
+
+impl Default for Client {
+    fn default() -> Self {
+        Client {
+            max_redirects: 10,
+            vantage: Vantage::default(),
+        }
+    }
+}
+
+impl Client {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_vantage(mut self, vantage: Vantage) -> Self {
+        self.vantage = vantage;
+        self
+    }
+
+    pub fn with_max_redirects(mut self, n: usize) -> Self {
+        self.max_redirects = n;
+        self
+    }
+
+    /// Issue a GET for `url` at time `t`, following redirects.
+    pub fn get<N: Network>(&self, net: &N, url: &Url, t: SimTime) -> FetchRecord {
+        let requested = url.clone();
+        let mut current = url.without_fragment();
+        let mut hops: Vec<Hop> = Vec::new();
+
+        loop {
+            let req = Request::get(current.clone(), t).from_vantage(self.vantage);
+            let resp = match net.request(&req) {
+                Ok(r) => r,
+                Err(e) => {
+                    return FetchRecord {
+                        requested,
+                        time: t,
+                        hops,
+                        outcome: Err(e),
+                        body: String::new(),
+                    };
+                }
+            };
+
+            if resp.status.is_redirect() {
+                let Some(loc) = resp.location.clone() else {
+                    hops.push(Hop {
+                        url: current,
+                        status: resp.status,
+                        location: None,
+                    });
+                    return FetchRecord {
+                        requested,
+                        time: t,
+                        hops,
+                        outcome: Err(FetchError::MalformedRedirect),
+                        body: String::new(),
+                    };
+                };
+                hops.push(Hop {
+                    url: current.clone(),
+                    status: resp.status,
+                    location: Some(loc.clone()),
+                });
+                // loop detection: a location we already visited, or hop
+                // budget exhausted
+                if hops.len() > self.max_redirects
+                    || hops.iter().rev().skip(1).any(|h| h.url == loc)
+                {
+                    return FetchRecord {
+                        requested,
+                        time: t,
+                        hops,
+                        outcome: Err(FetchError::TooManyRedirects),
+                        body: String::new(),
+                    };
+                }
+                current = loc.without_fragment();
+                continue;
+            }
+
+            hops.push(Hop {
+                url: current,
+                status: resp.status,
+                location: None,
+            });
+            return FetchRecord {
+                requested,
+                time: t,
+                hops,
+                outcome: Ok(resp.status),
+                body: resp.body,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A table-driven network for tests: URL string → response.
+    struct TableNet {
+        table: HashMap<String, ServeResult>,
+    }
+
+    impl TableNet {
+        fn new(entries: Vec<(&str, ServeResult)>) -> Self {
+            TableNet {
+                table: entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            }
+        }
+    }
+
+    impl Network for TableNet {
+        fn request(&self, req: &Request) -> ServeResult {
+            self.table
+                .get(&req.url.to_string())
+                .cloned()
+                .unwrap_or(Ok(Response::not_found()))
+        }
+    }
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(2022, 3, 1)
+    }
+
+    #[test]
+    fn direct_200() {
+        let net = TableNet::new(vec![(
+            "http://e.org/a",
+            Ok(Response::ok("hello".into())),
+        )]);
+        let rec = Client::new().get(&net, &u("http://e.org/a"), t0());
+        assert_eq!(rec.outcome, Ok(StatusCode::OK));
+        assert_eq!(rec.initial_status(), Some(StatusCode::OK));
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        assert!(!rec.was_redirected());
+        assert_eq!(rec.body, "hello");
+        assert_eq!(rec.live_status(), LiveStatus::Ok);
+    }
+
+    #[test]
+    fn follows_redirect_chain() {
+        let net = TableNet::new(vec![
+            (
+                "http://e.org/old",
+                Ok(Response::redirect(StatusCode::MOVED_PERMANENTLY, u("http://e.org/mid"))),
+            ),
+            (
+                "http://e.org/mid",
+                Ok(Response::redirect(StatusCode::FOUND, u("http://e.org/new"))),
+            ),
+            ("http://e.org/new", Ok(Response::ok("final".into()))),
+        ]);
+        let rec = Client::new().get(&net, &u("http://e.org/old"), t0());
+        assert_eq!(rec.hops.len(), 3);
+        assert_eq!(rec.initial_status(), Some(StatusCode::MOVED_PERMANENTLY));
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        assert_eq!(rec.final_url().unwrap().to_string(), "http://e.org/new");
+        assert!(rec.was_redirected());
+        assert_eq!(rec.body, "final");
+    }
+
+    #[test]
+    fn dns_failure_has_no_hops() {
+        struct DeadNet;
+        impl Network for DeadNet {
+            fn request(&self, _req: &Request) -> ServeResult {
+                Err(FetchError::Dns(crate::dns::DnsError::NxDomain))
+            }
+        }
+        let rec = Client::new().get(&DeadNet, &u("http://gone.example/x"), t0());
+        assert!(rec.hops.is_empty());
+        assert_eq!(rec.live_status(), LiveStatus::DnsFailure);
+        assert_eq!(rec.initial_status(), None);
+    }
+
+    #[test]
+    fn redirect_loop_detected() {
+        let net = TableNet::new(vec![
+            (
+                "http://e.org/a",
+                Ok(Response::redirect(StatusCode::FOUND, u("http://e.org/b"))),
+            ),
+            (
+                "http://e.org/b",
+                Ok(Response::redirect(StatusCode::FOUND, u("http://e.org/a"))),
+            ),
+        ]);
+        let rec = Client::new().get(&net, &u("http://e.org/a"), t0());
+        assert_eq!(rec.outcome, Err(FetchError::TooManyRedirects));
+        assert!(rec.hops.len() <= 3);
+        assert_eq!(rec.live_status(), LiveStatus::Other);
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        // a → a0 → a1 → ... unbounded chain
+        let mut entries: Vec<(String, ServeResult)> = Vec::new();
+        for i in 0..30 {
+            entries.push((
+                format!("http://e.org/{i}"),
+                Ok(Response::redirect(
+                    StatusCode::FOUND,
+                    u(&format!("http://e.org/{}", i + 1)),
+                )),
+            ));
+        }
+        let net = TableNet {
+            table: entries.into_iter().collect(),
+        };
+        let rec = Client::new().with_max_redirects(5).get(&net, &u("http://e.org/0"), t0());
+        assert_eq!(rec.outcome, Err(FetchError::TooManyRedirects));
+        assert_eq!(rec.hops.len(), 6);
+    }
+
+    #[test]
+    fn malformed_redirect() {
+        let net = TableNet::new(vec![(
+            "http://e.org/a",
+            Ok(Response {
+                status: StatusCode::FOUND,
+                location: None,
+                body: String::new(),
+            }),
+        )]);
+        let rec = Client::new().get(&net, &u("http://e.org/a"), t0());
+        assert_eq!(rec.outcome, Err(FetchError::MalformedRedirect));
+    }
+
+    #[test]
+    fn fragment_stripped_before_request() {
+        let net = TableNet::new(vec![(
+            "http://e.org/a",
+            Ok(Response::ok("x".into())),
+        )]);
+        let rec = Client::new().get(&net, &u("http://e.org/a#section"), t0());
+        assert_eq!(rec.outcome, Ok(StatusCode::OK));
+        // requested URL is preserved verbatim for reporting
+        assert_eq!(rec.requested.to_string(), "http://e.org/a#section");
+    }
+
+    mod termination {
+        //! The follower must terminate with bounded work on *any* redirect
+        //! topology — chains, loops, self-loops, diamonds.
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn follower_always_terminates(
+                // a random functional graph on N nodes: node i redirects to
+                // edges[i], or terminates if edges[i] == i
+                edges in proptest::collection::vec(0usize..12, 12),
+                start in 0usize..12,
+                max_redirects in 1usize..8,
+            ) {
+                let mut table = HashMap::new();
+                for (i, &to) in edges.iter().enumerate() {
+                    let url = format!("http://n.org/{i}");
+                    let resp = if to == i {
+                        Ok(Response::ok("terminal".into()))
+                    } else {
+                        Ok(Response::redirect(
+                            StatusCode::FOUND,
+                            u(&format!("http://n.org/{to}")),
+                        ))
+                    };
+                    table.insert(url, resp);
+                }
+                let net = TableNet { table };
+                let client = Client::new().with_max_redirects(max_redirects);
+                let rec = client.get(&net, &u(&format!("http://n.org/{start}")), t0());
+                // bounded hops, and a definite outcome either way
+                prop_assert!(rec.hops.len() <= max_redirects + 1);
+                match rec.outcome {
+                    Ok(code) => prop_assert_eq!(code, StatusCode::OK),
+                    Err(e) => prop_assert_eq!(e, FetchError::TooManyRedirects),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_host_redirect() {
+        // the paper's baku2017 → goalku example: redirect to an entirely
+        // different site that answers 200
+        let net = TableNet::new(vec![
+            (
+                "https://www.baku2017.com/en/results",
+                Ok(Response::redirect(StatusCode::FOUND, u("https://www.goalku.com/id/soccer"))),
+            ),
+            (
+                "https://www.goalku.com/id/soccer",
+                Ok(Response::ok("unrelated sports site".into())),
+            ),
+        ]);
+        let rec = Client::new().get(&net, &u("https://www.baku2017.com/en/results"), t0());
+        assert_eq!(rec.final_status(), Some(StatusCode::OK));
+        assert_eq!(rec.final_url().unwrap().host(), "www.goalku.com");
+    }
+}

@@ -1,0 +1,161 @@
+//! The fetch-outcome taxonomy of the paper's Figure 4.
+//!
+//! Every live-web GET resolves to exactly one of five categories (§3):
+//! DNS failure, timeout, 404, 200, or "other". [`LiveStatus`] is that
+//! classification; [`FetchError`] is the transport-level error that produced
+//! the non-HTTP categories.
+
+use crate::dns::DnsError;
+use crate::http::StatusCode;
+use std::fmt;
+
+/// A transport-level failure: the request never produced an HTTP response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchError {
+    /// DNS resolution failed (NXDOMAIN, SERVFAIL, or resolver timeout).
+    Dns(DnsError),
+    /// TCP or TLS connection setup timed out.
+    ConnectTimeout,
+    /// Connected, but the server never completed a response in time.
+    ResponseTimeout,
+    /// The redirect chain exceeded the hop limit (treated as a broken fetch;
+    /// loops manifest this way).
+    TooManyRedirects,
+    /// A redirect response carried no Location header.
+    MalformedRedirect,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::Dns(e) => write!(f, "DNS failure: {e}"),
+            FetchError::ConnectTimeout => f.write_str("connection timeout"),
+            FetchError::ResponseTimeout => f.write_str("response timeout"),
+            FetchError::TooManyRedirects => f.write_str("too many redirects"),
+            FetchError::MalformedRedirect => f.write_str("malformed redirect"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Figure 4's five outcome categories for a URL fetched on the live web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiveStatus {
+    /// DNS resolution for the hostname returned an error.
+    DnsFailure,
+    /// TCP/TLS connection setup timed out.
+    Timeout,
+    /// Final status code (after redirections) was 404.
+    NotFound,
+    /// Final status code was 200.
+    Ok,
+    /// Any other final status code (503, 403, …) or fetch anomaly.
+    Other,
+}
+
+impl LiveStatus {
+    /// Classify a completed fetch: either a transport error or a final
+    /// status code after redirections.
+    pub fn classify(result: &Result<StatusCode, FetchError>) -> LiveStatus {
+        match result {
+            Err(FetchError::Dns(_)) => LiveStatus::DnsFailure,
+            Err(FetchError::ConnectTimeout) | Err(FetchError::ResponseTimeout) => {
+                LiveStatus::Timeout
+            }
+            Err(FetchError::TooManyRedirects) | Err(FetchError::MalformedRedirect) => {
+                LiveStatus::Other
+            }
+            Ok(code) if *code == StatusCode::NOT_FOUND => LiveStatus::NotFound,
+            Ok(code) if *code == StatusCode::OK => LiveStatus::Ok,
+            Ok(_) => LiveStatus::Other,
+        }
+    }
+
+    /// Label used in Figure 4's x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            LiveStatus::DnsFailure => "DNS Failure",
+            LiveStatus::Timeout => "Timeout",
+            LiveStatus::NotFound => "404",
+            LiveStatus::Ok => "200",
+            LiveStatus::Other => "Other",
+        }
+    }
+
+    /// All categories in the paper's plotting order.
+    pub const ALL: [LiveStatus; 5] = [
+        LiveStatus::DnsFailure,
+        LiveStatus::Timeout,
+        LiveStatus::NotFound,
+        LiveStatus::Ok,
+        LiveStatus::Other,
+    ];
+}
+
+impl fmt::Display for LiveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_dns() {
+        for e in [DnsError::NxDomain, DnsError::ServFail, DnsError::Timeout] {
+            assert_eq!(
+                LiveStatus::classify(&Err(FetchError::Dns(e))),
+                LiveStatus::DnsFailure
+            );
+        }
+    }
+
+    #[test]
+    fn classify_timeouts() {
+        assert_eq!(
+            LiveStatus::classify(&Err(FetchError::ConnectTimeout)),
+            LiveStatus::Timeout
+        );
+        assert_eq!(
+            LiveStatus::classify(&Err(FetchError::ResponseTimeout)),
+            LiveStatus::Timeout
+        );
+    }
+
+    #[test]
+    fn classify_status_codes() {
+        assert_eq!(
+            LiveStatus::classify(&Ok(StatusCode::NOT_FOUND)),
+            LiveStatus::NotFound
+        );
+        assert_eq!(LiveStatus::classify(&Ok(StatusCode::OK)), LiveStatus::Ok);
+        for code in [403, 410, 500, 503, 301] {
+            assert_eq!(
+                LiveStatus::classify(&Ok(StatusCode(code))),
+                LiveStatus::Other,
+                "{code}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_redirect_pathologies_as_other() {
+        assert_eq!(
+            LiveStatus::classify(&Err(FetchError::TooManyRedirects)),
+            LiveStatus::Other
+        );
+        assert_eq!(
+            LiveStatus::classify(&Err(FetchError::MalformedRedirect)),
+            LiveStatus::Other
+        );
+    }
+
+    #[test]
+    fn labels_match_figure4() {
+        let labels: Vec<&str> = LiveStatus::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["DNS Failure", "Timeout", "404", "200", "Other"]);
+    }
+}

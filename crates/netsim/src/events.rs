@@ -1,0 +1,208 @@
+//! A discrete-event queue.
+//!
+//! The whole reproduction is one long discrete-event simulation: link
+//! postings, crawler captures, and bot sweeps interleave over 18 simulated
+//! years. This queue gives that replay a proper home — a time-ordered heap
+//! with deterministic tie-breaking (same-instant events run in insertion
+//! order per priority class), so "a same-day EventStream capture sees the
+//! link already posted" is a scheduling guarantee, not an accident.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority class for events sharing an instant: lower runs first.
+pub type Priority = u8;
+
+struct Entry<E> {
+    at: SimTime,
+    priority: Priority,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+impl<E> Entry<E> {
+    fn cmp_key(&self) -> (i64, Priority, u64) {
+        (self.at.as_unix(), self.priority, self.seq)
+    }
+}
+
+/// A deterministic event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Option<SimTime>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: None,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event. Events at the same instant run in ascending
+    /// priority, then insertion order.
+    pub fn schedule(&mut self, at: SimTime, priority: Priority, event: E) {
+        self.heap.push(Entry {
+            at,
+            priority,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the next event. Advances the simulation clock; popping never goes
+    /// backwards in time.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(
+            self.now.is_none_or(|n| entry.at >= n),
+            "time went backwards"
+        );
+        self.now = Some(entry.at);
+        Some((entry.at, entry.event))
+    }
+
+    /// The instant of the most recently popped event.
+    pub fn now(&self) -> Option<SimTime> {
+        self.now
+    }
+
+    /// The instant of the next pending event, without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain every event in order, calling `f` on each. `f` may schedule
+    /// more events through the handle it receives.
+    pub fn run(mut self, mut f: impl FnMut(&mut EventQueue<E>, SimTime, E)) {
+        while let Some(entry) = self.heap.pop() {
+            self.now = Some(entry.at);
+            f(&mut self, entry.at, entry.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(day: i64) -> SimTime {
+        SimTime(day * 86_400)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 0, "c");
+        q.schedule(t(1), 0, "a");
+        q.schedule(t(3), 0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_orders_by_priority_then_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 2, "sweep");
+        q.schedule(t(1), 1, "capture-1");
+        q.schedule(t(1), 0, "post");
+        q.schedule(t(1), 1, "capture-2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["post", "capture-1", "capture-2", "sweep"]);
+    }
+
+    #[test]
+    fn clock_tracks_popped_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), None);
+        q.schedule(t(2), 0, ());
+        q.schedule(t(7), 0, ());
+        assert_eq!(q.peek_time(), Some(t(2)));
+        q.next();
+        assert_eq!(q.now(), Some(t(2)));
+        q.next();
+        assert_eq!(q.now(), Some(t(7)));
+        assert!(q.next().is_none());
+        assert_eq!(q.now(), Some(t(7)));
+    }
+
+    #[test]
+    fn run_allows_rescheduling() {
+        // an event that spawns a follow-up 10 days later, three times
+        let mut q = EventQueue::new();
+        q.schedule(t(0), 0, 0u32);
+        let mut seen = Vec::new();
+        q.run(|q, at, gen| {
+            seen.push((at, gen));
+            if gen < 3 {
+                q.schedule(at + Duration::days(10), 0, gen + 1);
+            }
+        });
+        assert_eq!(
+            seen,
+            vec![(t(0), 0), (t(10), 1), (t(20), 2), (t(30), 3)]
+        );
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn interleaving_is_deterministic() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..100u64 {
+                q.schedule(t((i * 7 % 13) as i64), (i % 3) as u8, i);
+            }
+            let mut order = Vec::new();
+            while let Some((_, e)) = q.next() {
+                order.push(e);
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+}

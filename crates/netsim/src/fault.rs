@@ -1,0 +1,275 @@
+//! Fault injection.
+//!
+//! The paper is careful about confounders: a timeout or a 403 "is hard to
+//! tell" apart from true death — the service may be temporarily down, rate
+//! limiting, or geo-blocking the measurement vantage (§3, citing the CDN
+//! geo-blocking study). The simulated web reproduces those behaviours so the
+//! pipeline's "Timeout"/"Other" buckets are populated for the right reasons,
+//! and so tests can inject adversity deliberately (smoltcp-style fault
+//! options).
+
+use crate::http::Vantage;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-origin fault behaviour. All probabilities are evaluated
+/// deterministically from `(origin seed, url, day)` so that a re-fetch on the
+/// same day reproduces the same outcome, while fetches months apart can
+/// differ — exactly the property behind "links that were dysfunctional in
+/// the past work fine today".
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    seed: u64,
+    /// Probability that any request experiences a connect timeout that day.
+    pub timeout_p: f64,
+    /// Probability of answering 503 instead of the real response that day.
+    pub unavailable_p: f64,
+    /// Vantages that receive 403 Forbidden for every request.
+    pub geo_blocked: Vec<Vantage>,
+    /// If set, requests beyond this many per day answer 429.
+    pub daily_rate_limit: Option<DailyRateLimiter>,
+    /// Deterministic fault windows: within `[from, to)` every request hits
+    /// `fault`. Used to script outages that cover a bot sweep (the paper's
+    /// links that were "dysfunctional in the past but functional now").
+    pub windows: Vec<FaultWindow>,
+}
+
+/// A scripted fault interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    pub from: SimTime,
+    pub to: SimTime,
+    pub fault: Fault,
+}
+
+impl FaultProfile {
+    /// A well-behaved origin: no faults.
+    pub fn none(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            timeout_p: 0.0,
+            unavailable_p: 0.0,
+            geo_blocked: Vec::new(),
+            daily_rate_limit: None,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Script a fault for every request in `[from, to)`.
+    pub fn with_window(mut self, from: SimTime, to: SimTime, fault: Fault) -> Self {
+        self.windows.push(FaultWindow { from, to, fault });
+        self
+    }
+
+    /// Answer at most `per_day` requests per day; the rest get 429.
+    pub fn with_daily_rate_limit(mut self, per_day: u32) -> Self {
+        self.daily_rate_limit = Some(DailyRateLimiter::new(per_day));
+        self
+    }
+
+    pub fn with_timeouts(mut self, p: f64) -> Self {
+        self.timeout_p = p;
+        self
+    }
+
+    pub fn with_unavailable(mut self, p: f64) -> Self {
+        self.unavailable_p = p;
+        self
+    }
+
+    pub fn with_geo_block(mut self, vantages: &[Vantage]) -> Self {
+        self.geo_blocked = vantages.to_vec();
+        self
+    }
+
+    /// The fault, if any, this request hits. Evaluated before the origin's
+    /// real handler.
+    pub fn check(&self, url_key: &str, vantage: Vantage, t: SimTime) -> Option<Fault> {
+        if self.geo_blocked.contains(&vantage) {
+            return Some(Fault::GeoBlocked);
+        }
+        if let Some(w) = self.windows.iter().find(|w| w.from <= t && t < w.to) {
+            return Some(w.fault);
+        }
+        if let Some(limiter) = &self.daily_rate_limit {
+            if !limiter.admit(t) {
+                return Some(Fault::RateLimited);
+            }
+        }
+        let day = t.as_unix().div_euclid(86_400) as u64;
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ fnv1a(url_key.as_bytes()) ^ day.wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        if self.timeout_p > 0.0 && rng.gen_bool(self.timeout_p.clamp(0.0, 1.0)) {
+            return Some(Fault::ConnectTimeout);
+        }
+        if self.unavailable_p > 0.0 && rng.gen_bool(self.unavailable_p.clamp(0.0, 1.0)) {
+            return Some(Fault::Unavailable);
+        }
+        None
+    }
+}
+
+/// A deterministic per-day admission counter. Shared behind a mutex because
+/// the network trait takes `&self`; cloning starts a fresh day-count table
+/// (a cloned profile models a *new* origin, not a mirror of the old one).
+#[derive(Debug, Default)]
+pub struct DailyRateLimiter {
+    per_day: u32,
+    served: Mutex<HashMap<i64, u32>>,
+}
+
+impl DailyRateLimiter {
+    pub fn new(per_day: u32) -> Self {
+        DailyRateLimiter {
+            per_day,
+            served: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admit a request at `t`? Increments the day's count when admitted.
+    pub fn admit(&self, t: SimTime) -> bool {
+        let day = t.as_unix().div_euclid(86_400);
+        let mut served = self.served.lock();
+        let count = served.entry(day).or_insert(0);
+        if *count < self.per_day {
+            *count += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Clone for DailyRateLimiter {
+    fn clone(&self) -> Self {
+        DailyRateLimiter::new(self.per_day)
+    }
+}
+
+/// An injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Connection setup never completes → the client reports a timeout.
+    ConnectTimeout,
+    /// 503 Service Unavailable.
+    Unavailable,
+    /// 403 Forbidden for this vantage.
+    GeoBlocked,
+    /// 429 Too Many Requests: the per-day budget is exhausted.
+    RateLimited,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noon(y: i32, m: u32, d: u32) -> SimTime {
+        SimTime::from_ymd(y, m, d) + crate::time::Duration::hours(12)
+    }
+
+    #[test]
+    fn no_faults_by_default() {
+        let f = FaultProfile::none(1);
+        assert_eq!(f.check("http://e.org/x", Vantage::UsEducation, noon(2022, 3, 1)), None);
+    }
+
+    #[test]
+    fn geo_block_hits_configured_vantage_only() {
+        let f = FaultProfile::none(1).with_geo_block(&[Vantage::UsEducation]);
+        assert_eq!(
+            f.check("u", Vantage::UsEducation, noon(2022, 3, 1)),
+            Some(Fault::GeoBlocked)
+        );
+        assert_eq!(f.check("u", Vantage::Europe, noon(2022, 3, 1)), None);
+    }
+
+    #[test]
+    fn same_day_same_outcome() {
+        let f = FaultProfile::none(9).with_timeouts(0.5);
+        let morning = SimTime::from_ymd(2022, 3, 5) + crate::time::Duration::hours(2);
+        let evening = SimTime::from_ymd(2022, 3, 5) + crate::time::Duration::hours(22);
+        assert_eq!(
+            f.check("u", Vantage::UsEducation, morning),
+            f.check("u", Vantage::UsEducation, evening)
+        );
+    }
+
+    #[test]
+    fn outcomes_vary_across_days() {
+        let f = FaultProfile::none(9).with_timeouts(0.5);
+        let outcomes: Vec<_> = (1..=20)
+            .map(|d| f.check("u", Vantage::UsEducation, noon(2022, 3, d)))
+            .collect();
+        assert!(outcomes.contains(&Some(Fault::ConnectTimeout)));
+        assert!(outcomes.contains(&None));
+    }
+
+    #[test]
+    fn fault_rate_tracks_probability() {
+        let f = FaultProfile::none(3).with_unavailable(0.2);
+        let hits = (0..1000)
+            .filter(|i| {
+                f.check(
+                    &format!("http://e.org/{i}"),
+                    Vantage::UsEducation,
+                    noon(2022, 3, 1),
+                ) == Some(Fault::Unavailable)
+            })
+            .count();
+        assert!((120..280).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn daily_rate_limit_admits_then_429s_and_resets() {
+        let f = FaultProfile::none(1).with_daily_rate_limit(3);
+        let day1 = noon(2022, 3, 1);
+        for _ in 0..3 {
+            assert_eq!(f.check("u", Vantage::UsEducation, day1), None);
+        }
+        assert_eq!(
+            f.check("u", Vantage::UsEducation, day1),
+            Some(Fault::RateLimited)
+        );
+        // next day the budget is fresh
+        assert_eq!(f.check("u", Vantage::UsEducation, noon(2022, 3, 2)), None);
+        // a clone is a fresh origin with its own budget
+        let g = f.clone();
+        assert_eq!(g.check("u", Vantage::UsEducation, day1), None);
+    }
+
+    #[test]
+    fn fault_window_is_deterministic_and_bounded() {
+        let y = |yr| SimTime::from_ymd(yr, 1, 1);
+        let f = FaultProfile::none(1).with_window(y(2020), y(2021), Fault::Unavailable);
+        assert_eq!(f.check("u", Vantage::UsEducation, y(2020)), Some(Fault::Unavailable));
+        assert_eq!(
+            f.check("u", Vantage::UsEducation, y(2020) + crate::time::Duration::days(100)),
+            Some(Fault::Unavailable)
+        );
+        // half-open: the end instant is healthy again
+        assert_eq!(f.check("u", Vantage::UsEducation, y(2021)), None);
+        assert_eq!(f.check("u", Vantage::UsEducation, y(2019)), None);
+    }
+
+    #[test]
+    fn timeout_checked_before_unavailable() {
+        let f = FaultProfile::none(3).with_timeouts(1.0).with_unavailable(1.0);
+        assert_eq!(
+            f.check("u", Vantage::UsEducation, noon(2022, 3, 1)),
+            Some(Fault::ConnectTimeout)
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! HTTP request/response types and status-code semantics.
+//!
+//! Only the subset the study exercises: GET requests, status codes, a
+//! `Location` header for redirects, and a body. The paper's analysis hinges
+//! on status-code classes — 2xx vs 3xx vs 404 vs other — and on the
+//! distinction between a redirect's *kind* (permanent vs temporary) when the
+//! archive records it.
+
+use crate::time::SimTime;
+use permadead_url::Url;
+use std::fmt;
+
+/// An HTTP status code. A newtype over `u16` with the class helpers the
+/// pipeline needs; arbitrary codes are representable because archives store
+/// whatever the origin said, including nonsense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    pub const OK: StatusCode = StatusCode(200);
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    pub const FOUND: StatusCode = StatusCode(302);
+    pub const SEE_OTHER: StatusCode = StatusCode(303);
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
+    pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const GONE: StatusCode = StatusCode(410);
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    pub const fn is_success(self) -> bool {
+        self.0 >= 200 && self.0 < 300
+    }
+    pub const fn is_redirect(self) -> bool {
+        self.0 >= 300 && self.0 < 400
+    }
+    pub const fn is_client_error(self) -> bool {
+        self.0 >= 400 && self.0 < 500
+    }
+    pub const fn is_server_error(self) -> bool {
+        self.0 >= 500 && self.0 < 600
+    }
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The reason phrase, for rendering.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            301 => "Moved Permanently",
+            302 => "Found",
+            303 => "See Other",
+            307 => "Temporary Redirect",
+            308 => "Permanent Redirect",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            410 => "Gone",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// A GET request, as issued by bots and the measurement pipeline.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub url: Url,
+    /// Coarse client vantage; origins may geo-block (§3 mentions vantage-
+    /// dependent blocking as a confounder).
+    pub vantage: Vantage,
+    /// When the request is issued — the web answers differently at different
+    /// points in its history.
+    pub time: SimTime,
+}
+
+impl Request {
+    pub fn get(url: Url, time: SimTime) -> Request {
+        Request {
+            url,
+            vantage: Vantage::default(),
+            time,
+        }
+    }
+
+    pub fn from_vantage(mut self, vantage: Vantage) -> Request {
+        self.vantage = vantage;
+        self
+    }
+}
+
+/// Measurement vantage point, at the granularity geo-blocking operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Vantage {
+    /// The paper's vantage (a US university).
+    #[default]
+    UsEducation,
+    Europe,
+    Asia,
+    /// Archive crawler infrastructure.
+    Crawler,
+}
+
+/// A single-hop HTTP response (redirects are *not* followed at this layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: StatusCode,
+    /// Redirect target for 3xx responses.
+    pub location: Option<Url>,
+    /// Response body (HTML). Empty for redirects and most errors.
+    pub body: String,
+}
+
+impl Response {
+    pub fn ok(body: String) -> Response {
+        Response {
+            status: StatusCode::OK,
+            location: None,
+            body,
+        }
+    }
+
+    pub fn redirect(status: StatusCode, to: Url) -> Response {
+        debug_assert!(status.is_redirect());
+        Response {
+            status,
+            location: Some(to),
+            body: String::new(),
+        }
+    }
+
+    pub fn status_only(status: StatusCode) -> Response {
+        Response {
+            status,
+            location: None,
+            body: String::new(),
+        }
+    }
+
+    pub fn not_found() -> Response {
+        Response::status_only(StatusCode::NOT_FOUND)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode(204).is_success());
+        assert!(StatusCode::MOVED_PERMANENTLY.is_redirect());
+        assert!(StatusCode(399).is_redirect());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+        assert!(!StatusCode::OK.is_redirect());
+        assert!(!StatusCode(600).is_server_error());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(StatusCode::NOT_FOUND.to_string(), "404 Not Found");
+        assert_eq!(StatusCode(418).to_string(), "418 Unknown");
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = Response::ok("hi".into());
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(ok.body, "hi");
+
+        let to = Url::parse("http://e.org/new").unwrap();
+        let r = Response::redirect(StatusCode::MOVED_PERMANENTLY, to.clone());
+        assert_eq!(r.location, Some(to));
+        assert!(r.body.is_empty());
+
+        assert_eq!(Response::not_found().status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn request_builder() {
+        let u = Url::parse("http://e.org/x").unwrap();
+        let t = SimTime::from_ymd(2022, 3, 1);
+        let r = Request::get(u.clone(), t).from_vantage(Vantage::Europe);
+        assert_eq!(r.url, u);
+        assert_eq!(r.time, t);
+        assert_eq!(r.vantage, Vantage::Europe);
+        assert_eq!(Request::get(u, t).vantage, Vantage::UsEducation);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn redirect_requires_3xx() {
+        let _ = Response::redirect(StatusCode::OK, Url::parse("http://e.org/").unwrap());
+    }
+}

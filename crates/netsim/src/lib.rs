@@ -1,0 +1,45 @@
+//! Simulated network substrate: time, DNS, HTTP, fetching, faults.
+//!
+//! The paper's measurements are, at bottom, HTTP GETs issued at particular
+//! moments in (simulated) history, classified by how they fail. This crate
+//! provides that machinery, independent of any particular "web":
+//!
+//! - [`time`]: simulation time — seconds since the Unix epoch with a proper
+//!   civil-calendar conversion, because everything in the paper is dated
+//!   ("added to Wikipedia in 2009", "first archived 400 days later").
+//! - [`http`]: status codes, requests, responses, redirect semantics.
+//! - [`dns`]: resolution outcomes and a zone-based resolver.
+//! - [`error`]: the fetch-outcome taxonomy of Figure 4 — DNS failure,
+//!   timeout, 404, 200, other.
+//! - [`client`]: a redirect-following GET client over any [`Network`],
+//!   recording the full hop chain (the paper distinguishes *initial* from
+//!   *final* status codes, §2.4).
+//! - [`latency`]: a deterministic latency model for API calls — the cause of
+//!   IABot's missed archived copies (§4.1).
+//! - [`fault`]: fault injection — geo-blocking by vantage, transient
+//!   failures, rate limiting — mirroring the confounders the paper lists
+//!   (§3: "blocked because of our measurement vantage point").
+//!
+//! The design is synchronous and deterministic (smoltcp-style event-driven
+//! simulation): a fetch is a pure function of `(network state, time, rng
+//! stream)`, which is what makes every figure in EXPERIMENTS.md reproducible
+//! bit-for-bit.
+
+pub mod client;
+pub mod dns;
+pub mod error;
+pub mod events;
+pub mod fault;
+pub mod http;
+pub mod latency;
+pub mod metrics;
+pub mod time;
+
+pub use client::{Client, FetchRecord, Hop, Network, ServeResult};
+pub use dns::{DnsError, DnsOutcome, StaticDns};
+pub use error::{FetchError, LiveStatus};
+pub use events::EventQueue;
+pub use http::{Request, Response, StatusCode};
+pub use latency::LatencyModel;
+pub use metrics::{Counter, NetMetrics};
+pub use time::{Date, Duration, SimTime};

@@ -1,0 +1,137 @@
+//! Lightweight instrumentation counters.
+//!
+//! IABot's misclassifications exist because measurement has a *cost*: §4.1's
+//! timeouts trade coverage for throughput, and the paper's implications ask
+//! whether that tradeoff is "worth revisiting". These counters make the cost
+//! side observable: how many requests the live web answered, how many index
+//! rows a CDX scan touched, how many availability lookups a bot issued.
+//!
+//! Counters are atomic so `&self` methods (the whole `Network` trait) can
+//! increment them; relaxed ordering suffices — they are statistics, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+/// Counters for a network-like component.
+#[derive(Debug, Default, Clone)]
+pub struct NetMetrics {
+    /// Requests that reached the component.
+    pub requests: Counter,
+    /// Transport-level failures (DNS, connect timeouts).
+    pub transport_failures: Counter,
+    /// Responses by status family.
+    pub responses_2xx: Counter,
+    pub responses_3xx: Counter,
+    pub responses_4xx: Counter,
+    pub responses_5xx: Counter,
+}
+
+impl NetMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a single-hop outcome.
+    pub fn record(&self, outcome: &Result<crate::http::Response, crate::error::FetchError>) {
+        self.requests.incr();
+        match outcome {
+            Err(_) => self.transport_failures.incr(),
+            Ok(resp) => match resp.status.as_u16() / 100 {
+                2 => self.responses_2xx.incr(),
+                3 => self.responses_3xx.incr(),
+                4 => self.responses_4xx.incr(),
+                5 => self.responses_5xx.incr(),
+                _ => {}
+            },
+        }
+    }
+
+    /// One-line render for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} transport failures; {}/{}/{}/{} by 2xx/3xx/4xx/5xx)",
+            self.requests.get(),
+            self.transport_failures.get(),
+            self.responses_2xx.get(),
+            self.responses_3xx.get(),
+            self.responses_4xx.get(),
+            self.responses_5xx.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FetchError;
+    use crate::http::{Response, StatusCode};
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn record_classifies() {
+        let m = NetMetrics::new();
+        m.record(&Ok(Response::ok("x".into())));
+        m.record(&Ok(Response::status_only(StatusCode::NOT_FOUND)));
+        m.record(&Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)));
+        m.record(&Ok(Response::redirect(
+            StatusCode::FOUND,
+            permadead_url::Url::parse("http://e.org/").unwrap(),
+        )));
+        m.record(&Err(FetchError::ConnectTimeout));
+        assert_eq!(m.requests.get(), 5);
+        assert_eq!(m.responses_2xx.get(), 1);
+        assert_eq!(m.responses_3xx.get(), 1);
+        assert_eq!(m.responses_4xx.get(), 1);
+        assert_eq!(m.responses_5xx.get(), 1);
+        assert_eq!(m.transport_failures.get(), 1);
+        assert!(m.summary().contains("5 requests"));
+    }
+
+    #[test]
+    fn clone_snapshots_value() {
+        let c = Counter::default();
+        c.add(7);
+        let snap = c.clone();
+        c.add(1);
+        assert_eq!(snap.get(), 7);
+        assert_eq!(c.get(), 8);
+    }
+}

@@ -1,0 +1,1295 @@
+//! World assembly.
+//!
+//! `build` lays down the live web (sites, pages, DNS timelines, fault
+//! scripts) and produces three time-ordered event streams for [`crate::run`]
+//! to replay: link postings, archive captures, and (from the config) IABot
+//! sweeps. The wiki itself is materialized during the replay so that a sweep
+//! in 2016 sees exactly the articles and links that existed in 2016.
+
+use crate::config::{revival_window, ScenarioConfig};
+use crate::fate::RotFate;
+use crate::names;
+use permadead_net::dns::{HostState, HostTimeline};
+use permadead_net::fault::{Fault, FaultProfile};
+use permadead_net::http::Vantage;
+use permadead_net::{Duration, SimTime};
+use permadead_url::Url;
+use permadead_web::{LiveWeb, Page, PageEvent, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Ground truth for one rot-destined link (tests and calibration only — the
+/// measurement pipeline never reads this).
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    pub url: Url,
+    pub posted: SimTime,
+    pub fate: RotFate,
+    /// When the URL stopped answering (ground truth). `None` for fates that
+    /// never actually die from the origin's perspective (TempOutage) —
+    /// and equal to `posted` for typos, which never worked.
+    pub death: Option<SimTime>,
+}
+
+/// A link being posted to an article.
+#[derive(Debug, Clone)]
+pub struct PostEvent {
+    pub time: SimTime,
+    pub article: String,
+    pub url: Url,
+    pub ref_title: String,
+    pub editor: String,
+}
+
+/// Everything `run` needs.
+pub struct GeneratedWorld {
+    pub web: LiveWeb,
+    /// Time-ordered link postings.
+    pub posts: Vec<PostEvent>,
+    /// Time-ordered crawl schedule.
+    pub captures: Vec<(SimTime, Url)>,
+    /// Human editors tagging dead links by hand (§2.4: "any Wikipedia user
+    /// can annotate any link"; the paper filters these OUT of its sample).
+    pub human_tags: Vec<(SimTime, Url)>,
+    /// Ground truth.
+    pub specs: Vec<LinkSpec>,
+}
+
+/// Build the world for a config. Deterministic in `cfg.seed`.
+pub fn build(cfg: &ScenarioConfig) -> GeneratedWorld {
+    Builder::new(cfg).build()
+}
+
+// ---------------------------------------------------------------------------
+
+struct Builder<'a> {
+    cfg: &'a ScenarioConfig,
+    rng: SmallRng,
+    web: LiveWeb,
+    captures: Vec<(SimTime, Url)>,
+    specs: Vec<LinkSpec>,
+    /// (url, posted) for healthy links.
+    healthy: Vec<(Url, SimTime)>,
+    /// (when, url) of scheduled human `{{dead link}}` tags.
+    human_tags: Vec<(SimTime, Url)>,
+    next_site: u64,
+    /// Per-fate open site: (site id, remaining capacity).
+    open: HashMap<RotFate, (SiteId, usize)>,
+    open_healthy: Option<(SiteId, usize)>,
+    /// Scripted facts about each site (for link scheduling).
+    site_meta: HashMap<SiteId, SiteScript>,
+    /// Site-level "death" instant for fault-scripted fates.
+    site_death: HashMap<SiteId, SimTime>,
+    /// When set, `page_url` spells URLs with this host instead of the
+    /// site's canonical one — active while building a single link's story
+    /// so the link, its captures, and its sibling evidence all share the
+    /// spelling the editor posted.
+    link_alias: Option<String>,
+}
+
+/// Everything scripted about a site, kept until the site is registered.
+struct SiteScript {
+    #[allow(dead_code)]
+    id: SiteId,
+    host: String,
+    founded: SimTime,
+    /// DNS lapse instant (site-level death).
+    lapse: Option<SimTime>,
+    /// Re-registration by a domain parker.
+    parked_at: Option<SimTime>,
+    /// Window during which unknown paths 302 to the homepage.
+    redirect_era: Option<(SimTime, SimTime)>,
+    /// Late policy switch (soft-404 / redirect-home after tagging).
+    late_policy: Option<(SimTime, UnknownPathPolicy)>,
+    crawled: bool,
+    /// The growth-curve posting anchor the site's death was derived from;
+    /// consumed by the first link so its posting date follows Figure 3c
+    /// exactly rather than being truncated by the site's lifetime.
+    anchor: Option<SimTime>,
+    /// Alternate hostname (www./bare toggle) resolving to the same origin.
+    /// Editors link both spellings; the paper's dataset has ~12% more
+    /// hostnames than domains.
+    alias: Option<String>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(cfg: &'a ScenarioConfig) -> Self {
+        Builder {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x5EED_D00D),
+            web: LiveWeb::new(cfg.seed ^ 0xC0FFEE),
+            captures: Vec::new(),
+            specs: Vec::new(),
+            healthy: Vec::new(),
+            human_tags: Vec::new(),
+            next_site: 1,
+            open: HashMap::new(),
+            open_healthy: None,
+            site_meta: HashMap::new(),
+            site_death: HashMap::new(),
+            link_alias: None,
+        }
+    }
+
+    fn build(mut self) -> GeneratedWorld {
+        // rot links
+        for _ in 0..self.cfg.rot_links {
+            let fate = self.cfg.mixture.sample(&mut self.rng);
+            self.add_rot_link(fate);
+        }
+        // healthy links
+        let n_healthy = (self.cfg.rot_links as f64 * self.cfg.healthy_ratio) as usize;
+        for _ in 0..n_healthy {
+            self.add_healthy_link();
+        }
+        // article assignment
+        let posts = self.assign_articles();
+        let mut captures = std::mem::take(&mut self.captures);
+        captures.sort_by_key(|&(t, _)| t);
+        let mut human_tags = std::mem::take(&mut self.human_tags);
+        human_tags.sort_by_key(|&(t, _)| t);
+        GeneratedWorld {
+            web: self.web,
+            posts,
+            captures,
+            human_tags,
+            specs: self.specs,
+        }
+    }
+
+    // -- time helpers -------------------------------------------------------
+
+    /// Posting time matched to Wikipedia's growth (Figure 3c): anchored
+    /// cumulative fractions, linearly interpolated.
+    fn post_time(&mut self) -> SimTime {
+        const ANCHORS: &[(f64, f64)] = &[
+            (0.00, 2004.5),
+            (0.08, 2007.0),
+            (0.20, 2009.0),
+            (0.32, 2011.0),
+            (0.45, 2013.0),
+            (0.60, 2015.0),
+            (0.80, 2017.0),
+            (0.90, 2019.0),
+            (1.00, 2022.1),
+        ];
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let mut year = 2012.0;
+        for w in ANCHORS.windows(2) {
+            let (c0, y0) = w[0];
+            let (c1, y1) = w[1];
+            if u >= c0 && u <= c1 {
+                year = y0 + (u - c0) / (c1 - c0) * (y1 - y0);
+                break;
+            }
+        }
+        let day = ((year - 1970.0) * 365.2425) as i64;
+        SimTime(day * 86_400 + self.rng.gen_range(0..86_400))
+    }
+
+    /// Posting time for a rot link: at or before `latest`.
+    fn post_time_before(&mut self, latest: SimTime) -> SimTime {
+        for _ in 0..64 {
+            let t = self.post_time();
+            if t <= latest {
+                return t;
+            }
+        }
+        // extremely tight bound: fall back to uniform in [epoch, latest]
+        let lo = self.cfg.wiki_epoch().as_unix();
+        SimTime(self.rng.gen_range(lo..=latest.as_unix().max(lo + 1)))
+    }
+
+    /// A death time after `posted`, no later than `latest`: log-spread gap
+    /// with median ≈ 2 years.
+    fn death_after(&mut self, posted: SimTime, latest: SimTime) -> SimTime {
+        let max_gap = (latest - posted).as_days().max(91);
+        // log-uniform over [90, max_gap] biased toward the middle
+        let lo = (90f64).ln();
+        let hi = (max_gap as f64).ln();
+        let g = (self.rng.gen_range(0.0..1.0f64) * (hi - lo) + lo).exp() as i64;
+        posted + Duration::days(g.clamp(90, max_gap))
+    }
+
+    fn uniform_between(&mut self, lo: SimTime, hi: SimTime) -> SimTime {
+        if hi.as_unix() <= lo.as_unix() {
+            return lo;
+        }
+        SimTime(self.rng.gen_range(lo.as_unix()..hi.as_unix()))
+    }
+
+    // -- site machinery -----------------------------------------------------
+
+    /// Heavy-tailed links-per-site capacity (Figure 3a: >70% of domains
+    /// contribute one URL; a few contribute hundreds).
+    fn site_capacity(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0f64..1.0).max(1e-6);
+        ((1.0 / u.powf(0.8)) as usize).clamp(1, 250)
+    }
+
+    /// Rank biased toward the popular end for content sites.
+    fn draw_rank(&mut self, obscure: bool) -> u32 {
+        let u: f64 = self.rng.gen_range(0.0f64..1.0);
+        if obscure {
+            (800_000.0 + u * 199_999.0) as u32
+        } else {
+            ((u.powf(1.6) * 999_000.0) as u32).max(1)
+        }
+    }
+
+    /// Create (and register) a new scripted site for `fate`; returns its id.
+    fn create_site(&mut self, fate: RotFate) -> SiteId {
+        let id = SiteId(self.next_site);
+        self.next_site += 2; // leave room for a parker origin at id+1
+        let host = names::host_name(&mut self.rng, id.0);
+        let founded =
+            self.uniform_between(SimTime::from_ymd(1998, 1, 1), SimTime::from_ymd(2008, 1, 1));
+        let last_sweep = self.cfg.last_sweep();
+
+        let mut script = SiteScript {
+            id,
+            host,
+            founded,
+            lapse: None,
+            parked_at: None,
+            redirect_era: None,
+            late_policy: None,
+            crawled: true,
+            anchor: None,
+            alias: None,
+        };
+
+        match fate {
+            RotFate::Lapsed | RotFate::ObscureLapsed => {
+                // Figure 3c discipline: draw a posting-time anchor from the
+                // wiki growth curve and let the site die some while after
+                // it, instead of picking a lapse date independently — which
+                // would condition all posts on early-dying sites and skew
+                // the posting CDF years early.
+                let hi = last_sweep - Duration::days(45);
+                let anchor = self.post_time_before(hi - Duration::days(135));
+                let lapse = self
+                    .death_after(anchor, hi)
+                    .max(SimTime::from_ymd(2008, 1, 1));
+                script.lapse = Some(lapse);
+                script.anchor = Some(anchor);
+                if fate == RotFate::ObscureLapsed {
+                    script.crawled = false;
+                } else if self.rng.gen_bool(0.85) {
+                    // decline era: unknown paths 302 home before the end
+                    let start = lapse - Duration::days(self.rng.gen_range(400..1200));
+                    script.redirect_era = Some((start.max(founded), lapse));
+                }
+            }
+            RotFate::LapsedParked => {
+                // lapse inside the bot era so a sweep tags before parking
+                let lapse = self.uniform_between(
+                    SimTime::from_ymd(2016, 2, 1),
+                    SimTime::from_ymd(2020, 10, 1),
+                );
+                script.lapse = Some(lapse);
+                if self.rng.gen_bool(0.8) {
+                    let start = lapse - Duration::days(self.rng.gen_range(300..900));
+                    script.redirect_era = Some((start.max(founded), lapse));
+                }
+                let parked = lapse + Duration::days(self.rng.gen_range(300..800));
+                script.parked_at = Some(parked.min(self.cfg.study_time - Duration::days(30)));
+            }
+            RotFate::Moved404 | RotFate::Deleted404 | RotFate::DynamicDeleted => {
+                // many of these sites went through a redirect-everything era
+                // (a CMS that 302s unknown paths home); pages that died
+                // inside it were archived as redirects (§4.2's erroneous 3xx)
+                if self.rng.gen_bool(0.70) && fate != RotFate::DynamicDeleted {
+                    let w1 = self.uniform_between(
+                        SimTime::from_ymd(2008, 1, 1),
+                        SimTime::from_ymd(2013, 6, 1),
+                    );
+                    let w2 = w1 + Duration::days(self.rng.gen_range(700..2200));
+                    script.redirect_era = Some((w1, w2.min(SimTime::from_ymd(2019, 6, 1))));
+                }
+            }
+            RotFate::SoftDeadLate => {
+                let switch = self.uniform_between(
+                    SimTime::from_ymd(2019, 6, 1),
+                    self.cfg.study_time - Duration::days(30),
+                );
+                script.late_policy = Some((switch, UnknownPathPolicy::Soft404));
+            }
+            RotFate::HomeRedirectLate => {
+                let switch = self.uniform_between(
+                    SimTime::from_ymd(2019, 6, 1),
+                    self.cfg.study_time - Duration::days(30),
+                );
+                script.late_policy = Some((switch, UnknownPathPolicy::RedirectHome));
+            }
+            RotFate::MovedThenGone
+            | RotFate::MovedRedirectLater
+            | RotFate::TypoPathArchived
+            | RotFate::TypoPathUnarchived
+            | RotFate::TypoHost => {}
+            RotFate::TempOutage | RotFate::GeoBlocked | RotFate::Outage503
+            | RotFate::FlakyTimeout => {
+                // fault scripting is attached below, per-site
+            }
+        }
+
+        let mut site = Site::new(
+            id,
+            &script.host,
+            SiteLifecycle::active_from(script.founded),
+            UnknownPathPolicy::NotFound,
+        );
+
+        // policy windows
+        if let Some((w1, w2)) = script.redirect_era {
+            site.change_policy(w1, UnknownPathPolicy::RedirectHome);
+            site.change_policy(w2, UnknownPathPolicy::NotFound);
+        }
+        if let Some((t, p)) = script.late_policy {
+            site.change_policy(t, p);
+        }
+
+        // fault scripting
+        match fate {
+            RotFate::GeoBlocked => {
+                site.faults = FaultProfile::none(id.0)
+                    .with_geo_block(&[Vantage::UsEducation, Vantage::Crawler]);
+            }
+            RotFate::Outage503 | RotFate::FlakyTimeout => {
+                // anchor the outage to the growth curve like the lapses, so
+                // these links' posting dates follow Figure 3c too
+                let hi = last_sweep - Duration::days(45);
+                let anchor = self.post_time_before(hi - Duration::days(135));
+                let from = self
+                    .death_after(anchor, hi)
+                    .max(SimTime::from_ymd(2016, 6, 1));
+                script.anchor = Some(anchor);
+                let fault = if fate == RotFate::Outage503 {
+                    Fault::Unavailable
+                } else {
+                    Fault::ConnectTimeout
+                };
+                site.faults = FaultProfile::none(id.0).with_window(
+                    from,
+                    SimTime::from_ymd(2100, 1, 1),
+                    fault,
+                );
+                self.open_site_death(id, from);
+            }
+            RotFate::TempOutage => {
+                let k = self.rng.gen_range(0..self.cfg.sweeps.len());
+                let sweep = self.cfg.sweeps[k];
+                site.faults = FaultProfile::none(id.0).with_window(
+                    sweep - Duration::days(15),
+                    sweep + Duration::days(45),
+                    Fault::Unavailable,
+                );
+                self.open_site_death(id, sweep - Duration::days(15));
+            }
+            _ => {}
+        }
+
+        // DNS timeline
+        let mut tl = HostTimeline::new();
+        tl.push(script.founded, HostState::Active { origin_id: id.0 });
+        if let Some(lapse) = script.lapse {
+            tl.push(lapse, HostState::Lapsed);
+            if let Some(parked) = script.parked_at {
+                let parker_id = SiteId(id.0 + 1);
+                let parker = Site::new(
+                    parker_id,
+                    &script.host,
+                    SiteLifecycle::active_from(parked).parked_at(parked),
+                    UnknownPathPolicy::Soft404,
+                );
+                tl.push(parked, HostState::Active { origin_id: parker_id.0 });
+                self.web.add_site_raw(parker);
+            }
+        }
+        self.web.dns.insert(&script.host, tl.clone());
+
+        // ~25% of sites answer on a second hostname (www./bare toggle):
+        // editors link both spellings, so the dataset ends up with more
+        // hostnames than registrable domains (§2.4: 3,940 vs 3,521)
+        if self.rng.gen_bool(0.25) {
+            let alias = toggle_www(&script.host);
+            self.web.dns.insert(&alias, tl);
+            script.alias = Some(alias);
+        }
+
+        // rank + context crawling
+        let rank = self.draw_rank(!script.crawled);
+        self.web.ranks.insert(&script.host, rank);
+        if let Some(alias) = &script.alias {
+            self.web.ranks.insert(alias, rank);
+        }
+        self.web.add_site_raw(site);
+
+        if script.crawled && fate != RotFate::GeoBlocked {
+            let alias = script.alias.clone();
+            self.schedule_context_captures(id, rank, script.founded, script.lapse, alias);
+        }
+        self.site_meta_insert(id, script);
+        id
+    }
+
+    /// Context pages: live 200 captures spread over the site's life — the
+    /// per-directory / per-host coverage Figure 6 counts.
+    fn schedule_context_captures(
+        &mut self,
+        id: SiteId,
+        rank: u32,
+        founded: SimTime,
+        lapse: Option<SimTime>,
+        alias: Option<String>,
+    ) {
+        let base = self.cfg.captures.context_captures_per_site;
+        let n = if rank < 10_000 {
+            base * 6
+        } else if rank < 100_000 {
+            base * 2
+        } else {
+            base
+        };
+        let crawl_end = lapse.unwrap_or(self.cfg.study_time);
+        let crawl_start = founded.max(SimTime::from_ymd(2001, 6, 1));
+        if crawl_end <= crawl_start {
+            return;
+        }
+        for k in 0..n {
+            let sec = self.rng.gen_range(0..4);
+            let pid = self.next_page_id(id);
+            let path = names::page_path(&mut self.rng, sec, pid.0 + 10_000);
+            let created = self.uniform_between(crawl_start, crawl_end - Duration::days(30));
+            let page = Page::new(pid, created, &path);
+            // crawlers discover both hostname spellings of dual-host sites
+            let url = match &alias {
+                Some(a) if self.rng.gen_bool(0.4) => {
+                    Url::parse(&format!("http://{a}{path}")).expect("valid alias URL")
+                }
+                _ => self.page_url(id, &path),
+            };
+            let site = self.web.site_mut(id).expect("site exists");
+            site.add_page(page);
+            // 1-2 captures while alive
+            let caps = 1 + (k % 2) as usize;
+            for _ in 0..caps {
+                let t = self.uniform_between(created + Duration::days(1), crawl_end);
+                self.captures.push((t, url.clone()));
+            }
+        }
+    }
+
+    fn page_url(&self, id: SiteId, path: &str) -> Url {
+        let host = self
+            .link_alias
+            .as_deref()
+            .unwrap_or(&self.web.site(id).expect("site exists").host);
+        Url::parse(&format!("http://{host}{path}")).expect("valid generated URL")
+    }
+
+    fn next_page_id(&mut self, id: SiteId) -> PageId {
+        PageId(self.web.site(id).expect("site exists").pages().len() as u32)
+    }
+
+    // site-death side table (for fault-scripted fates where the "death" is a
+    // site property decided at site creation)
+    fn site_meta_insert(&mut self, id: SiteId, script: SiteScript) {
+        self.site_meta.insert(id, script);
+    }
+
+    fn open_site_death(&mut self, id: SiteId, at: SimTime) {
+        self.site_death.insert(id, at);
+    }
+
+    /// Take the site's growth-curve anchor (first caller wins).
+    fn take_anchor(&mut self, id: SiteId) -> Option<SimTime> {
+        self.site_meta.get_mut(&id).and_then(|s| s.anchor.take())
+    }
+
+    // -- link creation -------------------------------------------------------
+
+    /// Get a site for this fate, reusing the open one while capacity lasts.
+    fn site_for(&mut self, fate: RotFate) -> SiteId {
+        if let Some(&(id, cap)) = self.open.get(&fate) {
+            if cap > 0 {
+                self.open.insert(fate, (id, cap - 1));
+                return id;
+            }
+        }
+        let id = self.create_site(fate);
+        let cap = self.site_capacity() - 1;
+        self.open.insert(fate, (id, cap));
+        id
+    }
+
+    fn add_rot_link(&mut self, fate: RotFate) {
+        let site_id = self.site_for(fate);
+        // half the links to a dual-host site use the alternate spelling
+        self.link_alias = self
+            .site_meta
+            .get(&site_id)
+            .and_then(|m| m.alias.clone())
+            .filter(|_| self.rng.gen_bool(0.5));
+        let meta_founded = self.site_meta[&site_id].founded;
+        let site_lapse = self.site_meta[&site_id].lapse;
+        let redirect_era = self.site_meta[&site_id].redirect_era;
+        let late_policy = self.site_meta[&site_id].late_policy;
+        let crawled = self.site_meta[&site_id].crawled;
+        let fault_death = self.site_death.get(&site_id).copied();
+        let last_sweep = self.cfg.last_sweep();
+        let study = self.cfg.study_time;
+        let cp = self.cfg.captures.clone();
+
+        // The link's own page, path, timing — fate-specific.
+        let (url, posted, death) = match fate {
+            RotFate::Lapsed | RotFate::ObscureLapsed | RotFate::LapsedParked => {
+                let lapse = site_lapse.expect("lapse fate has lapse time");
+                let posted = match self.take_anchor(site_id) {
+                    Some(a) => a.min(lapse - Duration::days(40)),
+                    None => self.post_time_before(lapse - Duration::days(40)),
+                };
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                // page-level death inside the decline era when there is one;
+                // most pages die before the registration finally lapses
+                let page_death = match redirect_era {
+                    Some((w1, _)) => {
+                        let lo = w1.max(posted + Duration::days(30));
+                        Some(self.uniform_between(lo.min(lapse - Duration::days(2)), lapse))
+                    }
+                    None => {
+                        if self.rng.gen_bool(0.8) && (lapse - posted).as_days() > 200 {
+                            Some(self.death_after(posted, lapse - Duration::days(10)))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                let mut page = Page::new(pid, created, &path);
+                if let Some(pd) = page_death {
+                    page.push_event(pd, PageEvent::Deleted);
+                }
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+
+                // captures
+                if crawled {
+                    self.schedule_live_capture(&url, created, posted, page_death.unwrap_or(lapse), &cp);
+                    if let (Some((w1, w2)), Some(pd)) = (redirect_era, page_death) {
+                        if self.rng.gen_bool(cp.redirect_era_capture) {
+                            let t = self.uniform_between(pd.max(w1), w2);
+                            self.captures.push((t, url.clone()));
+                            // erroneous-redirect siblings for §4.2
+                            // validation; must land before the DNS lapse or
+                            // the crawler stores nothing
+                            self.schedule_redirect_siblings(site_id, &url, t, w1, w2);
+                        }
+                    }
+                    if let Some(pd) = page_death {
+                        if redirect_era.is_none() && self.rng.gen_bool(cp.post_death_capture) {
+                            let t = self.uniform_between(pd, lapse);
+                            self.captures.push((t, url.clone()));
+                        }
+                    }
+                    self.schedule_pre_post_capture(&url, meta_founded, created, redirect_era, &cp);
+                }
+                (url, posted, Some(page_death.unwrap_or(lapse)))
+            }
+
+            RotFate::Moved404 | RotFate::Deleted404 => {
+                let posted = self.post_time_before(last_sweep - Duration::days(60));
+                let mut death = self.death_after(posted, last_sweep - Duration::days(30));
+                // bias deaths into the site's redirect era so the post-death
+                // captures land as 3xx (the §4.2 population)
+                if let Some((w1, w2)) = redirect_era {
+                    let lo = w1.max(posted + Duration::days(60));
+                    let hi = w2 - Duration::days(10);
+                    if lo < hi && self.rng.gen_bool(0.8) {
+                        death = self.uniform_between(lo, hi);
+                    }
+                }
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let mut page = Page::new(pid, created, &path);
+                if fate == RotFate::Moved404 {
+                    let new_path = format!("/relocated{}", path);
+                    page.push_event(death, PageEvent::Moved { to_path: new_path });
+                } else {
+                    page.push_event(death, PageEvent::Deleted);
+                }
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+
+                self.schedule_live_capture(&url, created, posted, death, &cp);
+                // 3xx capture only possible while the site's redirect era
+                // covers the post-death window
+                if let Some((w1, w2)) = redirect_era {
+                    if death < w2 && self.rng.gen_bool(cp.redirect_era_capture) {
+                        let t = self.uniform_between(death.max(w1), w2);
+                        self.captures.push((t, url.clone()));
+                        self.schedule_redirect_siblings(site_id, &url, t, w1, w2);
+                    }
+                }
+                // generic post-death captures must not land inside the
+                // redirect era: the sibling evidence only exists around the
+                // scheduled era capture, and a lone 302 would wrongly
+                // validate in §4.2
+                let post_death_lo = match redirect_era {
+                    Some((_, w2)) => death.max(w2),
+                    None => death,
+                };
+                if self.rng.gen_bool(cp.post_death_capture) {
+                    let t = self.uniform_between(post_death_lo, study);
+                    self.captures.push((t, url.clone()));
+                }
+                if self.rng.gen_bool(cp.post_marking_capture) {
+                    if let Some(sweep) = self.cfg.first_sweep_after(death) {
+                        let lo = (sweep + Duration::days(10)).max(post_death_lo);
+                        let t = self.uniform_between(lo, study);
+                        self.captures.push((t, url.clone()));
+                    }
+                }
+                self.schedule_pre_post_capture(&url, meta_founded, created, redirect_era, &cp);
+                (url, posted, Some(death))
+            }
+
+            RotFate::MovedThenGone => {
+                let mut posted = self.post_time_before(last_sweep - Duration::days(400));
+                let death = self.death_after(posted + Duration::days(200), last_sweep - Duration::days(30));
+                // genuine move with redirect, before the final deletion
+                let moved = self.uniform_between(posted + Duration::days(30), death - Duration::days(90));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let new_path = format!("/archive{path}");
+                let mut page = Page::new(pid, created, &path);
+                page.push_event(moved, PageEvent::Moved { to_path: new_path });
+                page.push_event(moved, PageEvent::RedirectAdded);
+                page.push_event(death, PageEvent::Deleted);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+
+                // some editors posted the *old* URL while it already
+                // redirected; the EventStream captured the 301 the same day
+                // (§5.1's non-erroneous same-day first copies)
+                if self.rng.gen_bool(0.5) && (death - moved).as_days() > 4 {
+                    posted = self.uniform_between(moved + Duration::days(1), death - Duration::days(1));
+                    self.captures.push((posted, url.clone()));
+                }
+                // the defining capture: the genuine 301, while it worked
+                let t301 = self.uniform_between(moved, death);
+                self.captures.push((t301, url.clone()));
+                // a live sibling captured within the validation window, so
+                // §4.2 can see the redirect target is unique
+                let sib_pid = self.next_page_id(site_id);
+                let dir = &path[..path.rfind('/').map(|i| i + 1).unwrap_or(1)];
+                let sib_path = format!("{dir}sibling-{}.html", sib_pid.0);
+                let sib = Page::new(sib_pid, created, &sib_path);
+                let sib_url = self.page_url(site_id, &sib_path);
+                self.web.site_mut(site_id).expect("site").add_page(sib);
+                let sib_t = self.bounded_near(t301, 60, created + Duration::days(1), study);
+                self.captures.push((sib_t, sib_url));
+                // low-probability live capture (most of these must not have
+                // 200 copies, or they'd be patched instead of tagged)
+                if self.rng.gen_bool(0.10) {
+                    let t = self.uniform_between(created + Duration::days(1), moved);
+                    self.captures.push((t, url.clone()));
+                }
+                if self.rng.gen_bool(cp.post_death_capture) {
+                    let t = self.uniform_between(death, study);
+                    self.captures.push((t, url.clone()));
+                }
+                (url, posted, Some(death))
+            }
+
+            RotFate::MovedRedirectLater => {
+                let posted = self.post_time_before(SimTime::from_ymd(2020, 6, 1));
+                let death = self.death_after(posted, last_sweep - Duration::days(60));
+                let (rlo, rhi) = revival_window(self.cfg);
+                // some sites wire the redirect up while the bot era is still
+                // running (IABot never notices — it excludes tagged links);
+                // the rest revive between the last sweep and the study
+                let revived = if self.rng.gen_bool(0.4) {
+                    let sweep = self
+                        .cfg
+                        .first_sweep_after(death)
+                        .unwrap_or_else(|| self.cfg.last_sweep());
+                    self.uniform_between(sweep + Duration::days(120), rhi)
+                } else {
+                    self.uniform_between(rlo, rhi)
+                };
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let new_path = format!("/portfolio{path}");
+                let mut page = Page::new(pid, created, &path);
+                page.push_event(death, PageEvent::Moved { to_path: new_path });
+                page.push_event(revived, PageEvent::RedirectAdded);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+
+                if self.rng.gen_bool(0.05) {
+                    let t = self.uniform_between(created + Duration::days(1), death);
+                    self.captures.push((t, url.clone()));
+                }
+                // post-death 404 capture (erroneous copy while broken)
+                if self.rng.gen_bool(cp.post_death_capture) {
+                    let t = self.uniform_between(death, last_sweep);
+                    self.captures.push((t, url.clone()));
+                }
+                // post-marking captures: before revival → erroneous 404
+                if self.rng.gen_bool(cp.post_marking_capture) {
+                    if let Some(sweep) = self.cfg.first_sweep_after(death) {
+                        let t = self.uniform_between(sweep + Duration::days(10), revived);
+                        self.captures.push((t, url.clone()));
+                    }
+                }
+                (url, posted, Some(death))
+            }
+
+            RotFate::TempOutage => {
+                let outage = fault_death.expect("temp outage scripted");
+                let posted = self.post_time_before(outage - Duration::days(45));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let page = Page::new(pid, created, &path);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+                // a post-outage 200 capture: the rare non-erroneous
+                // post-marking copy (§3's 5%)
+                if self.rng.gen_bool(0.5) {
+                    let t = self.uniform_between(outage + Duration::days(90), study);
+                    self.captures.push((t, url.clone()));
+                }
+                (url, posted, None)
+            }
+
+            RotFate::GeoBlocked => {
+                // blocked for bot, study vantage, and crawler alike
+                let posted = self.post_time_before(last_sweep - Duration::days(60));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let page = Page::new(pid, created, &path);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+                (url, posted, Some(posted))
+            }
+
+            RotFate::Outage503 | RotFate::FlakyTimeout => {
+                let from = fault_death.expect("outage scripted");
+                let posted = match self.take_anchor(site_id) {
+                    Some(a) => a.min(from - Duration::days(45)),
+                    None => self.post_time_before(from - Duration::days(45)),
+                };
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let page = Page::new(pid, created, &path);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+                self.schedule_live_capture(&url, created, posted, from, &cp);
+                if fate == RotFate::Outage503 && self.rng.gen_bool(cp.post_death_capture) {
+                    // 503 captures: error copies
+                    let t = self.uniform_between(from, study);
+                    self.captures.push((t, url.clone()));
+                }
+                (url, posted, Some(from))
+            }
+
+            RotFate::SoftDeadLate | RotFate::HomeRedirectLate => {
+                let (switch, _) = late_policy.expect("late policy scripted");
+                let posted = self.post_time_before(switch - Duration::days(400));
+                let death = self.death_after(posted, switch - Duration::days(300));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let mut page = Page::new(pid, created, &path);
+                page.push_event(death, PageEvent::Deleted);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+
+                self.schedule_live_capture(&url, created, posted, death, &cp);
+                if self.rng.gen_bool(cp.post_death_capture) {
+                    // honest-404 era copy
+                    let t = self.uniform_between(death, switch);
+                    self.captures.push((t, url.clone()));
+                }
+                if self.rng.gen_bool(cp.post_marking_capture) {
+                    // post-switch capture: a 200 soft template / 302-home —
+                    // erroneous content served with a healthy status
+                    let t = self.uniform_between(switch, study);
+                    self.captures.push((t, url.clone()));
+                    if fate == RotFate::SoftDeadLate {
+                        // a sibling capture in the same era so the analyzer
+                        // can recognize the template by digest
+                        let sib = self.sibling_junk_url(&url, 1);
+                        let sib_t = self.bounded_near(t, 45, switch, study);
+                        self.captures.push((sib_t, sib));
+                    } else {
+                        // home-redirect era: sibling 302s expose the
+                        // catch-all to the §4.2 validator
+                        self.schedule_redirect_siblings(site_id, &url, t, switch, study);
+                    }
+                }
+                (url, posted, Some(death))
+            }
+
+            RotFate::DynamicDeleted => {
+                let posted = self.post_time_before(last_sweep - Duration::days(60));
+                let death = self.death_after(posted, last_sweep - Duration::days(30));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let path = names::dynamic_path(&mut self.rng, pid.0 % 3, pid.0);
+                let mut page = Page::new(pid, created, &path);
+                page.push_event(death, PageEvent::Deleted);
+                let url = self.page_url(site_id, &path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+                // crawlers never capture query-parameter URLs verbatim; but
+                // half the dynamic directories have a static index that was
+                // archived
+                if self.rng.gen_bool(0.6) {
+                    let dir_sec = pid.0 % 3;
+                    let idx_pid = self.next_page_id(site_id);
+                    let idx_path = format!("/cgi{dir_sec}/index{}.html", idx_pid.0);
+                    let idx = Page::new(idx_pid, created, &idx_path);
+                    let idx_url = self.page_url(site_id, &idx_path);
+                    self.web.site_mut(site_id).expect("site").add_page(idx);
+                    let t = self.uniform_between(created + Duration::days(1), study);
+                    self.captures.push((t, idx_url));
+                }
+                // …and occasionally the crawler found the SAME dynamic page
+                // through a link that spelled the parameters in a different
+                // order — the copy the §5.2 parameter-reorder rescue digs up
+                if self.rng.gen_bool(0.22) {
+                    if let Some(permuted) = names::permute_query(&url) {
+                        let t = self.uniform_between(created + Duration::days(1), death);
+                        self.captures.push((t, permuted));
+                    }
+                }
+                (url, posted, Some(death))
+            }
+
+            RotFate::TypoPathArchived | RotFate::TypoPathUnarchived => {
+                let posted = self.post_time_before(last_sweep - Duration::days(60));
+                let created = self.page_created_before(meta_founded, posted);
+                let pid = self.next_page_id(site_id);
+                let real_path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+                let typo_path = names::typo_of(&mut self.rng, &real_path);
+                let page = Page::new(pid, created, &real_path); // the real page lives
+                let real_url = self.page_url(site_id, &real_path);
+                let typo_url = self.page_url(site_id, &typo_path);
+                self.web.site_mut(site_id).expect("site").add_page(page);
+                // the real page is archived with a 200 (needed for the §5.2
+                // edit-distance detection and realistic for live content)
+                let t = self.uniform_between(created + Duration::days(1), study);
+                self.captures.push((t, real_url));
+                if fate == RotFate::TypoPathArchived {
+                    // EventStream catches the typo same-day: a 404 copy
+                    self.captures.push((posted, typo_url.clone()));
+                }
+                (typo_url, posted, Some(posted))
+            }
+
+            RotFate::TypoHost => {
+                // a typo in the hostname: never resolves
+                let posted = self.post_time_before(last_sweep - Duration::days(60));
+                let real_host = self.web.site(site_id).expect("site").host.clone();
+                let typo_host = names::typo_of(&mut self.rng, &real_host);
+                let pid = self.rng.gen_range(0..10_000);
+                let path = names::page_path(&mut self.rng, 1, pid);
+                let url = Url::parse(&format!("http://{typo_host}{path}"))
+                    .expect("valid typo URL");
+                (url, posted, Some(posted))
+            }
+        };
+
+        // neighbourhood coverage: archived-200 siblings in the link's own
+        // directory (not for fates whose whole point is an uncrawled area)
+        if matches!(
+            fate,
+            RotFate::Lapsed
+                | RotFate::LapsedParked
+                | RotFate::Moved404
+                | RotFate::Deleted404
+                | RotFate::MovedThenGone
+                | RotFate::MovedRedirectLater
+                | RotFate::TempOutage
+                | RotFate::SoftDeadLate
+                | RotFate::HomeRedirectLate
+                | RotFate::Outage503
+                | RotFate::FlakyTimeout
+        ) {
+            let created_guess = (posted - Duration::days(400)).max(meta_founded);
+            let alive_until = site_lapse
+                .or(fault_death)
+                .unwrap_or(self.cfg.study_time)
+                .min(self.cfg.study_time);
+            self.schedule_dir_context(site_id, &url, created_guess, alive_until);
+        }
+
+        // E13 counterfactual: a Save-Page-Now capture fires for every link
+        // the hour it is posted (the paper's "archive links as soon as they
+        // are posted" implication)
+        if self.cfg.save_page_now {
+            self.captures.push((posted + Duration::hours(1), url.clone()));
+        }
+
+        if let Some(d) = death {
+            if d < self.cfg.last_sweep() && self.rng.gen_bool(0.03) {
+                self.human_tags.push((d + Duration::days(180), url.clone()));
+            }
+        }
+
+        self.specs.push(LinkSpec {
+            url,
+            posted,
+            fate,
+            death,
+        });
+        self.link_alias = None;
+    }
+
+    fn add_healthy_link(&mut self) {
+        let site_id = match self.open_healthy {
+            Some((id, cap)) if cap > 0 => {
+                self.open_healthy = Some((id, cap - 1));
+                id
+            }
+            _ => {
+                let id = self.create_site_healthy();
+                let cap = self.site_capacity() - 1;
+                self.open_healthy = Some((id, cap));
+                id
+            }
+        };
+        let founded = self.site_meta[&site_id].founded;
+        self.link_alias = self
+            .site_meta
+            .get(&site_id)
+            .and_then(|m| m.alias.clone())
+            .filter(|_| self.rng.gen_bool(0.5));
+        let posted = self.post_time();
+        let created = self.page_created_before(founded, posted);
+        let pid = self.next_page_id(site_id);
+        let path = names::page_path(&mut self.rng, pid.0 % 5, pid.0);
+        let page = Page::new(pid, created, &path);
+        let url = self.page_url(site_id, &path);
+        self.web.site_mut(site_id).expect("site").add_page(page);
+        if self.rng.gen_bool(0.5) {
+            let t = self.uniform_between(created + Duration::days(1), self.cfg.study_time);
+            self.captures.push((t, url.clone()));
+        }
+        self.healthy.push((url, posted));
+        self.link_alias = None;
+    }
+
+    fn create_site_healthy(&mut self) -> SiteId {
+        let id = SiteId(self.next_site);
+        self.next_site += 2;
+        let host = names::host_name(&mut self.rng, id.0);
+        let founded =
+            self.uniform_between(SimTime::from_ymd(1998, 1, 1), SimTime::from_ymd(2010, 1, 1));
+        let site = Site::new(
+            id,
+            &host,
+            SiteLifecycle::active_from(founded),
+            UnknownPathPolicy::NotFound,
+        );
+        let mut tl = HostTimeline::new();
+        tl.push(founded, HostState::Active { origin_id: id.0 });
+        self.web.dns.insert(&host, tl.clone());
+        let alias = if self.rng.gen_bool(0.25) {
+            let a = toggle_www(&host);
+            self.web.dns.insert(&a, tl);
+            Some(a)
+        } else {
+            None
+        };
+        let rank = self.draw_rank(false);
+        self.web.ranks.insert(&host, rank);
+        if let Some(a) = &alias {
+            self.web.ranks.insert(a, rank);
+        }
+        self.web.add_site_raw(site);
+        self.schedule_context_captures(id, rank, founded, None, alias.clone());
+        self.site_meta_insert(
+            id,
+            SiteScript {
+                id,
+                host,
+                founded,
+                lapse: None,
+                parked_at: None,
+                redirect_era: None,
+                late_policy: None,
+                crawled: true,
+                anchor: None,
+                alias: alias.clone(),
+            },
+        );
+        id
+    }
+
+    // -- capture helpers ----------------------------------------------------
+
+    fn page_created_before(&mut self, founded: SimTime, posted: SimTime) -> SimTime {
+        let lo = founded.max(posted - Duration::days(2000));
+        let hi = posted - Duration::days(5);
+        self.uniform_between(lo.min(hi), hi).max(founded)
+    }
+
+    /// Maybe schedule a live-era 200 capture (and the EventStream same-day
+    /// variant).
+    fn schedule_live_capture(
+        &mut self,
+        url: &Url,
+        created: SimTime,
+        posted: SimTime,
+        dies: SimTime,
+        cp: &crate::config::CaptureProbs,
+    ) {
+        if !self.rng.gen_bool(cp.live_capture) {
+            return;
+        }
+        let t = if self.rng.gen_bool(cp.same_day) {
+            posted
+        } else {
+            let lo = created + Duration::days(1);
+            self.uniform_between(lo, dies.max(lo + Duration::days(1)))
+        };
+        if t < dies {
+            self.captures.push((t, url.clone()));
+        }
+    }
+
+    /// Maybe schedule an ancient capture predating the page: a 404 copy
+    /// "prior to when the link was posted" (§5.1's 619). Clamped to before
+    /// any redirect era — inside one, the capture would be a lone 302 with
+    /// no sibling evidence, polluting the §4.2 validation.
+    fn schedule_pre_post_capture(
+        &mut self,
+        url: &Url,
+        founded: SimTime,
+        created: SimTime,
+        era: Option<(SimTime, SimTime)>,
+        cp: &crate::config::CaptureProbs,
+    ) {
+        let mut hi = created - Duration::days(10);
+        if let Some((w1, _)) = era {
+            hi = hi.min(w1 - Duration::days(10));
+        }
+        if (hi - founded).as_days() < 90 || !self.rng.gen_bool(cp.pre_post_capture) {
+            return;
+        }
+        let t = self.uniform_between(founded, hi);
+        self.captures.push((t, url.clone()));
+    }
+
+    /// Capture 2 junk sibling URLs near `t` so §4.2 sees the *same*
+    /// (erroneous) redirect target on other URLs in the directory. Sibling
+    /// captures are clamped into `[lo, hi]` — the window in which the site
+    /// actually serves the catch-all redirect (outside it, the evidence
+    /// would record a 404 or nothing at all).
+    fn schedule_redirect_siblings(
+        &mut self,
+        _site: SiteId,
+        url: &Url,
+        t: SimTime,
+        lo: SimTime,
+        hi: SimTime,
+    ) {
+        // strictly inside the era: at `hi` itself the catch-all is already
+        // gone (policy flipped back, or the domain lapsed) and the evidence
+        // would record a 404 — or nothing at all
+        let hi = hi - Duration::days(1);
+        if hi <= lo {
+            return;
+        }
+        for k in 1..=2 {
+            let sib = self.sibling_junk_url(url, k);
+            let ts = self.bounded_near(
+                t.min(hi),
+                60,
+                (t - Duration::days(80)).max(lo),
+                (t + Duration::days(80)).min(hi),
+            );
+            self.captures.push((ts, sib));
+        }
+    }
+
+    /// Populate the link's own directory with 0..10 archived-200 sibling
+    /// pages — the per-directory coverage Figure 6 measures. Real archives
+    /// crawl sites breadth-wise, so a page's directory usually has *some*
+    /// archived neighbours.
+    fn schedule_dir_context(
+        &mut self,
+        site_id: SiteId,
+        url: &Url,
+        created: SimTime,
+        alive_until: SimTime,
+    ) {
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        let n = if roll < 0.45 {
+            0
+        } else if roll < 0.80 {
+            self.rng.gen_range(1..=3)
+        } else {
+            self.rng.gen_range(4..=10)
+        };
+        if n == 0 || alive_until <= created + Duration::days(2) {
+            return;
+        }
+        let dir_end = url.path().rfind('/').map(|i| i + 1).unwrap_or(1);
+        let dir = url.path()[..dir_end].to_string();
+        for _ in 0..n {
+            let pid = self.next_page_id(site_id);
+            let path = format!("{dir}ctx-{}.html", pid.0);
+            let page = Page::new(pid, created, &path);
+            let page_url = self.page_url(site_id, &path);
+            self.web.site_mut(site_id).expect("site").add_page(page);
+            let t = self.uniform_between(created + Duration::days(1), alive_until);
+            self.captures.push((t, page_url));
+        }
+    }
+
+    /// A never-existing URL in the same directory as `url`.
+    fn sibling_junk_url(&mut self, url: &Url, k: u32) -> Url {
+        let n: u32 = self.rng.gen_range(0..1_000_000);
+        let prefix = permadead_url::directory_prefix(url);
+        Url::parse(&format!("{prefix}probe-{n}-{k}.html")).expect("valid sibling URL")
+    }
+
+    fn bounded_near(&mut self, t: SimTime, spread_days: i64, lo: SimTime, hi: SimTime) -> SimTime {
+        let d = self.rng.gen_range(-spread_days..=spread_days);
+        SimTime((t + Duration::days(d)).as_unix().clamp(lo.as_unix(), hi.as_unix()))
+    }
+
+    // -- article assignment --------------------------------------------------
+
+    fn assign_articles(&mut self) -> Vec<PostEvent> {
+        let mut all: Vec<(Url, SimTime)> = self
+            .specs
+            .iter()
+            .map(|s| (s.url.clone(), s.posted))
+            .chain(self.healthy.iter().cloned())
+            .collect();
+        // deterministic shuffle
+        for i in (1..all.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        let mut posts = Vec::with_capacity(all.len());
+        let mut article_id = 0u64;
+        let mut i = 0;
+        while i < all.len() {
+            let n = self.rng.gen_range(1..=self.cfg.max_links_per_article).min(all.len() - i);
+            let title = names::article_title(&mut self.rng, article_id);
+            article_id += 1;
+            for (url, posted) in &all[i..i + n] {
+                let editor = format!("Editor{}", self.rng.gen_range(0..5000));
+                posts.push(PostEvent {
+                    time: *posted,
+                    article: title.clone(),
+                    url: url.clone(),
+                    ref_title: format!("Reference {}", self.rng.gen_range(0..100_000)),
+                    editor,
+                });
+            }
+            i += n;
+        }
+        posts.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.article.cmp(&b.article)));
+        posts
+    }
+}
+
+/// `www.x.sim` ⇄ `x.sim`.
+fn toggle_www(host: &str) -> String {
+    match host.strip_prefix("www.") {
+        Some(bare) => bare.to_string(),
+        None => format!("www.{host}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = ScenarioConfig {
+            rot_links: 200,
+            ..ScenarioConfig::small(99)
+        };
+        let a = build(&cfg);
+        let b = build(&cfg);
+        assert_eq!(a.specs.len(), b.specs.len());
+        for (x, y) in a.specs.iter().zip(b.specs.iter()) {
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.posted, y.posted);
+            assert_eq!(x.fate, y.fate);
+        }
+        assert_eq!(a.captures.len(), b.captures.len());
+        assert_eq!(a.posts.len(), b.posts.len());
+    }
+
+    #[test]
+    fn posts_are_time_ordered_and_cover_specs() {
+        let cfg = ScenarioConfig {
+            rot_links: 300,
+            ..ScenarioConfig::small(5)
+        };
+        let w = build(&cfg);
+        assert!(w.posts.windows(2).all(|p| p[0].time <= p[1].time));
+        // every rot link is posted exactly once
+        let posted: std::collections::HashSet<String> =
+            w.posts.iter().map(|p| p.url.to_string()).collect();
+        for s in &w.specs {
+            assert!(posted.contains(&s.url.to_string()), "{} not posted", s.url);
+        }
+    }
+
+    #[test]
+    fn captures_sorted() {
+        let cfg = ScenarioConfig {
+            rot_links: 300,
+            ..ScenarioConfig::small(7)
+        };
+        let w = build(&cfg);
+        assert!(w.captures.windows(2).all(|c| c[0].0 <= c[1].0));
+        assert!(!w.captures.is_empty());
+    }
+
+    #[test]
+    fn fates_all_represented() {
+        let cfg = ScenarioConfig {
+            rot_links: 2000,
+            ..ScenarioConfig::small(11)
+        };
+        let w = build(&cfg);
+        let fates: std::collections::HashSet<RotFate> =
+            w.specs.iter().map(|s| s.fate).collect();
+        assert!(fates.len() >= 15, "only {} fates present", fates.len());
+    }
+
+    #[test]
+    fn deaths_follow_postings() {
+        let cfg = ScenarioConfig {
+            rot_links: 500,
+            ..ScenarioConfig::small(13)
+        };
+        let w = build(&cfg);
+        for s in &w.specs {
+            if let Some(d) = s.death {
+                assert!(d >= s.posted || s.fate.is_typo() || s.fate == RotFate::GeoBlocked,
+                        "{:?}: death {} before post {}", s.fate, d, s.posted);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Scenario configuration.
+
+use crate::fate::FateMixture;
+use permadead_bot::IaBotConfig;
+use permadead_net::{Duration, SimTime};
+
+/// Capture-scheduling probabilities — how thoroughly the archive's crawler
+/// happened to cover a link's life. Tuned so the measured archival classes
+/// land near the paper's (11% with pre-marking 200 copies, ~38% with 3xx
+/// copies, ~20% never archived; see DESIGN.md §6).
+#[derive(Debug, Clone)]
+pub struct CaptureProbs {
+    /// P(a crawlable rot link gets a live-era 200 capture). Such links are
+    /// normally *patched*, not tagged — only availability-API timeouts leak
+    /// them into the permanently-dead population (§4.1).
+    pub live_capture: f64,
+    /// P(that live capture happens the same day the link is posted —
+    /// EventStream discovery rather than general crawl).
+    pub same_day: f64,
+    /// P(a dying link is captured during an era when its URL answered a
+    /// redirect) — the §4.2 3xx-copy population.
+    pub redirect_era_capture: f64,
+    /// P(a capture after death records the erroneous state: 404/503/parked).
+    pub post_death_capture: f64,
+    /// P(an *additional* capture lands after the link was likely tagged) —
+    /// feeds the §3 "first post-marking copy is erroneous for 95%" check.
+    pub post_marking_capture: f64,
+    /// P(a capture predating the page's creation exists — an old 404 copy
+    /// from before the content existed; the §5.1 "pre-posted copies").
+    pub pre_post_capture: f64,
+    /// Context crawling per site: up to this many extra pages captured with
+    /// 200s (feeds Figure 6's per-directory / per-host counts).
+    pub context_captures_per_site: u32,
+}
+
+impl Default for CaptureProbs {
+    fn default() -> Self {
+        CaptureProbs {
+            live_capture: 0.62,
+            same_day: 0.25,
+            redirect_era_capture: 0.92,
+            post_death_capture: 0.80,
+            post_marking_capture: 0.60,
+            pre_post_capture: 0.09,
+            context_captures_per_site: 6,
+        }
+    }
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub seed: u64,
+    /// Number of rot-destined links to generate. The permanently-dead
+    /// population is emergent (≈55% of these; the rest get patched or never
+    /// tagged) — size accordingly.
+    pub rot_links: usize,
+    /// Healthy links per rot link (texture: IABot must wade through working
+    /// references like the real one does).
+    pub healthy_ratio: f64,
+    pub mixture: FateMixture,
+    pub captures: CaptureProbs,
+    pub iabot: IaBotConfig,
+    /// IABot sweep instants. Default: twice a year, mid-2016 through 2021 —
+    /// IABot's actual operating era.
+    pub sweeps: Vec<SimTime>,
+    /// "March 2022": when the pipeline re-fetches everything (§3).
+    pub study_time: SimTime,
+    /// "September 2022": when the random sample is re-validated (§2.4).
+    pub random_sample_time: SimTime,
+    /// Target analysis sample size (the paper's 10,000), capped by however
+    /// many permanently dead links exist.
+    pub sample_size: usize,
+    /// Links per article is 1..=this.
+    pub max_links_per_article: usize,
+    /// Counterfactual knob (experiment E13): archive every link the moment
+    /// it is posted — the paper's "capture a copy of every URL as soon as it
+    /// is posted on Wikipedia" implication. Off by default; turning it on
+    /// should collapse the permanently-dead population to typos, uncrawlable
+    /// URLs, and timeout leaks.
+    pub save_page_now: bool,
+}
+
+impl ScenarioConfig {
+    /// Paper-scale world: tens of thousands of links; minutes to build.
+    pub fn paper(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            rot_links: 18_000,
+            healthy_ratio: 1.0,
+            mixture: FateMixture::default(),
+            captures: CaptureProbs::default(),
+            iabot: IaBotConfig::default(),
+            sweeps: default_sweeps(),
+            study_time: SimTime::from_ymd(2022, 3, 15),
+            random_sample_time: SimTime::from_ymd(2022, 9, 15),
+            sample_size: 10_000,
+            max_links_per_article: 3,
+            save_page_now: false,
+        }
+    }
+
+    /// Small world for tests and examples: seconds to build, hundreds of
+    /// permanently dead links — enough for every analysis to have signal.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            rot_links: 1_600,
+            sample_size: 1_000,
+            ..ScenarioConfig::paper(seed)
+        }
+    }
+
+    /// Earliest instant links are posted.
+    pub fn wiki_epoch(&self) -> SimTime {
+        SimTime::from_ymd(2004, 1, 1)
+    }
+
+    /// Latest time a rot link may die and still be seen by a sweep.
+    pub fn last_sweep(&self) -> SimTime {
+        *self.sweeps.last().expect("at least one sweep")
+    }
+
+    /// The first sweep at or after `t`, if any — when a link dying at `t`
+    /// would plausibly be tagged.
+    pub fn first_sweep_after(&self, t: SimTime) -> Option<SimTime> {
+        self.sweeps.iter().copied().find(|&s| s >= t)
+    }
+}
+
+/// Twice-yearly sweeps, March and September, 2016–2021.
+pub fn default_sweeps() -> Vec<SimTime> {
+    let mut v = Vec::new();
+    for year in 2016..=2021 {
+        v.push(SimTime::from_ymd(year, 3, 20));
+        v.push(SimTime::from_ymd(year, 9, 20));
+    }
+    v
+}
+
+/// Sanity window: how long before the study the last sweep happens.
+pub fn revival_window(cfg: &ScenarioConfig) -> (SimTime, SimTime) {
+    (
+        cfg.last_sweep() + Duration::days(20),
+        cfg.study_time - Duration::days(10),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_ordered_and_in_era() {
+        let s = default_sweeps();
+        assert_eq!(s.len(), 12);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s[0] >= SimTime::from_ymd(2016, 1, 1));
+        assert!(*s.last().unwrap() < SimTime::from_ymd(2022, 1, 1));
+    }
+
+    #[test]
+    fn first_sweep_after_boundaries() {
+        let cfg = ScenarioConfig::small(1);
+        assert_eq!(
+            cfg.first_sweep_after(SimTime::from_ymd(2010, 1, 1)),
+            Some(SimTime::from_ymd(2016, 3, 20))
+        );
+        assert_eq!(cfg.first_sweep_after(SimTime::from_ymd(2022, 1, 1)), None);
+        assert_eq!(
+            cfg.first_sweep_after(SimTime::from_ymd(2021, 9, 20)),
+            Some(SimTime::from_ymd(2021, 9, 20))
+        );
+    }
+
+    #[test]
+    fn revival_window_fits_between_last_sweep_and_study() {
+        let cfg = ScenarioConfig::small(1);
+        let (lo, hi) = revival_window(&cfg);
+        assert!(lo > cfg.last_sweep());
+        assert!(hi < cfg.study_time);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn presets_scale() {
+        assert!(ScenarioConfig::paper(1).rot_links > ScenarioConfig::small(1).rot_links);
+        assert!(ScenarioConfig::small(1).rot_links >= 1000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Link fates: the ways a Wikipedia external link ends up permanently dead.
+//!
+//! Each fate is a concrete mechanism from the paper, scripted into the world
+//! so that the measurement pipeline rediscovers it:
+//!
+//! | fate | mechanism | study-time status (Fig 4) |
+//! |---|---|---|
+//! | `Lapsed` | site's domain registration lapses | DNS failure |
+//! | `LapsedParked` | lapse, then re-registered by a parker | 200 (parked lander) |
+//! | `Moved404` | page moved, no redirect | 404 |
+//! | `Deleted404` | page removed | 404 |
+//! | `MovedThenGone` | moved *with* a genuine redirect (archived as 3xx), later deleted | 404 |
+//! | `MovedRedirectLater` | moved; redirect wired up only after tagging — the §3 revival | 200 via redirect |
+//! | `TempOutage` | outage window covers the bot sweep; fine before and after | 200 direct |
+//! | `SoftDeadLate` | deleted; site later switches to soft-404 templates | 200 (soft-404) |
+//! | `HomeRedirectLate` | deleted; site later redirects unknown paths home | 200 (erroneous redirect) |
+//! | `GeoBlocked` | origin starts 403-ing the measurement vantage | Other |
+//! | `Outage503` | origin permanently answers 503 | Other |
+//! | `FlakyTimeout` | connections stop completing | Timeout |
+//! | `DynamicDeleted` | query-parameter URL removed; archives never crawl such URLs | 404, never archived |
+//! | `TypoPathArchived` | mis-typed path, never worked; EventStream captured the 404 same-day | 404 |
+//! | `TypoPathUnarchived` | mis-typed path, never worked, never captured | 404, never archived |
+//! | `TypoHost` | mis-typed hostname | DNS failure, never archived |
+//! | `ObscureLapsed` | tiny site no crawler ever visited, then lapsed | DNS failure, never archived |
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The rot mechanisms. See the module docs for the paper mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RotFate {
+    Lapsed,
+    LapsedParked,
+    Moved404,
+    Deleted404,
+    MovedThenGone,
+    MovedRedirectLater,
+    TempOutage,
+    SoftDeadLate,
+    HomeRedirectLate,
+    GeoBlocked,
+    Outage503,
+    FlakyTimeout,
+    DynamicDeleted,
+    TypoPathArchived,
+    TypoPathUnarchived,
+    TypoHost,
+    ObscureLapsed,
+}
+
+impl RotFate {
+    /// Fates whose URLs can never be usefully crawled (they feed the §5.2
+    /// never-archived population).
+    pub fn is_never_archived_class(self) -> bool {
+        matches!(
+            self,
+            RotFate::DynamicDeleted
+                | RotFate::TypoPathUnarchived
+                | RotFate::TypoHost
+                | RotFate::ObscureLapsed
+                | RotFate::GeoBlocked
+        )
+    }
+
+    /// Fates that are user typos — links that never worked (§5's ~2%).
+    pub fn is_typo(self) -> bool {
+        matches!(
+            self,
+            RotFate::TypoPathArchived | RotFate::TypoPathUnarchived | RotFate::TypoHost
+        )
+    }
+
+    /// Fates that are genuinely functional again at study time (the §3 3%).
+    pub fn revives(self) -> bool {
+        matches!(self, RotFate::MovedRedirectLater | RotFate::TempOutage)
+    }
+}
+
+/// Mixture weights over fates. Defaults are calibrated against the paper's
+/// composition (see DESIGN.md §6 and EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct FateMixture {
+    weights: Vec<(RotFate, f64)>,
+    total: f64,
+}
+
+impl Default for FateMixture {
+    fn default() -> Self {
+        FateMixture::new(vec![
+            (RotFate::Lapsed, 0.360),
+            (RotFate::LapsedParked, 0.050),
+            (RotFate::Moved404, 0.095),
+            (RotFate::Deleted404, 0.095),
+            (RotFate::MovedThenGone, 0.022),
+            (RotFate::MovedRedirectLater, 0.013),
+            (RotFate::TempOutage, 0.004),
+            (RotFate::SoftDeadLate, 0.038),
+            (RotFate::HomeRedirectLate, 0.034),
+            (RotFate::GeoBlocked, 0.006),
+            (RotFate::Outage503, 0.040),
+            (RotFate::FlakyTimeout, 0.040),
+            (RotFate::DynamicDeleted, 0.030),
+            (RotFate::TypoPathArchived, 0.011),
+            (RotFate::TypoPathUnarchived, 0.007),
+            (RotFate::TypoHost, 0.004),
+            (RotFate::ObscureLapsed, 0.004),
+        ])
+    }
+}
+
+impl FateMixture {
+    pub fn new(weights: Vec<(RotFate, f64)>) -> Self {
+        assert!(!weights.is_empty(), "empty mixture");
+        assert!(weights.iter().all(|&(_, w)| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "zero-mass mixture");
+        FateMixture { weights, total }
+    }
+
+    /// A mixture concentrated on a single fate (for focused tests).
+    pub fn only(fate: RotFate) -> Self {
+        FateMixture::new(vec![(fate, 1.0)])
+    }
+
+    pub fn sample(&self, rng: &mut SmallRng) -> RotFate {
+        let mut x = rng.gen_range(0.0..self.total);
+        for &(fate, w) in &self.weights {
+            if x < w {
+                return fate;
+            }
+            x -= w;
+        }
+        self.weights.last().expect("non-empty").0
+    }
+
+    /// Expected number of links of `fate` out of `n`.
+    pub fn expected_count(&self, fate: RotFate, n: usize) -> f64 {
+        let w: f64 = self
+            .weights
+            .iter()
+            .filter(|&&(f, _)| f == fate)
+            .map(|&(_, w)| w)
+            .sum();
+        w / self.total * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn default_mixture_mass_is_sane() {
+        // weights are relative (sampling normalizes); keep them near 1 so
+        // the listed numbers read as approximate probabilities
+        let m = FateMixture::default();
+        assert!((0.75..1.15).contains(&m.total), "total {}", m.total);
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let m = FateMixture::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts: HashMap<RotFate, usize> = HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *counts.entry(m.sample(&mut rng)).or_insert(0) += 1;
+        }
+        let lapsed = counts[&RotFate::Lapsed] as f64;
+        let expected = m.expected_count(RotFate::Lapsed, n);
+        assert!((lapsed - expected).abs() / expected < 0.1, "{lapsed} vs {expected}");
+        // every fate appears
+        assert_eq!(counts.len(), 17);
+    }
+
+    #[test]
+    fn only_mixture_is_deterministic_in_outcome() {
+        let m = FateMixture::only(RotFate::TypoHost);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), RotFate::TypoHost);
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(RotFate::TypoHost.is_typo());
+        assert!(RotFate::TypoHost.is_never_archived_class());
+        assert!(RotFate::MovedRedirectLater.revives());
+        assert!(!RotFate::Lapsed.is_typo());
+        assert!(!RotFate::Lapsed.revives());
+        assert!(!RotFate::Moved404.is_never_archived_class());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mass")]
+    fn zero_mixture_rejected() {
+        FateMixture::new(vec![(RotFate::Lapsed, 0.0)]);
+    }
+}

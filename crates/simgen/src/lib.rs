@@ -1,0 +1,32 @@
+//! World generation: the 15-year history that the measurement pipeline digs
+//! back out.
+//!
+//! `permadead-sim` assembles everything the paper's study environment had —
+//! a live web with link rot, a Wikipedia with edit histories, an archive
+//! crawling on its own schedule, and IABot sweeping articles — into one
+//! deterministic scenario:
+//!
+//! 1. [`build()`](build()) lays down the world: sites with scripted declines, pages,
+//!    wiki articles, link postings spread over 2004–2022 (matching
+//!    Figure 3c), and a capture schedule for the archive crawler.
+//! 2. [`run`] replays history in time order: captures hit the archive,
+//!    IABot sweeps tag and patch, the wiki accumulates revisions.
+//! 3. The result ([`Scenario`]) is handed to `permadead-core`, which runs
+//!    the paper's analyses against it — never peeking at ground truth.
+//!
+//! Calibration: the fate mixture ([`fate::FateMixture`]) and capture
+//! probabilities ([`config::CaptureProbs`]) are tuned so the *measured*
+//! output lands near the paper's headline numbers (see EXPERIMENTS.md for
+//! paper-vs-measured). Ground truth per link is kept in [`LinkSpec`] so
+//! integration tests can check the pipeline against reality.
+
+pub mod build;
+pub mod config;
+pub mod fate;
+pub mod names;
+pub mod run;
+
+pub use build::{build, GeneratedWorld, LinkSpec};
+pub use config::{CaptureProbs, ScenarioConfig};
+pub use fate::{FateMixture, RotFate};
+pub use run::Scenario;

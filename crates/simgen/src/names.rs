@@ -1,0 +1,181 @@
+//! Deterministic name generation: hostnames, paths, article titles.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "ka", "wo", "bu", "ri", "ten", "mar", "sol", "ne", "va", "lu", "pra", "do", "mi", "zan",
+    "hel", "tor", "ga", "bel", "cro", "fi", "sta", "ver", "nor", "pel", "qui", "ras", "ed",
+    "on", "al", "um",
+];
+
+const TITLE_WORDS: &[&str] = &[
+    "Abbey", "Bridge", "Canal", "District", "Election", "Festival", "Garrison", "Harbour",
+    "Island", "Junction", "Kingdom", "Lighthouse", "Mountain", "National", "Orchestra",
+    "Province", "Quarter", "Railway", "Stadium", "Temple", "University", "Valley", "Windmill",
+    "Expedition", "Yearbook", "Zoology", "Battle", "Championship", "Dynasty", "Empire",
+];
+
+const TOPICS: &[&str] = &[
+    "history", "results", "news", "archive", "profile", "review", "report", "notes", "story",
+    "guide", "season", "match", "interview", "release", "album", "biography", "census",
+    "minutes", "charter", "timeline",
+];
+
+/// A fresh second-level hostname like `www.kawobuten.sim`. Uniqueness comes
+/// from the numeric suffix, so callers pass a monotonically increasing id.
+pub fn host_name(rng: &mut SmallRng, id: u64) -> String {
+    let n = rng.gen_range(2..4);
+    let stem: String = (0..n)
+        .map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())])
+        .collect();
+    let www = if rng.gen_bool(0.6) { "www." } else { "" };
+    format!("{www}{stem}{id}.sim")
+}
+
+/// A page path inside section `sec`, e.g. `/news3/solver-story-40817.html`.
+///
+/// Ids are scrambled so sibling pages don't sit at edit distance 1 of each
+/// other — real CMS slugs aren't dense consecutive integers, and dense ids
+/// would flood the §5.2 typo detector with the "numeric page identifier"
+/// ambiguity the paper describes.
+pub fn page_path(rng: &mut SmallRng, sec: u32, id: u32) -> String {
+    let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+    let stem: String = (0..2)
+        .map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())])
+        .collect();
+    format!("/{topic}{sec}/{stem}-{topic}-{}.html", scramble_id(id))
+}
+
+/// A dynamic path with several query parameters (the §5.2 "impossible to
+/// archive all variants" class).
+pub fn dynamic_path(rng: &mut SmallRng, sec: u32, id: u32) -> String {
+    let skin = TOPICS[rng.gen_range(0..TOPICS.len())];
+    format!(
+        "/cgi{sec}/article.asp?id={}&view=full&skin={skin}",
+        scramble_id(id)
+    )
+}
+
+/// Spread dense counter ids over a 5-digit space (minimal Hull–Dobell LCG:
+/// full period, so uniqueness is preserved for ids < 90,000).
+fn scramble_id(id: u32) -> u32 {
+    10_000 + (id.wrapping_mul(48_271).wrapping_add(11)) % 90_000
+}
+
+/// An article title like `Kawobu Championship (1987)`. The numeric suffix
+/// keeps titles unique; the leading word spreads them across the alphabet so
+/// "first 10,000 in alphabetical order" is a meaningful sample.
+pub fn article_title(rng: &mut SmallRng, id: u64) -> String {
+    let a = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+    let mut stem: String = (0..2)
+        .map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())])
+        .collect();
+    if let Some(f) = stem.get_mut(..1) {
+        f.make_ascii_uppercase();
+    }
+    format!("{stem} {a} ({id})")
+}
+
+/// Reverse the order of a URL's query parameters — the alternate spelling a
+/// crawler might have discovered (same resource on any sane server; the
+/// §5.2 parameter-reorder rescue looks for exactly these).
+pub fn permute_query(url: &permadead_url::Url) -> Option<permadead_url::Url> {
+    let query = url.query()?;
+    let mut pairs: Vec<&str> = query.split('&').collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    pairs.reverse();
+    Some(url.with_query(Some(&pairs.join("&"))))
+}
+
+/// Perturb one alphanumeric character of `path` — a user typo at edit
+/// distance exactly 1. Deterministic given the rng state.
+pub fn typo_of(rng: &mut SmallRng, path: &str) -> String {
+    let bytes = path.as_bytes();
+    let candidates: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.is_ascii_lowercase())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return format!("{path}x");
+    }
+    let at = candidates[rng.gen_range(0..candidates.len())];
+    let mut out = bytes.to_vec();
+    let old = out[at];
+    let mut new = b'a' + rng.gen_range(0..26u8);
+    if new == old {
+        new = if old == b'z' { b'a' } else { old + 1 };
+    }
+    out[at] = new;
+    String::from_utf8(out).expect("ascii in, ascii out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_url::levenshtein;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn hosts_unique_and_valid() {
+        let mut r = rng();
+        let a = host_name(&mut r, 1);
+        let b = host_name(&mut r, 2);
+        assert_ne!(a, b);
+        assert!(a.ends_with(".sim"));
+        assert!(permadead_url::Url::parse(&format!("http://{a}/")).is_ok());
+    }
+
+    #[test]
+    fn paths_parse() {
+        let mut r = rng();
+        let p = page_path(&mut r, 3, 17);
+        assert!(p.starts_with('/'));
+        let u = permadead_url::Url::parse(&format!("http://e.sim{p}")).unwrap();
+        assert_eq!(u.path(), p);
+    }
+
+    #[test]
+    fn dynamic_paths_have_queries() {
+        let mut r = rng();
+        let p = dynamic_path(&mut r, 1, 55);
+        let u = permadead_url::Url::parse(&format!("http://e.sim{p}")).unwrap();
+        assert!(u.query().unwrap().starts_with("id="));
+        assert!(u.query().unwrap().split('&').count() >= 3);
+    }
+
+    #[test]
+    fn titles_unique_by_id() {
+        let mut r = rng();
+        let a = article_title(&mut r, 10);
+        let b = article_title(&mut r, 11);
+        assert_ne!(a, b);
+        assert!(a.contains("(10)"));
+    }
+
+    #[test]
+    fn typo_is_edit_distance_one() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let p = page_path(&mut r, 1, 9);
+            let t = typo_of(&mut r, &p);
+            assert_eq!(levenshtein(&p, &t), 1, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn typo_of_host_changes_one_char() {
+        let mut r = rng();
+        let h = host_name(&mut r, 77);
+        let t = typo_of(&mut r, &h);
+        assert_eq!(levenshtein(&h, &t), 1);
+    }
+}

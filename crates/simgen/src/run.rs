@@ -1,0 +1,349 @@
+//! Replay history and produce a finished [`Scenario`].
+
+use crate::build::{build, GeneratedWorld, LinkSpec, PostEvent};
+use crate::config::ScenarioConfig;
+use permadead_archive::{ArchiveStore, Crawler};
+use permadead_bot::{BotRunReport, IaBot};
+use permadead_net::SimTime;
+use permadead_url::Url;
+use permadead_web::LiveWeb;
+use permadead_wiki::wikitext::CiteRef;
+use permadead_wiki::{Article, User, WikiStore};
+
+/// A fully-played-out world: the state of everything "in March 2022".
+pub struct Scenario {
+    pub config: ScenarioConfig,
+    pub web: LiveWeb,
+    pub wiki: WikiStore,
+    pub archive: ArchiveStore,
+    /// One report per sweep, in time order.
+    pub bot_reports: Vec<(SimTime, BotRunReport)>,
+    /// Ground truth (tests/calibration only).
+    pub specs: Vec<LinkSpec>,
+}
+
+impl Scenario {
+    /// Build the world and replay 2004 → study time. Deterministic in the
+    /// config's seed.
+    ///
+    /// ```
+    /// use permadead_sim::{Scenario, ScenarioConfig};
+    /// let cfg = ScenarioConfig { rot_links: 40, ..ScenarioConfig::small(7) };
+    /// let scenario = Scenario::generate(cfg);
+    /// assert!(!scenario.permanently_dead_urls().is_empty());
+    /// // same seed, same world:
+    /// let again = Scenario::generate(ScenarioConfig { rot_links: 40, ..ScenarioConfig::small(7) });
+    /// assert_eq!(scenario.permanently_dead_urls(), again.permanently_dead_urls());
+    /// ```
+    pub fn generate(config: ScenarioConfig) -> Scenario {
+        let GeneratedWorld {
+            web,
+            posts,
+            captures,
+            human_tags,
+            specs,
+        } = build(&config);
+
+        let mut wiki = WikiStore::new();
+        let mut archive = ArchiveStore::new();
+        let crawler = Crawler::new();
+        let mut bot = IaBot::new(config.iabot.clone());
+        let mut bot_reports = Vec::new();
+
+        // One deterministic event queue drives the whole replay. Priorities
+        // order same-instant events: a post lands before a same-day
+        // EventStream capture, and captures before any sweep that day.
+        enum Event {
+            Post(PostEvent),
+            Capture(Url),
+            HumanTag(Url),
+            Sweep,
+        }
+        let mut queue = permadead_net::EventQueue::new();
+        for p in posts {
+            let at = p.time;
+            queue.schedule(at, 0, Event::Post(p));
+        }
+        for (at, url) in captures {
+            queue.schedule(at, 1, Event::Capture(url));
+        }
+        for (at, url) in human_tags {
+            // humans edit before any bot sweep that day: IABot then skips
+            // the already-tagged reference (it doesn't care who tagged it)
+            queue.schedule(at, 2, Event::HumanTag(url));
+        }
+        for &at in &config.sweeps {
+            queue.schedule(at, 3, Event::Sweep);
+        }
+        // url → article map, maintained as posts apply, for human taggers
+        let mut article_of: std::collections::HashMap<Url, String> =
+            std::collections::HashMap::new();
+        queue.run(|_, now, event| match event {
+            Event::Post(post) => {
+                article_of.insert(post.url.clone(), post.article.clone());
+                apply_post(&mut wiki, &post);
+            }
+            Event::Capture(url) => {
+                let _ = crawler.capture(&mut archive, &web, &url, now);
+            }
+            Event::HumanTag(url) => apply_human_tag(&mut wiki, &article_of, &url, now),
+            Event::Sweep => {
+                let report = bot.sweep(&mut wiki, &web, &archive, now);
+                bot_reports.push((now, report));
+            }
+        });
+
+        Scenario {
+            config,
+            web,
+            wiki,
+            archive,
+            bot_reports,
+            specs,
+        }
+    }
+
+    /// Total permanently-dead links in the final wiki (unique URLs).
+    pub fn permanently_dead_urls(&self) -> Vec<Url> {
+        self.wiki.unique_permanently_dead_urls()
+    }
+
+    /// Ground truth spec for a URL, if it was a rot link.
+    pub fn spec_for(&self, url: &Url) -> Option<&LinkSpec> {
+        self.specs.iter().find(|s| &s.url == url)
+    }
+
+    /// Aggregate bot activity.
+    pub fn total_bot_report(&self) -> BotRunReport {
+        let mut total = BotRunReport::default();
+        for (_, r) in &self.bot_reports {
+            total.merge(r);
+        }
+        total
+    }
+}
+
+/// A patrolling editor tags a reference `{{dead link}}` by hand (no bot
+/// attribution). Skipped when a bot got there first or the ref was patched.
+fn apply_human_tag(
+    wiki: &mut WikiStore,
+    article_of: &std::collections::HashMap<Url, String>,
+    url: &Url,
+    now: permadead_net::SimTime,
+) {
+    let Some(title) = article_of.get(url) else { return };
+    let Some(article) = wiki.get_mut(title) else { return };
+    let mut doc = article.current_doc();
+    let Some(r) = doc.ref_for_mut(url) else { return };
+    if r.is_permanently_dead() || r.is_archived() {
+        return;
+    }
+    r.url_status = permadead_wiki::wikitext::UrlStatus::Dead;
+    r.dead_link = Some(permadead_wiki::wikitext::DeadLinkTag {
+        date: format!("{}", now.date()),
+        bot: None,
+    });
+    article.save_doc(now, User::human("LinkRotPatroller"), &doc, "tag dead link");
+}
+
+fn apply_post(wiki: &mut WikiStore, post: &PostEvent) {
+    if wiki.get(&post.article).is_none() {
+        wiki.insert(Article::new(&post.article));
+    }
+    let article = wiki.get_mut(&post.article).expect("just inserted");
+    let mut doc = article.current_doc();
+    if doc.blocks.is_empty() {
+        doc.push_prose("Article text. ");
+    }
+    doc.push_ref(CiteRef::cite_web(post.url.clone(), &post.ref_title));
+    article.save_doc(
+        post.time,
+        User::human(&post.editor),
+        &doc,
+        "add external reference",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fate::RotFate;
+    use permadead_net::{Client, LiveStatus};
+
+    /// Built once, shared by every test in this module (generation is the
+    /// expensive part; the assertions are read-only).
+    fn small_scenario() -> &'static Scenario {
+        static SCENARIO: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+        SCENARIO.get_or_init(|| {
+            let cfg = ScenarioConfig {
+                rot_links: 400,
+                ..ScenarioConfig::small(2024)
+            };
+            Scenario::generate(cfg)
+        })
+    }
+
+    #[test]
+    fn scenario_produces_permanently_dead_links() {
+        let s = small_scenario();
+        let ppd = s.permanently_dead_urls();
+        assert!(
+            ppd.len() > 100,
+            "only {} permanently dead links out of 400 rot links",
+            ppd.len()
+        );
+        // and they are a strict subset of the rot specs plus (rarely) noise
+        let matched = ppd.iter().filter(|u| s.spec_for(u).is_some()).count();
+        assert!(matched * 10 >= ppd.len() * 9, "{matched}/{}", ppd.len());
+    }
+
+    #[test]
+    fn bot_patched_some_links_too() {
+        let s = small_scenario();
+        let total = s.total_bot_report();
+        assert!(total.patched > 0, "no links patched: {total}");
+        assert!(total.tagged_permanently_dead > 0);
+        assert!(total.dead_found >= total.patched + total.availability_timeouts);
+    }
+
+    #[test]
+    fn healthy_links_not_tagged() {
+        let s = small_scenario();
+        // every tagged URL that has a spec is a rot link; healthy links have
+        // no spec, so count tagged URLs without spec (should be tiny)
+        let ppd = s.permanently_dead_urls();
+        let unmatched = ppd.iter().filter(|u| s.spec_for(u).is_none()).count();
+        assert!(unmatched * 10 <= ppd.len(), "{unmatched} unexpected tags");
+    }
+
+    #[test]
+    fn revived_links_answer_200_at_study_time() {
+        let s = small_scenario();
+        let client = Client::new();
+        let mut revived_tagged = 0;
+        let mut revived_ok = 0;
+        for url in s.permanently_dead_urls() {
+            let Some(spec) = s.spec_for(&url) else { continue };
+            if spec.fate == RotFate::MovedRedirectLater {
+                revived_tagged += 1;
+                let rec = client.get(&s.web, &url, s.config.study_time);
+                if rec.live_status() == LiveStatus::Ok {
+                    revived_ok += 1;
+                }
+            }
+        }
+        assert!(revived_tagged > 0, "no revived links got tagged");
+        assert!(
+            revived_ok * 10 >= revived_tagged * 8,
+            "{revived_ok}/{revived_tagged} revived links answer 200"
+        );
+    }
+
+    #[test]
+    fn lapsed_links_fail_dns_at_study_time() {
+        let s = small_scenario();
+        let client = Client::new();
+        let mut n = 0;
+        let mut dns = 0;
+        for url in s.permanently_dead_urls() {
+            if s.spec_for(&url).map(|sp| sp.fate) == Some(RotFate::Lapsed) {
+                n += 1;
+                if client.get(&s.web, &url, s.config.study_time).live_status()
+                    == LiveStatus::DnsFailure
+                {
+                    dns += 1;
+                }
+            }
+        }
+        assert!(n > 10, "too few lapsed tagged links ({n})");
+        assert!(dns * 10 >= n * 9, "{dns}/{n} lapsed links are DNS failures");
+    }
+
+    #[test]
+    fn archive_populated() {
+        let s = small_scenario();
+        assert!(s.archive.len() > 500, "archive has only {}", s.archive.len());
+    }
+
+    #[test]
+    fn generated_web_is_structurally_valid() {
+        let s = small_scenario();
+        let problems = s.web.validate();
+        assert!(problems.is_empty(), "world invariants violated: {problems:?}");
+    }
+
+    #[test]
+    fn links_per_domain_is_heavy_tailed() {
+        // Figure 3a's shape must hold at the generator level: most domains
+        // contribute one rot link, a few contribute many
+        let s = small_scenario();
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for spec in &s.specs {
+            *counts.entry(spec.url.host()).or_default() += 1;
+        }
+        let singles = counts.values().filter(|&&c| c == 1).count();
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            singles * 10 >= counts.len() * 5,
+            "only {singles}/{} single-link hosts",
+            counts.len()
+        );
+        assert!(max >= 10, "no large host (max {max})");
+    }
+
+    #[test]
+    fn posting_dates_span_the_wiki_era() {
+        let s = small_scenario();
+        let years: Vec<i32> = s.specs.iter().map(|sp| sp.posted.year()).collect();
+        let early = years.iter().filter(|&&y| y <= 2009).count();
+        let late = years.iter().filter(|&&y| y >= 2016).count();
+        assert!(early > 0 && late > 0, "posting dates not spread: {early} early, {late} late");
+        assert!(years.iter().all(|&y| (2004..=2022).contains(&y)));
+    }
+
+    #[test]
+    fn save_page_now_collapses_the_tagged_population() {
+        // E13: archiving every link at posting time leaves mostly typos and
+        // uncrawlable URLs tagged
+        let base = ScenarioConfig {
+            rot_links: 300,
+            ..ScenarioConfig::small(555)
+        };
+        let status_quo = Scenario::generate(base.clone());
+        let spn = Scenario::generate(ScenarioConfig {
+            save_page_now: true,
+            ..base
+        });
+        let before = status_quo.permanently_dead_urls().len();
+        let after = spn.permanently_dead_urls().len();
+        assert!(
+            after * 2 < before,
+            "save-page-now should at least halve the tagged population ({before} → {after})"
+        );
+        // typos never worked: they are tagged either way
+        let typos_after = spn
+            .permanently_dead_urls()
+            .iter()
+            .filter(|u| spn.spec_for(u).is_some_and(|s| s.fate.is_typo()))
+            .count();
+        assert!(typos_after > 0, "typos must survive save-page-now");
+    }
+
+    #[test]
+    fn generation_deterministic_end_to_end() {
+        let cfg = ScenarioConfig {
+            rot_links: 150,
+            ..ScenarioConfig::small(7)
+        };
+        let a = Scenario::generate(cfg.clone());
+        let b = Scenario::generate(cfg);
+        let pa = a.permanently_dead_urls();
+        let pb = b.permanently_dead_urls();
+        assert_eq!(pa, pb);
+        assert_eq!(a.archive.len(), b.archive.len());
+        assert_eq!(
+            a.total_bot_report(),
+            b.total_bot_report()
+        );
+    }
+}

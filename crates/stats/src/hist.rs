@@ -1,0 +1,161 @@
+//! Histograms: categorical counts (Figure 4) and logarithmic bins
+//! (the log-scale x-axes of Figures 3a, 5, 6).
+
+use std::collections::BTreeMap;
+
+/// Counts per category, insertion-order preserved via explicit category list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CategoricalCounts {
+    categories: Vec<String>,
+    counts: BTreeMap<String, usize>,
+}
+
+impl CategoricalCounts {
+    /// Create with a fixed category order (categories may have zero counts).
+    pub fn with_categories(categories: &[&str]) -> Self {
+        CategoricalCounts {
+            categories: categories.iter().map(|s| s.to_string()).collect(),
+            counts: categories.iter().map(|s| (s.to_string(), 0)).collect(),
+        }
+    }
+
+    pub fn add(&mut self, category: &str) {
+        self.add_n(category, 1);
+    }
+
+    pub fn add_n(&mut self, category: &str, n: usize) {
+        if !self.counts.contains_key(category) {
+            self.categories.push(category.to_string());
+        }
+        *self.counts.entry(category.to_string()).or_insert(0) += n;
+    }
+
+    pub fn count(&self, category: &str) -> usize {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of the total in this category (0 when total is 0).
+    pub fn fraction(&self, category: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(category) as f64 / total as f64
+        }
+    }
+
+    /// `(category, count)` in declared order.
+    pub fn entries(&self) -> Vec<(&str, usize)> {
+        self.categories
+            .iter()
+            .map(|c| (c.as_str(), self.count(c)))
+            .collect()
+    }
+}
+
+/// Logarithmic binning: bin i covers `[base^i, base^(i+1))`, with a
+/// dedicated underflow bin for values < 1.
+#[derive(Debug, Clone)]
+pub struct LogBins {
+    base: f64,
+    counts: Vec<usize>,
+    underflow: usize,
+}
+
+impl LogBins {
+    pub fn new(base: f64, bins: usize) -> Self {
+        assert!(base > 1.0, "log base must exceed 1");
+        LogBins {
+            base,
+            counts: vec![0; bins],
+            underflow: 0,
+        }
+    }
+
+    pub fn add(&mut self, value: f64) {
+        if value < 1.0 {
+            self.underflow += 1;
+            return;
+        }
+        let bin = value.log(self.base).floor() as usize;
+        let bin = bin.min(self.counts.len() - 1); // clamp overflow into last
+        self.counts[bin] += 1;
+    }
+
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// `(bin lower bound, count)` pairs.
+    pub fn entries(&self) -> Vec<(f64, usize)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.base.powi(i as i32), c))
+            .collect()
+    }
+
+    pub fn total(&self) -> usize {
+        self.underflow + self.counts.iter().sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_fixed_order() {
+        let mut c = CategoricalCounts::with_categories(&["DNS Failure", "Timeout", "404", "200", "Other"]);
+        c.add("404");
+        c.add("404");
+        c.add("200");
+        assert_eq!(c.count("404"), 2);
+        assert_eq!(c.count("DNS Failure"), 0);
+        assert_eq!(c.total(), 3);
+        let order: Vec<&str> = c.entries().iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec!["DNS Failure", "Timeout", "404", "200", "Other"]);
+    }
+
+    #[test]
+    fn categorical_fractions() {
+        let mut c = CategoricalCounts::with_categories(&["a", "b"]);
+        assert_eq!(c.fraction("a"), 0.0);
+        c.add_n("a", 3);
+        c.add_n("b", 1);
+        assert!((c.fraction("a") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_category_appended() {
+        let mut c = CategoricalCounts::with_categories(&["a"]);
+        c.add("z");
+        assert_eq!(c.count("z"), 1);
+        assert_eq!(c.entries().last().unwrap().0, "z");
+    }
+
+    #[test]
+    fn log_bins_place_values() {
+        let mut b = LogBins::new(10.0, 5); // bins: 1,10,100,1k,10k+
+        for v in [0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 1e6] {
+            b.add(v);
+        }
+        assert_eq!(b.underflow(), 1);
+        let e = b.entries();
+        assert_eq!(e[0], (1.0, 2)); // 1.0, 5.0
+        assert_eq!(e[1], (10.0, 2)); // 10, 99
+        assert_eq!(e[2], (100.0, 1));
+        assert_eq!(e[4].1, 1); // 1e6 clamped into the last bin
+        assert_eq!(b.total(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed")]
+    fn bad_base_rejected() {
+        LogBins::new(1.0, 3);
+    }
+}

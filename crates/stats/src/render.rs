@@ -1,0 +1,163 @@
+//! ASCII rendering of figures and tables.
+//!
+//! The repro binaries print each figure in a form that can be compared
+//! against the paper at a glance: CDFs as `x  F(x)  bar`, bar charts as
+//! labeled rows, headline numbers as aligned tables.
+
+use crate::cdf::Cdf;
+use crate::hist::CategoricalCounts;
+
+const BAR_WIDTH: usize = 40;
+
+/// Render a CDF at a grid of x values.
+pub fn render_cdf(title: &str, cdf: &Cdf, grid: &[f64], x_label: &str) -> String {
+    let mut out = format!("{title}\n  {:>12}  {:>6}  (n={})\n", x_label, "CDF", cdf.len());
+    for (x, f) in cdf.sample_at(grid) {
+        let filled = (f * BAR_WIDTH as f64).round() as usize;
+        out.push_str(&format!(
+            "  {x:>12.1}  {:>5.1}%  |{}{}|\n",
+            f * 100.0,
+            "█".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled.min(BAR_WIDTH)),
+        ));
+    }
+    out
+}
+
+/// Render categorical counts as a horizontal bar chart (Figure 4 style).
+pub fn render_bar_chart(title: &str, counts: &CategoricalCounts) -> String {
+    let total = counts.total().max(1);
+    let max = counts
+        .entries()
+        .iter()
+        .map(|(_, c)| *c)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = format!("{title}  (n={})\n", counts.total());
+    for (cat, count) in counts.entries() {
+        let filled = count * BAR_WIDTH / max;
+        out.push_str(&format!(
+            "  {cat:>12}  {count:>6}  {:>5.1}%  |{}{}|\n",
+            count as f64 * 100.0 / total as f64,
+            "█".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled),
+        ));
+    }
+    out
+}
+
+/// Render a log-binned histogram (Figure 5-style distributions as counts
+/// rather than a CDF).
+pub fn render_log_hist(title: &str, bins: &crate::hist::LogBins) -> String {
+    let entries = bins.entries();
+    let max = entries.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let mut out = format!("{title}  (n={}, underflow={})\n", bins.total(), bins.underflow());
+    for (lo, count) in entries {
+        let filled = count * BAR_WIDTH / max;
+        out.push_str(&format!(
+            "  ≥{lo:>10.0}  {count:>6}  |{}{}|\n",
+            "█".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled),
+        ));
+    }
+    out
+}
+
+/// Render rows as an aligned two-plus-column table. The first row is the
+/// header.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.push_str("  ");
+            for w in &widths {
+                out.push_str(&"-".repeat(*w));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_render_has_rows_and_percent() {
+        let cdf = Cdf::new(vec![1.0, 10.0, 100.0, 1000.0]);
+        let s = render_cdf("Fig X", &cdf, &[1.0, 10.0, 100.0, 1000.0], "days");
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("n=4"));
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("100.0%"));
+        assert_eq!(s.lines().count(), 2 + 4);
+    }
+
+    #[test]
+    fn bar_chart_render() {
+        let mut c = CategoricalCounts::with_categories(&["404", "200"]);
+        c.add_n("404", 30);
+        c.add_n("200", 10);
+        let s = render_bar_chart("Fig 4", &c);
+        assert!(s.contains("404"));
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("25.0%"));
+    }
+
+    #[test]
+    fn bar_chart_empty_safe() {
+        let c = CategoricalCounts::with_categories(&["a"]);
+        let s = render_bar_chart("Empty", &c);
+        assert!(s.contains("n=0"));
+    }
+
+    #[test]
+    fn log_hist_render() {
+        let mut b = crate::hist::LogBins::new(10.0, 4);
+        for v in [0.5, 2.0, 5.0, 20.0, 2000.0] {
+            b.add(v);
+        }
+        let s = render_log_hist("Gaps", &b);
+        assert!(s.contains("n=5"));
+        assert!(s.contains("underflow=1"));
+        assert!(s.lines().count() == 1 + 4);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["metric".into(), "paper".into(), "ours".into()],
+            vec!["alive".into(), "3%".into(), "3.1%".into()],
+            vec!["timeout-missed copies".into(), "11%".into(), "10.7%".into()],
+        ];
+        let s = render_table(&rows);
+        assert!(s.contains("metric"));
+        assert!(s.contains("---"));
+        // all data rows begin at the same column
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render_table(&[]), "");
+    }
+}

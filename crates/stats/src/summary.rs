@@ -1,0 +1,86 @@
+//! Scalar summaries.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median by nearest-rank (lower of the two middles for even lengths).
+/// Panics on empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// p-th percentile (nearest-rank). `p` in `[0, 100]`. Panics on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    if p == 0.0 {
+        return v[0];
+    }
+    let rank = (p / 100.0 * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+/// `numerator / denominator` as a fraction, 0 when the denominator is 0.
+pub fn fraction(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Render a fraction as a percentage string ("15.3%").
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.0); // lower middle
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        assert_eq!(fraction(1, 0), 0.0);
+        assert_eq!(fraction(3, 4), 0.75);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.153), "15.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

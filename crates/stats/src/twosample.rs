@@ -1,0 +1,127 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! §2.4 claims the March (alphabetical) and September (random) samples have
+//! "largely identical" distributions. We quantify that: the KS statistic
+//! between the two samples, and the asymptotic p-value from the Kolmogorov
+//! distribution, `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+
+use crate::cdf::Cdf;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: max |F₁(x) − F₂(x)|.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (probability of a statistic at least
+    /// this large under the null hypothesis that both samples come from the
+    /// same distribution).
+    pub p_value: f64,
+    pub n1: usize,
+    pub n2: usize,
+}
+
+impl KsTest {
+    /// Reject the null at the given significance level?
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the test on two samples. Panics if either sample is empty.
+pub fn ks_test(sample1: &[f64], sample2: &[f64]) -> KsTest {
+    assert!(!sample1.is_empty() && !sample2.is_empty(), "empty sample");
+    let c1 = Cdf::new(sample1.to_vec());
+    let c2 = Cdf::new(sample2.to_vec());
+    let statistic = c1.ks_distance(&c2);
+    let n1 = sample1.len() as f64;
+    let n2 = sample2.len() as f64;
+    let ne = n1 * n2 / (n1 + n2);
+    // Stephens' small-sample correction improves the asymptotic formula
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * statistic;
+    KsTest {
+        statistic,
+        p_value: kolmogorov_q(lambda),
+        n1: sample1.len(),
+        n2: sample2.len(),
+    }
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, f: impl Fn(f64) -> f64) -> Vec<f64> {
+        (0..n).map(|i| f((i as f64 + 0.5) / n as f64)).collect()
+    }
+
+    #[test]
+    fn identical_samples_do_not_reject() {
+        let a = grid(400, |u| u * 10.0);
+        let t = ks_test(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn same_distribution_different_draws_pass() {
+        // two uniform samples on [0,10], offset grids
+        let a = grid(500, |u| u * 10.0);
+        let b: Vec<f64> = (0..400).map(|i| (i as f64 + 0.25) / 400.0 * 10.0).collect();
+        let t = ks_test(&a, &b);
+        assert!(t.p_value > 0.5, "p={}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejects() {
+        let a = grid(400, |u| u * 10.0);
+        let b = grid(400, |u| u * 10.0 + 3.0);
+        let t = ks_test(&a, &b);
+        assert!(t.statistic > 0.25);
+        assert!(t.rejects_at(0.01), "p={}", t.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_q_reference_values() {
+        // known values of the Kolmogorov distribution
+        assert!((kolmogorov_q(0.5) - 0.9639).abs() < 1e-3);
+        assert!((kolmogorov_q(1.0) - 0.2700).abs() < 1e-3);
+        assert!((kolmogorov_q(1.5) - 0.0222).abs() < 1e-3);
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn p_value_monotone_in_statistic() {
+        let mut last = 1.0;
+        for lam in [0.2, 0.5, 0.8, 1.1, 1.4, 2.0] {
+            let q = kolmogorov_q(lam);
+            assert!(q <= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        ks_test(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal HTML synthesis and text extraction.
+//!
+//! Real measurement tooling strips markup before shingling; ours does the
+//! same so the similarity numbers aren't dominated by boilerplate tags. This
+//! is not an HTML parser — it is the 5% of one that a link-rot pipeline
+//! needs: wrap prose in a document, and get the prose (and title) back out.
+
+/// Render a simple article-like HTML page.
+pub fn render_page(title: &str, body_paragraphs: &[&str]) -> String {
+    let mut s = String::with_capacity(256 + body_paragraphs.iter().map(|p| p.len()).sum::<usize>());
+    s.push_str("<html><head><title>");
+    s.push_str(title);
+    s.push_str("</title></head><body><h1>");
+    s.push_str(title);
+    s.push_str("</h1>");
+    for p in body_paragraphs {
+        s.push_str("<p>");
+        s.push_str(p);
+        s.push_str("</p>");
+    }
+    s.push_str("</body></html>");
+    s
+}
+
+/// Strip tags from HTML, returning visible text with tags replaced by single
+/// spaces. `<script>` and `<style>` contents are dropped entirely. Entities
+/// for the common five (`&amp;` etc.) are decoded.
+pub fn extract_text(html: &str) -> String {
+    let mut out = String::with_capacity(html.len() / 2);
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    let mut skip_until: Option<&'static str> = None;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            let rest = &html[i..];
+            if let Some(tag) = skip_until {
+                // inside <script>/<style>: only a matching close tag ends it
+                if rest.len() >= tag.len() && rest[..tag.len()].eq_ignore_ascii_case(tag) {
+                    skip_until = None;
+                    i += tag.len();
+                    // consume to '>'
+                    while i < bytes.len() && bytes[i - 1] != b'>' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if starts_with_ci(rest, "<script") {
+                skip_until = Some("</script");
+            } else if starts_with_ci(rest, "<style") {
+                skip_until = Some("</style");
+            }
+            // consume the tag
+            match rest.find('>') {
+                Some(end) => i += end + 1,
+                None => break,
+            }
+            push_space(&mut out);
+        } else if skip_until.is_some() {
+            i += 1;
+        } else if bytes[i] == b'&' {
+            let rest = &html[i..];
+            let (rep, len) = decode_entity(rest);
+            out.push_str(rep);
+            i += len;
+        } else {
+            let c = html[i..].chars().next().unwrap();
+            if c.is_whitespace() {
+                push_space(&mut out);
+            } else {
+                out.push(c);
+            }
+            i += c.len_utf8();
+        }
+    }
+    out.trim().to_string()
+}
+
+/// The contents of `<title>`, if present.
+pub fn extract_title(html: &str) -> Option<String> {
+    let lower = html.to_ascii_lowercase();
+    let start = lower.find("<title>")? + "<title>".len();
+    let end = lower[start..].find("</title>")? + start;
+    Some(extract_text(&html[start..end]))
+}
+
+fn starts_with_ci(s: &str, prefix: &str) -> bool {
+    s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix)
+}
+
+fn push_space(out: &mut String) {
+    if !out.ends_with(' ') && !out.is_empty() {
+        out.push(' ');
+    }
+}
+
+fn decode_entity(s: &str) -> (&'static str, usize) {
+    const TABLE: &[(&str, &str)] = &[
+        ("&amp;", "&"),
+        ("&lt;", "<"),
+        ("&gt;", ">"),
+        ("&quot;", "\""),
+        ("&#39;", "'"),
+        ("&nbsp;", " "),
+    ];
+    for (ent, rep) in TABLE {
+        if s.starts_with(ent) {
+            return (rep, ent.len());
+        }
+    }
+    ("&", 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let html = render_page("My Title", &["First para.", "Second para."]);
+        let text = extract_text(&html);
+        assert!(text.contains("My Title"));
+        assert!(text.contains("First para."));
+        assert!(text.contains("Second para."));
+        assert!(!text.contains('<'));
+    }
+
+    #[test]
+    fn strips_script_and_style() {
+        let html = "<p>keep</p><script>var x = 'drop';</script><style>.a{}</style><p>also</p>";
+        let text = extract_text(html);
+        assert!(text.contains("keep"));
+        assert!(text.contains("also"));
+        assert!(!text.contains("drop"));
+        assert!(!text.contains(".a{}"));
+    }
+
+    #[test]
+    fn script_with_lt_inside() {
+        let html = "<script>if (a < b) { x(); }</script>after";
+        assert_eq!(extract_text(html), "after");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        assert_eq!(extract_text("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(extract_text("x&nbsp;y"), "x y");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(extract_text("<p>a</p>\n\n  <p>b</p>"), "a b");
+    }
+
+    #[test]
+    fn title_extraction() {
+        let html = render_page("Hello World", &["body"]);
+        assert_eq!(extract_title(&html).as_deref(), Some("Hello World"));
+        assert_eq!(extract_title("<p>no title</p>"), None);
+    }
+
+    #[test]
+    fn unterminated_tag_truncates_gracefully() {
+        assert_eq!(extract_text("text <unclosed"), "text");
+    }
+
+    #[test]
+    fn bare_ampersand_is_literal() {
+        assert_eq!(extract_text("fish & chips"), "fish & chips");
+    }
+}

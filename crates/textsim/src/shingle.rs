@@ -1,0 +1,140 @@
+//! k-shingling and Jaccard similarity (Broder et al., *Syntactic clustering
+//! of the web*, 1997) — the document-similarity measure the paper's soft-404
+//! detector uses (§3): `u` is declared broken when the similarity between the
+//! responses for `u` and a random sibling `u'` exceeds 99%.
+
+use std::collections::HashSet;
+
+/// The set of word-level k-shingles of `text`.
+///
+/// Tokenization: lowercase alphanumeric runs; punctuation separates tokens.
+/// A document with fewer than `k` tokens contributes its whole token
+/// sequence as a single shingle, so short error pages still compare sensibly.
+pub fn shingles(text: &str, k: usize) -> HashSet<u64> {
+    let tokens: Vec<String> = text
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    let mut out = HashSet::new();
+    if tokens.is_empty() {
+        return out;
+    }
+    if tokens.len() < k {
+        out.insert(hash_window(&tokens));
+        return out;
+    }
+    for w in tokens.windows(k) {
+        out.insert(hash_window(w));
+    }
+    out
+}
+
+fn hash_window(window: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for tok in window {
+        for &b in tok.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0x1f; // token separator
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Jaccard similarity of two shingle sets: `|A ∩ B| / |A ∪ B|`, in `[0, 1]`.
+/// Two empty sets are defined as identical (similarity 1).
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Convenience: shingle both texts with window `k` and return the Jaccard
+/// similarity.
+pub fn shingle_similarity(a: &str, b: &str, k: usize) -> f64 {
+    jaccard(&shingles(a, k), &shingles(b, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_texts_similarity_one() {
+        let t = "the quick brown fox jumps over the lazy dog";
+        assert_eq!(shingle_similarity(t, t, 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_texts_similarity_zero() {
+        assert_eq!(
+            shingle_similarity("alpha beta gamma delta", "one two three four", 2),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_texts() {
+        assert_eq!(shingle_similarity("", "", 3), 1.0);
+        assert_eq!(shingle_similarity("", "some words here", 3), 0.0);
+    }
+
+    #[test]
+    fn short_text_single_shingle() {
+        // fewer than k tokens → whole text is one shingle
+        assert_eq!(shingles("one two", 5).len(), 1);
+        assert_eq!(shingle_similarity("one two", "one two", 5), 1.0);
+        assert_eq!(shingle_similarity("one two", "one three", 5), 0.0);
+    }
+
+    #[test]
+    fn tokenization_case_and_punct_insensitive() {
+        assert_eq!(
+            shingle_similarity("Hello, World! Again", "hello world again", 2),
+            1.0
+        );
+    }
+
+    #[test]
+    fn small_change_high_similarity() {
+        let a: String = (0..200).map(|i| format!("word{i} ")).collect();
+        let mut b = a.clone();
+        b.push_str("extra tail token");
+        let sim = shingle_similarity(&a, &b, 5);
+        assert!(sim > 0.95 && sim < 1.0, "sim={sim}");
+    }
+
+    #[test]
+    fn shingle_count_matches_window_count() {
+        // distinct tokens → every window unique
+        let text: String = (0..50).map(|i| format!("tok{i} ")).collect();
+        assert_eq!(shingles(&text, 4).len(), 50 - 4 + 1);
+    }
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_range(a in "[a-f ]{0,60}", b in "[a-f ]{0,60}", k in 1usize..6) {
+            let s = shingle_similarity(&a, &b, k);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn similarity_symmetric(a in "[a-f ]{0,60}", b in "[a-f ]{0,60}", k in 1usize..6) {
+            prop_assert_eq!(
+                shingle_similarity(&a, &b, k).to_bits(),
+                shingle_similarity(&b, &a, k).to_bits()
+            );
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-z ]{1,80}", k in 1usize..6) {
+            prop_assert_eq!(shingle_similarity(&a, &a, k), 1.0);
+        }
+    }
+}

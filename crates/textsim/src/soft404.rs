@@ -1,0 +1,115 @@
+//! Textual signatures of "erroneous 200" responses.
+//!
+//! A sizeable share of the paper's permanently-dead links return a 200 status
+//! today yet are still broken (§3): parked domains (the znaci.net example),
+//! generic "not found" templates served with status 200 (soft-404s), and
+//! login walls. The live-web simulator serves these bodies; the pipeline's
+//! soft-404 detector must catch them *without* looking at these strings — it
+//! only compares the suspect response against a random-sibling response, as
+//! the paper does.
+
+/// The similarity threshold above which two responses are considered the
+/// same page. The paper uses "over 99%" rather than equality because dynamic
+/// furniture (dates, ads) perturbs otherwise identical templates.
+pub const SOFT404_SIMILARITY_THRESHOLD: f64 = 0.99;
+
+/// Body of a soft-404: a site-branded "page not found" template served with
+/// status 200. The body is a function of the *site* (not the path), which is
+/// precisely what makes the random-sibling probe effective.
+pub fn soft404_body(host: &str) -> String {
+    format!(
+        "<html><head><title>{host} - Page not found</title></head><body>\
+         <h1>Sorry, we could not find that page</h1>\
+         <p>The page you requested on {host} may have been removed, renamed, \
+         or is temporarily unavailable.</p>\
+         <p>Try searching {host} or return to the home page.</p>\
+         <p>Error reference: content no longer available at this address. \
+         Please update your bookmarks and links. If you typed the address, \
+         check the spelling and try again.</p>\
+         </body></html>"
+    )
+}
+
+/// Body of a parked domain lander (cf. Vissers et al., NDSS 2015): sparse
+/// text, sale pitch, keyword links. Identical for every path on the host.
+pub fn parked_domain_body(host: &str) -> String {
+    format!(
+        "<html><head><title>{host} is for sale</title></head><body>\
+         <h1>{host}</h1>\
+         <p>This domain may be for sale. Buy this domain today.</p>\
+         <p>Related searches: insurance, credit, hosting, travel, loans, \
+         casino, pharmacy, mortgage, attorney, rehab.</p>\
+         <p>The owner of {host} has parked this domain with a premium \
+         parking service. Inquire about pricing and availability now.</p>\
+         </body></html>"
+    )
+}
+
+/// Body of a login wall: the destination many erroneous redirects land on.
+/// The paper's probe explicitly excludes redirects to "a site's login page"
+/// from the broken verdict, so the simulator must produce recognizable ones.
+pub fn login_page_body(host: &str) -> String {
+    format!(
+        "<html><head><title>Sign in - {host}</title></head><body>\
+         <h1>Sign in to {host}</h1>\
+         <form><label>Username</label><input name=\"user\">\
+         <label>Password</label><input name=\"pass\" type=\"password\">\
+         <button>Log in</button></form>\
+         <p>Forgot your password? Create an account.</p>\
+         </body></html>"
+    )
+}
+
+/// Heuristic used by the *simulated server*, not the analyzer: does this path
+/// look like a login page location? Sites in the world place their login
+/// walls at these conventional paths.
+pub fn is_login_path(path: &str) -> bool {
+    let p = path.to_ascii_lowercase();
+    ["/login", "/signin", "/sign-in", "/account/login", "/users/login"]
+        .iter()
+        .any(|cand| p == *cand || p.starts_with(&format!("{cand}/")) || p.starts_with(&format!("{cand}?")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shingle::shingle_similarity;
+
+    #[test]
+    fn soft404_is_path_independent() {
+        // same host, any path → identical template → similarity 1
+        let a = soft404_body("e.org");
+        let b = soft404_body("e.org");
+        assert!(shingle_similarity(&a, &b, 5) >= SOFT404_SIMILARITY_THRESHOLD);
+    }
+
+    #[test]
+    fn soft404_differs_across_hosts() {
+        let a = soft404_body("e.org");
+        let b = soft404_body("other.net");
+        assert!(shingle_similarity(&a, &b, 5) < 1.0);
+    }
+
+    #[test]
+    fn parked_and_soft404_are_distinct_templates() {
+        let a = soft404_body("e.org");
+        let b = parked_domain_body("e.org");
+        assert!(shingle_similarity(&a, &b, 5) < 0.5);
+    }
+
+    #[test]
+    fn login_path_detection() {
+        assert!(is_login_path("/login"));
+        assert!(is_login_path("/Login"));
+        assert!(is_login_path("/signin/next"));
+        assert!(is_login_path("/account/login"));
+        assert!(!is_login_path("/loginsight")); // prefix but not a path segment
+        assert!(!is_login_path("/news/login-troubles.html"));
+        assert!(!is_login_path("/"));
+    }
+
+    #[test]
+    fn threshold_matches_paper() {
+        assert_eq!(SOFT404_SIMILARITY_THRESHOLD, 0.99);
+    }
+}

@@ -1,0 +1,171 @@
+//! URL normalization.
+//!
+//! Two spellings of the same resource must compare equal before any grouping
+//! or dataset-join step: the wiki stores what editors typed, the archive
+//! stores what its crawler fetched, and the live web serves what the origin
+//! canonicalizes to. Normalization is deliberately conservative — it only
+//! applies transformations that never change which resource is addressed:
+//!
+//! - lowercase scheme and host (done by the parser already);
+//! - drop default ports (done by the parser);
+//! - drop fragments;
+//! - collapse duplicate slashes in the path (`//a///b` → `/a/b`);
+//! - resolve `.` and `..` path segments;
+//! - uppercase percent-encoding hex digits (`%3a` → `%3A`);
+//! - decode percent-encoded unreserved characters (`%41` → `A`);
+//! - drop a lone trailing `?`.
+//!
+//! It does **not** reorder query parameters (order is semantically visible to
+//! some servers; the order-insensitive comparison lives in [`crate::query`]),
+//! strip `www.`, or touch trailing slashes (both change the resource on many
+//! real sites).
+
+use crate::parse::Url;
+
+/// Normalize a URL per the rules above.
+pub fn normalize(url: &Url) -> Url {
+    let path = normalize_path(url.path());
+    let query = match url.query() {
+        Some("") | None => None,
+        Some(q) => Some(normalize_percent(q)),
+    };
+    // with_path/with_query drop query and fragment respectively, so the
+    // rebuild order matters: path first, then re-attach the query.
+    url.with_path(&path).with_query(query.as_deref())
+}
+
+/// Collapse duplicate slashes, resolve dot segments, normalize percent
+/// escapes. Always returns a path starting with `/`.
+fn normalize_path(path: &str) -> String {
+    let collapsed = normalize_percent(path);
+    let mut out: Vec<&str> = Vec::new();
+    for seg in collapsed.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    let mut s = String::with_capacity(collapsed.len());
+    for seg in &out {
+        s.push('/');
+        s.push_str(seg);
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    // preserve a trailing slash: it distinguishes a directory listing from a
+    // file on most origins
+    if collapsed.len() > 1 && collapsed.ends_with('/') && !s.ends_with('/') {
+        s.push('/');
+    }
+    s
+}
+
+/// Uppercase hex digits in percent escapes and decode unreserved characters.
+fn normalize_percent(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            if let (Some(h), Some(l)) = (
+                bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+            ) {
+                let v = (h * 16 + l) as u8;
+                if is_unreserved(v) {
+                    out.push(v as char);
+                } else {
+                    out.push('%');
+                    out.push(char::from_digit(h, 16).unwrap().to_ascii_uppercase());
+                    out.push(char::from_digit(l, 16).unwrap().to_ascii_uppercase());
+                }
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// RFC 3986 unreserved characters: never need escaping.
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> String {
+        normalize(&Url::parse(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn drops_fragment() {
+        assert_eq!(n("http://e.org/a#x"), "http://e.org/a");
+    }
+
+    #[test]
+    fn collapses_slashes() {
+        assert_eq!(n("http://e.org//a///b"), "http://e.org/a/b");
+    }
+
+    #[test]
+    fn resolves_dot_segments() {
+        assert_eq!(n("http://e.org/a/./b/../c"), "http://e.org/a/c");
+        assert_eq!(n("http://e.org/../../x"), "http://e.org/x");
+    }
+
+    #[test]
+    fn preserves_trailing_slash() {
+        assert_eq!(n("http://e.org/dir/"), "http://e.org/dir/");
+        assert_eq!(n("http://e.org/dir"), "http://e.org/dir");
+    }
+
+    #[test]
+    fn percent_case_and_unreserved() {
+        assert_eq!(n("http://e.org/%7euser/%3a"), "http://e.org/~user/%3A");
+        assert_eq!(n("http://e.org/%41%42"), "http://e.org/AB");
+    }
+
+    #[test]
+    fn empty_query_dropped_nonempty_kept() {
+        assert_eq!(n("http://e.org/a?"), "http://e.org/a");
+        assert_eq!(n("http://e.org/a?x=%3a"), "http://e.org/a?x=%3A");
+    }
+
+    #[test]
+    fn does_not_reorder_query() {
+        assert_eq!(n("http://e.org/a?b=2&a=1"), "http://e.org/a?b=2&a=1");
+    }
+
+    #[test]
+    fn does_not_strip_www() {
+        assert_eq!(n("http://www.e.org/"), "http://www.e.org/");
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in [
+            "http://E.org//a/../b/%7e?q=%41#f",
+            "https://www.example.co.uk/x//y/./z/",
+            "http://e.org/%zz-not-an-escape",
+        ] {
+            let once = normalize(&Url::parse(s).unwrap());
+            let twice = normalize(&once);
+            assert_eq!(once, twice, "{s}");
+        }
+    }
+
+    #[test]
+    fn malformed_escape_is_left_alone() {
+        assert_eq!(n("http://e.org/%zz"), "http://e.org/%zz");
+        assert_eq!(n("http://e.org/a%4"), "http://e.org/a%4");
+    }
+}

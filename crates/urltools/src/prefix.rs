@@ -1,0 +1,151 @@
+//! Directory-prefix helpers.
+//!
+//! The paper repeatedly groups URLs by "the same directory (share the same
+//! URL prefix until the last '/')": the §4.2 redirect validation compares a
+//! URL's archived redirection against sibling URLs in its directory, and the
+//! §5.2 spatial analysis counts successfully archived URLs per directory.
+
+use crate::parse::Url;
+
+/// The URL prefix up to and including the last `/` of the path, with scheme
+/// and host — the paper's "same directory" key.
+///
+/// ```
+/// use permadead_url::{Url, directory_prefix};
+/// let u = Url::parse("http://e.org/news/2014/story.html?id=1").unwrap();
+/// assert_eq!(directory_prefix(&u), "http://e.org/news/2014/");
+/// ```
+pub fn directory_prefix(url: &Url) -> String {
+    let path = url.path();
+    let cut = path.rfind('/').map(|i| i + 1).unwrap_or(path.len());
+    let mut s = format!("{}://{}", url.scheme(), url.host());
+    if let Some(p) = url.explicit_port() {
+        s.push(':');
+        s.push_str(&p.to_string());
+    }
+    s.push_str(&path[..cut]);
+    s
+}
+
+/// The final path segment (after the last `/`), including any query — the
+/// part the soft-404 probe (§3) replaces with a random string.
+pub fn last_segment(url: &Url) -> &str {
+    let path = url.path();
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Do two URLs live in the same directory on the same host?
+pub fn in_same_directory(a: &Url, b: &Url) -> bool {
+    directory_prefix(a) == directory_prefix(b)
+}
+
+/// Replace the last path segment of `url` with `segment`, dropping query and
+/// fragment — the transformation that builds the soft-404 probe URL `u'`.
+pub fn replace_last_segment(url: &Url, segment: &str) -> Url {
+    let path = url.path();
+    let cut = path.rfind('/').map(|i| i + 1).unwrap_or(0);
+    let new_path = format!("{}{}", &path[..cut], segment);
+    url.with_path(&new_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn prefix_of_file() {
+        assert_eq!(
+            directory_prefix(&u("http://e.org/a/b/c.html")),
+            "http://e.org/a/b/"
+        );
+    }
+
+    #[test]
+    fn prefix_of_directory_url() {
+        assert_eq!(directory_prefix(&u("http://e.org/a/b/")), "http://e.org/a/b/");
+    }
+
+    #[test]
+    fn prefix_of_root() {
+        assert_eq!(directory_prefix(&u("http://e.org/")), "http://e.org/");
+        assert_eq!(directory_prefix(&u("http://e.org")), "http://e.org/");
+    }
+
+    #[test]
+    fn prefix_keeps_port() {
+        assert_eq!(
+            directory_prefix(&u("http://e.org:8080/a/x")),
+            "http://e.org:8080/a/"
+        );
+    }
+
+    #[test]
+    fn prefix_ignores_query() {
+        assert_eq!(
+            directory_prefix(&u("http://e.org/d/x.php?id=3")),
+            "http://e.org/d/"
+        );
+    }
+
+    #[test]
+    fn last_segment_basic() {
+        assert_eq!(last_segment(&u("http://e.org/a/b/c.html")), "c.html");
+        assert_eq!(last_segment(&u("http://e.org/a/b/")), "");
+        assert_eq!(last_segment(&u("http://e.org/")), "");
+    }
+
+    #[test]
+    fn same_directory() {
+        assert!(in_same_directory(
+            &u("http://e.org/d/a.html"),
+            &u("http://e.org/d/b.html")
+        ));
+        assert!(!in_same_directory(
+            &u("http://e.org/d/a.html"),
+            &u("http://e.org/other/a.html")
+        ));
+        assert!(!in_same_directory(
+            &u("http://e.org/d/a.html"),
+            &u("http://f.org/d/a.html")
+        ));
+        // a directory and its subdirectory are different directories
+        assert!(!in_same_directory(
+            &u("http://e.org/d/a.html"),
+            &u("http://e.org/d/sub/a.html")
+        ));
+    }
+
+    #[test]
+    fn replace_segment_builds_probe_url() {
+        let probe = replace_last_segment(
+            &u("http://e.org/news/story.html?page=2#top"),
+            "zzzzzzzzzzzzzzzzzzzzzzzzz",
+        );
+        assert_eq!(
+            probe.to_string(),
+            "http://e.org/news/zzzzzzzzzzzzzzzzzzzzzzzzz"
+        );
+        assert_eq!(probe.query(), None);
+        assert_eq!(probe.fragment(), None);
+    }
+
+    #[test]
+    fn replace_segment_at_root() {
+        let probe = replace_last_segment(&u("http://e.org/"), "rand");
+        assert_eq!(probe.to_string(), "http://e.org/rand");
+    }
+
+    #[test]
+    fn probe_stays_in_same_directory() {
+        let orig = u("http://e.org/a/b/target.php");
+        let probe = replace_last_segment(&orig, "xyz");
+        assert!(in_same_directory(&orig, &probe));
+    }
+}

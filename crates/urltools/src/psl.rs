@@ -1,0 +1,249 @@
+//! Public Suffix List: registrable-domain extraction.
+//!
+//! The paper maps every hostname to its domain "using data from the Public
+//! Suffix List" (§2.4) before computing the URLs-per-domain distribution
+//! (Figure 3a). We implement the full PSL matching algorithm — normal rules,
+//! wildcard rules (`*.ck`), and exception rules (`!www.ck`) — over a compact
+//! embedded rule set covering the suffixes that occur in the simulated world
+//! plus the common real-world ones that show up in tests.
+//!
+//! Algorithm (publicsuffix.org/list/):
+//! 1. Among matching rules, prefer exception rules; otherwise take the rule
+//!    with the most labels.
+//! 2. If no rule matches, the public suffix is the last label (`*` implicit).
+//! 3. The registrable domain is the public suffix plus one preceding label.
+
+use std::collections::HashMap;
+
+/// Default embedded rules. Kept small on purpose: the algorithm is the point,
+/// and worlds built by `permadead-sim` register their TLDs here explicitly.
+const DEFAULT_RULES: &[&str] = &[
+    "com", "org", "net", "edu", "gov", "mil", "int", "info", "biz", "name",
+    "io", "co", "me", "tv", "fm", "us", "uk", "co.uk", "org.uk", "ac.uk",
+    "gov.uk", "fr", "de", "nl", "es", "it", "ru", "jp", "co.jp", "ne.jp",
+    "or.jp", "au", "com.au", "net.au", "org.au", "gov.au", "edu.au", "nz",
+    "co.nz", "org.nz", "govt.nz", "ca", "br", "com.br", "org.br", "in",
+    "co.in", "cn", "com.cn", "org.cn", "tas.gov.au", "il", "org.il", "co.il",
+    "pl", "com.pl", "se", "no", "fi", "dk", "ch", "at", "be", "cz", "gr",
+    "hu", "ie", "pt", "ro", "sk", "tr", "com.tr", "ua", "com.ua", "za",
+    "co.za", "mx", "com.mx", "ar", "com.ar", "cl", "kr", "co.kr", "*.ck",
+    "!www.ck", "*.bd", "sim", // `.sim` is the synthetic TLD used by permadead-sim
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleKind {
+    Normal,
+    Wildcard,
+    Exception,
+}
+
+/// A compiled Public Suffix List.
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    // rule labels reversed ("uk.co" for "co.uk") → kind
+    rules: HashMap<String, RuleKind>,
+    max_labels: usize,
+}
+
+impl Default for PublicSuffixList {
+    fn default() -> Self {
+        Self::from_rules(DEFAULT_RULES.iter().copied())
+    }
+}
+
+impl PublicSuffixList {
+    /// Build a list from PSL-syntax rules (`co.uk`, `*.ck`, `!www.ck`).
+    pub fn from_rules<'a>(rules: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut map = HashMap::new();
+        let mut max_labels = 1;
+        for raw in rules {
+            let raw = raw.trim();
+            if raw.is_empty() || raw.starts_with("//") {
+                continue;
+            }
+            let (kind, body) = if let Some(b) = raw.strip_prefix('!') {
+                (RuleKind::Exception, b)
+            } else if let Some(b) = raw.strip_prefix("*.") {
+                (RuleKind::Wildcard, b)
+            } else {
+                (RuleKind::Normal, raw)
+            };
+            let labels = body.split('.').count()
+                + if kind == RuleKind::Wildcard { 1 } else { 0 };
+            max_labels = max_labels.max(labels);
+            map.insert(reverse_labels(&body.to_ascii_lowercase()), kind);
+        }
+        PublicSuffixList {
+            rules: map,
+            max_labels,
+        }
+    }
+
+    /// Extend the list with extra rules (used by world generation to register
+    /// synthetic TLDs).
+    pub fn add_rule(&mut self, rule: &str) {
+        let other = PublicSuffixList::from_rules([rule]);
+        self.max_labels = self.max_labels.max(other.max_labels);
+        self.rules.extend(other.rules);
+    }
+
+    /// Number of labels in the public suffix of `host`, per the PSL algorithm.
+    fn suffix_labels(&self, labels: &[&str]) -> usize {
+        let n = labels.len();
+        let mut best = 0usize;
+        for take in 1..=n.min(self.max_labels) {
+            let tail = &labels[n - take..];
+            let key = reverse_labels(&tail.join("."));
+            match self.rules.get(&key) {
+                // Exception rule wins over everything; its public suffix is
+                // the rule minus its leading label.
+                Some(RuleKind::Exception) => return take - 1,
+                Some(RuleKind::Normal) => best = best.max(take),
+                // `*.<tail>` makes a suffix one label longer than the base
+                // (clamped when the host *is* the base).
+                Some(RuleKind::Wildcard) => best = best.max((take + 1).min(n)),
+                None => {}
+            }
+        }
+        best.max(1)
+    }
+
+    /// The public suffix of `host` (e.g. `co.uk` for `news.bbc.co.uk`).
+    pub fn public_suffix<'a>(&self, host: &'a str) -> &'a str {
+        let host = host.trim_end_matches('.');
+        let labels: Vec<&str> = host.split('.').collect();
+        let k = self.suffix_labels(&labels);
+        let skip = labels.len().saturating_sub(k);
+        let offset: usize = labels[..skip].iter().map(|l| l.len() + 1).sum();
+        &host[offset.min(host.len())..]
+    }
+
+    /// The registrable domain: public suffix + one label, or `None` if the
+    /// host *is* a public suffix.
+    pub fn registrable_domain<'a>(&self, host: &'a str) -> Option<&'a str> {
+        let host = host.trim_end_matches('.');
+        let labels: Vec<&str> = host.split('.').collect();
+        let k = self.suffix_labels(&labels);
+        if labels.len() <= k {
+            return None;
+        }
+        let skip = labels.len() - k - 1;
+        let offset: usize = labels[..skip].iter().map(|l| l.len() + 1).sum();
+        Some(&host[offset..])
+    }
+}
+
+/// Registrable domain using the default embedded list.
+pub fn registrable_domain(host: &str) -> Option<&str> {
+    thread_local! {
+        static DEFAULT: PublicSuffixList = PublicSuffixList::default();
+    }
+    DEFAULT.with(|psl| {
+        // SAFETY of lifetimes: result borrows from `host`, not the list.
+        psl.registrable_domain(host)
+    })
+}
+
+fn reverse_labels(s: &str) -> String {
+    let mut labels: Vec<&str> = s.split('.').collect();
+    labels.reverse();
+    labels.join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tld() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(psl.registrable_domain("example.com"), Some("example.com"));
+        assert_eq!(
+            psl.registrable_domain("www.example.com"),
+            Some("example.com")
+        );
+        assert_eq!(
+            psl.registrable_domain("a.b.c.example.com"),
+            Some("example.com")
+        );
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(psl.public_suffix("news.bbc.co.uk"), "co.uk");
+        assert_eq!(psl.registrable_domain("news.bbc.co.uk"), Some("bbc.co.uk"));
+        // the paper's §4.1 example host
+        assert_eq!(
+            psl.registrable_domain("www.parliament.tas.gov.au"),
+            Some("parliament.tas.gov.au")
+        );
+    }
+
+    #[test]
+    fn host_is_suffix() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(psl.registrable_domain("com"), None);
+        assert_eq!(psl.registrable_domain("co.uk"), None);
+    }
+
+    #[test]
+    fn unknown_tld_uses_last_label() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(
+            psl.registrable_domain("foo.bar.unknowntld"),
+            Some("bar.unknowntld")
+        );
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        let psl = PublicSuffixList::default();
+        // "*.ck": every label under ck is itself a public suffix
+        assert_eq!(psl.public_suffix("foo.xyzzy.ck"), "xyzzy.ck");
+        assert_eq!(psl.registrable_domain("foo.xyzzy.ck"), Some("foo.xyzzy.ck"));
+        assert_eq!(psl.registrable_domain("xyzzy.ck"), None);
+    }
+
+    #[test]
+    fn exception_rule() {
+        let psl = PublicSuffixList::default();
+        // "!www.ck" overrides the wildcard: www.ck is registrable under ck
+        assert_eq!(psl.registrable_domain("www.ck"), Some("www.ck"));
+        assert_eq!(psl.registrable_domain("sub.www.ck"), Some("www.ck"));
+    }
+
+    #[test]
+    fn trailing_dot_ignored() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(
+            psl.registrable_domain("www.example.com."),
+            Some("example.com")
+        );
+    }
+
+    #[test]
+    fn add_rule_extends() {
+        let mut psl = PublicSuffixList::default();
+        psl.add_rule("web.sim");
+        assert_eq!(psl.public_suffix("archive.web.sim"), "web.sim");
+        assert_eq!(
+            psl.registrable_domain("cdx.archive.web.sim"),
+            Some("archive.web.sim")
+        );
+    }
+
+    #[test]
+    fn free_function_uses_default() {
+        assert_eq!(registrable_domain("a.example.org"), Some("example.org"));
+    }
+
+    #[test]
+    fn sim_tld_registered() {
+        let psl = PublicSuffixList::default();
+        assert_eq!(
+            psl.registrable_domain("www.news0042.sim"),
+            Some("news0042.sim")
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Query-string canonicalization.
+//!
+//! §5.2's implications call out URLs "identical except that they include the
+//! query parameters in a different order" as a recoverable class of archive
+//! misses. These helpers parse `k=v&k2=v2` strings, produce an
+//! order-insensitive canonical form, and decide whether two URLs differ only
+//! in parameter order.
+
+use crate::parse::Url;
+
+/// Parse a query string into `(key, value)` pairs in order of appearance.
+/// A bare key (`flag` with no `=`) parses as `("flag", "")`.
+pub fn query_pairs(query: &str) -> Vec<(String, String)> {
+    if query.is_empty() {
+        return Vec::new();
+    }
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (part.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// A canonical, order-insensitive rendering of a query string: pairs sorted
+/// by key then value, re-joined with `&`. Stable under any permutation of the
+/// original parameters.
+pub fn canonical_query(query: &str) -> String {
+    let mut pairs = query_pairs(query);
+    pairs.sort();
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() && !query.contains(&format!("{k}=")) {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+/// Do two URLs address the same resource modulo query-parameter order?
+/// Scheme, host, port, and path must match exactly; the multiset of query
+/// pairs must match.
+pub fn same_params_any_order(a: &Url, b: &Url) -> bool {
+    if a.scheme() != b.scheme()
+        || a.host() != b.host()
+        || a.port() != b.port()
+        || a.path() != b.path()
+    {
+        return false;
+    }
+    let mut pa = query_pairs(a.query().unwrap_or(""));
+    let mut pb = query_pairs(b.query().unwrap_or(""));
+    pa.sort();
+    pb.sort();
+    pa == pb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn pairs_basic() {
+        assert_eq!(
+            query_pairs("a=1&b=2"),
+            vec![("a".into(), "1".into()), ("b".into(), "2".into())]
+        );
+        assert_eq!(query_pairs(""), vec![]);
+        assert_eq!(query_pairs("flag"), vec![("flag".into(), String::new())]);
+        assert_eq!(query_pairs("a=1&&b=2").len(), 2);
+    }
+
+    #[test]
+    fn pairs_keep_duplicates() {
+        assert_eq!(query_pairs("a=1&a=2").len(), 2);
+    }
+
+    #[test]
+    fn canonical_sorts() {
+        assert_eq!(canonical_query("b=2&a=1"), "a=1&b=2");
+        assert_eq!(canonical_query("a=2&a=1"), "a=1&a=2");
+    }
+
+    #[test]
+    fn canonical_bare_key_preserved() {
+        assert_eq!(canonical_query("flag&a=1"), "a=1&flag");
+    }
+
+    #[test]
+    fn same_params_detects_reordering() {
+        // the recoverable archive-miss class from §5.2
+        let a = u("http://e.org/s.asp?From=Archive&Source=Page&Skin=TAUHe");
+        let b = u("http://e.org/s.asp?Skin=TAUHe&From=Archive&Source=Page");
+        assert!(same_params_any_order(&a, &b));
+    }
+
+    #[test]
+    fn same_params_rejects_value_change() {
+        let a = u("http://e.org/s?x=1");
+        let b = u("http://e.org/s?x=2");
+        assert!(!same_params_any_order(&a, &b));
+    }
+
+    #[test]
+    fn same_params_rejects_path_or_host_change() {
+        assert!(!same_params_any_order(
+            &u("http://e.org/a?x=1"),
+            &u("http://e.org/b?x=1")
+        ));
+        assert!(!same_params_any_order(
+            &u("http://e.org/a?x=1"),
+            &u("http://f.org/a?x=1")
+        ));
+    }
+
+    #[test]
+    fn no_query_both_sides() {
+        assert!(same_params_any_order(&u("http://e.org/a"), &u("http://e.org/a")));
+        assert!(!same_params_any_order(
+            &u("http://e.org/a"),
+            &u("http://e.org/a?x=1")
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn canonical_is_permutation_invariant(
+            mut pairs in proptest::collection::vec(("[a-z]{1,4}", "[a-z0-9]{0,4}"), 0..6),
+            seed in 0u64..1000,
+        ) {
+            let q1: String = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("&");
+            // deterministic shuffle
+            let n = pairs.len();
+            if n > 1 {
+                for i in 0..n {
+                    let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+                    pairs.swap(i, j);
+                }
+            }
+            let q2: String = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("&");
+            prop_assert_eq!(canonical_query(&q1), canonical_query(&q2));
+        }
+
+        #[test]
+        fn canonical_idempotent(q in "[a-z0-9=&]{0,40}") {
+            prop_assert_eq!(canonical_query(&canonical_query(&q)), canonical_query(&q));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! SURT — Sort-friendly URI Reordering Transform.
+//!
+//! Wayback-style CDX indices key snapshots by SURT: the hostname with its
+//! labels reversed and comma-joined, followed by the path and query, e.g.
+//!
+//! `http://www.example.org/a/b?x=1` → `org,example,www)/a/b?x=1`
+//!
+//! Reversing the host makes a lexicographic sort group URLs by registrable
+//! domain, then host, then directory — which is exactly what makes the CDX
+//! prefix/host queries of §4.2 and §5.2 efficient range scans.
+//!
+//! Our SURT form canonicalizes scheme away (http and https collapse, as the
+//! real Wayback CDX does) and drops fragments, but keeps query strings.
+
+use crate::normalize::normalize;
+use crate::parse::Url;
+
+/// The SURT form of just a hostname: labels reversed, comma-joined.
+///
+/// ```
+/// use permadead_url::surt_host;
+/// assert_eq!(surt_host("www.example.org"), "org,example,www");
+/// ```
+pub fn surt_host(host: &str) -> String {
+    let mut labels: Vec<&str> = host.trim_end_matches('.').split('.').collect();
+    labels.reverse();
+    labels.join(",")
+}
+
+/// The full SURT key of a URL: `reversed,host)/path?query`, normalized and
+/// scheme-free.
+///
+/// ```
+/// use permadead_url::{Url, surt};
+/// let u = Url::parse("https://News.Example.org/a/b.html?x=1#frag").unwrap();
+/// assert_eq!(surt(&u), "org,example,news)/a/b.html?x=1");
+/// ```
+pub fn surt(url: &Url) -> String {
+    let url = normalize(url);
+    let mut s = surt_host(url.host());
+    if let Some(p) = url.explicit_port() {
+        s.push(':');
+        s.push_str(&p.to_string());
+    }
+    s.push(')');
+    s.push_str(url.path());
+    if let Some(q) = url.query() {
+        s.push('?');
+        s.push_str(q);
+    }
+    s
+}
+
+/// SURT prefix that matches everything in the same directory as `url`
+/// (the paper's "same prefix until the last '/'").
+pub fn surt_directory_prefix(url: &Url) -> String {
+    let url = normalize(url);
+    let path = url.path();
+    let cut = path.rfind('/').map(|i| i + 1).unwrap_or(path.len());
+    let mut s = surt_host(url.host());
+    if let Some(p) = url.explicit_port() {
+        s.push(':');
+        s.push_str(&p.to_string());
+    }
+    s.push(')');
+    s.push_str(&path[..cut]);
+    s
+}
+
+/// SURT prefix that matches every URL under a hostname.
+pub fn surt_host_prefix(host: &str) -> String {
+    format!("{})", surt_host(host))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn host_reversal() {
+        assert_eq!(surt_host("example.org"), "org,example");
+        assert_eq!(surt_host("a.b.c.example.co.uk"), "uk,co,example,c,b,a");
+        assert_eq!(surt_host("localhost"), "localhost");
+    }
+
+    #[test]
+    fn schemes_collapse() {
+        assert_eq!(surt(&u("http://e.org/a")), surt(&u("https://e.org/a")));
+    }
+
+    #[test]
+    fn fragment_dropped_query_kept() {
+        assert_eq!(surt(&u("http://e.org/a?x=1#f")), "org,e)/a?x=1");
+    }
+
+    #[test]
+    fn port_kept_when_non_default() {
+        assert_eq!(surt(&u("http://e.org:8080/a")), "org,e:8080)/a");
+        assert_eq!(surt(&u("http://e.org:80/a")), "org,e)/a");
+    }
+
+    #[test]
+    fn directory_prefix_is_a_prefix_of_members() {
+        let dir = surt_directory_prefix(&u("http://e.org/news/2014/story.html"));
+        assert_eq!(dir, "org,e)/news/2014/");
+        assert!(surt(&u("http://e.org/news/2014/other.html")).starts_with(&dir));
+        assert!(!surt(&u("http://e.org/news/other.html")).starts_with(&dir));
+    }
+
+    #[test]
+    fn host_prefix_matches_all_paths_but_not_subdomain_cousins() {
+        let hp = surt_host_prefix("e.org");
+        assert!(surt(&u("http://e.org/any/thing?q=1")).starts_with(&hp));
+        // sibling host "ee.org" must not match
+        assert!(!surt(&u("http://ee.org/x")).starts_with(&hp));
+        // subdomain "a.e.org" sorts under "org,e," not "org,e)" — also no match
+        assert!(!surt(&u("http://a.e.org/x")).starts_with(&hp));
+    }
+
+    #[test]
+    fn sort_groups_hosts_by_domain() {
+        let mut keys = vec![
+            surt(&u("http://z-unrelated.com/a")),
+            surt(&u("http://www.example.org/x")),
+            surt(&u("http://example.org/y")),
+            surt(&u("http://mail.example.org/z")),
+        ];
+        keys.sort();
+        // the three example.org hosts must be adjacent after sorting
+        let pos: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.starts_with("org,example"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(pos.len(), 3);
+        assert!(pos.windows(2).all(|w| w[1] == w[0] + 1), "not adjacent: {pos:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn surt_deterministic_and_normalized(
+            host in "[a-z]{1,8}(\\.[a-z]{1,8}){0,3}",
+            path in "(/[a-z0-9]{1,6}){0,4}",
+        ) {
+            let a = u(&format!("http://{host}{path}"));
+            let b = u(&format!("HTTPS://{}{path}#frag", host.to_uppercase()));
+            prop_assert_eq!(surt(&a), surt(&b));
+        }
+
+        #[test]
+        fn directory_prefix_always_prefixes_surt(
+            host in "[a-z]{1,8}\\.[a-z]{2,3}",
+            path in "(/[a-z0-9]{1,6}){1,4}",
+        ) {
+            let url = u(&format!("http://{host}{path}"));
+            prop_assert!(surt(&url).starts_with(&surt_directory_prefix(&url)));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The simulated live web.
+//!
+//! A [`LiveWeb`] is a set of [`Site`]s behind a simulated DNS, serving HTTP
+//! responses **as a function of time**. Every link-rot phenomenon the paper
+//! measures exists here by construction:
+//!
+//! - pages that 404 after a site restructuring ([`page::PageEvent::Moved`]);
+//! - pages whose old URL *later* gains a redirect — the §3 "revived" links
+//!   ([`page::PageEvent::RedirectAdded`]);
+//! - sites that serve branded 200 "not found" templates — soft-404s
+//!   ([`site::UnknownPathPolicy::Soft404`]);
+//! - sites that redirect unknown paths to the homepage or a login wall —
+//!   the erroneous redirects that make IABot distrust 3xx archived copies
+//!   (§4.2);
+//! - whole domains that lapse (DNS NXDOMAIN) or get re-registered by domain
+//!   parkers serving sale landers;
+//! - vantage-dependent geo-blocking, transient 503s, and connect timeouts
+//!   ([`permadead_net::fault`]).
+//!
+//! The world is immutable after generation; all dynamism comes from
+//! timestamped lifecycle events interpreted at request time. That makes a
+//! fetch a pure function `(world, url, t) → response` — the property every
+//! reproduction figure relies on.
+
+pub mod page;
+pub mod rank;
+pub mod site;
+pub mod world;
+
+pub use page::{Page, PageEvent, PageId};
+pub use rank::RankTable;
+pub use site::{Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+pub use world::LiveWeb;

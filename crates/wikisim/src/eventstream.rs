@@ -1,0 +1,114 @@
+//! The link-addition event stream.
+//!
+//! The Internet Archive has listened to Wikipedia's edit feeds since 2013
+//! (the Near Real Time capture service, then the EventStream, §5.1) to
+//! discover and archive newly-posted links. This module derives that feed
+//! from edit histories: one event per (article, URL) first appearance.
+//!
+//! Figure 5 exists because consuming this feed did *not* get everything
+//! archived promptly — the consumer (in `permadead-sim`) subscribes with a
+//! configurable coverage probability and lag distribution.
+
+use crate::store::WikiStore;
+use crate::wikitext::Document;
+use permadead_net::SimTime;
+use permadead_url::Url;
+use std::collections::HashSet;
+
+/// A URL's first appearance in an article.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkAddedEvent {
+    pub time: SimTime,
+    pub article: String,
+    pub url: Url,
+}
+
+/// Extract every link-addition event from the wiki, ordered by time.
+/// A URL appearing in several articles yields one event per article (the
+/// real feed is per-edit); the archive-side consumer dedups as it pleases.
+pub fn link_added_events(wiki: &WikiStore) -> Vec<LinkAddedEvent> {
+    let mut events = Vec::new();
+    for article in wiki.articles() {
+        let mut seen: HashSet<Url> = HashSet::new();
+        for rev in article.revisions() {
+            let doc = Document::parse(&rev.text);
+            for r in doc.refs() {
+                if seen.insert(r.url.clone()) {
+                    events.push(LinkAddedEvent {
+                        time: rev.time,
+                        article: article.title.clone(),
+                        url: r.url.clone(),
+                    });
+                }
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.time, e.article.clone()));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::article::Article;
+    use crate::user::User;
+    use crate::wikitext::CiteRef;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32, m: u32) -> SimTime {
+        SimTime::from_ymd(y, m, 1)
+    }
+
+    #[test]
+    fn events_in_time_order_with_first_appearance_semantics() {
+        let mut w = WikiStore::new();
+
+        let mut a = Article::new("B-Article");
+        let mut doc = Document::new();
+        doc.push_ref(CiteRef::cite_web(u("http://x.org/1"), "T"));
+        a.save_doc(t(2012, 5), User::human("A"), &doc, "add first");
+        // second revision re-saves the same link (no new event) and adds one
+        doc.push_ref(CiteRef::cite_web(u("http://x.org/2"), "T2"));
+        a.save_doc(t(2015, 1), User::human("A"), &doc, "add second");
+        w.insert(a);
+
+        let mut b = Article::new("A-Article");
+        let mut doc = Document::new();
+        doc.push_ref(CiteRef::cite_web(u("http://x.org/1"), "T")); // same URL, a different article
+        b.save_doc(t(2013, 7), User::human("B"), &doc, "add");
+        w.insert(b);
+
+        let events = link_added_events(&w);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].time, t(2012, 5));
+        assert_eq!(events[0].article, "B-Article");
+        assert_eq!(events[1].time, t(2013, 7));
+        assert_eq!(events[1].article, "A-Article");
+        assert_eq!(events[2].url, u("http://x.org/2"));
+    }
+
+    #[test]
+    fn empty_wiki_no_events() {
+        assert!(link_added_events(&WikiStore::new()).is_empty());
+    }
+
+    #[test]
+    fn removed_then_readded_link_counts_once() {
+        let mut w = WikiStore::new();
+        let mut a = Article::new("X");
+        let mut doc = Document::new();
+        doc.push_ref(CiteRef::cite_web(u("http://x.org/1"), "T"));
+        a.save_doc(t(2010, 1), User::human("A"), &doc, "add");
+        a.save(t(2011, 1), User::human("A"), "link removed".into(), "rm");
+        let mut doc2 = Document::new();
+        doc2.push_ref(CiteRef::cite_web(u("http://x.org/1"), "T"));
+        a.save_doc(t(2012, 1), User::human("A"), &doc2, "readd");
+        w.insert(a);
+        let events = link_added_events(&w);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time, t(2010, 1));
+    }
+}

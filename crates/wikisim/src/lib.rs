@@ -1,0 +1,35 @@
+//! A Wikipedia simulator.
+//!
+//! The paper's raw material is Wikipedia state: article wikitext with
+//! external references, full edit histories (who added which link when, who
+//! marked it dead when — §2.4's three pieces of provenance), and the
+//! category of articles containing permanently-dead links (§2.2). This crate
+//! models exactly that much of MediaWiki:
+//!
+//! - [`wikitext`]: a minimal-but-real wikitext dialect — `<ref>` blocks,
+//!   `{{cite web}}` templates with `url=`/`archive-url=` parameters, the
+//!   `{{dead link}}` tag, and bare external links — with a round-tripping
+//!   parser, because bots *edit* pages, they don't just read them.
+//! - [`article`]: revisions and attribution; queries like "when was this URL
+//!   added" and "who tagged it dead" replay the history exactly as the paper
+//!   does.
+//! - [`store`]: the wiki itself, with title-ordered iteration (the paper's
+//!   March dataset is the first 10,000 articles *in alphabetical order*) and
+//!   the permanently-dead category index.
+//! - [`eventstream`]: the link-addition feed (Wikipedia EventStream / NO404
+//!   analogue) that the Internet Archive consumes to discover fresh links —
+//!   whose lag is measured by Figure 5.
+
+pub mod article;
+pub mod eventstream;
+pub mod render;
+pub mod store;
+pub mod user;
+pub mod wikitext;
+
+pub use article::{Article, Revision};
+pub use eventstream::{LinkAddedEvent, link_added_events};
+pub use render::{render_article, render_document};
+pub use store::WikiStore;
+pub use user::User;
+pub use wikitext::{CiteRef, DeadLinkTag, Document, UrlStatus};

@@ -1,0 +1,191 @@
+//! Article rendering: wikitext → reader-facing HTML.
+//!
+//! This is the surface where link rot actually hurts (the paper's Figure 1
+//! is a screenshot of exactly this): references render as footnotes; a
+//! patched reference shows "Archived from the original"; an unpatched dead
+//! one carries the `[permanent dead link]` annotation. Rendering an article
+//! at two different wiki states makes the bots' work visible.
+
+use crate::article::Article;
+use crate::wikitext::{Block, CiteRef, Document};
+
+/// Render a document as an article body plus a numbered references section.
+pub fn render_document(title: &str, doc: &Document) -> String {
+    let mut body = String::new();
+    let mut refs: Vec<&CiteRef> = Vec::new();
+    for block in &doc.blocks {
+        match block {
+            Block::Prose(p) => body.push_str(&escape(p)),
+            Block::Ref(r) => {
+                refs.push(r);
+                body.push_str(&format!(
+                    "<sup id=\"cite-{n}\"><a href=\"#ref-{n}\">[{n}]</a></sup>",
+                    n = refs.len()
+                ));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("<html><head><title>");
+    out.push_str(&escape(title));
+    out.push_str("</title></head><body><h1>");
+    out.push_str(&escape(title));
+    out.push_str("</h1><p>");
+    out.push_str(&body);
+    out.push_str("</p>");
+
+    if !refs.is_empty() {
+        out.push_str("<h2>References</h2><ol class=\"references\">");
+        for (i, r) in refs.iter().enumerate() {
+            out.push_str(&format!("<li id=\"ref-{}\">", i + 1));
+            out.push_str(&render_ref(r));
+            out.push_str("</li>");
+        }
+        out.push_str("</ol>");
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// One reference the way Wikipedia shows it (cf. the paper's Figure 1).
+fn render_ref(r: &CiteRef) -> String {
+    let title = r.title.clone().unwrap_or_else(|| r.url.to_string());
+    let mut s = String::new();
+    match &r.archive_url {
+        Some(archive) => {
+            // patched: title points at the archived copy, original linked after
+            s.push_str(&format!(
+                "<a href=\"{}\">{}</a>. ",
+                escape(&archive.to_string()),
+                escape(&title)
+            ));
+            s.push_str(&format!(
+                "Archived from <a href=\"{}\">the original</a>",
+                escape(&r.url.to_string())
+            ));
+            if let Some(d) = &r.archive_date {
+                s.push_str(&format!(" on {}", escape(d)));
+            }
+            s.push('.');
+        }
+        None => {
+            s.push_str(&format!(
+                "<a href=\"{}\">{}</a>.",
+                escape(&r.url.to_string()),
+                escape(&title)
+            ));
+        }
+    }
+    if r.is_permanently_dead() {
+        let date = r
+            .dead_link
+            .as_ref()
+            .map(|t| t.date.clone())
+            .unwrap_or_default();
+        s.push_str(&format!(
+            "<span class=\"permanent-dead\">[permanent dead link<!-- {} -->]</span>",
+            escape(&date)
+        ));
+    }
+    s
+}
+
+/// Render an article's current revision.
+pub fn render_article(article: &Article) -> String {
+    render_document(&article.title, &article.current_doc())
+}
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::User;
+    use crate::wikitext::DeadLinkTag;
+    use permadead_net::SimTime;
+    use permadead_url::Url;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn doc_with(refs: Vec<CiteRef>) -> Document {
+        let mut d = Document::new();
+        d.push_prose("Before. ");
+        for r in refs {
+            d.push_ref(r);
+        }
+        d.push_prose(" After.");
+        d
+    }
+
+    #[test]
+    fn footnote_markers_and_reference_list() {
+        let doc = doc_with(vec![
+            CiteRef::cite_web(u("http://a.org/1"), "First"),
+            CiteRef::cite_web(u("http://b.org/2"), "Second"),
+        ]);
+        let html = render_document("Test", &doc);
+        assert!(html.contains("[1]"));
+        assert!(html.contains("[2]"));
+        assert!(html.contains("<ol class=\"references\">"));
+        assert!(html.contains("<a href=\"http://a.org/1\">First</a>"));
+        assert!(html.contains("id=\"ref-2\""));
+    }
+
+    #[test]
+    fn patched_ref_shows_archived_from_original() {
+        let mut r = CiteRef::cite_web(u("http://a.org/1"), "Story");
+        r.archive_url = Some(u("http://web.archive.sim/web/20140501000000/http://a.org/1"));
+        r.archive_date = Some("2014-05-01".into());
+        let html = render_document("T", &doc_with(vec![r]));
+        assert!(html.contains("Archived from <a href=\"http://a.org/1\">the original</a> on 2014-05-01."));
+        assert!(html.contains("href=\"http://web.archive.sim/web/20140501000000/http://a.org/1\""));
+    }
+
+    #[test]
+    fn dead_tag_renders_annotation() {
+        let mut r = CiteRef::cite_web(u("http://a.org/1"), "Gone");
+        r.dead_link = Some(DeadLinkTag {
+            date: "March 2022".into(),
+            bot: Some("InternetArchiveBot".into()),
+        });
+        let html = render_document("T", &doc_with(vec![r]));
+        assert!(html.contains("permanent dead link"));
+        assert!(html.contains("class=\"permanent-dead\""));
+    }
+
+    #[test]
+    fn prose_is_escaped() {
+        let mut d = Document::new();
+        d.push_prose("a < b & \"c\"");
+        let html = render_document("T<script>", &d);
+        assert!(html.contains("a &lt; b &amp; &quot;c&quot;"));
+        assert!(html.contains("<title>T&lt;script&gt;</title>"));
+        assert!(!html.contains("<script>"));
+    }
+
+    #[test]
+    fn article_renders_current_revision() {
+        let mut a = Article::new("Page");
+        let doc = doc_with(vec![CiteRef::cite_web(u("http://a.org/x"), "Ref")]);
+        a.save_doc(SimTime::from_ymd(2015, 1, 1), User::human("E"), &doc, "c");
+        let html = render_article(&a);
+        assert!(html.contains("<h1>Page</h1>"));
+        assert!(html.contains("Ref"));
+    }
+
+    #[test]
+    fn bare_ref_uses_url_as_title() {
+        let r = CiteRef::bare_link(u("http://a.org/raw"), None);
+        let html = render_document("T", &doc_with(vec![r]));
+        assert!(html.contains("<a href=\"http://a.org/raw\">http://a.org/raw</a>"));
+    }
+}

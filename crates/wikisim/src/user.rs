@@ -1,0 +1,72 @@
+//! Wiki users and bots.
+//!
+//! §2.4: "any Wikipedia user can annotate any link as a 'permanent dead
+//! link', and every bot that is approved to run on Wikipedia has an
+//! associated username too." The paper filters its sample to links marked by
+//! IABot specifically; we carry the same attribution.
+
+use std::fmt;
+
+/// An account that makes edits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct User {
+    pub name: String,
+    pub is_bot: bool,
+}
+
+impl User {
+    /// The InternetArchiveBot account.
+    pub fn iabot() -> User {
+        User {
+            name: "InternetArchiveBot".into(),
+            is_bot: true,
+        }
+    }
+
+    /// The WaybackMedic account (GreenC bot).
+    pub fn wayback_medic() -> User {
+        User {
+            name: "GreenC bot".into(),
+            is_bot: true,
+        }
+    }
+
+    /// A human editor.
+    pub fn human(name: &str) -> User {
+        User {
+            name: name.into(),
+            is_bot: false,
+        }
+    }
+
+    pub fn is_iabot(&self) -> bool {
+        self.name == "InternetArchiveBot"
+    }
+}
+
+impl fmt::Display for User {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bot_accounts() {
+        assert!(User::iabot().is_bot);
+        assert!(User::iabot().is_iabot());
+        assert!(User::wayback_medic().is_bot);
+        assert!(!User::wayback_medic().is_iabot());
+    }
+
+    #[test]
+    fn humans() {
+        let u = User::human("Alice");
+        assert!(!u.is_bot);
+        assert!(!u.is_iabot());
+        assert_eq!(u.to_string(), "Alice");
+    }
+}

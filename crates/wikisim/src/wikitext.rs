@@ -1,0 +1,538 @@
+//! A minimal, round-tripping wikitext dialect.
+//!
+//! Real MediaWiki markup is vast; the paper touches exactly this much of it:
+//!
+//! - `<ref>{{cite web |url=… |title=… |archive-url=… |archive-date=… |url-status=dead}}</ref>`
+//!   — a citation, possibly already patched with an archived copy (Figure 1,
+//!   references 8 and 9);
+//! - `<ref>[http://… Title]</ref>` — a bare external link reference;
+//! - `{{dead link|date=March 2022|bot=InternetArchiveBot}}` following a ref —
+//!   the *permanent dead link* tag (Figure 1, reference 3);
+//! - everything else is prose.
+//!
+//! The parser produces a [`Document`] of blocks that renders back to the
+//! exact canonical text (`parse ∘ render = id`), which is what lets bots
+//! edit articles without trampling content.
+
+use permadead_url::Url;
+use std::fmt;
+
+/// Whether the cite's original URL is believed live or dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UrlStatus {
+    #[default]
+    Live,
+    Dead,
+}
+
+/// The `{{dead link}}` tag marking a reference as permanently dead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLinkTag {
+    /// Free-form month-year, e.g. "March 2022".
+    pub date: String,
+    /// The bot that applied the tag, if a bot did.
+    pub bot: Option<String>,
+}
+
+/// An external reference inside `<ref>…</ref>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CiteRef {
+    pub url: Url,
+    pub title: Option<String>,
+    /// Link to an archived copy, when a bot (or human) patched the ref.
+    pub archive_url: Option<Url>,
+    /// Capture date of the archived copy, free-form.
+    pub archive_date: Option<String>,
+    pub url_status: UrlStatus,
+    /// Set when the reference is tagged `{{dead link}}` — on Wikipedia that
+    /// tag sits right after the `</ref>`, and semantically belongs to it.
+    pub dead_link: Option<DeadLinkTag>,
+    /// True when the source was a bare `[url title]` link rather than a
+    /// `{{cite web}}` template; preserved for round-tripping.
+    pub bare: bool,
+}
+
+impl CiteRef {
+    pub fn cite_web(url: Url, title: &str) -> CiteRef {
+        CiteRef {
+            url,
+            title: Some(title.to_string()),
+            archive_url: None,
+            archive_date: None,
+            url_status: UrlStatus::Live,
+            dead_link: None,
+            bare: false,
+        }
+    }
+
+    pub fn bare_link(url: Url, title: Option<&str>) -> CiteRef {
+        CiteRef {
+            url,
+            title: title.map(str::to_string),
+            archive_url: None,
+            archive_date: None,
+            url_status: UrlStatus::Live,
+            dead_link: None,
+            bare: true,
+        }
+    }
+
+    /// Is this reference tagged as a permanent dead link?
+    pub fn is_permanently_dead(&self) -> bool {
+        self.dead_link.is_some()
+    }
+
+    /// Has the reference been patched with an archived copy?
+    pub fn is_archived(&self) -> bool {
+        self.archive_url.is_some()
+    }
+}
+
+/// One block of an article.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    Prose(String),
+    Ref(CiteRef),
+}
+
+/// A parsed article body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    pub blocks: Vec<Block>,
+}
+
+impl Document {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push_prose(&mut self, text: &str) {
+        self.blocks.push(Block::Prose(text.to_string()));
+    }
+
+    pub fn push_ref(&mut self, r: CiteRef) {
+        self.blocks.push(Block::Ref(r));
+    }
+
+    /// All references, in order.
+    pub fn refs(&self) -> impl Iterator<Item = &CiteRef> {
+        self.blocks.iter().filter_map(|b| match b {
+            Block::Ref(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    pub fn refs_mut(&mut self) -> impl Iterator<Item = &mut CiteRef> {
+        self.blocks.iter_mut().filter_map(|b| match b {
+            Block::Ref(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// The reference for a given original URL, if present.
+    pub fn ref_for(&self, url: &Url) -> Option<&CiteRef> {
+        self.refs().find(|r| &r.url == url)
+    }
+
+    pub fn ref_for_mut(&mut self, url: &Url) -> Option<&mut CiteRef> {
+        self.refs_mut().find(|r| &r.url == url)
+    }
+
+    /// Parse wikitext. Unknown templates and malformed refs degrade to
+    /// prose — a wiki must never lose text.
+    pub fn parse(text: &str) -> Document {
+        let mut doc = Document::new();
+        let mut prose = String::new();
+        let mut rest = text;
+        while !rest.is_empty() {
+            if let Some((before, r, after)) = take_ref(rest) {
+                if !before.is_empty() {
+                    prose.push_str(before);
+                }
+                if !prose.is_empty() {
+                    doc.push_prose(&prose);
+                    prose.clear();
+                }
+                doc.push_ref(r);
+                rest = after;
+            } else {
+                prose.push_str(rest);
+                rest = "";
+            }
+        }
+        if !prose.is_empty() {
+            doc.push_prose(&prose);
+        }
+        doc
+    }
+
+    /// Render to canonical wikitext.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            match b {
+                Block::Prose(p) => out.push_str(p),
+                Block::Ref(r) => render_ref(r, &mut out),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_ref(r: &CiteRef, out: &mut String) {
+    out.push_str("<ref>");
+    if r.bare {
+        out.push('[');
+        out.push_str(&r.url.to_string());
+        if let Some(t) = &r.title {
+            out.push(' ');
+            out.push_str(t);
+        }
+        out.push(']');
+    } else {
+        out.push_str("{{cite web |url=");
+        out.push_str(&r.url.to_string());
+        if let Some(t) = &r.title {
+            out.push_str(" |title=");
+            out.push_str(t);
+        }
+        if let Some(a) = &r.archive_url {
+            out.push_str(" |archive-url=");
+            out.push_str(&a.to_string());
+        }
+        if let Some(d) = &r.archive_date {
+            out.push_str(" |archive-date=");
+            out.push_str(d);
+        }
+        if r.url_status == UrlStatus::Dead {
+            out.push_str(" |url-status=dead");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("</ref>");
+    if let Some(tag) = &r.dead_link {
+        out.push_str("{{dead link|date=");
+        out.push_str(&tag.date);
+        if let Some(bot) = &tag.bot {
+            out.push_str("|bot=");
+            out.push_str(bot);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Try to split `text` as `(prose-before, parsed ref, rest-after)` at the
+/// first parseable `<ref>`. Returns `None` when no parseable ref remains.
+fn take_ref(text: &str) -> Option<(&str, CiteRef, &str)> {
+    let mut search_from = 0;
+    loop {
+        let open_rel = text[search_from..].find("<ref>")?;
+        let open = search_from + open_rel;
+        let inner_start = open + "<ref>".len();
+        let Some(close_rel) = text[inner_start..].find("</ref>") else {
+            return None;
+        };
+        let inner = &text[inner_start..inner_start + close_rel];
+        let mut after = &text[inner_start + close_rel + "</ref>".len()..];
+        match parse_ref_inner(inner) {
+            Some(mut r) => {
+                // an immediately following {{dead link|…}} belongs to the ref
+                if let Some((tag, rest)) = take_dead_link_tag(after) {
+                    r.dead_link = Some(tag);
+                    after = rest;
+                }
+                return Some((&text[..open], r, after));
+            }
+            // unparseable ref: skip past it and keep searching; it stays prose
+            None => search_from = inner_start + close_rel + "</ref>".len(),
+        }
+    }
+}
+
+fn parse_ref_inner(inner: &str) -> Option<CiteRef> {
+    let inner = inner.trim();
+    if let Some(body) = inner
+        .strip_prefix("{{")
+        .and_then(|s| s.strip_suffix("}}"))
+    {
+        let mut parts = body.split('|').map(str::trim);
+        let name = parts.next()?;
+        if !name.eq_ignore_ascii_case("cite web") {
+            return None;
+        }
+        let mut r = CiteRef {
+            url: Url::parse("http://placeholder.invalid/").unwrap(),
+            title: None,
+            archive_url: None,
+            archive_date: None,
+            url_status: UrlStatus::Live,
+            dead_link: None,
+            bare: false,
+        };
+        let mut have_url = false;
+        for part in parts {
+            let (k, v) = part.split_once('=')?;
+            let (k, v) = (k.trim(), v.trim());
+            match k {
+                "url" => {
+                    r.url = Url::parse(v).ok()?;
+                    have_url = true;
+                }
+                "title" => r.title = Some(v.to_string()),
+                "archive-url" => r.archive_url = Some(Url::parse(v).ok()?),
+                "archive-date" => r.archive_date = Some(v.to_string()),
+                "url-status" => {
+                    r.url_status = if v.eq_ignore_ascii_case("dead") {
+                        UrlStatus::Dead
+                    } else {
+                        UrlStatus::Live
+                    }
+                }
+                _ => {} // unknown params are tolerated (and dropped)
+            }
+        }
+        have_url.then_some(r)
+    } else if let Some(body) = inner.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let (url_str, title) = match body.split_once(' ') {
+            Some((u, t)) => (u, Some(t.trim())),
+            None => (body, None),
+        };
+        let url = Url::parse(url_str).ok()?;
+        Some(CiteRef::bare_link(url, title.filter(|t| !t.is_empty())))
+    } else {
+        None
+    }
+}
+
+fn take_dead_link_tag(text: &str) -> Option<(DeadLinkTag, &str)> {
+    let body_start = text.strip_prefix("{{dead link|")?;
+    let end = body_start.find("}}")?;
+    let body = &body_start[..end];
+    let rest = &body_start[end + 2..];
+    let mut date = None;
+    let mut bot = None;
+    for part in body.split('|') {
+        if let Some((k, v)) = part.split_once('=') {
+            match k.trim() {
+                "date" => date = Some(v.trim().to_string()),
+                "bot" => bot = Some(v.trim().to_string()),
+                _ => {}
+            }
+        }
+    }
+    Some((
+        DeadLinkTag {
+            date: date.unwrap_or_default(),
+            bot,
+        },
+        rest,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_cite_web() {
+        let text = "Before.<ref>{{cite web |url=http://e.org/a |title=A Story}}</ref>After.";
+        let doc = Document::parse(text);
+        assert_eq!(doc.blocks.len(), 3);
+        let r = doc.refs().next().unwrap();
+        assert_eq!(r.url, u("http://e.org/a"));
+        assert_eq!(r.title.as_deref(), Some("A Story"));
+        assert!(!r.is_permanently_dead());
+        assert!(!r.bare);
+    }
+
+    #[test]
+    fn parse_patched_cite() {
+        let text = "<ref>{{cite web |url=http://e.org/a |title=T \
+                    |archive-url=http://web.archive.sim/2014/http://e.org/a \
+                    |archive-date=2014-05-01 |url-status=dead}}</ref>";
+        let doc = Document::parse(text);
+        let r = doc.refs().next().unwrap();
+        assert!(r.is_archived());
+        assert_eq!(r.url_status, UrlStatus::Dead);
+        assert_eq!(r.archive_date.as_deref(), Some("2014-05-01"));
+    }
+
+    #[test]
+    fn parse_dead_link_tag() {
+        let text = "<ref>{{cite web |url=http://e.org/a}}</ref>{{dead link|date=March 2022|bot=InternetArchiveBot}} tail";
+        let doc = Document::parse(text);
+        let r = doc.refs().next().unwrap();
+        let tag = r.dead_link.as_ref().unwrap();
+        assert_eq!(tag.date, "March 2022");
+        assert_eq!(tag.bot.as_deref(), Some("InternetArchiveBot"));
+        assert!(r.is_permanently_dead());
+        // the trailing prose survives
+        assert_eq!(doc.blocks.last(), Some(&Block::Prose(" tail".to_string())));
+    }
+
+    #[test]
+    fn parse_bare_link() {
+        let doc = Document::parse("<ref>[http://e.org/a The Title Words]</ref>");
+        let r = doc.refs().next().unwrap();
+        assert!(r.bare);
+        assert_eq!(r.url, u("http://e.org/a"));
+        assert_eq!(r.title.as_deref(), Some("The Title Words"));
+
+        let doc = Document::parse("<ref>[http://e.org/b]</ref>");
+        let r = doc.refs().next().unwrap();
+        assert_eq!(r.title, None);
+    }
+
+    #[test]
+    fn malformed_ref_stays_prose() {
+        let text = "x<ref>{{cite journal |url=http://e.org/a}}</ref>y<ref>not a link</ref>z";
+        let doc = Document::parse(text);
+        assert_eq!(doc.refs().count(), 0);
+        assert_eq!(doc.render(), text);
+    }
+
+    #[test]
+    fn unterminated_ref_stays_prose() {
+        let text = "x<ref>{{cite web |url=http://e.org/a}}";
+        let doc = Document::parse(text);
+        assert_eq!(doc.refs().count(), 0);
+        assert_eq!(doc.render(), text);
+    }
+
+    #[test]
+    fn round_trip_canonical() {
+        let texts = [
+            "Plain prose only.",
+            "<ref>{{cite web |url=http://e.org/a |title=T}}</ref>",
+            "A<ref>[http://e.org/x]</ref>B<ref>{{cite web |url=http://f.org/y |title=Z |url-status=dead}}</ref>{{dead link|date=May 2021|bot=InternetArchiveBot}}C",
+        ];
+        for t in texts {
+            let doc = Document::parse(t);
+            assert_eq!(doc.render(), t, "round trip failed");
+            // idempotence at the document level too
+            assert_eq!(Document::parse(&doc.render()), doc);
+        }
+    }
+
+    #[test]
+    fn edit_patch_and_render() {
+        // simulate IABot patching a ref with an archived copy
+        let mut doc =
+            Document::parse("<ref>{{cite web |url=http://e.org/a |title=T}}</ref>");
+        {
+            let r = doc.ref_for_mut(&u("http://e.org/a")).unwrap();
+            r.archive_url = Some(u("http://archive.sim/2013/http://e.org/a"));
+            r.archive_date = Some("2013-02-03".into());
+            r.url_status = UrlStatus::Dead;
+        }
+        let rendered = doc.render();
+        assert!(rendered.contains("archive-url=http://archive.sim/2013/http://e.org/a"));
+        assert!(rendered.contains("url-status=dead"));
+        // and it parses back to the same document
+        assert_eq!(Document::parse(&rendered), doc);
+    }
+
+    #[test]
+    fn edit_mark_permanently_dead() {
+        let mut doc =
+            Document::parse("<ref>{{cite web |url=http://e.org/a |title=T}}</ref>");
+        doc.ref_for_mut(&u("http://e.org/a")).unwrap().dead_link = Some(DeadLinkTag {
+            date: "February 2021".into(),
+            bot: Some("InternetArchiveBot".into()),
+        });
+        let rendered = doc.render();
+        assert!(rendered.contains("{{dead link|date=February 2021|bot=InternetArchiveBot}}"));
+        let re = Document::parse(&rendered);
+        assert!(re.refs().next().unwrap().is_permanently_dead());
+    }
+
+    #[test]
+    fn multiple_refs_in_order() {
+        let text = "<ref>{{cite web |url=http://a.org/1 |title=One}}</ref>\
+                    mid\
+                    <ref>{{cite web |url=http://b.org/2 |title=Two}}</ref>";
+        let doc = Document::parse(text);
+        let urls: Vec<String> = doc.refs().map(|r| r.url.to_string()).collect();
+        assert_eq!(urls, vec!["http://a.org/1", "http://b.org/2"]);
+    }
+
+    #[test]
+    fn dead_link_tag_without_bot() {
+        let doc = Document::parse(
+            "<ref>{{cite web |url=http://e.org/a}}</ref>{{dead link|date=July 2019}}",
+        );
+        let tag = doc.refs().next().unwrap().dead_link.clone().unwrap();
+        assert_eq!(tag.bot, None);
+        assert_eq!(tag.date, "July 2019");
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics_and_preserves_text(input in "[ -~]{0,200}") {
+            // arbitrary printable input: parsing must not panic, and
+            // anything that didn't parse into a ref must survive verbatim
+            let doc = Document::parse(&input);
+            let rendered = doc.render();
+            if doc.refs().count() == 0 {
+                prop_assert_eq!(rendered, input);
+            }
+        }
+
+        #[test]
+        fn parse_render_reaches_fixpoint(input in "[a-z<>{}|=/: .]{0,160}") {
+            // one parse/render round may canonicalize; after that it must be
+            // stable
+            let once = Document::parse(&input).render();
+            let twice = Document::parse(&once).render();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn adversarial_ref_fragments_do_not_lose_urls(
+            host in "[a-z]{2,8}",
+            junk in "[a-z{}| ]{0,24}",
+        ) {
+            // a well-formed cite surrounded by junk still parses
+            let text = format!(
+                "{junk}<ref>{{{{cite web |url=http://{host}.org/x |title=T}}}}</ref>{junk}"
+            );
+            let doc = Document::parse(&text);
+            prop_assert_eq!(doc.refs().count(), 1);
+            prop_assert_eq!(doc.render(), text);
+        }
+
+        #[test]
+        fn constructed_docs_round_trip(
+            urls in proptest::collection::vec("[a-z]{2,8}", 1..5),
+            dead_mask in proptest::collection::vec(any::<bool>(), 1..5),
+        ) {
+            let mut doc = Document::new();
+            doc.push_prose("Intro. ");
+            for (i, host) in urls.iter().enumerate() {
+                let mut r = CiteRef::cite_web(
+                    Url::parse(&format!("http://{host}.org/p{i}")).unwrap(),
+                    &format!("Title {i}"),
+                );
+                if *dead_mask.get(i).unwrap_or(&false) {
+                    r.dead_link = Some(DeadLinkTag { date: "March 2022".into(), bot: Some("InternetArchiveBot".into()) });
+                    r.url_status = UrlStatus::Dead;
+                }
+                doc.push_ref(r);
+                doc.push_prose(" and ");
+            }
+            let re = Document::parse(&doc.render());
+            prop_assert_eq!(re, doc);
+        }
+    }
+}

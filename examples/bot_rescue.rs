@@ -1,0 +1,54 @@
+//! IABot vs WaybackMedic: the §4.1 rescue experiment as a runnable demo.
+//!
+//! The same wiki is swept twice — once with IABot's production settings
+//! (availability-API timeout, initial-200-only copies) and once by
+//! WaybackMedic (no timeout) — and once more with the §4.2 counterfactual
+//! that also accepts redirect copies.
+//!
+//! ```sh
+//! cargo run --release --example bot_rescue
+//! ```
+
+use permadead::bot::WaybackMedic;
+use permadead::sim::{Scenario, ScenarioConfig};
+use permadead::wiki::WikiStore;
+
+fn clone_wiki(src: &WikiStore) -> WikiStore {
+    let mut w = WikiStore::new();
+    for a in src.articles() {
+        w.insert(a.clone());
+    }
+    w
+}
+
+fn main() {
+    let scenario = Scenario::generate(ScenarioConfig::small(99));
+    let tagged_before = scenario.wiki.unique_permanently_dead_urls().len();
+    println!(
+        "after IABot's 2016–2021 sweeps: {} permanently dead links\n  (bot totals: {})\n",
+        tagged_before,
+        scenario.total_bot_report()
+    );
+
+    // WaybackMedic, production configuration: no lookup timeout
+    let mut wiki = clone_wiki(&scenario.wiki);
+    let report = WaybackMedic::new().run(&mut wiki, &scenario.archive, scenario.config.study_time);
+    let after = wiki.unique_permanently_dead_urls().len();
+    println!("WaybackMedic (initial-200 copies only): {report}");
+    println!(
+        "  permanently dead: {tagged_before} → {after}  ({:.1}% rescued — the paper's §4.1 \
+         timeout misses)\n",
+        (tagged_before - after) as f64 * 100.0 / tagged_before.max(1) as f64
+    );
+
+    // counterfactual: also accept archived redirects (§4.2)
+    let mut wiki = clone_wiki(&scenario.wiki);
+    let medic = WaybackMedic { allow_redirect_copies: true };
+    let report = medic.run(&mut wiki, &scenario.archive, scenario.config.study_time);
+    let after_redirects = wiki.unique_permanently_dead_urls().len();
+    println!("WaybackMedic accepting redirect copies too: {report}");
+    println!(
+        "  permanently dead: {tagged_before} → {after_redirects}  (upper bound; the paper's \
+         §4.2 argues for validating redirects first, which rescues ~5% of links)",
+    );
+}

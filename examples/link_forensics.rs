@@ -1,0 +1,89 @@
+//! Forensics on individual permanently-dead links: for a handful of tagged
+//! URLs, reconstruct the full story the way the paper's analysis does —
+//! provenance from the edit history, status on the live web today, the
+//! soft-404 probe, archived copies before and after tagging, redirect
+//! validation, spatial coverage, and the typo scan.
+//!
+//! ```sh
+//! cargo run --release --example link_forensics
+//! ```
+
+use permadead::analysis::{
+    archival, find_typo_candidate, live_check, soft404_probe, spatial_coverage,
+    temporal_analysis, validate_redirect, ArchivalClass,
+};
+use permadead::sim::{Scenario, ScenarioConfig};
+
+fn main() {
+    let scenario = Scenario::generate(ScenarioConfig::small(1234));
+    let study_time = scenario.config.study_time;
+    let urls = scenario.permanently_dead_urls();
+    println!("{} permanently dead links; examining a sample:\n", urls.len());
+
+    let mut shown = 0;
+    for url in &urls {
+        // find the tagging article & provenance
+        let Some((article, prov)) = scenario.wiki.articles().find_map(|a| {
+            a.link_provenance(url)
+                .filter(|p| p.marked_dead_at.is_some())
+                .map(|p| (a.title.clone(), p))
+        }) else {
+            continue;
+        };
+        let marked_at = prov.marked_dead_at.expect("filtered");
+        let class = archival::classify_archival(&scenario.archive, url, marked_at);
+
+        // show a mix of stories: one per archival class
+        if shown >= 5 {
+            break;
+        }
+        shown += 1;
+
+        println!("── {url}");
+        println!("   cited in:          {article}");
+        println!("   added:             {} by {}", prov.added_at.date(), prov.added_by);
+        println!(
+            "   tagged dead:       {} by {}",
+            marked_at.date(),
+            prov.marked_dead_by.as_deref().unwrap_or("?")
+        );
+        let check = live_check(&scenario.web, url, study_time);
+        println!("   live status today: {}", check.status);
+        if check.is_final_200() {
+            println!("   soft-404 probe:    {:?}", soft404_probe(&scenario.web, url, study_time, 7));
+        }
+        println!("   archival class:    {class:?}");
+        match class {
+            ArchivalClass::Had3xxOnly => {
+                if let Some(snap) = archival::first_3xx_before(&scenario.archive, url, marked_at) {
+                    println!(
+                        "   archived redirect: {} → {} ({:?})",
+                        snap.captured.date(),
+                        snap.redirect_target.as_ref().map(|u| u.to_string()).unwrap_or_default(),
+                        validate_redirect(&scenario.archive, snap)
+                    );
+                }
+            }
+            ArchivalClass::NeverArchived => {
+                let cov = spatial_coverage(&scenario.archive, url);
+                println!(
+                    "   spatial coverage:  {} archived-200 URLs in directory, {} on host",
+                    cov.directory_urls, cov.hostname_urls
+                );
+                if let Some(t) = find_typo_candidate(&scenario.archive, url) {
+                    println!("   probable typo of:  {}", t.intended_url);
+                }
+            }
+            _ => {
+                let temporal = temporal_analysis(&scenario.archive, url, prov.added_at);
+                match temporal.gap_days() {
+                    Some(days) => println!(
+                        "   first capture:     {days:.0} days after posting"
+                    ),
+                    None => println!("   temporal:          {temporal:?}"),
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a tiny web by hand, let a link rot, let IABot tag it,
+//! then ask the measurement pipeline what happened.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use permadead::analysis::{classify_archival, live_check, soft404_probe};
+use permadead::archive::{ArchiveStore, Crawler};
+use permadead::bot::{IaBot, IaBotConfig};
+use permadead::net::SimTime;
+use permadead::url::Url;
+use permadead::web::{LiveWeb, Page, PageEvent, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+use permadead::wiki::wikitext::{CiteRef, Document};
+use permadead::wiki::{Article, User, WikiStore};
+
+fn main() {
+    // --- 1. a one-site web: a page that will move in 2016 without leaving
+    //        a redirect, then gain one in 2021 (the paper's §3 "revival") ---
+    let mut web = LiveWeb::new(7);
+    let mut site = Site::new(
+        SiteId(1),
+        "fishman.example",
+        SiteLifecycle::active_from(SimTime::from_ymd(2005, 1, 1)),
+        UnknownPathPolicy::NotFound,
+    );
+    let mut page = Page::new(PageId(1), SimTime::from_ymd(2008, 3, 1), "/artists/steve");
+    page.push_event(
+        SimTime::from_ymd(2016, 5, 1),
+        PageEvent::Moved { to_path: "/portfolio/steve".into() },
+    );
+    page.push_event(SimTime::from_ymd(2021, 11, 1), PageEvent::RedirectAdded);
+    site.add_page(page);
+    web.add_site(site);
+    let url = Url::parse("http://fishman.example/artists/steve").unwrap();
+
+    // --- 2. a wiki article citing the page in 2010 ---
+    let mut wiki = WikiStore::new();
+    let mut article = Article::new("Steve Henderlong");
+    let mut doc = Document::new();
+    doc.push_prose("Steve is a guitarist. ");
+    doc.push_ref(CiteRef::cite_web(url.clone(), "Artist page"));
+    article.save_doc(SimTime::from_ymd(2010, 6, 15), User::human("Editor"), &doc, "add ref");
+    wiki.insert(article);
+
+    // --- 3. the archive crawled the page... but only after it had moved ---
+    let mut archive = ArchiveStore::new();
+    let crawler = Crawler::new();
+    crawler.capture(&mut archive, &web, &url, SimTime::from_ymd(2018, 2, 1)); // a 404 copy
+
+    // --- 4. IABot sweeps in 2018: dead link, no usable copy → tagged ---
+    let mut bot = IaBot::new(IaBotConfig::default());
+    let report = bot.sweep(&mut wiki, &web, &archive, SimTime::from_ymd(2018, 9, 25));
+    println!("IABot sweep (2018): {report}");
+    let article = wiki.get("Steve Henderlong").unwrap();
+    println!("wikitext now:\n  {}\n", article.current_text());
+
+    // --- 5. the measurement pipeline re-checks in March 2022 ---
+    let study_time = SimTime::from_ymd(2022, 3, 15);
+    let check = live_check(&web, &url, study_time);
+    println!("live status in March 2022: {} (redirected: {})", check.status, check.was_redirected());
+    let probe = soft404_probe(&web, &url, study_time, 1);
+    println!("soft-404 probe: {probe:?}");
+
+    let provenance = article.link_provenance(&url).unwrap();
+    let class = classify_archival(&archive, &url, provenance.marked_dead_at.unwrap());
+    println!("archival class at tagging time: {class:?}");
+    println!(
+        "\nconclusion: the link was tagged \"permanently dead\" in {}, yet it \
+         answers 200 today — the term is a misnomer (paper §3).",
+        provenance.marked_dead_at.unwrap().date()
+    );
+}

@@ -1,0 +1,47 @@
+//! Typo hunting (§5.2): scan every never-archived permanently-dead link for
+//! a unique edit-distance-1 archived neighbour and propose fixes — the
+//! "alert users when they post dysfunctional links" implication, applied
+//! retroactively.
+//!
+//! ```sh
+//! cargo run --release --example typo_hunter
+//! ```
+
+use permadead::analysis::{archival, find_typo_candidate, live_check, ArchivalClass};
+use permadead::sim::{Scenario, ScenarioConfig};
+
+fn main() {
+    let scenario = Scenario::generate(ScenarioConfig::small(321));
+    let study_time = scenario.config.study_time;
+
+    let mut scanned = 0;
+    let mut found = Vec::new();
+    for url in scenario.permanently_dead_urls() {
+        let Some(marked_at) = scenario.wiki.articles().find_map(|a| {
+            a.link_provenance(&url).and_then(|p| p.marked_dead_at)
+        }) else {
+            continue;
+        };
+        if archival::classify_archival(&scenario.archive, &url, marked_at)
+            != ArchivalClass::NeverArchived
+        {
+            continue;
+        }
+        scanned += 1;
+        if let Some(t) = find_typo_candidate(&scenario.archive, &url) {
+            found.push(t);
+        }
+    }
+
+    println!("scanned {scanned} never-archived links, found {} probable typos:\n", found.len());
+    for t in &found {
+        // verify the proposal against the live web: does the intended URL work?
+        let check = live_check(&scenario.web, &t.intended_url, study_time);
+        println!("  dead:     {}", t.typo_url);
+        println!("  intended: {}  (live status: {})\n", t.intended_url, check.status);
+    }
+    println!(
+        "the paper found 219 such typos in its 10,000-link sample and argues the wiki \
+         should have rejected them at posting time."
+    );
+}

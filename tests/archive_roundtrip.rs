@@ -1,0 +1,95 @@
+//! Archive persistence and replay, exercised on a full generated scenario:
+//! the CDX dump of a whole world round-trips losslessly, the reloaded store
+//! answers every analysis identically, and the replay frontend serves the
+//! copies that bots linked into wikitext.
+
+use permadead::analysis::{Dataset, Study};
+use permadead::archive::{from_cdx_string, to_cdx_string, ReplayNet};
+use permadead::net::{Client, LiveStatus, StatusCode};
+use permadead::sim::{Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| {
+        Scenario::generate(ScenarioConfig {
+            rot_links: 500,
+            ..ScenarioConfig::small(777)
+        })
+    })
+}
+
+#[test]
+fn whole_world_cdx_round_trip() {
+    let s = scenario();
+    let dump = to_cdx_string(&s.archive);
+    let reloaded = from_cdx_string(&dump).expect("dump parses");
+    assert_eq!(reloaded.len(), s.archive.len());
+    assert_eq!(to_cdx_string(&reloaded), dump, "second dump identical");
+}
+
+#[test]
+fn reloaded_archive_reproduces_the_study() {
+    let s = scenario();
+    let reloaded = from_cdx_string(&to_cdx_string(&s.archive)).unwrap();
+    let ds = Dataset::random(&s.wiki, 300, 9);
+    let original = Study::run(&s.web, &s.archive, &ds, s.config.study_time).report();
+    let replayed = Study::run(&s.web, &reloaded, &ds, s.config.study_time).report();
+    assert_eq!(original, replayed);
+}
+
+#[test]
+fn patched_references_are_fetchable_through_replay() {
+    let s = scenario();
+    let net = ReplayNet::new(&s.web, &s.archive);
+    let client = Client::new();
+
+    // collect archive-urls that IABot wrote into wikitext
+    let mut checked = 0;
+    let mut served = 0;
+    for article in s.wiki.articles() {
+        for r in article.current_doc().refs() {
+            if let Some(archive_url) = &r.archive_url {
+                checked += 1;
+                let rec = client.get(&net, archive_url, s.config.study_time);
+                if rec.final_status() == Some(StatusCode::OK) {
+                    served += 1;
+                }
+            }
+        }
+        if checked >= 200 {
+            break;
+        }
+    }
+    assert!(checked > 50, "too few patched references ({checked})");
+    assert!(
+        served * 10 >= checked * 9,
+        "replay served {served}/{checked} patched copies"
+    );
+}
+
+#[test]
+fn replay_does_not_shadow_the_live_web() {
+    let s = scenario();
+    let net = ReplayNet::new(&s.web, &s.archive);
+    let client = Client::new();
+    // a healthy live URL answers the same through the composed network
+    let mut found = false;
+    for article in s.wiki.articles().take(200) {
+        for r in article.current_doc().refs() {
+            if !r.is_permanently_dead() && !r.is_archived() {
+                let direct = client.get(&s.web, &r.url, s.config.study_time);
+                let composed = client.get(&net, &r.url, s.config.study_time);
+                assert_eq!(direct.live_status(), composed.live_status());
+                if direct.live_status() == LiveStatus::Ok {
+                    assert_eq!(direct.body, composed.body);
+                }
+                found = true;
+            }
+        }
+        if found {
+            break;
+        }
+    }
+    assert!(found, "no live link found to compare");
+}

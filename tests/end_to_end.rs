@@ -1,0 +1,220 @@
+//! End-to-end integration: generate a world, run the paper's pipeline, and
+//! assert that every headline number lands in a band around the paper's
+//! value. These are the "shape holds" guarantees of the reproduction.
+
+use permadead::analysis::{Dataset, Study};
+use permadead::sim::{Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::generate(ScenarioConfig::small(42)))
+}
+
+fn march_study() -> &'static Study {
+    static S: OnceLock<Study> = OnceLock::new();
+    S.get_or_init(|| {
+        let s = scenario();
+        let category_size = s.wiki.permanently_dead_category().len();
+        let ds = Dataset::alphabetical(&s.wiki, category_size * 6 / 10, 10_000, 42);
+        Study::run(&s.web, &s.archive, &ds, s.config.study_time)
+    })
+}
+
+/// Assert `measured` (a fraction of 1) is within `band` of `target`.
+fn assert_band(name: &str, measured: f64, target: f64, band: f64) {
+    assert!(
+        (measured - target).abs() <= band,
+        "{name}: measured {measured:.3}, paper {target:.3}, allowed ±{band:.3}"
+    );
+}
+
+#[test]
+fn scenario_scale_is_sane() {
+    let s = scenario();
+    assert!(s.wiki.len() > 1000, "articles: {}", s.wiki.len());
+    assert!(s.archive.len() > 5000, "snapshots: {}", s.archive.len());
+    let ppd = s.permanently_dead_urls().len();
+    assert!(
+        (500..1400).contains(&ppd),
+        "permanently dead population: {ppd}"
+    );
+}
+
+#[test]
+fn figure4_shape() {
+    let study = march_study();
+    let counts = study.live_breakdown();
+    let n = counts.total() as f64;
+    let dns_404 = (counts.count("DNS Failure") + counts.count("404")) as f64 / n;
+    assert!(dns_404 > 0.60, "DNS+404 share {dns_404:.2} (paper: >70%)");
+    assert_band("200 share", counts.count("200") as f64 / n, 0.165, 0.06);
+    assert!(counts.count("Timeout") > 0);
+    assert!(counts.count("Other") > 0);
+}
+
+#[test]
+fn section3_shape() {
+    let study = march_study();
+    let r = study.report();
+    let n = r.n as f64;
+    assert_band("genuinely alive", r.genuinely_alive as f64 / n, 0.03, 0.025);
+    // most genuinely-alive links got there via a redirect
+    assert!(
+        r.alive_via_redirect * 10 >= r.genuinely_alive * 5,
+        "{} of {} alive links redirect",
+        r.alive_via_redirect,
+        r.genuinely_alive
+    );
+    // the single-fetch dead check was sound: first post-marking copies are
+    // overwhelmingly erroneous
+    let erroneous =
+        r.post_marking_erroneous as f64 / r.post_marking_checked.max(1) as f64;
+    assert!(erroneous > 0.85, "post-marking erroneous {erroneous:.2} (paper: 95%)");
+}
+
+#[test]
+fn section4_shape() {
+    let study = march_study();
+    let r = study.report();
+    let n = r.n as f64;
+    assert_band("had 200 copy (§4.1)", r.had_200_copy as f64 / n, 0.108, 0.06);
+    assert_band("had 3xx only (§4.2)", r.had_3xx_only as f64 / n, 0.378, 0.12);
+    assert_band("valid 3xx (§4.2)", r.valid_3xx as f64 / n, 0.048, 0.035);
+    // validated redirects are a strict subset of 3xx-only links
+    assert!(r.valid_3xx <= r.had_3xx_only);
+}
+
+#[test]
+fn section5_shape() {
+    let study = march_study();
+    let r = study.report();
+    let n = r.n as f64;
+    assert_band("never archived", r.never_archived as f64 / n, 0.198, 0.08);
+    let dir_zero = r.directory_level_zero as f64 / r.never_archived.max(1) as f64;
+    let host_zero = r.hostname_level_zero as f64 / r.never_archived.max(1) as f64;
+    assert_band("dir-level zero", dir_zero, 0.378, 0.17);
+    assert_band("host-level zero", host_zero, 0.129, 0.10);
+    assert!(
+        r.hostname_level_zero <= r.directory_level_zero,
+        "host-zero implies dir-zero"
+    );
+    // typos ≈ 2%
+    assert_band("ed-1 typos", r.unique_edit_distance_1 as f64 / n, 0.022, 0.02);
+}
+
+#[test]
+fn figure5_gaps_are_log_spread() {
+    let study = march_study();
+    let gaps = study.fig5_gap_days();
+    assert!(gaps.len() > 100, "only {} gap samples", gaps.len());
+    let median = permadead::stats::percentile(&gaps, 50.0);
+    assert!(
+        (100.0..3000.0).contains(&median),
+        "median gap {median} days (paper: months to years)"
+    );
+    // a meaningful share took more than a year
+    let over_year = gaps.iter().filter(|&&g| g > 365.0).count() as f64 / gaps.len() as f64;
+    assert!(over_year > 0.3, "only {over_year:.2} over a year");
+}
+
+#[test]
+fn figure6_counts_span_orders_of_magnitude() {
+    let study = march_study();
+    let (dir, host) = study.fig6_counts();
+    assert_eq!(dir.len(), host.len());
+    assert!(!dir.is_empty());
+    // every directory count is bounded by its host count
+    for (d, h) in dir.iter().zip(host.iter()) {
+        assert!(d <= h, "directory {d} > host {h}");
+    }
+    let max_host = host.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max_host >= 10.0, "host counts should span a range, max {max_host}");
+}
+
+#[test]
+fn march_and_september_samples_agree() {
+    // §2.4: the random September sample shows "largely identical"
+    // distributions — compare Figure 4 compositions via total variation
+    let s = scenario();
+    let march = march_study();
+    let sept_ds = Dataset::random(&s.wiki, 10_000, 7);
+    let sept = Study::run(&s.web, &s.archive, &sept_ds, s.config.random_sample_time);
+    let a = march.live_breakdown();
+    let b = sept.live_breakdown();
+    let mut tv = 0.0f64;
+    for cat in ["DNS Failure", "Timeout", "404", "200", "Other"] {
+        tv += (a.fraction(cat) - b.fraction(cat)).abs();
+    }
+    tv /= 2.0;
+    assert!(tv < 0.08, "total variation between samples: {tv:.3}");
+
+    // and the posting-date distributions agree by a two-sample KS test
+    let march_years: Vec<f64> = march
+        .findings
+        .iter()
+        .map(|f| f.entry.added_at.as_year_f64())
+        .collect();
+    let sept_years: Vec<f64> = sept
+        .findings
+        .iter()
+        .map(|f| f.entry.added_at.as_year_f64())
+        .collect();
+    let ks = permadead::stats::ks_test(&march_years, &sept_years);
+    assert!(
+        !ks.rejects_at(0.001),
+        "posting-date distributions differ: D={:.3}, p={:.4}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn dataset_filters_to_iabot_tags_only() {
+    // §2.4: the paper keeps only links "marked as permanently dead by
+    // IABot" — human patrollers' tags must be excluded, yet present in the
+    // wiki itself
+    let s = scenario();
+    let ds = Dataset::random(&s.wiki, 10_000, 3);
+    assert!(ds.entries.iter().all(|e| e.marked_by == "InternetArchiveBot"));
+    let human_tagged = s
+        .wiki
+        .articles()
+        .flat_map(|a| {
+            a.current_doc()
+                .refs()
+                .filter(|r| r.dead_link.as_ref().is_some_and(|t| t.bot.is_none()))
+                .map(|r| r.url.clone())
+                .collect::<Vec<_>>()
+        })
+        .count();
+    assert!(human_tagged > 0, "world has no human-tagged links to filter");
+    // and none of them leaked into the sample
+    let sampled: std::collections::HashSet<String> =
+        ds.entries.iter().map(|e| e.url.to_string()).collect();
+    for article in s.wiki.articles() {
+        for r in article.current_doc().refs() {
+            if r.dead_link.as_ref().is_some_and(|t| t.bot.is_none()) {
+                assert!(!sampled.contains(&r.url.to_string()), "{} leaked", r.url);
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_run_is_deterministic() {
+    let a = Scenario::generate(ScenarioConfig {
+        rot_links: 150,
+        ..ScenarioConfig::small(77)
+    });
+    let b = Scenario::generate(ScenarioConfig {
+        rot_links: 150,
+        ..ScenarioConfig::small(77)
+    });
+    assert_eq!(a.permanently_dead_urls(), b.permanently_dead_urls());
+    let da = Dataset::random(&a.wiki, 100, 5);
+    let db = Dataset::random(&b.wiki, 100, 5);
+    let ra = Study::run(&a.web, &a.archive, &da, a.config.study_time).report();
+    let rb = Study::run(&b.web, &b.archive, &db, b.config.study_time).report();
+    assert_eq!(ra, rb);
+}

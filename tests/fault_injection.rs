@@ -1,0 +1,139 @@
+//! Fault-injection integration: the confounders the paper is careful about
+//! (geo-blocking, transient outages, flaky DNS) must produce exactly the
+//! measurement artifacts it describes — and nothing else.
+
+use permadead::net::dns::{HostState, HostTimeline};
+use permadead::net::fault::{Fault, FaultProfile};
+use permadead::net::http::Vantage;
+use permadead::net::{Client, Duration, LiveStatus, SimTime};
+use permadead::web::{LiveWeb, Page, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+use permadead::url::Url;
+
+fn t(y: i32, m: u32) -> SimTime {
+    SimTime::from_ymd(y, m, 1)
+}
+
+fn u(s: &str) -> Url {
+    Url::parse(s).unwrap()
+}
+
+fn site_with_page(id: u64, host: &str) -> Site {
+    let mut s = Site::new(
+        SiteId(id),
+        host,
+        SiteLifecycle::active_from(t(2005, 1)),
+        UnknownPathPolicy::NotFound,
+    );
+    s.add_page(Page::new(PageId(1), t(2006, 1), "/page.html"));
+    s
+}
+
+#[test]
+fn geo_blocking_is_vantage_specific_and_classified_other() {
+    let mut web = LiveWeb::new(1);
+    let mut site = site_with_page(1, "geo.example");
+    site.faults = FaultProfile::none(1).with_geo_block(&[Vantage::UsEducation]);
+    web.add_site(site);
+
+    let url = u("http://geo.example/page.html");
+    let us = Client::new().with_vantage(Vantage::UsEducation);
+    let eu = Client::new().with_vantage(Vantage::Europe);
+    let crawler = Client::new().with_vantage(Vantage::Crawler);
+
+    assert_eq!(us.get(&web, &url, t(2022, 3)).live_status(), LiveStatus::Other);
+    assert_eq!(eu.get(&web, &url, t(2022, 3)).live_status(), LiveStatus::Ok);
+    assert_eq!(crawler.get(&web, &url, t(2022, 3)).live_status(), LiveStatus::Ok);
+}
+
+#[test]
+fn outage_window_flips_verdicts_and_recovers() {
+    let mut web = LiveWeb::new(2);
+    let mut site = site_with_page(1, "flaky.example");
+    site.faults = FaultProfile::none(1).with_window(t(2019, 1), t(2019, 7), Fault::Unavailable);
+    web.add_site(site);
+
+    let url = u("http://flaky.example/page.html");
+    let client = Client::new();
+    assert_eq!(client.get(&web, &url, t(2018, 6)).live_status(), LiveStatus::Ok);
+    assert_eq!(client.get(&web, &url, t(2019, 3)).live_status(), LiveStatus::Other);
+    assert_eq!(client.get(&web, &url, t(2020, 1)).live_status(), LiveStatus::Ok);
+}
+
+#[test]
+fn connect_timeouts_are_timeouts_not_dns() {
+    let mut web = LiveWeb::new(3);
+    let mut site = site_with_page(1, "slow.example");
+    site.faults =
+        FaultProfile::none(1).with_window(t(2019, 1), t(2100, 1), Fault::ConnectTimeout);
+    web.add_site(site);
+    let rec = Client::new().get(&web, &u("http://slow.example/page.html"), t(2022, 3));
+    assert_eq!(rec.live_status(), LiveStatus::Timeout);
+    assert!(rec.hops.is_empty());
+}
+
+#[test]
+fn dns_flap_recovers() {
+    // SERVFAIL era then recovery: the DNS-failure verdict is time-dependent
+    let mut web = LiveWeb::new(4);
+    let site = site_with_page(1, "flap.example");
+    let mut tl = HostTimeline::new();
+    tl.push(t(2005, 1), HostState::Active { origin_id: 1 });
+    tl.push(t(2019, 1), HostState::Broken);
+    tl.push(t(2020, 1), HostState::Active { origin_id: 1 });
+    web.dns.insert("flap.example", tl);
+    web.add_site_raw(site);
+
+    let url = u("http://flap.example/page.html");
+    let client = Client::new();
+    assert_eq!(client.get(&web, &url, t(2018, 6)).live_status(), LiveStatus::Ok);
+    assert_eq!(client.get(&web, &url, t(2019, 6)).live_status(), LiveStatus::DnsFailure);
+    assert_eq!(client.get(&web, &url, t(2021, 6)).live_status(), LiveStatus::Ok);
+}
+
+#[test]
+fn crawler_stores_nothing_during_outages() {
+    use permadead::archive::{ArchiveStore, CaptureOutcome, Crawler};
+    let mut web = LiveWeb::new(5);
+    let mut site = site_with_page(1, "down.example");
+    site.faults =
+        FaultProfile::none(1).with_window(t(2019, 1), t(2019, 7), Fault::ConnectTimeout);
+    web.add_site(site);
+
+    let mut archive = ArchiveStore::new();
+    let crawler = Crawler::new();
+    let url = u("http://down.example/page.html");
+    // during the outage: transport failure, nothing stored
+    assert_eq!(
+        crawler.capture(&mut archive, &web, &url, t(2019, 3)),
+        CaptureOutcome::Failed
+    );
+    assert!(archive.is_empty());
+    // after: a 200 copy
+    assert!(matches!(
+        crawler.capture(&mut archive, &web, &url, t(2020, 3)),
+        CaptureOutcome::Stored { .. }
+    ));
+    assert_eq!(archive.len(), 1);
+}
+
+#[test]
+fn probabilistic_faults_are_daily_deterministic() {
+    let mut web = LiveWeb::new(6);
+    let mut site = site_with_page(1, "proba.example");
+    site.faults = FaultProfile::none(1).with_timeouts(0.5);
+    web.add_site(site);
+    let url = u("http://proba.example/page.html");
+    let client = Client::new();
+    // same URL, same day, same outcome — many times
+    let day = t(2022, 3) + Duration::hours(9);
+    let first = client.get(&web, &url, day).live_status();
+    for _ in 0..10 {
+        assert_eq!(client.get(&web, &url, day).live_status(), first);
+    }
+    // across many days, both outcomes occur
+    let outcomes: Vec<LiveStatus> = (0..30)
+        .map(|d| client.get(&web, &url, day + Duration::days(d)).live_status())
+        .collect();
+    assert!(outcomes.contains(&LiveStatus::Ok));
+    assert!(outcomes.contains(&LiveStatus::Timeout));
+}

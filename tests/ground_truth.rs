@@ -1,0 +1,195 @@
+//! Pipeline-vs-ground-truth: the measurement pipeline never reads the
+//! generator's fate labels, so we can grade it. Each test checks that a
+//! pipeline verdict corresponds to the scripted mechanism behind it.
+
+use permadead::analysis::{Dataset, Study};
+use permadead::sim::{RotFate, Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+struct Graded {
+    scenario: Scenario,
+    study: Study,
+}
+
+fn graded() -> &'static Graded {
+    static G: OnceLock<Graded> = OnceLock::new();
+    G.get_or_init(|| {
+        let scenario = Scenario::generate(ScenarioConfig::small(4242));
+        let ds = Dataset::random(&scenario.wiki, 10_000, 1);
+        let study = Study::run(&scenario.web, &scenario.archive, &ds, scenario.config.study_time);
+        Graded { scenario, study }
+    })
+}
+
+fn fate_of(g: &Graded, url: &permadead::url::Url) -> Option<RotFate> {
+    g.scenario.spec_for(url).map(|s| s.fate)
+}
+
+#[test]
+fn genuinely_alive_links_are_scripted_revivals() {
+    let g = graded();
+    let mut alive = 0;
+    let mut reviving_fate = 0;
+    for f in &g.study.findings {
+        if f.genuinely_alive() {
+            alive += 1;
+            if fate_of(g, &f.entry.url).is_some_and(|fate| fate.revives()) {
+                reviving_fate += 1;
+            }
+        }
+    }
+    assert!(alive > 5, "too few alive links to grade ({alive})");
+    assert!(
+        reviving_fate * 10 >= alive * 9,
+        "{reviving_fate}/{alive} alive links are scripted revivals"
+    );
+}
+
+#[test]
+fn scripted_revivals_are_mostly_found_alive() {
+    // recall, not just precision
+    let g = graded();
+    let mut scripted = 0;
+    let mut found = 0;
+    for f in &g.study.findings {
+        if fate_of(g, &f.entry.url).is_some_and(|fate| fate.revives()) {
+            scripted += 1;
+            if f.genuinely_alive() {
+                found += 1;
+            }
+        }
+    }
+    assert!(scripted > 5, "too few scripted revivals in sample");
+    assert!(
+        found * 10 >= scripted * 7,
+        "pipeline found {found}/{scripted} scripted revivals"
+    );
+}
+
+#[test]
+fn soft_200s_are_detected_as_broken() {
+    // parked domains and soft-404 templates answer 200 but must not count
+    // as alive
+    let g = graded();
+    let mut soft = 0;
+    let mut caught = 0;
+    for f in &g.study.findings {
+        let fate = fate_of(g, &f.entry.url);
+        if matches!(
+            fate,
+            Some(RotFate::LapsedParked) | Some(RotFate::SoftDeadLate) | Some(RotFate::HomeRedirectLate)
+        ) && f.live.is_final_200()
+        {
+            soft += 1;
+            if f.soft404.is_broken() {
+                caught += 1;
+            }
+        }
+    }
+    assert!(soft > 10, "too few soft-200 links ({soft})");
+    assert!(
+        caught * 10 >= soft * 9,
+        "probe caught {caught}/{soft} soft 200s"
+    );
+}
+
+#[test]
+fn validated_redirects_are_the_genuine_moves() {
+    let g = graded();
+    let mut valid = 0;
+    let mut genuine_fate = 0;
+    for f in &g.study.findings {
+        if f.redirect_verdict.as_ref().is_some_and(|v| v.is_valid()) {
+            valid += 1;
+            if fate_of(g, &f.entry.url) == Some(RotFate::MovedThenGone) {
+                genuine_fate += 1;
+            }
+        }
+    }
+    assert!(valid > 5, "too few validated redirects ({valid})");
+    assert!(
+        genuine_fate * 10 >= valid * 8,
+        "{genuine_fate}/{valid} validated redirects are scripted genuine moves"
+    );
+}
+
+#[test]
+fn typo_candidates_are_scripted_typos() {
+    let g = graded();
+    let mut candidates = 0;
+    let mut typo_fate = 0;
+    for f in &g.study.findings {
+        if f.typo.is_some() {
+            candidates += 1;
+            if fate_of(g, &f.entry.url).is_some_and(|fate| fate.is_typo()) {
+                typo_fate += 1;
+            }
+        }
+    }
+    assert!(candidates > 3, "too few typo candidates ({candidates})");
+    assert!(
+        typo_fate * 10 >= candidates * 8,
+        "{typo_fate}/{candidates} typo candidates are scripted typos"
+    );
+}
+
+#[test]
+fn dns_failures_match_lapsed_fates() {
+    let g = graded();
+    let mut dns = 0;
+    let mut lapsed = 0;
+    for f in &g.study.findings {
+        if f.live.status == permadead::net::LiveStatus::DnsFailure {
+            dns += 1;
+            if matches!(
+                fate_of(g, &f.entry.url),
+                Some(RotFate::Lapsed) | Some(RotFate::ObscureLapsed) | Some(RotFate::TypoHost)
+            ) {
+                lapsed += 1;
+            }
+        }
+    }
+    assert!(dns > 50);
+    assert!(
+        lapsed * 10 >= dns * 9,
+        "{lapsed}/{dns} DNS failures trace to lapsed/typo'd hosts"
+    );
+}
+
+#[test]
+fn never_archived_links_really_have_no_snapshots() {
+    let g = graded();
+    for f in &g.study.findings {
+        if f.spatial.is_some() {
+            assert!(
+                g.scenario.archive.snapshots_of(&f.entry.url).is_empty(),
+                "{} classified never-archived but has snapshots",
+                f.entry.url
+            );
+        }
+    }
+}
+
+#[test]
+fn had_200_copy_class_is_the_timeout_miss_population() {
+    // every link with a pre-marking 200 copy was taggable only because an
+    // availability lookup timed out (otherwise IABot would have patched it)
+    let g = graded();
+    let timeouts: usize = g
+        .scenario
+        .bot_reports
+        .iter()
+        .map(|(_, r)| r.availability_timeouts)
+        .sum();
+    let misses = g
+        .study
+        .findings
+        .iter()
+        .filter(|f| f.archival == permadead::analysis::ArchivalClass::Had200Copy)
+        .count();
+    assert!(misses > 0);
+    assert!(
+        misses <= timeouts,
+        "{misses} 200-copy tags but only {timeouts} availability timeouts"
+    );
+}

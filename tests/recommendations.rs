@@ -1,0 +1,136 @@
+//! The recommendation work-list (the paper's implications, operationalized)
+//! must be *actionable*: every untag target really answers, every proposed
+//! copy really exists, every typo fix really works.
+
+use permadead::analysis::{recommendations, Dataset, Recommendation, Study};
+use permadead::net::{Client, LiveStatus};
+use permadead::sim::{Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+struct Fixture {
+    scenario: Scenario,
+    recs: Vec<Recommendation>,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let scenario = Scenario::generate(ScenarioConfig::small(606));
+        let ds = Dataset::random(&scenario.wiki, 10_000, 1);
+        let study = Study::run(&scenario.web, &scenario.archive, &ds, scenario.config.study_time);
+        let recs = recommendations(&study, &scenario.archive);
+        Fixture { scenario, recs }
+    })
+}
+
+#[test]
+fn worklist_covers_a_meaningful_share() {
+    let f = fixture();
+    let tagged = f.scenario.permanently_dead_urls().len();
+    assert!(
+        f.recs.len() * 5 >= tagged,
+        "only {} recommendations for {tagged} tagged links",
+        f.recs.len()
+    );
+    // at most one recommendation per URL
+    let mut urls: Vec<String> = f.recs.iter().map(|r| r.url().to_string()).collect();
+    urls.sort();
+    let before = urls.len();
+    urls.dedup();
+    assert_eq!(before, urls.len(), "duplicate recommendations");
+}
+
+#[test]
+fn untag_targets_answer_on_the_live_web() {
+    let f = fixture();
+    let client = Client::new();
+    let mut untags = 0;
+    for r in &f.recs {
+        if let Recommendation::Untag { url } = r {
+            untags += 1;
+            assert_eq!(
+                client.get(&f.scenario.web, url, f.scenario.config.study_time).live_status(),
+                LiveStatus::Ok,
+                "untag target {url} is not actually alive"
+            );
+        }
+    }
+    assert!(untags > 3, "too few untag recommendations ({untags})");
+}
+
+#[test]
+fn patch_copies_exist_in_the_archive() {
+    let f = fixture();
+    let mut patches = 0;
+    for r in &f.recs {
+        match r {
+            Recommendation::PatchWith200Copy { url, captured } => {
+                patches += 1;
+                assert!(
+                    f.scenario
+                        .archive
+                        .snapshots_of(url)
+                        .iter()
+                        .any(|s| s.captured == *captured && s.is_initial_200()),
+                    "no 200 snapshot of {url} at {captured}"
+                );
+            }
+            Recommendation::PatchWithRedirectCopy { url, captured, .. } => {
+                patches += 1;
+                assert!(
+                    f.scenario
+                        .archive
+                        .snapshots_of(url)
+                        .iter()
+                        .any(|s| s.captured == *captured && s.is_redirect()),
+                    "no 3xx snapshot of {url} at {captured}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(patches > 20, "too few patch recommendations ({patches})");
+}
+
+#[test]
+fn typo_fixes_point_at_working_urls() {
+    let f = fixture();
+    let client = Client::new();
+    let mut fixes = 0;
+    let mut working = 0;
+    for r in &f.recs {
+        if let Recommendation::FixTypo { intended, .. } = r {
+            fixes += 1;
+            if client
+                .get(&f.scenario.web, intended, f.scenario.config.study_time)
+                .live_status()
+                == LiveStatus::Ok
+            {
+                working += 1;
+            }
+        }
+    }
+    assert!(fixes > 2, "too few typo fixes ({fixes})");
+    // intended URLs are archived by construction, and most still answer
+    assert!(
+        working * 10 >= fixes * 6,
+        "{working}/{fixes} typo fixes point at working URLs"
+    );
+}
+
+#[test]
+fn param_reorder_spellings_have_200_copies() {
+    let f = fixture();
+    for r in &f.recs {
+        if let Recommendation::PatchWithParamReorder { archived_spelling, .. } = r {
+            assert!(
+                f.scenario
+                    .archive
+                    .snapshots_of(archived_spelling)
+                    .iter()
+                    .any(|s| s.is_initial_200()),
+                "no archived 200 of permuted spelling {archived_spelling}"
+            );
+        }
+    }
+}
