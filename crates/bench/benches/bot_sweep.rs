@@ -1,7 +1,11 @@
 //! Bot throughput: IABot article-sweep rate and WaybackMedic rescue rate —
 //! the operations that run at Wikipedia scale in production.
+//!
+//! After the criterion benches, the run prints one JSON object per line
+//! (`{"bench": ...}`) so CI can scrape headline numbers without parsing
+//! criterion's human-readable output.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, BatchSize, Criterion};
 use permadead_bench::Repro;
 use permadead_bot::{IaBot, IaBotConfig, WaybackMedic};
 use permadead_sim::ScenarioConfig;
@@ -75,5 +79,49 @@ fn bench_dead_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_iabot_sweep, bench_medic_run, bench_dead_check);
-criterion_main!(benches);
+/// Machine-readable tail: sweep and rescue wall clock as JSON lines.
+fn json_summary() {
+    let r = repro();
+    let reps = 3;
+
+    let t0 = std::time::Instant::now();
+    let mut checked = 0usize;
+    for _ in 0..reps {
+        let mut wiki = clone_wiki(&r.scenario.wiki);
+        let mut bot = IaBot::new(IaBotConfig::default());
+        let report = bot.sweep(
+            &mut wiki,
+            &r.scenario.web,
+            &r.scenario.archive,
+            r.scenario.config.study_time,
+        );
+        checked = black_box(report).links_checked;
+    }
+    println!(
+        "{{\"bench\":\"bot/iabot_full_sweep\",\"articles\":{},\"links_checked\":{checked},\"mean_ms\":{:.3}}}",
+        r.scenario.wiki.len(),
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64,
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut rescued = 0usize;
+    for _ in 0..reps {
+        let mut wiki = clone_wiki(&r.scenario.wiki);
+        let report =
+            WaybackMedic::new().run(&mut wiki, &r.scenario.archive, r.scenario.config.study_time);
+        rescued = black_box(report).rescued;
+    }
+    println!(
+        "{{\"bench\":\"bot/wayback_medic_run\",\"rescued\":{rescued},\"mean_ms\":{:.3}}}",
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64,
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_iabot_sweep(&mut c);
+    bench_medic_run(&mut c);
+    bench_dead_check(&mut c);
+    c.final_summary();
+    json_summary();
+}

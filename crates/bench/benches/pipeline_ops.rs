@@ -1,16 +1,23 @@
 //! Per-link costs of the measurement pipeline itself, on a shared small
 //! world: live checks, soft-404 probes, archival classification, redirect
-//! validation, spatial queries, typo scans — and each full figure
+//! validation, spatial queries, typo scans — plus the staged pipeline's
+//! per-stage costs, a worker-thread scaling sweep, and each full figure
 //! regeneration (one bench per figure, per the reproduction contract).
+//!
+//! After the criterion benches, the run prints one JSON object per line
+//! (`{"bench": ...}`) so CI can scrape headline numbers without parsing
+//! criterion's human-readable output.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, BatchSize, Criterion};
 use permadead_bench::Repro;
 use permadead_core::{
-    archival, find_typo_candidate, live_check, soft404_probe, spatial_coverage, temporal_analysis,
-    validate_redirect, ArchivalClass, Study,
+    archival, default_stages, find_typo_candidate, live_check, soft404_probe, spatial_coverage,
+    temporal_analysis, validate_redirect, ArchivalClass, LinkAnalysis, Study, StudyEnv,
+    StudyOptions,
 };
 use permadead_sim::ScenarioConfig;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 fn repro() -> &'static Repro {
     static R: OnceLock<Repro> = OnceLock::new();
@@ -95,6 +102,95 @@ fn bench_per_link(c: &mut Criterion) {
     });
 }
 
+/// Per-stage cost through the [`permadead_core::Stage`] trait itself, on
+/// accumulators whose upstream results are already filled in — each stage
+/// sees exactly the inputs it sees inside a full pipeline run.
+fn bench_stages(c: &mut Criterion) {
+    let r = repro();
+    let env = StudyEnv {
+        web: &r.scenario.web,
+        archive: &r.scenario.archive,
+        now: r.scenario.config.study_time,
+    };
+    let stages = default_stages();
+    let mut accs: Vec<LinkAnalysis> = r
+        .march
+        .entries
+        .iter()
+        .take(64)
+        .enumerate()
+        .map(|(i, e)| LinkAnalysis::new(i, e.clone()))
+        .collect();
+    for acc in &mut accs {
+        for s in &stages {
+            s.run(&env, acc);
+        }
+    }
+    // re-running a stage overwrites its own slot, so benching on the
+    // pre-filled accumulators is idempotent
+    for stage in &stages {
+        c.bench_function(&format!("stage/{}", stage.name()), |b| {
+            b.iter(|| {
+                for acc in &mut accs {
+                    black_box(stage.run(&env, acc));
+                }
+            })
+        });
+    }
+}
+
+/// Full-study wall clock at 1/2/4/8 worker threads. Findings are identical
+/// across the sweep by construction; only the wall clock moves.
+fn bench_scaling(c: &mut Criterion) {
+    let r = repro();
+    for jobs in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("scaling/full_study_jobs{jobs}"), |b| {
+            b.iter(|| {
+                black_box(Study::run_with(
+                    &r.scenario.web,
+                    &r.scenario.archive,
+                    &r.march,
+                    r.scenario.config.study_time,
+                    StudyOptions::with_jobs(jobs),
+                ))
+            })
+        });
+    }
+}
+
+/// Machine-readable tail: one JSON line per sweep point, with speedup
+/// relative to the single-threaded run.
+fn json_scaling_summary() {
+    let r = repro();
+    let reps = 3;
+    let mut base_ms = 0.0;
+    for jobs in [1usize, 2, 4, 8] {
+        let run = || {
+            black_box(Study::run_with(
+                &r.scenario.web,
+                &r.scenario.archive,
+                &r.march,
+                r.scenario.config.study_time,
+                StudyOptions::with_jobs(jobs),
+            ))
+        };
+        run(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run();
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if jobs == 1 {
+            base_ms = ms;
+        }
+        println!(
+            "{{\"bench\":\"pipeline/full_study\",\"jobs\":{jobs},\"links\":{},\"mean_ms\":{ms:.3},\"speedup\":{:.2}}}",
+            r.march.len(),
+            base_ms / ms,
+        );
+    }
+}
+
 /// One bench per paper artifact: the cost of regenerating each figure's
 /// series from an existing study.
 fn bench_figures(c: &mut Criterion) {
@@ -131,5 +227,12 @@ fn bench_figures(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_per_link, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_per_link(&mut c);
+    bench_stages(&mut c);
+    bench_scaling(&mut c);
+    bench_figures(&mut c);
+    c.final_summary();
+    json_scaling_summary();
+}

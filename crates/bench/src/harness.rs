@@ -1,7 +1,17 @@
 //! Scenario + study construction shared by all repro binaries.
 
-use permadead_core::{Dataset, Study};
+use permadead_core::{Dataset, Study, StudyOptions};
 use permadead_sim::{Scenario, ScenarioConfig};
+
+/// Worker-thread count for pipeline runs: `PERMADEAD_JOBS` (0 = all cores),
+/// default 1. Findings are identical for every value, so the repro binaries
+/// can parallelize freely without perturbing any figure.
+pub fn jobs_from_env() -> usize {
+    std::env::var("PERMADEAD_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
 
 /// A generated scenario plus the two datasets and studies the paper uses.
 pub struct Repro {
@@ -70,23 +80,32 @@ impl Repro {
         }
     }
 
-    /// Run the pipeline over the March dataset at study time.
+    /// Run the pipeline over the March dataset at study time, honouring
+    /// `PERMADEAD_JOBS`.
     pub fn march_study(&self) -> Study {
-        Study::run(
+        self.march_study_with(jobs_from_env())
+    }
+
+    /// Run the March pipeline with an explicit worker count.
+    pub fn march_study_with(&self, jobs: usize) -> Study {
+        Study::run_with(
             &self.scenario.web,
             &self.scenario.archive,
             &self.march,
             self.scenario.config.study_time,
+            StudyOptions::with_jobs(jobs),
         )
     }
 
-    /// Run the pipeline over the September dataset at the later date.
+    /// Run the pipeline over the September dataset at the later date,
+    /// honouring `PERMADEAD_JOBS`.
     pub fn september_study(&self) -> Study {
-        Study::run(
+        Study::run_with(
             &self.scenario.web,
             &self.scenario.archive,
             &self.september,
             self.scenario.config.random_sample_time,
+            StudyOptions::with_jobs(jobs_from_env()),
         )
     }
 }

@@ -9,8 +9,10 @@
 //! Environment knobs (read once, at harness construction):
 //! - `PERMADEAD_SEED` — world seed (default 42);
 //! - `PERMADEAD_SCALE` — `small` (default; seconds) or `paper` (the full
-//!   ~18k-rot-link world; takes a few minutes).
+//!   ~18k-rot-link world; takes a few minutes);
+//! - `PERMADEAD_JOBS` — pipeline worker threads (default 1, 0 = all cores;
+//!   findings are identical for every value).
 
 pub mod harness;
 
-pub use harness::Repro;
+pub use harness::{jobs_from_env, Repro};

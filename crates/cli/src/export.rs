@@ -76,6 +76,15 @@ pub fn study_to_csv(study: &Study) -> String {
     out
 }
 
+/// One row per pipeline stage: hits and wall-clock spent, in stage order.
+pub fn stage_stats_to_csv(study: &Study) -> String {
+    let mut out = String::from("stage,hits,millis\n");
+    for s in &study.stage_stats {
+        out.push_str(&format!("{},{},{:.3}\n", csv_escape(s.name), s.hits, s.millis()));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +135,10 @@ mod tests {
         for line in lines {
             assert_eq!(line.split(',').count(), header_cols, "{line}");
         }
+
+        let stage_csv = stage_stats_to_csv(&study);
+        assert_eq!(stage_csv.lines().next(), Some("stage,hits,millis"));
+        assert_eq!(stage_csv.lines().count(), 1 + study.stage_stats.len());
+        assert!(stage_csv.contains("live-check,"));
     }
 }

@@ -1,9 +1,9 @@
 //! `permadead` — the command-line face of the reproduction.
 //!
 //! ```text
-//! permadead audit    [--seed N] [--scale small|paper] [--csv PATH] [--cdx PATH]
-//! permadead figures  [--seed N] [--scale small|paper]
-//! permadead forensics[--seed N] [--limit K]
+//! permadead audit    [--seed N] [--scale small|paper] [--jobs N] [--csv PATH] [--cdx PATH] [--stage-csv PATH]
+//! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
+//! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
 //! permadead help
 //! ```
@@ -12,7 +12,7 @@ mod args;
 mod export;
 
 use args::Args;
-use permadead_core::{Dataset, Study};
+use permadead_core::{Dataset, Study, StudyOptions};
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_stats::{percentile, render_bar_chart, render_cdf, Cdf};
 use std::process::ExitCode;
@@ -21,7 +21,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = Args::parse(
         argv,
-        &["seed", "scale", "csv", "cdx", "limit", "sample"],
+        &["seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv"],
     );
     let args = match parsed {
         Ok(a) => a,
@@ -69,7 +69,10 @@ fn print_help() {
          \x20 --seed N          world seed (default 42)\n\
          \x20 --scale small|paper   world size (default small)\n\
          \x20 --sample N        dataset sample size cap\n\
+         \x20 --jobs N          pipeline worker threads (0 = all cores, default 1);\n\
+         \x20                   findings are identical for every N\n\
          \x20 --csv PATH        (audit) write per-link findings as CSV\n\
+         \x20 --stage-csv PATH  (audit) write per-stage hit/latency stats as CSV\n\
          \x20 --cdx PATH        (audit) dump the archive index as a CDX file\n\
          \x20 --limit K         (forensics) how many links to narrate (default 5)"
     );
@@ -87,7 +90,7 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
     Ok(Scenario::generate(cfg))
 }
 
-fn march_study(scenario: &Scenario) -> Study {
+fn march_study(scenario: &Scenario, jobs: usize) -> Study {
     let category = scenario.wiki.permanently_dead_category().len();
     let ds = Dataset::alphabetical(
         &scenario.wiki,
@@ -95,29 +98,42 @@ fn march_study(scenario: &Scenario) -> Study {
         scenario.config.sample_size,
         scenario.config.seed ^ 0xA1,
     );
-    Study::run(&scenario.web, &scenario.archive, &ds, scenario.config.study_time)
+    Study::run_with(
+        &scenario.web,
+        &scenario.archive,
+        &ds,
+        scenario.config.study_time,
+        StudyOptions::with_jobs(jobs),
+    )
 }
 
 fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
-    // reset the cost counters so we report what the *pipeline* spends, not
-    // what world generation spent
-    scenario.web.metrics.requests.reset();
-    scenario.web.metrics.transport_failures.reset();
-    scenario.archive.lookups.reset();
-    scenario.archive.rows_scanned.reset();
-    let study = march_study(&scenario);
+    let jobs = args.get_usize("jobs", 1)?;
+    // snapshot the cost counters so we report what the *pipeline* spends,
+    // not what world generation spent
+    let web_before = scenario.web.metrics.snapshot();
+    let archive_lookups_before = scenario.archive.lookups.get();
+    let archive_rows_before = scenario.archive.rows_scanned.get();
+    let study = march_study(&scenario, jobs);
+    let web_cost = scenario.web.metrics.snapshot().diff(&web_before);
     println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
-    println!("{}", study.report().render_comparison());
+    let report = study.report();
+    println!("{}", report.render_comparison());
+    println!("{}", report.render_stage_stats());
     println!(
         "measurement cost: live web {}; archive index: {} scans touching {} rows",
-        scenario.web.metrics.summary(),
-        scenario.archive.lookups.get(),
-        scenario.archive.rows_scanned.get(),
+        web_cost.summary(),
+        scenario.archive.lookups.get() - archive_lookups_before,
+        scenario.archive.rows_scanned.get() - archive_rows_before,
     );
     if let Some(path) = args.get("csv") {
         std::fs::write(path, export::study_to_csv(&study))?;
         eprintln!("[permadead] wrote {} findings to {path}", study.len());
+    }
+    if let Some(path) = args.get("stage-csv") {
+        std::fs::write(path, export::stage_stats_to_csv(&study))?;
+        eprintln!("[permadead] wrote {} stage rows to {path}", study.stage_stats.len());
     }
     if let Some(path) = args.get("cdx") {
         std::fs::write(path, permadead_archive::to_cdx_string(&scenario.archive))?;
@@ -131,7 +147,7 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
-    let study = march_study(&scenario);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
     let ds_years = study
         .findings
         .iter()
@@ -172,7 +188,7 @@ fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
     let limit = args.get_usize("limit", 5)?;
-    let study = march_study(&scenario);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
     for f in study.findings.iter().take(limit) {
         println!("── {}", f.entry.url);
         println!("   cited in:       {}", f.entry.article);
@@ -194,7 +210,7 @@ fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
     let limit = args.get_usize("limit", 10)?;
-    let study = march_study(&scenario);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
     let recs = permadead_core::recommendations(&study, &scenario.archive);
     println!(
         "{} tagged links analyzed; {} actionable recommendations:\n",

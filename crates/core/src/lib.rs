@@ -15,14 +15,17 @@
 //!    (Figure 6) and the edit-distance typo scan ([`typos`], §5.2).
 //!
 //! [`dataset`] builds the study samples the way the paper did (alphabetical
-//! March crawl + random September sample); [`report`] rolls everything into
-//! the headline numbers of the conclusion.
+//! March crawl + random September sample); [`pipeline`] composes the
+//! analyses into stages and shards the dataset across worker threads with
+//! deterministic, order-preserving reassembly; [`report`] rolls everything
+//! into the headline numbers of the conclusion.
 
 pub mod archival;
 pub mod dataset;
 pub mod implications;
 pub mod livecheck;
 pub mod params;
+pub mod pipeline;
 pub mod redirects;
 pub mod report;
 pub mod soft404;
@@ -35,6 +38,9 @@ pub use dataset::{Dataset, DatasetEntry};
 pub use implications::{recommendations, summarize, Recommendation};
 pub use livecheck::{live_check, LiveCheck};
 pub use params::{find_param_reorder_copy, ParamReorderRescue};
+pub use pipeline::{
+    default_stages, run_study, LinkAnalysis, Stage, StageStats, StudyEnv, StudyOptions,
+};
 pub use redirects::{validate_redirect, RedirectVerdict};
 pub use report::{Study, StudyReport};
 pub use soft404::{soft404_probe, Soft404Verdict};

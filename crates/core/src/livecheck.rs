@@ -8,7 +8,7 @@ use permadead_stats::CategoricalCounts;
 use permadead_url::Url;
 
 /// The result of re-fetching one permanently-dead link today.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LiveCheck {
     pub record: FetchRecord,
     pub status: LiveStatus,
@@ -28,7 +28,7 @@ impl LiveCheck {
 }
 
 /// Fetch `url` at `now` and classify.
-pub fn live_check<N: Network>(web: &N, url: &Url, now: SimTime) -> LiveCheck {
+pub fn live_check<N: Network + ?Sized>(web: &N, url: &Url, now: SimTime) -> LiveCheck {
     let record = Client::new().get(web, url, now);
     let status = record.live_status();
     LiveCheck { record, status }

@@ -12,7 +12,7 @@ use permadead_url::{same_params_any_order, Url};
 
 /// A rescuable never-archived URL: an initial-200 archived copy exists for
 /// the same path with the same parameters in a different order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamReorderRescue {
     pub dead_url: Url,
     /// The archived spelling (same path, permuted query).

@@ -1,0 +1,589 @@
+//! Stage-based measurement pipeline with deterministic sharded execution.
+//!
+//! [`Study::run`](crate::Study::run) used to be one monolithic loop applying
+//! every analysis to every dataset entry. This module decomposes it into
+//! composable [`Stage`]s running over a per-link [`LinkAnalysis`] accumulator
+//! against a shared read-only [`StudyEnv`], plus a sharded executor that fans
+//! the dataset across worker threads.
+//!
+//! Two guarantees hold for any `jobs` count:
+//!
+//! 1. **Bit-identical findings.** The dataset is split into contiguous
+//!    chunks, each worker processes its chunk in dataset order, and results
+//!    are reassembled in chunk order — so the findings vector is exactly what
+//!    the serial loop produces. Everything a stage may randomize is keyed by
+//!    the entry's *dataset index* (see [`LinkAnalysis::index`]), never by
+//!    worker identity or arrival order. The soft-404 probe's per-entry seed
+//!    is the load-bearing case: it must stay `index as u64`.
+//! 2. **Deterministic hit counts.** Per-stage [`StageStats`] hit counters
+//!    depend only on the dataset, so they are identical for any `jobs`;
+//!    wall-clock nanos are measured and therefore excluded from equality.
+
+use crate::archival::{classify_archival, post_marking_check, ArchivalClass, PostMarkingCheck};
+use crate::dataset::{Dataset, DatasetEntry};
+use crate::livecheck::{live_check, LiveCheck};
+use crate::params::{find_param_reorder_copy, ParamReorderRescue};
+use crate::redirects::{validate_redirect, RedirectVerdict};
+use crate::report::LinkFinding;
+use crate::soft404::{soft404_probe, Soft404Verdict};
+use crate::spatial::{spatial_coverage, SpatialCoverage};
+use crate::temporal::{temporal_analysis, TemporalAnalysis};
+use crate::typos::{find_typo_candidate, TypoCandidate};
+use permadead_archive::ArchiveStore;
+use permadead_net::{LiveStatus, Network, SimTime};
+use std::time::Instant;
+
+/// Everything a stage may read: the live web, the archive, and the study
+/// clock. Shared by every worker; nothing here is mutable.
+#[derive(Clone, Copy)]
+pub struct StudyEnv<'a> {
+    pub web: &'a dyn Network,
+    pub archive: &'a ArchiveStore,
+    pub now: SimTime,
+}
+
+/// Per-link accumulator the stages fill in. `None` means "not yet run" for
+/// the mandatory analyses and "not applicable" for the conditional ones —
+/// [`LinkAnalysis::finish`] makes the distinction explicit.
+#[derive(Debug, Clone)]
+pub struct LinkAnalysis {
+    /// Position of this entry in the dataset. Stages must key any per-link
+    /// randomness off this (not worker id / arrival order) so a sharded run
+    /// reproduces the serial one.
+    pub index: usize,
+    pub entry: DatasetEntry,
+    pub live: Option<LiveCheck>,
+    pub soft404: Option<Soft404Verdict>,
+    pub archival: Option<ArchivalClass>,
+    pub redirect_verdict: Option<RedirectVerdict>,
+    pub post_marking: Option<PostMarkingCheck>,
+    pub temporal: Option<TemporalAnalysis>,
+    pub spatial: Option<SpatialCoverage>,
+    pub typo: Option<TypoCandidate>,
+    pub param_rescue: Option<ParamReorderRescue>,
+}
+
+impl LinkAnalysis {
+    pub fn new(index: usize, entry: DatasetEntry) -> Self {
+        LinkAnalysis {
+            index,
+            entry,
+            live: None,
+            soft404: None,
+            archival: None,
+            redirect_verdict: None,
+            post_marking: None,
+            temporal: None,
+            spatial: None,
+            typo: None,
+            param_rescue: None,
+        }
+    }
+
+    /// Seal the accumulator into a finding. Panics if a mandatory stage
+    /// never ran — a stage list that skips one is a configuration bug, and a
+    /// loud failure beats silently misclassified links.
+    pub fn finish(self) -> LinkFinding {
+        LinkFinding {
+            entry: self.entry,
+            live: self.live.expect("live-check stage did not run"),
+            soft404: self.soft404.expect("soft404-probe stage did not run"),
+            archival: self.archival.expect("archival-class stage did not run"),
+            redirect_verdict: self.redirect_verdict,
+            post_marking: self.post_marking.expect("post-marking stage did not run"),
+            temporal: self.temporal.expect("temporal stage did not run"),
+            spatial: self.spatial,
+            typo: self.typo,
+            param_rescue: self.param_rescue,
+        }
+    }
+}
+
+/// One analysis step of the pipeline. Implementations must be pure in
+/// `(env, acc)` — no interior state — so any sharding is observationally
+/// identical to the serial run.
+pub trait Stage: Sync {
+    /// Stable identifier, used in stats, CSV export, and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Run over one link. Returns `true` when the stage did real work for
+    /// this link (its gate matched), feeding the per-stage hit counter.
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool;
+}
+
+/// Execution stats for one stage, aggregated across every link (and summed
+/// across workers in a sharded run).
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    pub name: &'static str,
+    /// Links for which the stage's gate matched and it did real work.
+    pub hits: u64,
+    /// Total wall-clock time spent inside the stage.
+    pub nanos: u64,
+}
+
+/// Equality ignores `nanos`: hits are deterministic, wall-clock is not, and
+/// report comparisons (e.g. the determinism suite) must survive timing
+/// jitter.
+impl PartialEq for StageStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.hits == other.hits
+    }
+}
+
+impl StageStats {
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// §3 live status: one GET, full redirect chain recorded.
+pub struct LiveCheckStage;
+
+impl Stage for LiveCheckStage {
+    fn name(&self) -> &'static str {
+        "live-check"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        acc.live = Some(live_check(env.web, &acc.entry.url, env.now));
+        true
+    }
+}
+
+/// §3 soft-404 probe, gated on a final 200. The probe's random sibling URL
+/// is seeded by the entry's dataset index — the determinism keystone.
+pub struct Soft404Stage;
+
+impl Stage for Soft404Stage {
+    fn name(&self) -> &'static str {
+        "soft404-probe"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        let live_ok = acc
+            .live
+            .as_ref()
+            .is_some_and(|l| l.status == LiveStatus::Ok);
+        if live_ok {
+            acc.soft404 = Some(soft404_probe(
+                env.web,
+                &acc.entry.url,
+                env.now,
+                acc.index as u64,
+            ));
+            true
+        } else {
+            acc.soft404 = Some(Soft404Verdict::NotApplicable);
+            false
+        }
+    }
+}
+
+/// §4.1 pre-marking archival classification.
+pub struct ArchivalStage;
+
+impl Stage for ArchivalStage {
+    fn name(&self) -> &'static str {
+        "archival-class"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        acc.archival = Some(classify_archival(
+            env.archive,
+            &acc.entry.url,
+            acc.entry.marked_at,
+        ));
+        true
+    }
+}
+
+/// §4.2 historical-redirect validation, gated on 3xx-only archival history.
+pub struct RedirectStage;
+
+impl Stage for RedirectStage {
+    fn name(&self) -> &'static str {
+        "redirect-3xx"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        if acc.archival == Some(ArchivalClass::Had3xxOnly) {
+            acc.redirect_verdict =
+                crate::archival::first_3xx_before(env.archive, &acc.entry.url, acc.entry.marked_at)
+                    .map(|snap| validate_redirect(env.archive, snap));
+        }
+        acc.redirect_verdict.is_some()
+    }
+}
+
+/// §3 post-marking check: was the first copy *after* tagging erroneous?
+pub struct PostMarkingStage;
+
+impl Stage for PostMarkingStage {
+    fn name(&self) -> &'static str {
+        "post-marking"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        acc.post_marking = Some(post_marking_check(
+            env.archive,
+            &acc.entry.url,
+            acc.entry.marked_at,
+        ));
+        true
+    }
+}
+
+/// §5.1 first-capture-vs-posting timing.
+pub struct TemporalStage;
+
+impl Stage for TemporalStage {
+    fn name(&self) -> &'static str {
+        "temporal"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        acc.temporal = Some(temporal_analysis(
+            env.archive,
+            &acc.entry.url,
+            acc.entry.added_at,
+        ));
+        true
+    }
+}
+
+/// §5.2 rescue scan for never-archived links: spatial coverage, typo
+/// candidates, and the E12 param-reorder rescue.
+pub struct RescueScanStage;
+
+impl Stage for RescueScanStage {
+    fn name(&self) -> &'static str {
+        "rescue-scan"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        if acc.archival != Some(ArchivalClass::NeverArchived) {
+            return false;
+        }
+        acc.spatial = Some(spatial_coverage(env.archive, &acc.entry.url));
+        acc.typo = find_typo_candidate(env.archive, &acc.entry.url);
+        acc.param_rescue = find_param_reorder_copy(env.archive, &acc.entry.url).map(|(r, _)| r);
+        true
+    }
+}
+
+/// The paper's pipeline, in the order the monolithic loop ran it.
+pub fn default_stages() -> Vec<Box<dyn Stage>> {
+    vec![
+        Box::new(LiveCheckStage),
+        Box::new(Soft404Stage),
+        Box::new(ArchivalStage),
+        Box::new(RedirectStage),
+        Box::new(PostMarkingStage),
+        Box::new(TemporalStage),
+        Box::new(RescueScanStage),
+    ]
+}
+
+/// How a study executes: worker count and stage list.
+pub struct StudyOptions {
+    /// Worker threads. `1` runs inline on the caller's thread; `0` resolves
+    /// to the machine's available parallelism. Findings are identical for
+    /// any value.
+    pub jobs: usize,
+    pub stages: Vec<Box<dyn Stage>>,
+}
+
+impl Default for StudyOptions {
+    fn default() -> Self {
+        StudyOptions {
+            jobs: 1,
+            stages: default_stages(),
+        }
+    }
+}
+
+impl StudyOptions {
+    pub fn with_jobs(jobs: usize) -> Self {
+        StudyOptions {
+            jobs,
+            ..Default::default()
+        }
+    }
+
+    fn effective_jobs(&self, len: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, len.max(1))
+    }
+}
+
+/// Run `stages` over `entries`, whose first element sits at dataset index
+/// `base`. One worker's share of a sharded run, and the whole of a serial one.
+fn run_shard(
+    env: &StudyEnv<'_>,
+    stages: &[Box<dyn Stage>],
+    entries: &[DatasetEntry],
+    base: usize,
+) -> (Vec<LinkFinding>, Vec<StageStats>) {
+    let mut stats: Vec<StageStats> = stages
+        .iter()
+        .map(|s| StageStats {
+            name: s.name(),
+            ..Default::default()
+        })
+        .collect();
+    let mut findings = Vec::with_capacity(entries.len());
+    for (offset, entry) in entries.iter().enumerate() {
+        let mut acc = LinkAnalysis::new(base + offset, entry.clone());
+        for (stage, stat) in stages.iter().zip(stats.iter_mut()) {
+            let started = Instant::now();
+            let hit = stage.run(env, &mut acc);
+            stat.nanos += started.elapsed().as_nanos() as u64;
+            stat.hits += hit as u64;
+        }
+        findings.push(acc.finish());
+    }
+    (findings, stats)
+}
+
+fn merge_stats(total: &mut [StageStats], part: &[StageStats]) {
+    debug_assert_eq!(total.len(), part.len());
+    for (t, p) in total.iter_mut().zip(part) {
+        debug_assert_eq!(t.name, p.name);
+        t.hits += p.hits;
+        t.nanos += p.nanos;
+    }
+}
+
+/// Execute the pipeline over a dataset. Findings come back in dataset order
+/// regardless of `options.jobs`; stats are summed across workers.
+pub fn run_study(
+    env: &StudyEnv<'_>,
+    dataset: &Dataset,
+    options: &StudyOptions,
+) -> (Vec<LinkFinding>, Vec<StageStats>) {
+    let jobs = options.effective_jobs(dataset.len());
+    if jobs <= 1 || dataset.len() <= 1 {
+        return run_shard(env, &options.stages, &dataset.entries, 0);
+    }
+
+    let chunk = dataset.len().div_ceil(jobs);
+    let stages = &options.stages;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = dataset
+            .entries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, entries)| {
+                scope.spawn(move |_| run_shard(env, stages, entries, ci * chunk))
+            })
+            .collect();
+
+        let mut findings = Vec::with_capacity(dataset.len());
+        let mut stats: Vec<StageStats> = stages
+            .iter()
+            .map(|s| StageStats {
+                name: s.name(),
+                ..Default::default()
+            })
+            .collect();
+        // joining in spawn (= chunk) order restores dataset order exactly
+        for handle in handles {
+            let (part_findings, part_stats) = handle.join().expect("pipeline worker panicked");
+            findings.extend(part_findings);
+            merge_stats(&mut stats, &part_stats);
+        }
+        (findings, stats)
+    })
+    .expect("pipeline scope panicked")
+}
+
+/// Render stage stats as aligned report lines under a heading.
+pub fn render_stage_stats(stats: &[StageStats]) -> String {
+    let width = stats.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    std::iter::once("pipeline stages (links processed, wall-clock):".to_string())
+        .chain(stats.iter().map(|s| {
+            format!(
+                "  {:width$}  {:>8} hits  {:>10.3} ms",
+                s.name,
+                s.hits,
+                s.millis(),
+            )
+        }))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::{FetchError, Request, ServeResult};
+
+    /// A network where everything NXDOMAINs: enough to drive the gating
+    /// logic (no link reaches the soft-404 probe).
+    struct DeadNet;
+
+    impl Network for DeadNet {
+        fn request(&self, _req: &Request) -> ServeResult {
+            Err(FetchError::Dns(permadead_net::DnsError::NxDomain))
+        }
+    }
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        let entries = (0..n)
+            .map(|i| DatasetEntry {
+                url: permadead_url::Url::parse(&format!("http://dead{i}.example.org/p")).unwrap(),
+                article: format!("Article {i}"),
+                added_at: SimTime::from_ymd(2012, 1, 1),
+                marked_at: SimTime::from_ymd(2019, 1, 1),
+                marked_by: "InternetArchiveBot".into(),
+            })
+            .collect();
+        Dataset {
+            label: "tiny".into(),
+            entries,
+        }
+    }
+
+    fn env_over<'a>(web: &'a DeadNet, archive: &'a ArchiveStore) -> StudyEnv<'a> {
+        StudyEnv {
+            web,
+            archive,
+            now: SimTime::from_ymd(2022, 3, 1),
+        }
+    }
+
+    #[test]
+    fn default_stage_list_order_matches_monolith() {
+        let names: Vec<&str> = default_stages().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "live-check",
+                "soft404-probe",
+                "archival-class",
+                "redirect-3xx",
+                "post-marking",
+                "temporal",
+                "rescue-scan",
+            ]
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_on_dead_world() {
+        let web = DeadNet;
+        let archive = ArchiveStore::new();
+        let env = env_over(&web, &archive);
+        let ds = tiny_dataset(23);
+        let (serial, serial_stats) = run_study(&env, &ds, &StudyOptions::default());
+        for jobs in [2, 3, 8, 64] {
+            let (sharded, stats) = run_study(&env, &ds, &StudyOptions::with_jobs(jobs));
+            assert_eq!(serial, sharded, "jobs={jobs}");
+            assert_eq!(serial_stats, stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn jobs_zero_resolves_and_still_matches() {
+        let web = DeadNet;
+        let archive = ArchiveStore::new();
+        let env = env_over(&web, &archive);
+        let ds = tiny_dataset(9);
+        let (serial, _) = run_study(&env, &ds, &StudyOptions::default());
+        let (auto, _) = run_study(&env, &ds, &StudyOptions::with_jobs(0));
+        assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn hit_counters_reflect_gating() {
+        let web = DeadNet;
+        let archive = ArchiveStore::new();
+        let env = env_over(&web, &archive);
+        let ds = tiny_dataset(5);
+        let (findings, stats) = run_study(&env, &ds, &StudyOptions::default());
+        let by_name = |n: &str| stats.iter().find(|s| s.name == n).unwrap().hits;
+        // every link is a DNS failure: mandatory stages hit all 5, the
+        // soft-404 probe none, and the empty archive makes every link
+        // never-archived so the rescue scan hits all 5
+        assert_eq!(by_name("live-check"), 5);
+        assert_eq!(by_name("soft404-probe"), 0);
+        assert_eq!(by_name("archival-class"), 5);
+        assert_eq!(by_name("redirect-3xx"), 0);
+        assert_eq!(by_name("rescue-scan"), 5);
+        assert!(findings.iter().all(|f| f.spatial.is_some()));
+    }
+
+    #[test]
+    fn stage_stats_equality_ignores_nanos() {
+        let a = StageStats {
+            name: "live-check",
+            hits: 3,
+            nanos: 100,
+        };
+        let b = StageStats {
+            name: "live-check",
+            hits: 3,
+            nanos: 999_999,
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            StageStats {
+                name: "live-check",
+                hits: 4,
+                nanos: 100
+            }
+        );
+    }
+
+    #[test]
+    fn render_stage_stats_lists_every_stage() {
+        let stats = [
+            StageStats {
+                name: "live-check",
+                hits: 10,
+                nanos: 1_500_000,
+            },
+            StageStats {
+                name: "rescue-scan",
+                hits: 2,
+                nanos: 700,
+            },
+        ];
+        let s = render_stage_stats(&stats);
+        assert!(s.contains("live-check"));
+        assert!(s.contains("rescue-scan"));
+        assert!(s.contains("10 hits"));
+    }
+
+    #[test]
+    fn custom_stage_list_runs_subset() {
+        // a stage list without the conditional analyses still finishes,
+        // because all mandatory accumulator slots are filled
+        let web = DeadNet;
+        let archive = ArchiveStore::new();
+        let env = env_over(&web, &archive);
+        let ds = tiny_dataset(3);
+        let options = StudyOptions {
+            jobs: 1,
+            stages: vec![
+                Box::new(LiveCheckStage),
+                Box::new(Soft404Stage),
+                Box::new(ArchivalStage),
+                Box::new(PostMarkingStage),
+                Box::new(TemporalStage),
+            ],
+        };
+        let (findings, stats) = run_study(&env, &ds, &options);
+        assert_eq!(findings.len(), 3);
+        assert_eq!(stats.len(), 5);
+        assert!(findings.iter().all(|f| f.spatial.is_none()));
+    }
+}

@@ -1,21 +1,22 @@
 //! The full study: run every analysis over a dataset and aggregate the
 //! paper's headline numbers.
 
-use crate::archival::{classify_archival, post_marking_check, ArchivalClass, PostMarkingCheck};
+use crate::archival::{ArchivalClass, PostMarkingCheck};
 use crate::dataset::{Dataset, DatasetEntry};
-use crate::livecheck::{live_check, status_breakdown, LiveCheck};
-use crate::params::{find_param_reorder_copy, ParamReorderRescue};
-use crate::redirects::{validate_redirect, RedirectVerdict};
-use crate::soft404::{soft404_probe, Soft404Verdict};
-use crate::spatial::{spatial_coverage, SpatialCoverage};
-use crate::temporal::{temporal_analysis, TemporalAnalysis};
-use crate::typos::{find_typo_candidate, TypoCandidate};
+use crate::livecheck::{status_breakdown, LiveCheck};
+use crate::params::ParamReorderRescue;
+use crate::pipeline::{render_stage_stats, run_study, StageStats, StudyEnv, StudyOptions};
+use crate::redirects::RedirectVerdict;
+use crate::soft404::Soft404Verdict;
+use crate::spatial::SpatialCoverage;
+use crate::temporal::TemporalAnalysis;
+use crate::typos::TypoCandidate;
 use permadead_archive::ArchiveStore;
 use permadead_net::{LiveStatus, Network, SimTime};
 use permadead_stats::{fraction, pct, render_table, CategoricalCounts};
 
 /// Everything the pipeline learned about one link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkFinding {
     pub entry: DatasetEntry,
     pub live: LiveCheck,
@@ -45,6 +46,8 @@ pub struct Study {
     pub label: String,
     pub study_time: SimTime,
     pub findings: Vec<LinkFinding>,
+    /// Per-stage hit/timing counters from the run that produced `findings`.
+    pub stage_stats: Vec<StageStats>,
 }
 
 impl Study {
@@ -75,49 +78,53 @@ impl Study {
         dataset: &Dataset,
         now: SimTime,
     ) -> Study {
-        let mut findings = Vec::with_capacity(dataset.len());
-        for (i, entry) in dataset.entries.iter().enumerate() {
-            let live = live_check(web, &entry.url, now);
-            let soft404 = if live.status == LiveStatus::Ok {
-                soft404_probe(web, &entry.url, now, i as u64)
-            } else {
-                Soft404Verdict::NotApplicable
-            };
-            let archival = classify_archival(archive, &entry.url, entry.marked_at);
-            let redirect_verdict = if archival == ArchivalClass::Had3xxOnly {
-                crate::archival::first_3xx_before(archive, &entry.url, entry.marked_at)
-                    .map(|snap| validate_redirect(archive, snap))
-            } else {
-                None
-            };
-            let post_marking = post_marking_check(archive, &entry.url, entry.marked_at);
-            let temporal = temporal_analysis(archive, &entry.url, entry.added_at);
-            let (spatial, typo, param_rescue) = if archival == ArchivalClass::NeverArchived {
-                (
-                    Some(spatial_coverage(archive, &entry.url)),
-                    find_typo_candidate(archive, &entry.url),
-                    find_param_reorder_copy(archive, &entry.url).map(|(r, _)| r),
-                )
-            } else {
-                (None, None, None)
-            };
-            findings.push(LinkFinding {
-                entry: entry.clone(),
-                live,
-                soft404,
-                archival,
-                redirect_verdict,
-                post_marking,
-                temporal,
-                spatial,
-                typo,
-                param_rescue,
-            });
-        }
+        Study::run_with(web, archive, dataset, now, StudyOptions::default())
+    }
+
+    /// Run the pipeline with explicit execution options: worker count and
+    /// stage list. The default options reproduce [`Study::run`] exactly;
+    /// findings are bit-identical for any `options.jobs` (see
+    /// [`crate::pipeline`] for the determinism argument).
+    ///
+    /// ```
+    /// use permadead_core::pipeline::StudyOptions;
+    /// use permadead_core::{Dataset, Study};
+    /// use permadead_sim::{Scenario, ScenarioConfig};
+    ///
+    /// let scenario = Scenario::generate(ScenarioConfig {
+    ///     rot_links: 40,
+    ///     ..ScenarioConfig::small(7)
+    /// });
+    /// let dataset = Dataset::alphabetical(&scenario.wiki, 10_000, 10_000, 42);
+    /// let serial = Study::run(
+    ///     &scenario.web,
+    ///     &scenario.archive,
+    ///     &dataset,
+    ///     scenario.config.study_time,
+    /// );
+    /// let sharded = Study::run_with(
+    ///     &scenario.web,
+    ///     &scenario.archive,
+    ///     &dataset,
+    ///     scenario.config.study_time,
+    ///     StudyOptions::with_jobs(4),
+    /// );
+    /// assert_eq!(serial.findings, sharded.findings);
+    /// ```
+    pub fn run_with<N: Network>(
+        web: &N,
+        archive: &ArchiveStore,
+        dataset: &Dataset,
+        now: SimTime,
+        options: StudyOptions,
+    ) -> Study {
+        let env = StudyEnv { web, archive, now };
+        let (findings, stage_stats) = run_study(&env, dataset, &options);
         Study {
             label: dataset.label.clone(),
             study_time: now,
             findings,
+            stage_stats,
         }
     }
 
@@ -165,6 +172,7 @@ impl Study {
         let mut r = StudyReport {
             label: self.label.clone(),
             n,
+            stage_stats: self.stage_stats.clone(),
             ..Default::default()
         };
         for f in &self.findings {
@@ -275,6 +283,10 @@ pub struct StudyReport {
     /// only in query-parameter order (the paper proposes this rescue as
     /// future work and gives no number).
     pub param_reorder_rescuable: usize,
+    /// Per-stage execution counters from the run. Equality ignores timing
+    /// (see [`StageStats`]), so two runs of the same dataset compare equal
+    /// regardless of worker count or machine speed.
+    pub stage_stats: Vec<StageStats>,
 }
 
 impl StudyReport {
@@ -333,6 +345,14 @@ impl StudyReport {
             self.n,
             render_table(&rows)
         )
+    }
+}
+
+impl StudyReport {
+    /// Render the per-stage hit/timing block (separate from
+    /// [`StudyReport::render_comparison`], which stays timing-free).
+    pub fn render_stage_stats(&self) -> String {
+        render_stage_stats(&self.stage_stats)
     }
 }
 

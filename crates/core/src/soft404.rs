@@ -45,7 +45,12 @@ impl Soft404Verdict {
 /// Run the probe at time `now`. `seed` makes the random suffix
 /// deterministic per URL (the suffix content never matters, only that it
 /// cannot name a real page).
-pub fn soft404_probe<N: Network>(web: &N, url: &Url, now: SimTime, seed: u64) -> Soft404Verdict {
+pub fn soft404_probe<N: Network + ?Sized>(
+    web: &N,
+    url: &Url,
+    now: SimTime,
+    seed: u64,
+) -> Soft404Verdict {
     let client = Client::new();
     let original = client.get(web, url, now);
     if original.live_status() != LiveStatus::Ok {

@@ -13,7 +13,12 @@ use permadead_url::Url;
 
 /// Anything that can answer one HTTP request without following redirects:
 /// the live web (the `permadead-web` crate), or a replay of an archived snapshot.
-pub trait Network {
+///
+/// `Sync` is a supertrait so the measurement pipeline can fan a dataset out
+/// across worker threads that share one network — every implementation is a
+/// pure function of (state, request time) plus atomic counters, so shared
+/// access is safe by construction.
+pub trait Network: Sync {
     /// Answer a single request at `req.time`, or fail at the transport layer.
     fn request(&self, req: &Request) -> Result<Response, FetchError>;
 }
@@ -31,7 +36,7 @@ pub struct Hop {
 }
 
 /// The complete record of a fetch: every hop plus the terminal outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FetchRecord {
     /// The URL originally requested.
     pub requested: Url,
@@ -108,8 +113,10 @@ impl Client {
         self
     }
 
-    /// Issue a GET for `url` at time `t`, following redirects.
-    pub fn get<N: Network>(&self, net: &N, url: &Url, t: SimTime) -> FetchRecord {
+    /// Issue a GET for `url` at time `t`, following redirects. `?Sized` so
+    /// callers holding a `&dyn Network` (the pipeline's shared environment)
+    /// can fetch without knowing the concrete network type.
+    pub fn get<N: Network + ?Sized>(&self, net: &N, url: &Url, t: SimTime) -> FetchRecord {
         let requested = url.clone();
         let mut current = url.without_fragment();
         let mut hops: Vec<Hop> = Vec::new();

@@ -81,7 +81,7 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event. Advances the simulation clock; popping never goes
     /// backwards in time.
-    pub fn next(&mut self) -> Option<(SimTime, E)> {
+    pub fn pop_next(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         debug_assert!(
             self.now.is_none_or(|n| entry.at >= n),
@@ -134,7 +134,7 @@ mod tests {
         q.schedule(t(5), 0, "c");
         q.schedule(t(1), 0, "a");
         q.schedule(t(3), 0, "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_next().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
 
@@ -145,7 +145,7 @@ mod tests {
         q.schedule(t(1), 1, "capture-1");
         q.schedule(t(1), 0, "post");
         q.schedule(t(1), 1, "capture-2");
-        let order: Vec<&str> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_next().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["post", "capture-1", "capture-2", "sweep"]);
     }
 
@@ -156,11 +156,11 @@ mod tests {
         q.schedule(t(2), 0, ());
         q.schedule(t(7), 0, ());
         assert_eq!(q.peek_time(), Some(t(2)));
-        q.next();
+        q.pop_next();
         assert_eq!(q.now(), Some(t(2)));
-        q.next();
+        q.pop_next();
         assert_eq!(q.now(), Some(t(7)));
-        assert!(q.next().is_none());
+        assert!(q.pop_next().is_none());
         assert_eq!(q.now(), Some(t(7)));
     }
 
@@ -187,7 +187,7 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
-        assert!(q.next().is_none());
+        assert!(q.pop_next().is_none());
     }
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
                 q.schedule(t((i * 7 % 13) as i64), (i % 3) as u8, i);
             }
             let mut order = Vec::new();
-            while let Some((_, e)) = q.next() {
+            while let Some((_, e)) = q.pop_next() {
                 order.push(e);
             }
             order

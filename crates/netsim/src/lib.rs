@@ -41,5 +41,5 @@ pub use error::{FetchError, LiveStatus};
 pub use events::EventQueue;
 pub use http::{Request, Response, StatusCode};
 pub use latency::LatencyModel;
-pub use metrics::{Counter, NetMetrics};
+pub use metrics::{Counter, MetricsSnapshot, NetMetrics};
 pub use time::{Date, Duration, SimTime};

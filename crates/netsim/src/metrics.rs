@@ -74,6 +74,31 @@ impl NetMetrics {
         }
     }
 
+    /// Freeze the current counter values into a plain-value snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.get(),
+            transport_failures: self.transport_failures.get(),
+            responses_2xx: self.responses_2xx.get(),
+            responses_3xx: self.responses_3xx.get(),
+            responses_4xx: self.responses_4xx.get(),
+            responses_5xx: self.responses_5xx.get(),
+        }
+    }
+
+    /// Add a snapshot's counts onto these counters — e.g. folding a
+    /// per-worker metrics set into a shared one after a parallel run. Safe
+    /// against double-counting because a snapshot is a frozen value: merging
+    /// it twice is visible to the caller, not a race.
+    pub fn merge(&self, snap: &MetricsSnapshot) {
+        self.requests.add(snap.requests);
+        self.transport_failures.add(snap.transport_failures);
+        self.responses_2xx.add(snap.responses_2xx);
+        self.responses_3xx.add(snap.responses_3xx);
+        self.responses_4xx.add(snap.responses_4xx);
+        self.responses_5xx.add(snap.responses_5xx);
+    }
+
     /// One-line render for reports.
     pub fn summary(&self) -> String {
         format!(
@@ -84,6 +109,49 @@ impl NetMetrics {
             self.responses_3xx.get(),
             self.responses_4xx.get(),
             self.responses_5xx.get(),
+        )
+    }
+}
+
+/// A frozen copy of a [`NetMetrics`] counter set: plain values, comparable
+/// and subtractable. The pipeline snapshots before/after a study to report
+/// measurement cost without resetting shared counters mid-run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub transport_failures: u64,
+    pub responses_2xx: u64,
+    pub responses_3xx: u64,
+    pub responses_4xx: u64,
+    pub responses_5xx: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counts accumulated since `earlier` (saturating, so a reset between
+    /// snapshots degrades to zero instead of wrapping).
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.saturating_sub(earlier.requests),
+            transport_failures: self
+                .transport_failures
+                .saturating_sub(earlier.transport_failures),
+            responses_2xx: self.responses_2xx.saturating_sub(earlier.responses_2xx),
+            responses_3xx: self.responses_3xx.saturating_sub(earlier.responses_3xx),
+            responses_4xx: self.responses_4xx.saturating_sub(earlier.responses_4xx),
+            responses_5xx: self.responses_5xx.saturating_sub(earlier.responses_5xx),
+        }
+    }
+
+    /// One-line render, same shape as [`NetMetrics::summary`].
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} transport failures; {}/{}/{}/{} by 2xx/3xx/4xx/5xx)",
+            self.requests,
+            self.transport_failures,
+            self.responses_2xx,
+            self.responses_3xx,
+            self.responses_4xx,
+            self.responses_5xx,
         )
     }
 }
@@ -123,6 +191,37 @@ mod tests {
         assert_eq!(m.responses_5xx.get(), 1);
         assert_eq!(m.transport_failures.get(), 1);
         assert!(m.summary().contains("5 requests"));
+    }
+
+    #[test]
+    fn snapshot_diff_and_merge_roundtrip() {
+        let m = NetMetrics::new();
+        m.record(&Ok(Response::ok("x".into())));
+        let before = m.snapshot();
+        m.record(&Ok(Response::status_only(StatusCode::NOT_FOUND)));
+        m.record(&Err(FetchError::ConnectTimeout));
+        let after = m.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.requests, 2);
+        assert_eq!(delta.responses_4xx, 1);
+        assert_eq!(delta.transport_failures, 1);
+        assert_eq!(delta.responses_2xx, 0);
+
+        // merging a worker's delta into a fresh aggregate adds exactly once
+        let agg = NetMetrics::new();
+        agg.merge(&delta);
+        agg.merge(&before);
+        assert_eq!(agg.snapshot(), after);
+    }
+
+    #[test]
+    fn diff_saturates_after_reset() {
+        let m = NetMetrics::new();
+        m.record(&Ok(Response::ok("x".into())));
+        let before = m.snapshot();
+        m.requests.reset();
+        let after = m.snapshot();
+        assert_eq!(after.diff(&before).requests, 0);
     }
 
     #[test]

@@ -185,7 +185,7 @@ impl<'a> Builder<'a> {
             }
         }
         let day = ((year - 1970.0) * 365.2425) as i64;
-        SimTime(day * 86_400 + self.rng.gen_range(0..86_400))
+        SimTime(day * 86_400 + self.rng.gen_range(0i64..86_400))
     }
 
     /// Posting time for a rot link: at or before `latest`.

@@ -103,7 +103,7 @@ impl Default for FateMixture {
             (RotFate::TypoPathArchived, 0.011),
             (RotFate::TypoPathUnarchived, 0.007),
             (RotFate::TypoHost, 0.004),
-            (RotFate::ObscureLapsed, 0.004),
+            (RotFate::ObscureLapsed, 0.011),
         ])
     }
 }

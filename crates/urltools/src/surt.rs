@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn sort_groups_hosts_by_domain() {
-        let mut keys = vec![
+        let mut keys = [
             surt(&u("http://z-unrelated.com/a")),
             surt(&u("http://www.example.org/x")),
             surt(&u("http://example.org/y")),

@@ -88,11 +88,12 @@ impl CiteRef {
     }
 }
 
-/// One block of an article.
+/// One block of an article. The ref is boxed: articles are mostly prose,
+/// and a `CiteRef` is an order of magnitude larger than a `String`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Block {
     Prose(String),
-    Ref(CiteRef),
+    Ref(Box<CiteRef>),
 }
 
 /// A parsed article body.
@@ -111,20 +112,20 @@ impl Document {
     }
 
     pub fn push_ref(&mut self, r: CiteRef) {
-        self.blocks.push(Block::Ref(r));
+        self.blocks.push(Block::Ref(Box::new(r)));
     }
 
     /// All references, in order.
     pub fn refs(&self) -> impl Iterator<Item = &CiteRef> {
         self.blocks.iter().filter_map(|b| match b {
-            Block::Ref(r) => Some(r),
+            Block::Ref(r) => Some(r.as_ref()),
             _ => None,
         })
     }
 
     pub fn refs_mut(&mut self) -> impl Iterator<Item = &mut CiteRef> {
         self.blocks.iter_mut().filter_map(|b| match b {
-            Block::Ref(r) => Some(r),
+            Block::Ref(r) => Some(r.as_mut()),
             _ => None,
         })
     }
@@ -235,9 +236,7 @@ fn take_ref(text: &str) -> Option<(&str, CiteRef, &str)> {
         let open_rel = text[search_from..].find("<ref>")?;
         let open = search_from + open_rel;
         let inner_start = open + "<ref>".len();
-        let Some(close_rel) = text[inner_start..].find("</ref>") else {
-            return None;
-        };
+        let close_rel = text[inner_start..].find("</ref>")?;
         let inner = &text[inner_start..inner_start + close_rel];
         let mut after = &text[inner_start + close_rel + "</ref>".len()..];
         match parse_ref_inner(inner) {

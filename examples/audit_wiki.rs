@@ -4,10 +4,10 @@
 //!
 //! ```sh
 //! cargo run --release --example audit_wiki
-//! PERMADEAD_SEED=7 cargo run --release --example audit_wiki
+//! PERMADEAD_SEED=7 PERMADEAD_JOBS=4 cargo run --release --example audit_wiki
 //! ```
 
-use permadead::analysis::{Dataset, Study};
+use permadead::analysis::{Dataset, Study, StudyOptions};
 use permadead::sim::{Scenario, ScenarioConfig};
 use permadead::stats::render_bar_chart;
 
@@ -16,6 +16,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2022);
+    let jobs = std::env::var("PERMADEAD_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let scenario = Scenario::generate(ScenarioConfig::small(seed));
     println!(
         "world: {} articles, {} snapshots archived, {} unique permanently dead URLs\n",
@@ -37,12 +41,14 @@ fn main() {
     let dataset = Dataset::alphabetical(&scenario.wiki, category.len(), 10_000, seed);
     println!("\nsampled {} IABot-tagged links; running the pipeline…\n", dataset.len());
 
-    let study = Study::run(
+    let study = Study::run_with(
         &scenario.web,
         &scenario.archive,
         &dataset,
         scenario.config.study_time,
+        StudyOptions::with_jobs(jobs),
     );
     println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
     println!("{}", study.report().render_comparison());
+    println!("{}", study.report().render_stage_stats());
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what CI runs, runnable locally. Builds everything (including
+# benches), runs the full test suite, and holds the workspace to
+# warning-free clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo build --offline --benches
+cargo test -q --offline --workspace
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "check.sh: all green"

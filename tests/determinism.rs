@@ -1,0 +1,80 @@
+//! Determinism of the sharded pipeline: for any worker count, the study's
+//! findings and rendered report must be bit-identical to the serial run.
+//! This is the contract that lets `--jobs` exist at all — parallelism may
+//! only change the wall clock, never a single figure.
+
+use permadead::analysis::{soft404_probe, Dataset, Study, StudyOptions};
+use permadead::net::LiveStatus;
+use permadead::sim::{Scenario, ScenarioConfig};
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::generate(ScenarioConfig::small(7)))
+}
+
+fn dataset() -> Dataset {
+    let s = scenario();
+    let category_size = s.wiki.permanently_dead_category().len();
+    Dataset::alphabetical(&s.wiki, category_size * 6 / 10, 10_000, 42)
+}
+
+fn study_with_jobs(jobs: usize) -> Study {
+    let s = scenario();
+    Study::run_with(
+        &s.web,
+        &s.archive,
+        &dataset(),
+        s.config.study_time,
+        StudyOptions::with_jobs(jobs),
+    )
+}
+
+#[test]
+fn findings_identical_across_worker_counts() {
+    let serial = study_with_jobs(1);
+    assert!(serial.len() > 50, "dataset too small to exercise sharding");
+    for jobs in [2usize, 8] {
+        let sharded = study_with_jobs(jobs);
+        assert_eq!(
+            serial.findings, sharded.findings,
+            "findings diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.stage_stats, sharded.stage_stats,
+            "stage hit counts diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn rendered_report_identical_across_worker_counts() {
+    let serial = study_with_jobs(1);
+    let sharded = study_with_jobs(8);
+    assert_eq!(serial.report(), sharded.report());
+    assert_eq!(
+        serial.report().render_comparison(),
+        sharded.report().render_comparison()
+    );
+}
+
+/// Regression pin for the soft-404 probe seed: shard workers must key the
+/// probe's randomness on the link's *dataset index*, never on a
+/// shard-relative position. Recomputing each probe serially from the
+/// dataset index must reproduce what the 8-way run stored.
+#[test]
+fn soft404_seed_is_dataset_indexed() {
+    let s = scenario();
+    let ds = dataset();
+    let sharded = study_with_jobs(8);
+    let mut probed = 0;
+    for (i, f) in sharded.findings.iter().enumerate() {
+        if f.live.status == LiveStatus::Ok {
+            // only links the soft-404 stage actually probed are comparable
+            let expected = soft404_probe(&s.web, &ds.entries[i].url, s.config.study_time, i as u64);
+            assert_eq!(f.soft404, expected, "soft-404 verdict diverged at index {i}");
+            probed += 1;
+        }
+    }
+    assert!(probed > 10, "too few probed links ({probed}) to pin the seed");
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the harness surface the workspace benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a plain wall-clock sampler instead of criterion's
+//! statistical machinery. Each bench reports the mean, min, and max
+//! per-iteration time over `sample_size` samples.
+//!
+//! `--bench` (passed by `cargo bench`) is accepted and ignored; a trailing
+//! free argument acts as a substring filter on bench names, matching the
+//! real CLI's behaviour.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is grouped per measurement; the stub runs one
+/// routine call per setup either way, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, iters_per_sample: u64) -> Self {
+        Bencher { iters_per_sample, samples: Vec::with_capacity(sample_count) }
+    }
+
+    /// Time `routine`, amortised over `iters_per_sample` calls per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config { sample_size: 12, iters_per_sample: 1 },
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honour the `cargo bench` CLI: skip harness flags, keep the first free
+    /// argument as a name filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.config.sample_size = n;
+                    }
+                }
+                _ if arg.starts_with('-') => {
+                    // unknown harness flag; skip a value if one follows
+                    let _ = args.next();
+                }
+                _ => self.filter = Some(arg),
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&self, id: &str, config: Config, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher::new(config.sample_size, config.iters_per_sample);
+        f(&mut b);
+        report(id, &b.samples);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let config = self.config;
+        self.run_one(id, config, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup { parent: self, name: name.to_string(), config }
+    }
+
+    /// No-op: the stub prints each result as it completes.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benches sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let config = self.config;
+        self.parent.run_one(&full, config, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke/iter", |b| b.iter(|| runs += 1));
+        assert!(runs >= 12);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 64]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 12);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_function("counted", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()), ..Default::default() };
+        let mut runs = 0u64;
+        c.bench_function("smoke/filtered", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the 0.8 API
+//! shape, implemented over `std::thread::scope` (stable since Rust 1.63,
+//! which post-dates crossbeam's scoped threads and makes the vendored
+//! implementation a thin adapter). Only the scoped-thread surface is
+//! provided — nothing in this workspace uses the channel/queue/epoch halves.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads, mirroring
+    /// `crossbeam_utils::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope closes.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again so workers can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before this
+    /// returns. Unlike `std::thread::scope`, a panic in an *unjoined* worker
+    /// surfaces as `Err` here rather than propagating, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join_in_order() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+        assert_eq!(sums.len(), 4);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let hits = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unjoined_worker_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+}

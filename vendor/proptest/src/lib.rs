@@ -1,0 +1,650 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! subset of proptest its property tests use: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`], numeric-range
+//! and regex-string strategies, tuples, [`collection::vec`], [`option::of`],
+//! [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`], and
+//! [`strategy::Strategy::prop_map`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its inputs and seed; it is not
+//!   minimized.
+//! - **Deterministic seeding.** Cases derive from a hash of the test name and
+//!   the case index, so failures reproduce exactly across runs. Set
+//!   `PROPTEST_CASES` to change the per-test case count (default 64).
+//! - **Regex subset.** String strategies support literals, escapes, classes
+//!   (`[a-z0-9 .-]`, with ranges), groups with alternation, and the
+//!   `{n}`/`{n,m}`/`?`/`*`/`+` quantifiers — the shapes this workspace uses.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A test-case failure raised by the `prop_assert*` macros.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// How many cases each property runs (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drive one property: `body` receives a per-case deterministic RNG.
+    pub fn run_cases<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        let cases = case_count();
+        for case in 0..cases {
+            let mut rng = SmallRng::seed_from_u64(base ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+            if let Err(TestCaseError(msg)) = body(&mut rng) {
+                panic!("property {name} failed at case {case}/{cases}: {msg}");
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::string::StringParam;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Box the strategy, erasing its concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (`prop_oneof!`).
+    pub struct OneOf<S>(pub Vec<S>);
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_numeric_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_numeric_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String literals are regex strategies, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            StringParam::parse(self).generate(rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            StringParam::parse(self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Accepted size arguments for [`vec`]: a fixed length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Option`s of values from `inner` (3:1 Some:None, like
+    /// the real crate's default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub(crate) mod string {
+    //! Generation-only regex subset: literals, `\x` escapes, `[...]` classes
+    //! with ranges, `(a|b)` groups, and `{n}`/`{n,m}`/`?`/`*`/`+` quantifiers.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        /// Alternation of sequences.
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct StringParam(Vec<Node>);
+
+    impl StringParam {
+        pub fn parse(pattern: &str) -> StringParam {
+            let chars: Vec<char> = pattern.chars().collect();
+            let (seq, used) = parse_seq(&chars, 0, pattern);
+            assert!(
+                used == chars.len(),
+                "unsupported regex (trailing input at {used}): {pattern:?}"
+            );
+            StringParam(seq)
+        }
+
+        pub fn generate(&self, rng: &mut SmallRng) -> String {
+            let mut out = String::new();
+            for node in &self.0 {
+                gen_node(node, rng, &mut out);
+            }
+            out
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut SmallRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                // weight each range by its width for a uniform choice
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (a, b) in ranges {
+                    let w = *b as u32 - *a as u32 + 1;
+                    if pick < w {
+                        out.push(char::from_u32(*a as u32 + pick).unwrap());
+                        break;
+                    }
+                    pick -= w;
+                }
+            }
+            Node::Group(alts) => {
+                let alt = &alts[rng.gen_range(0..alts.len())];
+                for n in alt {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Parse a sequence until end of input, `)` or `|`. Returns the nodes and
+    /// the index of the terminator (or end).
+    fn parse_seq(chars: &[char], mut i: usize, pattern: &str) -> (Vec<Node>, usize) {
+        let mut seq = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                ')' | '|' => break,
+                '(' => {
+                    let mut alts = Vec::new();
+                    let mut j = i + 1;
+                    loop {
+                        let (alt, used) = parse_seq(chars, j, pattern);
+                        alts.push(alt);
+                        j = used;
+                        match chars.get(j) {
+                            Some('|') => j += 1,
+                            Some(')') => break,
+                            _ => panic!("unclosed group in regex: {pattern:?}"),
+                        }
+                    }
+                    i = j + 1;
+                    Node::Group(alts)
+                }
+                '[' => {
+                    let (class, used) = parse_class(chars, i + 1, pattern);
+                    i = used;
+                    class
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).unwrap_or_else(|| {
+                        panic!("dangling escape in regex: {pattern:?}")
+                    });
+                    i += 2;
+                    Node::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Node::Literal(c)
+                }
+            };
+            // optional quantifier
+            let quantified = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{n,m}} in regex: {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let (lo, hi) = match body.split_once(',') {
+                        None => {
+                            let n = body.parse().unwrap();
+                            (n, n)
+                        }
+                        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    };
+                    i = close + 1;
+                    Node::Repeat(Box::new(atom), lo, hi)
+                }
+                Some('?') => {
+                    i += 1;
+                    Node::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    Node::Repeat(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    Node::Repeat(Box::new(atom), 1, 8)
+                }
+                _ => atom,
+            };
+            seq.push(quantified);
+        }
+        (seq, i)
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Node, usize) {
+        let mut ranges = Vec::new();
+        assert!(
+            chars.get(i) != Some(&'^'),
+            "negated classes unsupported in vendored proptest: {pattern:?}"
+        );
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // a '-' forms a range unless it is the last char before ']'
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                assert!(lo <= hi, "inverted class range in regex: {pattern:?}");
+                ranges.push((lo, hi));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        assert!(chars.get(i) == Some(&']'), "unclosed class in regex: {pattern:?}");
+        (Node::Class(ranges), i + 1)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::rngs::SmallRng as TestRng;
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` runs
+/// `PROPTEST_CASES` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                        let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (move || { $body ::std::result::Result::Ok(()) })();
+                        __proptest_result
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Assert inside a property; failure reports the case instead of panicking
+/// mid-shrink (we do not shrink, but the API matches).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}` ({:?} != {:?})",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} != {:?}: {}",
+            __a, __b, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+}
+
+/// Uniform choice among same-typed strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![$($arm),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn regex_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}(\\.[a-z]{1,8}){0,3}".generate(&mut r);
+            assert!(!s.is_empty());
+            for part in s.split('.') {
+                assert!((1..=8).contains(&part.len()), "{s}");
+                assert!(part.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+            }
+            let p = "(/[a-z0-9]{1,6}){0,4}".generate(&mut r);
+            assert!(p.is_empty() || p.starts_with('/'), "{p}");
+            let printable = "[ -~]{0,20}".generate(&mut r);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            let alt = "x(org|com|sim)y".generate(&mut r);
+            assert!(["xorgy", "xcomy", "xsimy"].contains(&alt.as_str()), "{alt}");
+        }
+    }
+
+    #[test]
+    fn class_with_literal_specials() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z<>{}|=/: .]{0,16}".generate(&mut r);
+            assert!(s.chars().all(|c| {
+                c.is_ascii_lowercase() || "<>{}|=/: .".contains(c)
+            }), "{s}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end(
+            n in 0usize..10,
+            mut v in crate::collection::vec(0u8..3, 0..5),
+            flag in any::<bool>(),
+            opt in crate::option::of(1usize..5),
+            pick in prop_oneof![Just(1u16), Just(2)],
+        ) {
+            v.push(0);
+            prop_assert!(n < 10);
+            prop_assert!(v.len() <= 5);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(v.len(), 0);
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(pick == 1 || pick == 2);
+        }
+
+        #[test]
+        fn prop_map_works(v in crate::collection::vec((1i64..50, 0u8..3), 0..5).prop_map(|raw| raw.len())) {
+            prop_assert!(v <= 5);
+        }
+    }
+}
