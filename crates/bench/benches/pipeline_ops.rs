@@ -159,11 +159,13 @@ fn bench_scaling(c: &mut Criterion) {
 }
 
 /// Machine-readable tail: one JSON line per sweep point, with speedup
-/// relative to the single-threaded run.
+/// relative to the single-threaded run. Printed to stdout and persisted to
+/// `results/BENCH_pipeline.json`.
 fn json_scaling_summary() {
     let r = repro();
     let reps = 3;
     let mut base_ms = 0.0;
+    let mut lines = String::new();
     for jobs in [1usize, 2, 4, 8] {
         let run = || {
             black_box(Study::run_with(
@@ -183,11 +185,18 @@ fn json_scaling_summary() {
         if jobs == 1 {
             base_ms = ms;
         }
-        println!(
+        let line = format!(
             "{{\"bench\":\"pipeline/full_study\",\"jobs\":{jobs},\"links\":{},\"mean_ms\":{ms:.3},\"speedup\":{:.2}}}",
             r.march.len(),
             base_ms / ms,
         );
+        println!("{line}");
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    match permadead_bench::persist_bench_results("pipeline", &lines) {
+        Ok(path) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench] could not persist results: {e}"),
     }
 }
 

@@ -16,3 +16,41 @@
 pub mod harness;
 
 pub use harness::{jobs_from_env, Repro};
+
+/// Persist a machine-readable benchmark summary under `results/`.
+///
+/// Benches print their JSON lines to stdout for ad-hoc scraping, but CI and
+/// the roadmap want them on disk next to the paper-comparison tables:
+/// `results/BENCH_<name>.json`. The directory defaults to `<workspace>/results`
+/// and can be redirected with `PERMADEAD_RESULTS_DIR` (tests point it at a
+/// temp dir). Returns the path written, or the I/O error — callers decide
+/// whether a failed persist is fatal (benches just warn).
+pub fn persist_bench_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("PERMADEAD_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn persist_writes_under_results_dir() {
+        let dir = std::env::temp_dir().join("permadead-bench-results-test");
+        // the env var is process-global; this is the only test that sets it
+        std::env::set_var("PERMADEAD_RESULTS_DIR", &dir);
+        let path = super::persist_bench_results("unit", "{\"ok\":true}\n").unwrap();
+        std::env::remove_var("PERMADEAD_RESULTS_DIR");
+        assert_eq!(path, dir.join("BENCH_unit.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

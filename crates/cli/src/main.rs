@@ -5,6 +5,7 @@
 //! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
+//! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
 //! permadead help
 //! ```
 
@@ -21,7 +22,10 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = Args::parse(
         argv,
-        &["seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv"],
+        &[
+            "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
+            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap",
+        ],
     );
     let args = match parsed {
         Ok(a) => a,
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         "forensics" => cmd_forensics(&args),
         "bots" => cmd_bots(&args),
         "recommend" => cmd_recommend(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -64,6 +69,7 @@ fn print_help() {
          \x20 forensics  narrate the life of individual permanently dead links\n\
          \x20 bots       IABot sweep totals and the WaybackMedic rescue comparison\n\
          \x20 recommend  the paper's implications as a work-list: what to untag, patch, or fix\n\
+         \x20 serve      run the per-link audit HTTP service (GET /check, POST /batch, GET /metrics)\n\
          \x20 help       this text\n\n\
          FLAGS:\n\
          \x20 --seed N          world seed (default 42)\n\
@@ -74,7 +80,13 @@ fn print_help() {
          \x20 --csv PATH        (audit) write per-link findings as CSV\n\
          \x20 --stage-csv PATH  (audit) write per-stage hit/latency stats as CSV\n\
          \x20 --cdx PATH        (audit) dump the archive index as a CDX file\n\
-         \x20 --limit K         (forensics) how many links to narrate (default 5)"
+         \x20 --limit K         (forensics) how many links to narrate (default 5)\n\
+         \x20 --port P          (serve) TCP port, 0 = ephemeral (default 7436)\n\
+         \x20 --workers W       (serve) worker threads (default 4)\n\
+         \x20 --cache-cap C     (serve) verdict-cache capacity in entries (default 4096)\n\
+         \x20 --shards N        (serve) cache shard count (default 8)\n\
+         \x20 --ttl-secs S      (serve) cache entry TTL in simulated seconds (default 3600)\n\
+         \x20 --queue-cap Q     (serve) pending-connection queue before 503s (default 64)"
     );
 }
 
@@ -241,6 +253,38 @@ fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    // parse every flag before the (multi-second) world build so a typo'd
+    // value fails in milliseconds
+    let cache = permadead_serve::CacheConfig {
+        shards: args.get_usize("shards", 8)?.max(1),
+        capacity: args.get_usize("cache-cap", 4096)?.max(1),
+        ttl: permadead_net::Duration::seconds(args.get_u64("ttl-secs", 3600)? as i64),
+    };
+    let config = permadead_serve::ServerConfig {
+        port: u16::try_from(args.get_u64("port", 7436)?)
+            .map_err(|_| "flag --port must fit in 16 bits")?,
+        workers: args.get_usize("workers", 4)?.max(1),
+        queue_cap: args.get_usize("queue-cap", 64)?.max(1),
+        ..permadead_serve::ServerConfig::default()
+    };
+    let scenario = scenario_from(args)?;
+    eprintln!(
+        "[permadead] serve: {} workers, cache {} entries × {} shards",
+        config.workers, cache.capacity, cache.shards
+    );
+    let service = permadead_serve::AuditService::over(scenario, cache);
+    let handle = permadead_serve::start(service, config)?;
+    // the exact line scripts/check.sh greps for the ephemeral port
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    // serve until killed; the handle owns the worker pool
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_bots(args: &Args) -> Result<(), Box<dyn std::error::Error>> {

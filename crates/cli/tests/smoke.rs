@@ -12,7 +12,7 @@ fn help_lists_commands() {
     let out = bin().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["audit", "figures", "forensics", "bots", "recommend"] {
+    for cmd in ["audit", "figures", "forensics", "bots", "recommend", "serve"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -29,6 +29,19 @@ fn unknown_flag_fails_fast() {
     let out = bin().args(["audit", "--sed", "7"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn serve_rejects_unknown_flag_before_binding() {
+    // a typo'd flag must fail fast, not start a server with defaults
+    let out = bin()
+        .args(["serve", "--cache-capp", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+    assert!(err.contains("--cache-capp"), "stderr: {err}");
 }
 
 #[test]

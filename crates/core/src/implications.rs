@@ -53,61 +53,68 @@ impl Recommendation {
     }
 }
 
-/// Derive the full work-list from a study. At most one recommendation per
-/// link, in the paper's own priority order: a genuinely-alive link should be
-/// untagged (not patched); a 200 copy beats a redirect copy; typo fixes and
-/// param rescues apply only to never-archived links.
-pub fn recommendations(study: &Study, archive: &ArchiveStore) -> Vec<Recommendation> {
-    let mut out = Vec::new();
-    for f in &study.findings {
-        let url = &f.entry.url;
-        if f.genuinely_alive() {
-            out.push(Recommendation::Untag { url: url.clone() });
-            continue;
+/// The recommendation for a single finding, if any — in the paper's own
+/// priority order: a genuinely-alive link should be untagged (not patched);
+/// a 200 copy beats a redirect copy; typo fixes and param rescues apply
+/// only to never-archived links. The per-link form exists so an online
+/// audit service can answer one query without assembling a [`Study`].
+pub fn recommend_for(
+    f: &crate::report::LinkFinding,
+    archive: &ArchiveStore,
+) -> Option<Recommendation> {
+    let url = &f.entry.url;
+    if f.genuinely_alive() {
+        return Some(Recommendation::Untag { url: url.clone() });
+    }
+    match f.archival {
+        ArchivalClass::Had200Copy => archive
+            .snapshots_of(url)
+            .into_iter()
+            .find(|s| s.captured < f.entry.marked_at && s.is_initial_200())
+            .map(|snap| Recommendation::PatchWith200Copy {
+                url: url.clone(),
+                captured: snap.captured,
+            }),
+        ArchivalClass::Had3xxOnly => {
+            if matches!(f.redirect_verdict, Some(RedirectVerdict::Valid)) {
+                let snap = first_3xx_before(archive, url, f.entry.marked_at)?;
+                let target = snap.redirect_target.as_ref()?;
+                Some(Recommendation::PatchWithRedirectCopy {
+                    url: url.clone(),
+                    captured: snap.captured,
+                    target: target.clone(),
+                })
+            } else {
+                None
+            }
         }
-        match f.archival {
-            ArchivalClass::Had200Copy => {
-                if let Some(snap) = archive
-                    .snapshots_of(url)
-                    .into_iter()
-                    .find(|s| s.captured < f.entry.marked_at && s.is_initial_200())
-                {
-                    out.push(Recommendation::PatchWith200Copy {
-                        url: url.clone(),
-                        captured: snap.captured,
-                    });
-                }
-            }
-            ArchivalClass::Had3xxOnly => {
-                if matches!(f.redirect_verdict, Some(RedirectVerdict::Valid)) {
-                    if let Some(snap) = first_3xx_before(archive, url, f.entry.marked_at) {
-                        if let Some(target) = &snap.redirect_target {
-                            out.push(Recommendation::PatchWithRedirectCopy {
-                                url: url.clone(),
-                                captured: snap.captured,
-                                target: target.clone(),
-                            });
-                        }
-                    }
-                }
-            }
-            ArchivalClass::NeverArchived => {
-                if let Some(t) = &f.typo {
-                    out.push(Recommendation::FixTypo {
-                        url: url.clone(),
-                        intended: t.intended_url.clone(),
-                    });
-                } else if let Some(r) = &f.param_rescue {
-                    out.push(Recommendation::PatchWithParamReorder {
+        ArchivalClass::NeverArchived => {
+            if let Some(t) = &f.typo {
+                Some(Recommendation::FixTypo {
+                    url: url.clone(),
+                    intended: t.intended_url.clone(),
+                })
+            } else {
+                f.param_rescue
+                    .as_ref()
+                    .map(|r| Recommendation::PatchWithParamReorder {
                         url: url.clone(),
                         archived_spelling: r.archived_url.clone(),
-                    });
-                }
+                    })
             }
-            _ => {}
         }
+        _ => None,
     }
-    out
+}
+
+/// Derive the full work-list from a study: [`recommend_for`] over every
+/// finding, at most one recommendation per link.
+pub fn recommendations(study: &Study, archive: &ArchiveStore) -> Vec<Recommendation> {
+    study
+        .findings
+        .iter()
+        .filter_map(|f| recommend_for(f, archive))
+        .collect()
 }
 
 /// Counts per recommendation kind, for summaries.

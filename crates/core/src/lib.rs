@@ -35,11 +35,12 @@ pub mod typos;
 
 pub use archival::{classify_archival, ArchivalClass, PostMarkingCheck};
 pub use dataset::{Dataset, DatasetEntry};
-pub use implications::{recommendations, summarize, Recommendation};
+pub use implications::{recommend_for, recommendations, summarize, Recommendation};
 pub use livecheck::{live_check, LiveCheck};
 pub use params::{find_param_reorder_copy, ParamReorderRescue};
 pub use pipeline::{
-    default_stages, run_study, LinkAnalysis, Stage, StageStats, StudyEnv, StudyOptions,
+    analyze_link, default_stages, empty_stats, run_study, LinkAnalysis, Stage, StageStats,
+    StudyEnv, StudyOptions,
 };
 pub use redirects::{validate_redirect, RedirectVerdict};
 pub use report::{Study, StudyReport};

@@ -101,8 +101,9 @@ impl LinkAnalysis {
 
 /// One analysis step of the pipeline. Implementations must be pure in
 /// `(env, acc)` — no interior state — so any sharding is observationally
-/// identical to the serial run.
-pub trait Stage: Sync {
+/// identical to the serial run. (`Send` because a long-lived service owns
+/// its stage list across worker threads, not just borrows it in a scope.)
+pub trait Stage: Sync + Send {
     /// Stable identifier, used in stats, CSV export, and bench labels.
     fn name(&self) -> &'static str;
 
@@ -323,6 +324,44 @@ impl StudyOptions {
     }
 }
 
+/// Fresh zeroed stats rows, one per stage, in stage order.
+pub fn empty_stats(stages: &[Box<dyn Stage>]) -> Vec<StageStats> {
+    stages
+        .iter()
+        .map(|s| StageStats {
+            name: s.name(),
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// Run `stages` over a single dataset entry sitting at dataset index
+/// `index`, folding hit/timing counters into `stats` (which must be in
+/// stage order, e.g. from [`empty_stats`]).
+///
+/// This is the per-link unit both executions share: the batch study loops
+/// it over a dataset, and an online service (one query = one link) calls it
+/// directly. Because every stage keys its randomness off `index`, calling
+/// this with the index a URL holds in a dataset reproduces the batch
+/// finding for that URL bit-for-bit.
+pub fn analyze_link(
+    env: &StudyEnv<'_>,
+    stages: &[Box<dyn Stage>],
+    index: usize,
+    entry: DatasetEntry,
+    stats: &mut [StageStats],
+) -> LinkFinding {
+    debug_assert_eq!(stages.len(), stats.len());
+    let mut acc = LinkAnalysis::new(index, entry);
+    for (stage, stat) in stages.iter().zip(stats.iter_mut()) {
+        let started = Instant::now();
+        let hit = stage.run(env, &mut acc);
+        stat.nanos += started.elapsed().as_nanos() as u64;
+        stat.hits += hit as u64;
+    }
+    acc.finish()
+}
+
 /// Run `stages` over `entries`, whose first element sits at dataset index
 /// `base`. One worker's share of a sharded run, and the whole of a serial one.
 fn run_shard(
@@ -331,23 +370,16 @@ fn run_shard(
     entries: &[DatasetEntry],
     base: usize,
 ) -> (Vec<LinkFinding>, Vec<StageStats>) {
-    let mut stats: Vec<StageStats> = stages
-        .iter()
-        .map(|s| StageStats {
-            name: s.name(),
-            ..Default::default()
-        })
-        .collect();
+    let mut stats = empty_stats(stages);
     let mut findings = Vec::with_capacity(entries.len());
     for (offset, entry) in entries.iter().enumerate() {
-        let mut acc = LinkAnalysis::new(base + offset, entry.clone());
-        for (stage, stat) in stages.iter().zip(stats.iter_mut()) {
-            let started = Instant::now();
-            let hit = stage.run(env, &mut acc);
-            stat.nanos += started.elapsed().as_nanos() as u64;
-            stat.hits += hit as u64;
-        }
-        findings.push(acc.finish());
+        findings.push(analyze_link(
+            env,
+            stages,
+            base + offset,
+            entry.clone(),
+            &mut stats,
+        ));
     }
     (findings, stats)
 }
@@ -386,13 +418,7 @@ pub fn run_study(
             .collect();
 
         let mut findings = Vec::with_capacity(dataset.len());
-        let mut stats: Vec<StageStats> = stages
-            .iter()
-            .map(|s| StageStats {
-                name: s.name(),
-                ..Default::default()
-            })
-            .collect();
+        let mut stats = empty_stats(stages);
         // joining in spawn (= chunk) order restores dataset order exactly
         for handle in handles {
             let (part_findings, part_stats) = handle.join().expect("pipeline worker panicked");
@@ -561,6 +587,22 @@ mod tests {
         assert!(s.contains("live-check"));
         assert!(s.contains("rescue-scan"));
         assert!(s.contains("10 hits"));
+    }
+
+    #[test]
+    fn analyze_link_matches_batch_finding() {
+        let web = DeadNet;
+        let archive = ArchiveStore::new();
+        let env = env_over(&web, &archive);
+        let ds = tiny_dataset(7);
+        let stages = default_stages();
+        let (batch, batch_stats) = run_study(&env, &ds, &StudyOptions::default());
+        let mut stats = empty_stats(&stages);
+        for (i, entry) in ds.entries.iter().enumerate() {
+            let single = analyze_link(&env, &stages, i, entry.clone(), &mut stats);
+            assert_eq!(single, batch[i], "index {i}");
+        }
+        assert_eq!(stats, batch_stats);
     }
 
     #[test]

@@ -225,6 +225,91 @@ mod tests {
     }
 
     #[test]
+    fn diff_saturates_per_field() {
+        // each field saturates independently: a later snapshot that is
+        // behind on some fields and ahead on others must not wrap
+        let earlier = MetricsSnapshot {
+            requests: 10,
+            transport_failures: 5,
+            responses_2xx: 4,
+            responses_3xx: 3,
+            responses_4xx: 2,
+            responses_5xx: 1,
+        };
+        let later = MetricsSnapshot {
+            requests: 12,
+            transport_failures: 0, // behind (reset between snapshots)
+            responses_2xx: 4,
+            responses_3xx: 0, // behind
+            responses_4xx: 7,
+            responses_5xx: 0, // behind
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.requests, 2);
+        assert_eq!(d.transport_failures, 0);
+        assert_eq!(d.responses_2xx, 0);
+        assert_eq!(d.responses_3xx, 0);
+        assert_eq!(d.responses_4xx, 5);
+        assert_eq!(d.responses_5xx, 0);
+    }
+
+    #[test]
+    fn diff_of_self_is_zero() {
+        let m = NetMetrics::new();
+        m.record(&Ok(Response::ok("x".into())));
+        let snap = m.snapshot();
+        assert_eq!(snap.diff(&snap), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        let parts = [
+            MetricsSnapshot {
+                requests: 3,
+                responses_2xx: 2,
+                responses_4xx: 1,
+                ..Default::default()
+            },
+            MetricsSnapshot {
+                requests: 5,
+                transport_failures: 4,
+                responses_5xx: 1,
+                ..Default::default()
+            },
+            MetricsSnapshot {
+                requests: 7,
+                responses_3xx: 6,
+                responses_2xx: 1,
+                ..Default::default()
+            },
+        ];
+        // fold in every grouping/order a parallel run could produce
+        let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 1, 0], [1, 0, 2]];
+        let mut results = Vec::new();
+        for order in orders {
+            let agg = NetMetrics::new();
+            for &i in &order {
+                agg.merge(&parts[i]);
+            }
+            results.push(agg.snapshot());
+        }
+        // and a pre-merged grouping: (a+b) then c
+        let ab = NetMetrics::new();
+        ab.merge(&parts[0]);
+        ab.merge(&parts[1]);
+        let grouped = NetMetrics::new();
+        grouped.merge(&ab.snapshot());
+        grouped.merge(&parts[2]);
+        results.push(grouped.snapshot());
+
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        assert_eq!(results[0].requests, 15);
+        assert_eq!(results[0].responses_2xx, 3);
+    }
+
+    #[test]
     fn clone_snapshots_value() {
         let c = Counter::default();
         c.add(7);

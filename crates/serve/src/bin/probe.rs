@@ -1,0 +1,56 @@
+//! `serve-probe` — a std-only HTTP client for smoke tests.
+//!
+//! ```text
+//! serve-probe <host:port> <path> [expect-substring]
+//! ```
+//!
+//! Issues one GET, prints the status line and body to stdout, and exits
+//! non-zero if the request fails, the status is not 200, or the body does
+//! not contain the expected substring. `scripts/check.sh` drives it against
+//! a freshly started `permadead serve` so CI needs no curl.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(p)) => (a.clone(), p.clone()),
+        _ => {
+            eprintln!("usage: serve-probe <host:port> <path> [expect-substring]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expect = args.get(2);
+
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-probe: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("serve-probe: write: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut response = String::new();
+    if let Err(e) = stream.read_to_string(&mut response) {
+        eprintln!("serve-probe: read: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{response}");
+    if !response.starts_with("HTTP/1.1 200") {
+        eprintln!("serve-probe: non-200 from {path}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(needle) = expect {
+        if !response.contains(needle.as_str()) {
+            eprintln!("serve-probe: body missing {needle:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! The few grams of JSON the service needs: string quoting and a small
+//! object builder. (The workspace is offline/std-only, and the responses are
+//! flat objects — a serializer dependency would be all ceremony.)
+
+/// Quote and escape `s` as a JSON string literal, including the quotes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Incremental `{...}` builder; fields render in insertion order.
+#[derive(Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), quote(value)));
+        self
+    }
+
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn num(self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(k));
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quote("a\\b"), "\"a\\\\b\"");
+        assert_eq!(quote("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_renders_in_order() {
+        let o = Object::new()
+            .str("url", "http://e.org/?a=1&b=2")
+            .num("n", 3)
+            .bool("cached", true)
+            .opt_str("rec", None);
+        assert_eq!(
+            o.render(),
+            "{\"url\":\"http://e.org/?a=1&b=2\",\"n\":3,\"cached\":true,\"rec\":null}"
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Server-side observability: request counters, an in-flight gauge, a fixed-
+//! bucket latency histogram, and the Prometheus text rendering that `/metrics`
+//! serves.
+//!
+//! Everything here is shared across worker threads, so it is atomics and one
+//! short-lived mutex (per-stage stats). The exposition format follows the
+//! Prometheus 0.0.4 text conventions: `# HELP`/`# TYPE` preambles,
+//! `_total` suffixes on counters, cumulative `le` buckets on the histogram.
+
+use crate::cache::CacheStats;
+use parking_lot::Mutex;
+use permadead_core::StageStats;
+use permadead_net::{Counter, MetricsSnapshot};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Histogram bucket upper bounds, in seconds. Audit queries on the simulated
+/// world run in the micro-to-millisecond range; the tail buckets catch
+/// queue-delayed requests under load.
+pub const LATENCY_BUCKETS: [f64; 10] = [
+    0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.05, 0.25, 1.0,
+];
+
+/// One endpoint's request counter, labeled by route.
+pub struct EndpointCounter {
+    pub route: &'static str,
+    pub count: Counter,
+}
+
+/// Shared server metrics. One instance per server, touched by every worker.
+pub struct ServeMetrics {
+    /// Requests fully handled, by route (`other` = 404s and bad requests).
+    pub by_endpoint: Vec<EndpointCounter>,
+    /// Responses by status code class we actually emit.
+    pub responses_2xx: Counter,
+    pub responses_4xx: Counter,
+    pub responses_5xx: Counter,
+    /// Connections refused at admission (503 + Retry-After).
+    pub rejected_total: Counter,
+    /// Requests currently being processed by workers.
+    pub inflight: AtomicI64,
+    /// Cumulative latency histogram over handled requests.
+    bucket_counts: Vec<Counter>,
+    latency_sum_nanos: Counter,
+    latency_count: Counter,
+    /// Per-stage pipeline counters accumulated across every audit.
+    stage_stats: Mutex<Vec<StageStats>>,
+}
+
+pub const ROUTES: [&str; 5] = ["check", "batch", "metrics", "healthz", "other"];
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        ServeMetrics {
+            by_endpoint: ROUTES
+                .iter()
+                .map(|r| EndpointCounter {
+                    route: r,
+                    count: Counter::default(),
+                })
+                .collect(),
+            responses_2xx: Counter::default(),
+            responses_4xx: Counter::default(),
+            responses_5xx: Counter::default(),
+            rejected_total: Counter::default(),
+            inflight: AtomicI64::new(0),
+            bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
+            latency_sum_nanos: Counter::default(),
+            latency_count: Counter::default(),
+            stage_stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn count_route(&self, route: &str) {
+        let slot = self
+            .by_endpoint
+            .iter()
+            .find(|e| e.route == route)
+            .or_else(|| self.by_endpoint.last())
+            .expect("ROUTES is non-empty");
+        slot.count.incr();
+    }
+
+    pub fn count_status(&self, status: u16) {
+        match status / 100 {
+            2 => self.responses_2xx.incr(),
+            4 => self.responses_4xx.incr(),
+            5 => self.responses_5xx.incr(),
+            _ => {}
+        }
+    }
+
+    pub fn observe_latency(&self, seconds: f64) {
+        for (bound, count) in LATENCY_BUCKETS.iter().zip(&self.bucket_counts) {
+            if seconds <= *bound {
+                count.incr();
+            }
+        }
+        self.latency_sum_nanos.add((seconds * 1e9) as u64);
+        self.latency_count.incr();
+    }
+
+    /// Fold one audit's stage stats into the running totals.
+    pub fn merge_stage_stats(&self, part: &[StageStats]) {
+        let mut total = self.stage_stats.lock();
+        if total.is_empty() {
+            total.extend(part.iter().cloned());
+            return;
+        }
+        for (t, p) in total.iter_mut().zip(part) {
+            debug_assert_eq!(t.name, p.name);
+            t.hits += p.hits;
+            t.nanos += p.nanos;
+        }
+    }
+
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        self.stage_stats.lock().clone()
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.by_endpoint.iter().map(|e| e.count.get()).sum()
+    }
+
+    /// Render everything as Prometheus exposition text. The caller supplies
+    /// the pieces owned elsewhere: cache stats, the simulated web's counter
+    /// snapshot, and the current admission-queue depth.
+    pub fn render_prometheus(
+        &self,
+        cache: &CacheStats,
+        net: &MetricsSnapshot,
+        queue_depth: usize,
+    ) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut metric = |name: &str, kind: &str, help: &str, lines: &[String]| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for l in lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+        };
+
+        metric(
+            "permadead_requests_total",
+            "counter",
+            "Requests handled, by endpoint.",
+            &self
+                .by_endpoint
+                .iter()
+                .map(|e| {
+                    format!(
+                        "permadead_requests_total{{endpoint=\"{}\"}} {}",
+                        e.route,
+                        e.count.get()
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_responses_total",
+            "counter",
+            "Responses emitted, by status class.",
+            &[
+                format!("permadead_responses_total{{class=\"2xx\"}} {}", self.responses_2xx.get()),
+                format!("permadead_responses_total{{class=\"4xx\"}} {}", self.responses_4xx.get()),
+                format!("permadead_responses_total{{class=\"5xx\"}} {}", self.responses_5xx.get()),
+            ],
+        );
+        metric(
+            "permadead_rejected_total",
+            "counter",
+            "Connections refused at admission control (503 + Retry-After).",
+            &[format!("permadead_rejected_total {}", self.rejected_total.get())],
+        );
+        metric(
+            "permadead_inflight_requests",
+            "gauge",
+            "Requests currently being processed by workers.",
+            &[format!(
+                "permadead_inflight_requests {}",
+                self.inflight.load(Ordering::Relaxed)
+            )],
+        );
+        metric(
+            "permadead_pending_queue_depth",
+            "gauge",
+            "Accepted connections waiting for a worker.",
+            &[format!("permadead_pending_queue_depth {queue_depth}")],
+        );
+
+        // latency histogram (cumulative buckets, prometheus-style)
+        let mut lines: Vec<String> = LATENCY_BUCKETS
+            .iter()
+            .zip(&self.bucket_counts)
+            .map(|(bound, count)| {
+                format!(
+                    "permadead_request_duration_seconds_bucket{{le=\"{bound}\"}} {}",
+                    count.get()
+                )
+            })
+            .collect();
+        lines.push(format!(
+            "permadead_request_duration_seconds_bucket{{le=\"+Inf\"}} {}",
+            self.latency_count.get()
+        ));
+        lines.push(format!(
+            "permadead_request_duration_seconds_sum {}",
+            self.latency_sum_nanos.get() as f64 / 1e9
+        ));
+        lines.push(format!(
+            "permadead_request_duration_seconds_count {}",
+            self.latency_count.get()
+        ));
+        metric(
+            "permadead_request_duration_seconds",
+            "histogram",
+            "End-to-end request handling latency.",
+            &lines,
+        );
+
+        metric(
+            "permadead_cache_hits_total",
+            "counter",
+            "Audit cache hits.",
+            &[format!("permadead_cache_hits_total {}", cache.hits)],
+        );
+        metric(
+            "permadead_cache_misses_total",
+            "counter",
+            "Audit cache misses (including TTL expirations).",
+            &[format!("permadead_cache_misses_total {}", cache.misses)],
+        );
+        metric(
+            "permadead_cache_evictions_total",
+            "counter",
+            "Entries evicted by LRU pressure.",
+            &[format!("permadead_cache_evictions_total {}", cache.evictions)],
+        );
+        metric(
+            "permadead_cache_expirations_total",
+            "counter",
+            "Entries dropped at TTL expiry.",
+            &[format!("permadead_cache_expirations_total {}", cache.expirations)],
+        );
+        metric(
+            "permadead_cache_entries",
+            "gauge",
+            "Entries currently resident.",
+            &[format!("permadead_cache_entries {}", cache.entries)],
+        );
+        metric(
+            "permadead_cache_hit_ratio",
+            "gauge",
+            "Hits over lookups since start.",
+            &[format!("permadead_cache_hit_ratio {:.6}", cache.hit_ratio())],
+        );
+
+        // the simulated live web's own counters — the measurement cost side
+        metric(
+            "permadead_simweb_requests_total",
+            "counter",
+            "Requests issued to the simulated live web.",
+            &[format!("permadead_simweb_requests_total {}", net.requests)],
+        );
+        metric(
+            "permadead_simweb_transport_failures_total",
+            "counter",
+            "Simulated transport-level failures (DNS, timeouts).",
+            &[format!(
+                "permadead_simweb_transport_failures_total {}",
+                net.transport_failures
+            )],
+        );
+        metric(
+            "permadead_simweb_responses_total",
+            "counter",
+            "Simulated web responses by status family.",
+            &[
+                format!("permadead_simweb_responses_total{{class=\"2xx\"}} {}", net.responses_2xx),
+                format!("permadead_simweb_responses_total{{class=\"3xx\"}} {}", net.responses_3xx),
+                format!("permadead_simweb_responses_total{{class=\"4xx\"}} {}", net.responses_4xx),
+                format!("permadead_simweb_responses_total{{class=\"5xx\"}} {}", net.responses_5xx),
+            ],
+        );
+
+        // per-stage pipeline counters
+        let stages = self.stage_stats();
+        metric(
+            "permadead_stage_hits_total",
+            "counter",
+            "Links for which each pipeline stage did real work.",
+            &stages
+                .iter()
+                .map(|s| format!("permadead_stage_hits_total{{stage=\"{}\"}} {}", s.name, s.hits))
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_stage_seconds_total",
+            "counter",
+            "Wall-clock spent inside each pipeline stage.",
+            &stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "permadead_stage_seconds_total{{stage=\"{}\"}} {:.9}",
+                        s.name,
+                        s.nanos as f64 / 1e9
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_counting_falls_back_to_other() {
+        let m = ServeMetrics::new();
+        m.count_route("check");
+        m.count_route("check");
+        m.count_route("nonsense");
+        assert_eq!(m.by_endpoint[0].count.get(), 2);
+        assert_eq!(m.by_endpoint.last().unwrap().count.get(), 1);
+        assert_eq!(m.requests_total(), 3);
+    }
+
+    #[test]
+    fn latency_buckets_are_cumulative() {
+        let m = ServeMetrics::new();
+        m.observe_latency(0.0002); // falls in every bucket from 0.25ms up
+        m.observe_latency(0.3); // only the 1.0 bucket
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0);
+        assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"0.00025\"} 1"));
+        assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("permadead_request_duration_seconds_count 2"));
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = ServeMetrics::new();
+        m.count_route("check");
+        m.count_status(200);
+        m.merge_stage_stats(&[StageStats {
+            name: "live-check",
+            hits: 1,
+            nanos: 1000,
+        }]);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        let text = m.render_prometheus(&cache, &MetricsSnapshot::default(), 2);
+        for needle in [
+            "# TYPE permadead_requests_total counter",
+            "permadead_requests_total{endpoint=\"check\"} 1",
+            "permadead_responses_total{class=\"2xx\"} 1",
+            "permadead_cache_hits_total 3",
+            "permadead_cache_hit_ratio 0.750000",
+            "permadead_pending_queue_depth 2",
+            "permadead_stage_hits_total{stage=\"live-check\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing: {needle}\n{text}");
+        }
+        // every non-comment line is `name{labels} value` with a parseable value
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
+    }
+}

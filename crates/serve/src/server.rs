@@ -1,0 +1,291 @@
+//! The HTTP server: acceptor thread, crossbeam-channel worker pool, and
+//! admission control.
+//!
+//! Accepted connections are `try_send`-dispatched into a **bounded** channel.
+//! Workers pull from it; when every worker is busy and the queue is full the
+//! acceptor answers `503 Service Unavailable` with `Retry-After` *itself* and
+//! closes the socket — the one response cheap enough to serve inline. That is
+//! the whole degradation story: bounded queue, bounded workers, explicit
+//! back-pressure to the client instead of unbounded memory growth.
+//!
+//! Endpoints:
+//!
+//! | route            | method | behaviour                                          |
+//! |------------------|--------|----------------------------------------------------|
+//! | `/check?url=U`   | GET    | audit one link; JSON verdict + rescue              |
+//! | `/batch`         | POST   | newline-delimited URLs (bounded); JSON array       |
+//! | `/metrics`       | GET    | Prometheus text                                    |
+//! | `/healthz`       | GET    | `ok`                                               |
+
+use crate::metrics::ServeMetrics;
+use crate::service::AuditService;
+use crate::wire::{query_param, read_request, HttpRequest, HttpResponse, WireError};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use permadead_net::{Duration, SimTime};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server shape: listener address and pool/queue/batch bounds.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1; `0` picks an ephemeral port.
+    pub port: u16,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before admission
+    /// control starts refusing with 503.
+    pub queue_cap: usize,
+    /// Maximum URLs accepted in one `POST /batch`.
+    pub max_batch: usize,
+    /// Seconds advertised in `Retry-After` on an admission refusal.
+    pub retry_after_secs: u32,
+    /// Enable `/debug/sleep` (load tests exercise admission control with it).
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 4,
+            queue_cap: 64,
+            max_batch: 256,
+            retry_after_secs: 1,
+            debug_endpoints: false,
+        }
+    }
+}
+
+/// Everything workers share.
+struct Inner {
+    service: AuditService,
+    metrics: ServeMetrics,
+    config: ServerConfig,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// A non-consuming view of the pending queue, for the depth gauge only
+    /// (never `recv`d, so no connection is ever stolen from the workers).
+    queue_probe: Receiver<TcpStream>,
+}
+
+impl Inner {
+    /// The serving clock for cache TTLs: study time plus wall-clock elapsed,
+    /// mapped 1:1 (one real second = one simulated second). Analyses stay
+    /// pinned at study time; only cache expiry advances.
+    fn now_sim(&self) -> SimTime {
+        self.service.study_time() + Duration::seconds(self.started.elapsed().as_secs() as i64)
+    }
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
+    }
+
+    pub fn service(&self) -> &AuditService {
+        &self.inner.service
+    }
+
+    /// Stop accepting, drain the queue, and join every thread.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // unblock the acceptor's blocking accept() with one throwaway
+        // connection; it sees the flag and exits, dropping the sender
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind, spawn the pool, and return immediately.
+pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+    let addr = listener.local_addr()?;
+    let (tx, rx) = bounded::<TcpStream>(config.queue_cap.max(1));
+    let inner = Arc::new(Inner {
+        service,
+        metrics: ServeMetrics::new(),
+        config: config.clone(),
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        queue_probe: rx.clone(),
+    });
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = rx.clone();
+            let inner = inner.clone();
+            std::thread::spawn(move || {
+                for stream in rx.iter() {
+                    handle_connection(&inner, stream);
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let acceptor = {
+        let inner = inner.clone();
+        std::thread::spawn(move || accept_loop(listener, tx, &inner))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, inner: &Inner) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break; // tx drops here; workers drain the queue and exit
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                inner.metrics.rejected_total.incr();
+                inner.metrics.count_status(503);
+                let resp = HttpResponse::error(503, "server at capacity, retry later")
+                    .with_header("Retry-After", inner.config.retry_after_secs.to_string());
+                let _ = resp.write_to(&mut stream);
+                let _ = stream.flush();
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    let started = Instant::now();
+    let request = match read_request(&mut stream) {
+        Ok(Ok(req)) => req,
+        Ok(Err(WireError::Closed)) => return, // shutdown poke / port scan
+        Ok(Err(WireError::TooLarge)) => {
+            respond(inner, &mut stream, "other", HttpResponse::error(413, "request too large"));
+            return;
+        }
+        Ok(Err(WireError::BadRequest)) => {
+            respond(inner, &mut stream, "other", HttpResponse::error(400, "malformed request"));
+            return;
+        }
+        Err(_) => return, // socket error mid-read; nothing to answer
+    };
+
+    inner.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    let (route, response) = route(inner, &request);
+    respond(inner, &mut stream, route, response);
+    inner.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+    inner.metrics.observe_latency(started.elapsed().as_secs_f64());
+}
+
+fn respond(inner: &Inner, stream: &mut TcpStream, route: &str, response: HttpResponse) {
+    inner.metrics.count_route(route);
+    inner.metrics.count_status(response.status);
+    let _ = response.write_to(stream);
+}
+
+fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", HttpResponse::text(200, "ok\n")),
+        ("GET", "/metrics") => ("metrics", handle_metrics(inner)),
+        ("GET", "/check") => ("check", handle_check(inner, req)),
+        ("POST", "/batch") => ("batch", handle_batch(inner, req)),
+        ("GET", "/debug/sleep") if inner.config.debug_endpoints => {
+            let ms: u64 = query_param(req.query.as_deref(), "ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100);
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
+            ("other", HttpResponse::text(200, "slept\n"))
+        }
+        ("GET", _) => ("other", HttpResponse::error(404, "no such endpoint")),
+        (_, "/check" | "/batch" | "/metrics" | "/healthz") => {
+            ("other", HttpResponse::error(405, "method not allowed"))
+        }
+        _ => ("other", HttpResponse::error(404, "no such endpoint")),
+    }
+}
+
+fn handle_metrics(inner: &Inner) -> HttpResponse {
+    let text = inner.metrics.render_prometheus(
+        &inner.service.cache_stats(),
+        &inner.service.net_snapshot(),
+        inner.queue_probe.len(),
+    );
+    HttpResponse::metrics(text)
+}
+
+fn handle_check(inner: &Inner, req: &HttpRequest) -> HttpResponse {
+    let Some(url) = query_param(req.query.as_deref(), "url") else {
+        return HttpResponse::error(400, "missing url parameter");
+    };
+    match inner.service.check(&url, inner.now_sim()) {
+        Ok((outcome, stats)) => {
+            if let Some(stats) = stats {
+                inner.metrics.merge_stage_stats(&stats);
+            }
+            HttpResponse::json(200, outcome.body)
+        }
+        Err(msg) => HttpResponse::error(400, &msg),
+    }
+}
+
+fn handle_batch(inner: &Inner, req: &HttpRequest) -> HttpResponse {
+    let urls: Vec<&str> = req
+        .body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if urls.is_empty() {
+        return HttpResponse::error(400, "empty batch");
+    }
+    if urls.len() > inner.config.max_batch {
+        return HttpResponse::error(
+            413,
+            &format!("batch of {} exceeds limit {}", urls.len(), inner.config.max_batch),
+        );
+    }
+    let now = inner.now_sim();
+    let mut items = Vec::with_capacity(urls.len());
+    for url in urls {
+        match inner.service.check(url, now) {
+            Ok((outcome, stats)) => {
+                if let Some(stats) = stats {
+                    inner.metrics.merge_stage_stats(&stats);
+                }
+                items.push(outcome.body);
+            }
+            Err(msg) => items.push(
+                crate::json::Object::new()
+                    .str("url", url)
+                    .str("error", &msg)
+                    .render(),
+            ),
+        }
+    }
+    HttpResponse::json(200, format!("{{\"results\":[{}]}}", items.join(",")))
+}

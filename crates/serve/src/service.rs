@@ -1,0 +1,374 @@
+//! The audit brain behind the endpoints: one seeded world, the batch
+//! pipeline's per-link unit, and the verdict cache.
+//!
+//! **Parity contract.** For any URL that appears in the batch `audit`
+//! dataset, `/check` must return the *bit-identical* classification the
+//! batch run produces. The pipeline keys all per-link randomness off the
+//! link's dataset index, so the service rebuilds the same March-style
+//! dataset (same formula as `permadead audit`: 60% of the category,
+//! alphabetical, sample-capped, seed `^ 0xA1`) and replays each URL at its
+//! own index through [`analyze_link`]. URLs tagged on the wiki but outside
+//! the sample get their real provenance and a stable FNV-derived index;
+//! URLs the wiki never saw get synthetic provenance and are still audited
+//! against the live (simulated) web and archive.
+
+use crate::cache::{fnv1a, CacheConfig, CacheStats, ShardedCache};
+use crate::json::Object;
+use permadead_core::{
+    analyze_link, default_stages, empty_stats, recommend_for, Dataset, DatasetEntry,
+    Recommendation, Stage, StageStats, StudyEnv,
+};
+use permadead_net::{MetricsSnapshot, SimTime};
+use permadead_sim::{Scenario, ScenarioConfig};
+use permadead_url::Url;
+use std::collections::HashMap;
+
+/// Where a queried URL's provenance came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// In the batch audit dataset — verdicts are bit-identical to `audit`.
+    Dataset,
+    /// Tagged on the wiki but not in the sampled dataset.
+    Wiki,
+    /// Unknown to the wiki; audited with synthetic provenance.
+    Unknown,
+}
+
+impl Provenance {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Provenance::Dataset => "dataset",
+            Provenance::Wiki => "wiki",
+            Provenance::Unknown => "unknown",
+        }
+    }
+}
+
+/// Outcome of one `/check`-style query.
+pub struct CheckOutcome {
+    /// Full response body (JSON object), including the `cached` flag.
+    pub body: String,
+    pub cached: bool,
+}
+
+/// The shared audit service: immutable world + concurrent cache.
+pub struct AuditService {
+    scenario: Scenario,
+    stages: Vec<Box<dyn Stage>>,
+    /// URL → index in the batch dataset (the parity set).
+    index_of: HashMap<String, usize>,
+    /// The batch dataset itself, indexable by `index_of` values.
+    dataset: Dataset,
+    /// Provenance for tagged URLs outside the sample.
+    extra: HashMap<String, DatasetEntry>,
+    cache: ShardedCache<String>,
+}
+
+impl AuditService {
+    /// Generate the world for `config` and index it for serving.
+    pub fn new(config: ScenarioConfig, cache: CacheConfig) -> AuditService {
+        let scenario = Scenario::generate(config);
+        Self::over(scenario, cache)
+    }
+
+    /// Build over an existing scenario (tests reuse a pre-built world).
+    pub fn over(scenario: Scenario, cache: CacheConfig) -> AuditService {
+        // exactly the `permadead audit` dataset: 60% of the category,
+        // alphabetical, capped at sample_size, seeded with seed ^ 0xA1
+        let category = scenario.wiki.permanently_dead_category().len();
+        let dataset = Dataset::alphabetical(
+            &scenario.wiki,
+            (category * 6 / 10).max(1),
+            scenario.config.sample_size,
+            scenario.config.seed ^ 0xA1,
+        );
+        let index_of: HashMap<String, usize> = dataset
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.url.to_string(), i))
+            .collect();
+        // every IABot-tagged URL wiki-wide, for provenance beyond the sample
+        let all = Dataset::random(&scenario.wiki, usize::MAX, 0);
+        let extra: HashMap<String, DatasetEntry> = all
+            .entries
+            .into_iter()
+            .filter(|e| !index_of.contains_key(&e.url.to_string()))
+            .map(|e| (e.url.to_string(), e))
+            .collect();
+        AuditService {
+            scenario,
+            stages: default_stages(),
+            index_of,
+            dataset,
+            extra,
+            cache: ShardedCache::new(cache),
+        }
+    }
+
+    /// The moment every audit is evaluated at (the paper's study time).
+    pub fn study_time(&self) -> SimTime {
+        self.scenario.config.study_time
+    }
+
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The batch-parity dataset backing `/check`.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Counters of the simulated live web (measurement cost side).
+    pub fn net_snapshot(&self) -> MetricsSnapshot {
+        self.scenario.web.metrics.snapshot()
+    }
+
+    /// Audit one URL at serving time `now` (cache TTL clock only; the
+    /// analysis itself is pinned at [`Self::study_time`]). Returns the
+    /// response body plus the stage stats of a fresh analysis (`None` when
+    /// the verdict came from cache — a hit does zero pipeline work).
+    pub fn check(
+        &self,
+        raw_url: &str,
+        now: SimTime,
+    ) -> Result<(CheckOutcome, Option<Vec<StageStats>>), String> {
+        let url = Url::parse(raw_url).map_err(|e| format!("unparseable url: {e:?}"))?;
+        let key = url.to_string();
+        if let Some(core) = self.cache.get(&key, now) {
+            return Ok((
+                CheckOutcome {
+                    body: finish_body(&core, true),
+                    cached: true,
+                },
+                None,
+            ));
+        }
+
+        let (index, entry, provenance) = self.resolve(&url);
+        let env = StudyEnv {
+            web: &self.scenario.web,
+            archive: &self.scenario.archive,
+            now: self.study_time(),
+        };
+        let mut stats = empty_stats(&self.stages);
+        let finding = analyze_link(&env, &self.stages, index, entry, &mut stats);
+        let recommendation = recommend_for(&finding, &self.scenario.archive);
+
+        let verdict = if finding.genuinely_alive() {
+            "alive"
+        } else {
+            "permanently-dead"
+        };
+        let mut obj = Object::new()
+            .str("url", &key)
+            .str("verdict", verdict)
+            .str("live_status", &finding.live.status.to_string())
+            .raw(
+                "final_status",
+                finding
+                    .live
+                    .record
+                    .final_status()
+                    .map(|c| c.as_u16().to_string())
+                    .unwrap_or_else(|| "null".into()),
+            )
+            .bool("redirected", finding.live.was_redirected())
+            .str("soft404", &format!("{:?}", finding.soft404))
+            .str("archival", &format!("{:?}", finding.archival))
+            .str("provenance", provenance.as_str());
+        obj = match provenance {
+            Provenance::Dataset => obj.num("dataset_index", index),
+            _ => obj.raw("dataset_index", "null"),
+        };
+        obj = obj.raw("rescue", render_recommendation(recommendation.as_ref()));
+        let core = obj.render();
+        // `core` is a complete object; finish_body splices the cached flag in
+        self.cache.insert(&key, core.clone(), now);
+        Ok((
+            CheckOutcome {
+                body: finish_body(&core, false),
+                cached: false,
+            },
+            Some(stats),
+        ))
+    }
+
+    /// Where a URL's provenance and determinism seed come from.
+    fn resolve(&self, url: &Url) -> (usize, DatasetEntry, Provenance) {
+        let key = url.to_string();
+        if let Some(&i) = self.index_of.get(&key) {
+            return (i, self.dataset.entries[i].clone(), Provenance::Dataset);
+        }
+        if let Some(entry) = self.extra.get(&key) {
+            // outside the parity set: index only needs to be stable per URL
+            return (stable_index(&key), entry.clone(), Provenance::Wiki);
+        }
+        // never tagged: synthesize provenance around the study window
+        let study = self.study_time();
+        let entry = DatasetEntry {
+            url: url.clone(),
+            article: String::new(),
+            added_at: study - permadead_net::Duration::years(5),
+            marked_at: study,
+            marked_by: "permadead-serve".into(),
+        };
+        (stable_index(&key), entry, Provenance::Unknown)
+    }
+
+    /// Sample URLs for load generation: every `step`-th dataset entry.
+    pub fn sample_urls(&self, count: usize) -> Vec<String> {
+        let n = self.dataset.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let step = (n / count.max(1)).max(1);
+        self.dataset
+            .entries
+            .iter()
+            .step_by(step)
+            .take(count)
+            .map(|e| e.url.to_string())
+            .collect()
+    }
+}
+
+/// Stable per-URL pipeline index for URLs outside the parity dataset. Masked
+/// to keep `usize` arithmetic far from overflow anywhere the index is used
+/// as a base offset.
+fn stable_index(key: &str) -> usize {
+    (fnv1a(key) & 0x7fff_ffff) as usize
+}
+
+/// Append the volatile `cached` field to a cached core object.
+fn finish_body(core: &str, cached: bool) -> String {
+    debug_assert!(core.ends_with('}'));
+    let flag = if cached { "true" } else { "false" };
+    format!("{},\"cached\":{}}}", &core[..core.len() - 1], flag)
+}
+
+fn render_recommendation(rec: Option<&Recommendation>) -> String {
+    let Some(rec) = rec else {
+        return "null".into();
+    };
+    let obj = Object::new().str("kind", rec.kind());
+    let obj = match rec {
+        Recommendation::Untag { .. } => obj,
+        Recommendation::PatchWith200Copy { captured, .. } => {
+            obj.str("captured", &captured.date().to_string())
+        }
+        Recommendation::PatchWithRedirectCopy { captured, target, .. } => obj
+            .str("captured", &captured.date().to_string())
+            .str("target", &target.to_string()),
+        Recommendation::FixTypo { intended, .. } => obj.str("intended", &intended.to_string()),
+        Recommendation::PatchWithParamReorder { archived_spelling, .. } => {
+            obj.str("archived_spelling", &archived_spelling.to_string())
+        }
+    };
+    obj.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_core::Study;
+
+    fn tiny_service() -> AuditService {
+        let cfg = ScenarioConfig {
+            rot_links: 40,
+            ..ScenarioConfig::small(7)
+        };
+        AuditService::new(cfg, CacheConfig::default())
+    }
+
+    #[test]
+    fn check_matches_batch_audit_for_every_dataset_url() {
+        let svc = tiny_service();
+        let batch = Study::run(
+            &svc.scenario().web,
+            &svc.scenario().archive,
+            svc.dataset(),
+            svc.study_time(),
+        );
+        let now = svc.study_time();
+        for (i, finding) in batch.findings.iter().enumerate() {
+            let url = finding.entry.url.to_string();
+            let (out, stats) = svc.check(&url, now).unwrap();
+            assert!(!out.cached, "first query for {url} must be a miss");
+            assert!(stats.is_some());
+            // bit-identical classification: same live status, soft-404
+            // verdict, and archival class as the batch finding at index i
+            let body = &out.body;
+            assert!(
+                body.contains(&format!("\"live_status\":\"{}\"", finding.live.status)),
+                "live mismatch for {url}: {body}"
+            );
+            assert!(
+                body.contains(&format!("\"soft404\":\"{:?}\"", finding.soft404)),
+                "soft404 mismatch for {url}: {body}"
+            );
+            assert!(
+                body.contains(&format!("\"archival\":\"{:?}\"", finding.archival)),
+                "archival mismatch for {url}: {body}"
+            );
+            assert!(body.contains(&format!("\"dataset_index\":{i}")));
+        }
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_and_spends_no_network() {
+        let svc = tiny_service();
+        let now = svc.study_time();
+        let url = svc.dataset().entries[0].url.to_string();
+
+        let (first, _) = svc.check(&url, now).unwrap();
+        assert!(!first.cached);
+        let hits_before = svc.cache_stats().hits;
+        let net_before = svc.net_snapshot();
+
+        let (second, stats) = svc.check(&url, now).unwrap();
+        assert!(second.cached);
+        assert!(stats.is_none(), "a cache hit runs zero stages");
+        assert_eq!(svc.cache_stats().hits, hits_before + 1);
+        let delta = svc.net_snapshot().diff(&net_before);
+        assert_eq!(delta, MetricsSnapshot::default(), "cache hit issued simulated requests");
+
+        // bodies agree except for the cached flag
+        assert_eq!(
+            first.body.replace("\"cached\":false", ""),
+            second.body.replace("\"cached\":true", ""),
+        );
+    }
+
+    #[test]
+    fn unknown_url_is_audited_with_synthetic_provenance() {
+        let svc = tiny_service();
+        let (out, stats) = svc
+            .check("http://never-heard-of.example.org/x", svc.study_time())
+            .unwrap();
+        assert!(out.body.contains("\"provenance\":\"unknown\""));
+        assert!(out.body.contains("\"verdict\":"));
+        assert!(stats.is_some());
+    }
+
+    #[test]
+    fn bad_url_is_an_error() {
+        let svc = tiny_service();
+        assert!(svc.check("not a url at all", svc.study_time()).is_err());
+    }
+
+    #[test]
+    fn sample_urls_come_from_dataset() {
+        let svc = tiny_service();
+        let urls = svc.sample_urls(5);
+        assert!(!urls.is_empty());
+        for u in &urls {
+            assert!(svc.index_of.contains_key(u));
+        }
+    }
+}

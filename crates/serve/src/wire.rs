@@ -1,0 +1,270 @@
+//! Minimal HTTP/1.1 wire handling over `std::net::TcpStream`.
+//!
+//! The service speaks just enough HTTP for its four endpoints: request-line,
+//! headers, and optional `Content-Length` body in; status, headers, and body
+//! out; `Connection: close` on every response (one request per connection
+//! keeps the worker pool's accounting trivial and is plenty for an audit
+//! sidecar). Limits are enforced while *reading*, so a misbehaving client
+//! cannot balloon a worker's memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard caps on what we read from a socket.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path, raw query string, and body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub query: Option<String>,
+    pub body: String,
+}
+
+/// Why a request could not be parsed — each maps to one 4xx.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Malformed request line or headers.
+    BadRequest,
+    /// Headers or body exceeded the fixed caps.
+    TooLarge,
+    /// Clean EOF before a request line (client connected and left).
+    Closed,
+}
+
+/// Read one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<HttpRequest, WireError>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(Err(WireError::Closed));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err(WireError::BadRequest));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(WireError::BadRequest));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let method = method.to_string();
+
+    let mut content_length: usize = 0;
+    let mut header_bytes = 0;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(Err(WireError::BadRequest)); // EOF mid-headers
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Ok(Err(WireError::TooLarge));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                    Ok(_) => return Ok(Err(WireError::TooLarge)),
+                    Err(_) => return Ok(Err(WireError::BadRequest)),
+                }
+            }
+        }
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body_bytes)?;
+    }
+    let body = String::from_utf8_lossy(&body_bytes).into_owned();
+    Ok(Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(&'static str, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn json(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Prometheus exposition format.
+    pub fn metrics(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        HttpResponse::json(
+            status,
+            format!("{{\"error\":{}}}", crate::json::quote(message)),
+        )
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        stream.write_all(out.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrases for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Extract a query parameter's percent-decoded value.
+pub fn query_param(query: Option<&str>, name: &str) -> Option<String> {
+    for pair in query?.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == name {
+            return Some(percent_decode(v));
+        }
+    }
+    None
+}
+
+/// Decode `%XX` escapes and `+` (form-style space). Invalid escapes pass
+/// through verbatim — an audit of a malformed URL should see what was sent.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let hex_val = |b: u8| -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("http%3A%2F%2Fe.org%2Fp%3Fx%3D1"), "http://e.org/p?x=1");
+        assert_eq!(percent_decode("plain"), "plain");
+        // invalid escape survives
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        let q = Some("url=http%3A%2F%2Fe.org%2F&limit=3");
+        assert_eq!(query_param(q, "url").as_deref(), Some("http://e.org/"));
+        assert_eq!(query_param(q, "limit").as_deref(), Some("3"));
+        assert_eq!(query_param(q, "missing"), None);
+        assert_eq!(query_param(None, "url"), None);
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(503), "Service Unavailable");
+        assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn response_renders_headers() {
+        let r = HttpResponse::text(503, "busy").with_header("Retry-After", "1");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.headers, vec![("Retry-After", "1".to_string())]);
+    }
+}

@@ -5,9 +5,46 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo build --offline --benches
 cargo test -q --offline --workspace
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Serve smoke test: start the service on an ephemeral port, probe every
+# user-facing endpoint with the std-only client, and shut down cleanly.
+# No curl, no python — serve-probe is built from crates/serve/src/bin.
+serve_log="$(mktemp)"
+./target/release/permadead serve --port 0 --seed 11 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "check.sh: permadead serve died before listening" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: permadead serve never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+
+probe=./target/release/serve-probe
+"$probe" "$addr" /healthz ok >/dev/null
+"$probe" "$addr" '/check?url=http%3A%2F%2Fexample.org%2Fsmoke' '"verdict":' >/dev/null
+"$probe" "$addr" /metrics permadead_cache_hits_total >/dev/null
+"$probe" "$addr" /metrics 'permadead_requests_total{endpoint="check"}' >/dev/null
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+echo "check.sh: serve smoke test green"
 
 echo "check.sh: all green"

@@ -3,8 +3,10 @@
 //! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the 0.8 API
 //! shape, implemented over `std::thread::scope` (stable since Rust 1.63,
 //! which post-dates crossbeam's scoped threads and makes the vendored
-//! implementation a thin adapter). Only the scoped-thread surface is
-//! provided — nothing in this workspace uses the channel/queue/epoch halves.
+//! implementation a thin adapter), plus the [`channel`] subset the serve
+//! crate's worker pool dispatches through: `bounded`/`unbounded` MPMC
+//! channels over `Mutex<VecDeque>` + `Condvar`. The queue/epoch halves stay
+//! unprovided — nothing in the workspace uses them.
 
 pub mod thread {
     use std::any::Any;
@@ -56,6 +58,322 @@ pub mod thread {
 }
 
 pub use thread::scope;
+
+pub mod channel {
+    //! MPMC channels with the `crossbeam-channel` API subset the workspace
+    //! uses: `bounded`, `unbounded`, blocking `send`/`recv`, non-blocking
+    //! `try_send`/`try_recv`, and disconnect detection when one side's
+    //! handles are all dropped.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `None` means unbounded.
+        cap: Option<usize>,
+        /// Signalled when an item is pushed or all senders drop.
+        not_empty: Condvar,
+        /// Signalled when an item is popped or all receivers drop.
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error for [`Sender::send`]: every receiver is gone; the value comes
+    /// back to the caller.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    /// Error for [`Receiver::recv`]: the channel is empty and every sender
+    /// is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::Relaxed) == 1 {
+                // last sender: wake receivers blocked on an empty queue
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::Relaxed) == 1 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Push without blocking; `Full` if a bounded channel has no room.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Relaxed) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap();
+            if let Some(cap) = self.shared.cap {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Push, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if self.shared.receivers.load(Ordering::Relaxed) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self.shared.not_full.wait(queue).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queued items right now (racy by nature; for metrics).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop, blocking until an item arrives or every sender drops.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Relaxed) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.not_empty.wait(queue).unwrap();
+            }
+        }
+
+        /// Pop without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::Relaxed) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocking iterator: yields until every sender drops.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel holding at most `cap` queued items. `cap = 0` is rounded up
+    /// to 1 (the stand-in has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_unblocks_when_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.iter().collect::<Vec<_>>());
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+            assert!(matches!(
+                tx.try_send(8),
+                Err(TrySendError::Disconnected(8))
+            ));
+        }
+
+        #[test]
+        fn multiple_workers_drain_everything() {
+            let (tx, rx) = bounded::<u64>(4);
+            let total = std::sync::Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let total = total.clone();
+                    std::thread::spawn(move || {
+                        for v in rx.iter() {
+                            total.fetch_add(v as usize, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 1..=100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(total.load(Ordering::Relaxed), 5050);
+        }
+
+        #[test]
+        fn blocking_send_waits_for_room() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the 1 is consumed
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap();
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
