@@ -36,6 +36,8 @@ pub struct ServeMetrics {
     pub responses_5xx: Counter,
     /// Connections refused at admission (503 + Retry-After).
     pub rejected_total: Counter,
+    /// Handler panics caught by the worker loop (the worker survives).
+    pub worker_panics_total: Counter,
     /// Requests currently being processed by workers.
     pub inflight: AtomicI64,
     /// Cumulative latency histogram over handled requests.
@@ -68,6 +70,7 @@ impl ServeMetrics {
             responses_4xx: Counter::default(),
             responses_5xx: Counter::default(),
             rejected_total: Counter::default(),
+            worker_panics_total: Counter::default(),
             inflight: AtomicI64::new(0),
             bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
             latency_sum_nanos: Counter::default(),
@@ -176,6 +179,12 @@ impl ServeMetrics {
             "counter",
             "Connections refused at admission control (503 + Retry-After).",
             &[format!("permadead_rejected_total {}", self.rejected_total.get())],
+        );
+        metric(
+            "permadead_worker_panics_total",
+            "counter",
+            "Handler panics caught by the worker loop.",
+            &[format!("permadead_worker_panics_total {}", self.worker_panics_total.get())],
         );
         metric(
             "permadead_inflight_requests",

@@ -22,7 +22,6 @@ use crate::service::AuditService;
 use crate::wire::{query_param, read_request, HttpRequest, HttpResponse, WireError};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use permadead_net::{Duration, SimTime};
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -137,7 +136,15 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
             let inner = inner.clone();
             std::thread::spawn(move || {
                 for stream in rx.iter() {
-                    handle_connection(&inner, stream);
+                    // The pool is fixed-size: a panicking handler must not
+                    // kill the worker, or the pool silently shrinks until no
+                    // thread is left to answer queued connections.
+                    let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(&inner, stream);
+                    }));
+                    if handled.is_err() {
+                        inner.metrics.worker_panics_total.incr();
+                    }
                 }
             })
         })
@@ -168,10 +175,12 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, inner: &Inner) {
             Err(TrySendError::Full(mut stream)) => {
                 inner.metrics.rejected_total.incr();
                 inner.metrics.count_status(503);
+                // Best-effort refusal: a rejected client that never reads
+                // must not stall the acceptor on a full socket buffer.
+                let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
                 let resp = HttpResponse::error(503, "server at capacity, retry later")
                     .with_header("Retry-After", inner.config.retry_after_secs.to_string());
                 let _ = resp.write_to(&mut stream);
-                let _ = stream.flush();
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
@@ -196,9 +205,16 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     };
 
     inner.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    // decrement via a drop guard so a panicking handler can't leak the gauge
+    struct InflightGuard<'a>(&'a ServeMetrics);
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.0.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _inflight = InflightGuard(&inner.metrics);
     let (route, response) = route(inner, &request);
     respond(inner, &mut stream, route, response);
-    inner.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
     inner.metrics.observe_latency(started.elapsed().as_secs_f64());
 }
 

@@ -15,7 +15,7 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed request: method, path, raw query string, and body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRequest {
     pub method: String,
     pub path: String,
@@ -34,13 +34,59 @@ pub enum WireError {
     Closed,
 }
 
+/// Read one `\n`-terminated line into `out`, consuming at most `cap` bytes.
+/// Returns the byte count consumed (`0` = EOF before any byte) or
+/// [`WireError::TooLarge`] the moment the cap is crossed — the check runs
+/// per buffered chunk, so a line drip-fed without a newline can never grow
+/// past `cap` plus one internal buffer.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    out: &mut String,
+    cap: usize,
+) -> std::io::Result<Result<usize, WireError>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (found_newline, used) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                break; // EOF
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..=i]);
+                    (true, i + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > cap {
+            return Ok(Err(WireError::TooLarge));
+        }
+        if found_newline {
+            break;
+        }
+    }
+    out.push_str(&String::from_utf8_lossy(&buf));
+    Ok(Ok(buf.len()))
+}
+
 /// Read one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<HttpRequest, WireError>> {
+pub fn read_request<S: Read>(stream: &mut S) -> std::io::Result<Result<HttpRequest, WireError>> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(Err(WireError::Closed));
-    }
+    let mut header_bytes = match read_line_capped(&mut reader, &mut line, MAX_HEADER_BYTES)? {
+        Ok(0) => return Ok(Err(WireError::Closed)),
+        Ok(n) => n,
+        Err(e) => return Ok(Err(e)),
+    };
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -56,15 +102,13 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<HttpReques
     let method = method.to_string();
 
     let mut content_length: usize = 0;
-    let mut header_bytes = 0;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(Err(WireError::BadRequest)); // EOF mid-headers
-        }
-        header_bytes += header.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Ok(Err(WireError::TooLarge));
+        // request line and headers share one MAX_HEADER_BYTES budget
+        match read_line_capped(&mut reader, &mut header, MAX_HEADER_BYTES - header_bytes)? {
+            Ok(0) => return Ok(Err(WireError::BadRequest)), // EOF mid-headers
+            Ok(n) => header_bytes += n,
+            Err(e) => return Ok(Err(e)),
         }
         let trimmed = header.trim_end();
         if trimmed.is_empty() {
@@ -259,6 +303,46 @@ mod tests {
         assert_eq!(reason(200), "OK");
         assert_eq!(reason(503), "Service Unavailable");
         assert_eq!(reason(418), "Unknown");
+    }
+
+    fn parse(raw: &str) -> Result<HttpRequest, WireError> {
+        read_request(&mut std::io::Cursor::new(raw.as_bytes().to_vec())).unwrap()
+    }
+
+    #[test]
+    fn request_parsing_roundtrip() {
+        let req = parse("GET /check?url=x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/check");
+        assert_eq!(req.query.as_deref(), Some("url=x"));
+        let req = parse("POST /batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn oversized_request_line_is_capped() {
+        // one giant line with no newline at all must still hit the cap
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+        assert_eq!(parse(&raw), Err(WireError::TooLarge));
+        let no_newline = "G".repeat(64 * 1024);
+        assert_eq!(parse(&no_newline), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn oversized_headers_share_the_budget() {
+        // many small header lines whose sum crosses the cap
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2048 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "v".repeat(16)));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn eof_variants() {
+        assert_eq!(parse(""), Err(WireError::Closed));
+        assert_eq!(parse("GET / HTTP/1.1\r\n"), Err(WireError::BadRequest));
     }
 
     #[test]

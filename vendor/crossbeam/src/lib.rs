@@ -148,7 +148,14 @@ pub mod channel {
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
             if self.shared.senders.fetch_sub(1, Ordering::Relaxed) == 1 {
-                // last sender: wake receivers blocked on an empty queue
+                // Last sender: wake receivers blocked on an empty queue.
+                // The lock must be held across the notify — a receiver that
+                // has observed `senders > 0` under the lock but not yet
+                // parked in `wait` would otherwise miss this notification
+                // and block forever. (Ignore poisoning: waking waiters on a
+                // poisoned channel is still correct, and panicking in Drop
+                // would abort.)
+                let _queue = self.shared.queue.lock();
                 self.shared.not_empty.notify_all();
             }
         }
@@ -157,6 +164,9 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             if self.shared.receivers.fetch_sub(1, Ordering::Relaxed) == 1 {
+                // Same lost-wakeup hazard as Sender::drop, for blocked
+                // senders on a full queue.
+                let _queue = self.shared.queue.lock();
                 self.shared.not_full.notify_all();
             }
         }
@@ -358,6 +368,37 @@ pub mod channel {
                 w.join().unwrap();
             }
             assert_eq!(total.load(Ordering::Relaxed), 5050);
+        }
+
+        /// Regression stress for the disconnect lost-wakeup race: receivers
+        /// parking on an empty queue exactly as the last sender drops must
+        /// still observe the disconnect (the Drop impls notify under the
+        /// queue lock). A regression here shows up as a hang.
+        #[test]
+        fn disconnect_races_do_not_lose_wakeups() {
+            for _ in 0..200 {
+                let (tx, rx) = unbounded::<u32>();
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        std::thread::spawn(move || while rx.recv().is_ok() {})
+                    })
+                    .collect();
+                drop(rx);
+                drop(tx); // race the drop against the workers' park
+                for w in workers {
+                    w.join().unwrap();
+                }
+            }
+            // symmetric direction: senders blocked on a full queue must see
+            // the last receiver drop
+            for _ in 0..200 {
+                let (tx, rx) = bounded::<u32>(1);
+                tx.send(0).unwrap();
+                let h = std::thread::spawn(move || tx.send(1));
+                drop(rx);
+                assert_eq!(h.join().unwrap(), Err(SendError(1)));
+            }
         }
 
         #[test]
