@@ -9,8 +9,17 @@
 use crate::snapshot::Snapshot;
 use crate::store::ArchiveStore;
 use permadead_net::latency::{LatencyModel, Millis};
+use permadead_net::retry::{AttemptFailure, RetryCause, RetryOutcome, RetryPolicy};
 use permadead_net::SimTime;
 use permadead_url::Url;
+
+/// Nonce for the `attempt`-th retry of a lookup whose first attempt used
+/// `base`. `attempt == 0` returns `base` unchanged, so a single-attempt
+/// policy consumes exactly the draw the un-retried code path consumed —
+/// bit-identical behaviour by construction.
+pub fn attempt_nonce(base: u64, attempt: u32) -> u64 {
+    base ^ (attempt as u64).wrapping_mul(0xD1B54A32D192ED03)
+}
 
 /// What the caller accepts as a "usable" copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +116,19 @@ impl<'a> AvailabilityApi<'a> {
         nonce: u64,
     ) -> Result<Vec<Option<&'a Snapshot>>, AvailabilityError> {
         if let Some(timeout) = client_timeout_ms {
-            let key = format!("avail-batch:{}", urls.len());
+            // the key must identify *this* batch, not just its size — two
+            // equal-size batches sharing timeout fate for a given nonce was
+            // a latency-key collision
+            let mut hash: u64 = 0xcbf29ce484222325;
+            for url in urls {
+                for b in url.to_string().bytes() {
+                    hash ^= b as u64;
+                    hash = hash.wrapping_mul(0x100000001b3);
+                }
+                hash ^= 0xff; // separator so ["ab","c"] != ["a","bc"]
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            let key = format!("avail-batch:{}:{hash:016x}", urls.len());
             if self.latency.exceeds_timeout(&key, nonce, timeout) {
                 return Err(AvailabilityError::Timeout);
             }
@@ -147,6 +168,65 @@ impl<'a> AvailabilityApi<'a> {
             .into_iter()
             .filter(|s| s.captured < before && policy.accepts(s))
             .min_by_key(|s| (s.captured - around).as_seconds().unsigned_abs()))
+    }
+
+    /// [`Self::closest`] under a [`RetryPolicy`]: each attempt is an
+    /// independent latency draw (via [`attempt_nonce`]), so a lookup that
+    /// misses the client timeout once can still succeed on a retry — the
+    /// counterfactual fix for the §4.1 "never archived" misclassification.
+    ///
+    /// With `RetryPolicy::single()` this is bit-identical to `closest`.
+    pub fn closest_with_retry(
+        &self,
+        url: &Url,
+        around: SimTime,
+        policy: AvailabilityPolicy,
+        client_timeout_ms: Option<Millis>,
+        nonce: u64,
+        retry: &RetryPolicy,
+    ) -> (Result<Option<&'a Snapshot>, AvailabilityError>, RetryOutcome) {
+        let key = format!("avail:{url}");
+        retry.run(&key, |attempt| {
+            self.closest(url, around, policy, client_timeout_ms, attempt_nonce(nonce, attempt))
+                .map_err(|error| AttemptFailure {
+                    cause: RetryCause::AvailabilityTimeout,
+                    retry_after_ms: None,
+                    error,
+                })
+        })
+    }
+
+    /// [`Self::closest_before`] under a [`RetryPolicy`]; see
+    /// [`Self::closest_with_retry`].
+    // closest_before's own signature plus the policy: splitting it into a
+    // params struct would leave the two lookups asymmetric for one argument
+    #[allow(clippy::too_many_arguments)]
+    pub fn closest_before_with_retry(
+        &self,
+        url: &Url,
+        around: SimTime,
+        before: SimTime,
+        policy: AvailabilityPolicy,
+        client_timeout_ms: Option<Millis>,
+        nonce: u64,
+        retry: &RetryPolicy,
+    ) -> (Result<Option<&'a Snapshot>, AvailabilityError>, RetryOutcome) {
+        let key = format!("avail:{url}");
+        retry.run(&key, |attempt| {
+            self.closest_before(
+                url,
+                around,
+                before,
+                policy,
+                client_timeout_ms,
+                attempt_nonce(nonce, attempt),
+            )
+            .map_err(|error| AttemptFailure {
+                cause: RetryCause::AvailabilityTimeout,
+                retry_after_ms: None,
+                error,
+            })
+        })
     }
 }
 
@@ -288,6 +368,100 @@ mod tests {
             .collect();
         assert!(outcomes.iter().any(|o| o.is_err()));
         assert!(outcomes.iter().any(|o| o.is_ok()));
+    }
+
+    #[test]
+    fn equal_size_batches_do_not_share_timeout_fate() {
+        let s = store();
+        let slow = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        let a = u("http://e.org/a");
+        let b = u("http://e.org/never");
+        let c = u("http://other.example/x");
+        let d = u("http://elsewhere.example/y");
+        // Two distinct batches of equal size. Under the old `avail-batch:{len}`
+        // key they drew from the same latency stream, so for every nonce the
+        // timeout verdicts agreed. Now they must diverge for some nonce.
+        let diverges = (0..200).any(|n| {
+            let first = slow
+                .closest_batch(&[&a, &b], t(2014), AvailabilityPolicy::Any, Some(1_000), n)
+                .is_err();
+            let second = slow
+                .closest_batch(&[&c, &d], t(2014), AvailabilityPolicy::Any, Some(1_000), n)
+                .is_err();
+            first != second
+        });
+        assert!(diverges, "equal-size batches still share latency draws");
+        // and a given batch's fate stays deterministic per nonce
+        for n in 0..50 {
+            assert_eq!(
+                slow.closest_batch(&[&a, &b], t(2014), AvailabilityPolicy::Any, Some(1_000), n)
+                    .is_err(),
+                slow.closest_batch(&[&a, &b], t(2014), AvailabilityPolicy::Any, Some(1_000), n)
+                    .is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn attempt_nonce_identity_at_zero() {
+        for base in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(attempt_nonce(base, 0), base);
+            assert_ne!(attempt_nonce(base, 1), base);
+            assert_ne!(attempt_nonce(base, 1), attempt_nonce(base, 2));
+        }
+    }
+
+    #[test]
+    fn single_attempt_retry_is_bit_identical_to_closest() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        let url = u("http://e.org/a");
+        let single = permadead_net::RetryPolicy::single();
+        // Snapshot has no PartialEq; compare by capture time
+        let when = |r: &Result<Option<&Snapshot>, AvailabilityError>| {
+            r.as_ref().map(|o| o.map(|s| s.captured)).map_err(|e| *e)
+        };
+        for n in 0..100 {
+            let plain = api.closest(&url, t(2014), AvailabilityPolicy::Any, Some(1_000), n);
+            let (wrapped, outcome) =
+                api.closest_with_retry(&url, t(2014), AvailabilityPolicy::Any, Some(1_000), n, &single);
+            assert_eq!(when(&plain), when(&wrapped));
+            assert_eq!(outcome.tries(), 1);
+        }
+    }
+
+    #[test]
+    fn retries_rescue_lookups_the_single_attempt_missed() {
+        let s = store();
+        let api = AvailabilityApi::new(&s, LatencyModel::lookup_api(7));
+        let url = u("http://e.org/a");
+        let single = permadead_net::RetryPolicy::single();
+        let retrying = permadead_net::RetryPolicy::standard(4, 0xB0);
+        let mut rescued = 0;
+        let mut single_timeouts = 0;
+        for n in 0..200 {
+            let (one, _) =
+                api.closest_with_retry(&url, t(2014), AvailabilityPolicy::Any, Some(1_000), n, &single);
+            let (many, outcome) =
+                api.closest_with_retry(&url, t(2014), AvailabilityPolicy::Any, Some(1_000), n, &retrying);
+            if one.is_err() {
+                single_timeouts += 1;
+                if many.is_ok() {
+                    rescued += 1;
+                    assert!(outcome.tries() > 1);
+                    assert!(outcome.counts.availability_timeout > 0);
+                }
+            } else {
+                // a first-attempt success never needs (or takes) a retry
+                assert_eq!(outcome.tries(), 1);
+                assert_eq!(
+                    many.map(|o| o.map(|s| s.captured)),
+                    one.map(|o| o.map(|s| s.captured))
+                );
+            }
+        }
+        assert!(single_timeouts > 0, "latency model never timed out");
+        assert!(rescued > 0, "retries rescued nothing");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod replay;
 pub mod snapshot;
 pub mod store;
 
-pub use availability::{AvailabilityApi, AvailabilityError, AvailabilityPolicy};
+pub use availability::{attempt_nonce, AvailabilityApi, AvailabilityError, AvailabilityPolicy};
 pub use cdxfile::{from_cdx_string, to_cdx_string};
 pub use cdx::{CdxApi, CdxMatchType, CdxQuery, StatusFilter};
 pub use crawler::{CaptureOutcome, Crawler};

@@ -111,6 +111,7 @@ fn bench_stages(c: &mut Criterion) {
         web: &r.scenario.web,
         archive: &r.scenario.archive,
         now: r.scenario.config.study_time,
+        retry: permadead_net::RetryPolicy::single(),
     };
     let stages = default_stages();
     let mut accs: Vec<LinkAnalysis> = r

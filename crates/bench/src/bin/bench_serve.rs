@@ -168,17 +168,26 @@ fn main() -> ExitCode {
     let hit_ratio = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
 
     let completed = latencies_ms.len();
+    // percentile() panics on an empty slice; with every request failed (or
+    // `--requests 0`) the summary still must come out, with null percentiles
+    let pct = |p: f64| {
+        if latencies_ms.is_empty() {
+            "null".to_string()
+        } else {
+            format!("{:.3}", percentile(&latencies_ms, p))
+        }
+    };
     let line = format!(
         "{{\"bench\":\"serve/loopback\",\"requests\":{completed},\"errors\":{errors},\
          \"clients\":{},\"workers\":{},\"unique_urls\":{},\"elapsed_s\":{elapsed_s:.3},\
-         \"requests_per_sec\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+         \"requests_per_sec\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\
          \"cache_hit_ratio\":{hit_ratio:.4}}}",
         opts.clients,
         opts.workers,
         urls.len(),
         completed as f64 / elapsed_s.max(1e-9),
-        percentile(&latencies_ms, 50.0),
-        percentile(&latencies_ms, 99.0),
+        pct(50.0),
+        pct(99.0),
     );
     println!("{line}");
     match permadead_bench::persist_bench_results("serve", &format!("{line}\n")) {

@@ -1,11 +1,13 @@
 //! `permadead` — the command-line face of the reproduction.
 //!
 //! ```text
-//! permadead audit    [--seed N] [--scale small|paper] [--jobs N] [--csv PATH] [--cdx PATH] [--stage-csv PATH]
+//! permadead audit    [--seed N] [--scale small|paper] [--jobs N] [--retries N] [--retry-table MAX]
+//!                    [--csv PATH] [--cdx PATH] [--stage-csv PATH]
 //! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
 //! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
+//!                    [--retries N] [--retry-budget-ms B]
 //! permadead help
 //! ```
 
@@ -24,7 +26,8 @@ fn main() -> ExitCode {
         argv,
         &[
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
-            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap",
+            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
+            "retry-budget-ms", "retry-table",
         ],
     );
     let args = match parsed {
@@ -80,6 +83,11 @@ fn print_help() {
          \x20 --csv PATH        (audit) write per-link findings as CSV\n\
          \x20 --stage-csv PATH  (audit) write per-stage hit/latency stats as CSV\n\
          \x20 --cdx PATH        (audit) dump the archive index as a CDX file\n\
+         \x20 --retry-table MAX (audit) print the §4.1 retry counterfactual: rescued copies\n\
+         \x20                   under 1..=MAX availability-lookup attempts vs an unbounded wait\n\
+         \x20 --retries N       (audit/serve) live-check attempts per link (default 1 = IABot;\n\
+         \x20                   1 keeps every verdict bit-identical to a retry-less build)\n\
+         \x20 --retry-budget-ms B   (audit/serve) cumulative backoff budget per link (default 30000)\n\
          \x20 --limit K         (forensics) how many links to narrate (default 5)\n\
          \x20 --port P          (serve) TCP port, 0 = ephemeral (default 7436)\n\
          \x20 --workers W       (serve) worker threads (default 4)\n\
@@ -102,24 +110,44 @@ fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
     Ok(Scenario::generate(cfg))
 }
 
-fn march_study(scenario: &Scenario, jobs: usize) -> Study {
+/// Retry policy from `--retries` / `--retry-budget-ms`. One attempt — the
+/// default — is IABot's production behaviour and keeps every output
+/// bit-identical to a build without the retry subsystem.
+fn retry_policy_from(args: &Args) -> Result<permadead_net::RetryPolicy, Box<dyn std::error::Error>> {
+    let attempts = u32::try_from(args.get_u64("retries", 1)?)
+        .map_err(|_| "flag --retries must fit in 32 bits")?;
+    if attempts <= 1 {
+        return Ok(permadead_net::RetryPolicy::single());
+    }
+    let seed = args.get_u64("seed", 42)?;
+    let budget = args.get_u64("retry-budget-ms", 30_000)?;
+    Ok(permadead_net::RetryPolicy::standard(attempts, seed ^ 0x5EC41).with_budget_ms(budget))
+}
+
+/// The batch dataset `audit` and `serve` share: 60% of the category,
+/// alphabetical, sample-capped, seeded `seed ^ 0xA1`.
+fn march_dataset(scenario: &Scenario) -> Dataset {
     let category = scenario.wiki.permanently_dead_category().len();
-    let ds = Dataset::alphabetical(
+    Dataset::alphabetical(
         &scenario.wiki,
         (category * 6 / 10).max(1),
         scenario.config.sample_size,
         scenario.config.seed ^ 0xA1,
-    );
+    )
+}
+
+fn march_study(scenario: &Scenario, jobs: usize, retry: permadead_net::RetryPolicy) -> Study {
     Study::run_with(
         &scenario.web,
         &scenario.archive,
-        &ds,
+        &march_dataset(scenario),
         scenario.config.study_time,
-        StudyOptions::with_jobs(jobs),
+        StudyOptions::with_jobs(jobs).with_retry(retry),
     )
 }
 
 fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let retry = retry_policy_from(args)?;
     let scenario = scenario_from(args)?;
     let jobs = args.get_usize("jobs", 1)?;
     // snapshot the cost counters so we report what the *pipeline* spends,
@@ -127,7 +155,7 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let web_before = scenario.web.metrics.snapshot();
     let archive_lookups_before = scenario.archive.lookups.get();
     let archive_rows_before = scenario.archive.rows_scanned.get();
-    let study = march_study(&scenario, jobs);
+    let study = march_study(&scenario, jobs, retry);
     let web_cost = scenario.web.metrics.snapshot().diff(&web_before);
     println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
     let report = study.report();
@@ -154,12 +182,25 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             scenario.archive.len()
         );
     }
+    if args.get("retry-table").is_some() {
+        let max = u32::try_from(args.get_u64("retry-table", 5)?)
+            .map_err(|_| "flag --retry-table must fit in 32 bits")?;
+        let ds = march_dataset(&scenario);
+        let rows = permadead_core::retry_counterfactual(
+            &scenario.archive,
+            &ds,
+            permadead_core::IABOT_TIMEOUT_MS,
+            scenario.config.seed ^ 0x5EC41,
+            max,
+        );
+        println!("{}", permadead_core::render_retry_counterfactual(&rows, ds.len()));
+    }
     Ok(())
 }
 
 fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
     let ds_years = study
         .findings
         .iter()
@@ -200,7 +241,7 @@ fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
     let limit = args.get_usize("limit", 5)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
     for f in study.findings.iter().take(limit) {
         println!("── {}", f.entry.url);
         println!("   cited in:       {}", f.entry.article);
@@ -222,7 +263,7 @@ fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let scenario = scenario_from(args)?;
     let limit = args.get_usize("limit", 10)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?);
+    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
     let recs = permadead_core::recommendations(&study, &scenario.archive);
     println!(
         "{} tagged links analyzed; {} actionable recommendations:\n",
@@ -270,12 +311,16 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         queue_cap: args.get_usize("queue-cap", 64)?.max(1),
         ..permadead_serve::ServerConfig::default()
     };
+    let retry = retry_policy_from(args)?;
     let scenario = scenario_from(args)?;
     eprintln!(
-        "[permadead] serve: {} workers, cache {} entries × {} shards",
-        config.workers, cache.capacity, cache.shards
+        "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
+        config.workers,
+        cache.capacity,
+        cache.shards,
+        retry.max_attempts,
     );
-    let service = permadead_serve::AuditService::over(scenario, cache);
+    let service = permadead_serve::AuditService::over(scenario, cache).with_retry(retry);
     let handle = permadead_serve::start(service, config)?;
     // the exact line scripts/check.sh greps for the ephemeral port
     println!("listening on {}", handle.addr());

@@ -21,6 +21,7 @@
 //! into the headline numbers of the conclusion.
 
 pub mod archival;
+pub mod counterfactual;
 pub mod dataset;
 pub mod implications;
 pub mod livecheck;
@@ -34,9 +35,12 @@ pub mod temporal;
 pub mod typos;
 
 pub use archival::{classify_archival, ArchivalClass, PostMarkingCheck};
+pub use counterfactual::{
+    render_retry_counterfactual, retry_counterfactual, RetryCounterfactualRow, IABOT_TIMEOUT_MS,
+};
 pub use dataset::{Dataset, DatasetEntry};
 pub use implications::{recommend_for, recommendations, summarize, Recommendation};
-pub use livecheck::{live_check, LiveCheck};
+pub use livecheck::{live_check, live_check_with_retry, LiveCheck};
 pub use params::{find_param_reorder_copy, ParamReorderRescue};
 pub use pipeline::{
     analyze_link, default_stages, empty_stats, run_study, LinkAnalysis, Stage, StageStats,

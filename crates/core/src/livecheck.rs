@@ -3,7 +3,10 @@
 //! "We issued a HTTP GET request for every URL and noted the outcome",
 //! classified into the five categories of [`LiveStatus`].
 
-use permadead_net::{Client, FetchRecord, LiveStatus, Network, SimTime};
+use permadead_net::{
+    AttemptFailure, Client, FetchRecord, LiveStatus, Network, RetryCause, RetryOutcome,
+    RetryPolicy, SimTime,
+};
 use permadead_stats::CategoricalCounts;
 use permadead_url::Url;
 
@@ -32,6 +35,50 @@ pub fn live_check<N: Network + ?Sized>(web: &N, url: &Url, now: SimTime) -> Live
     let record = Client::new().get(web, url, now);
     let status = record.live_status();
     LiveCheck { record, status }
+}
+
+/// [`live_check`] under a [`RetryPolicy`]: transient failures (timeouts,
+/// 503s, 429s, resolver hiccups) get re-fetched with each attempt re-rolling
+/// the network's probabilistic faults; definitive answers (2xx, 404, DNS
+/// NXDOMAIN, a vantage 403) end the schedule immediately. The classified
+/// [`LiveCheck`] always reflects the *last* attempt's record — on success the
+/// one that answered, on exhaustion the failure the caller would have seen
+/// anyway.
+///
+/// With [`RetryPolicy::single`] this is bit-identical to [`live_check`]:
+/// exactly one fetch at attempt 0, no extra randomness consumed.
+// the Err variant carries the attempt's full FetchRecord by design — the
+// driver hands it back as the final answer on exhaustion, so boxing would
+// only add an allocation to every failed attempt
+#[allow(clippy::result_large_err)]
+pub fn live_check_with_retry<N: Network + ?Sized>(
+    web: &N,
+    url: &Url,
+    now: SimTime,
+    retry: &RetryPolicy,
+) -> (LiveCheck, RetryOutcome) {
+    let key = format!("live:{url}");
+    let (result, outcome) = retry.run(&key, |attempt| {
+        let record = Client::new().get_attempt(web, url, now, attempt);
+        match RetryCause::classify_fetch(&record.outcome) {
+            Some(cause) if cause.is_retryable() => Err(AttemptFailure {
+                cause,
+                // the simulated web carries no Retry-After header; the policy
+                // honors hints when a caller supplies them (unit-tested at
+                // the policy layer)
+                retry_after_ms: None,
+                error: record,
+            }),
+            // success or a terminal failure: a definitive answer either way
+            _ => Ok(record),
+        }
+    });
+    let record = match result {
+        Ok(record) => record,
+        Err(record) => record,
+    };
+    let status = record.live_status();
+    (LiveCheck { record, status }, outcome)
 }
 
 /// Figure 4: the categorical breakdown for a whole sample.
@@ -104,6 +151,76 @@ mod tests {
         assert_eq!(counts.count("Timeout"), 1);
         assert_eq!(counts.count("DNS Failure"), 1);
         assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn single_attempt_retry_is_bit_identical_to_live_check() {
+        let net = TableNet(
+            [
+                ("http://ok.org/a".to_string(), Ok(Response::ok("x".into()))),
+                ("http://slow.org/a".to_string(), Err(FetchError::ConnectTimeout)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let single = RetryPolicy::single();
+        for url in ["http://ok.org/a", "http://slow.org/a", "http://nodns.org/a"] {
+            let plain = live_check(&net, &u(url), t0());
+            let (wrapped, outcome) = live_check_with_retry(&net, &u(url), t0(), &single);
+            assert_eq!(plain, wrapped, "{url}");
+            assert_eq!(outcome.tries(), 1);
+            assert_eq!(outcome.counts.total(), 0);
+        }
+    }
+
+    /// Fails with a transient error until the configured attempt, then 200s.
+    struct FlakyNet {
+        ok_from_attempt: u32,
+    }
+
+    impl Network for FlakyNet {
+        fn request(&self, req: &Request) -> ServeResult {
+            if req.attempt >= self.ok_from_attempt {
+                Ok(Response::ok("finally".into()))
+            } else {
+                Err(FetchError::ConnectTimeout)
+            }
+        }
+    }
+
+    #[test]
+    fn retries_rescue_transient_failures() {
+        let net = FlakyNet { ok_from_attempt: 2 };
+        let url = u("http://flaky.org/a");
+        // single attempt: classified Timeout — the §4.1-style misread
+        let (one, _) = live_check_with_retry(&net, &url, t0(), &RetryPolicy::single());
+        assert_eq!(one.status, LiveStatus::Timeout);
+        // three attempts: the third answers
+        let (many, outcome) =
+            live_check_with_retry(&net, &url, t0(), &RetryPolicy::standard(3, 5));
+        assert_eq!(many.status, LiveStatus::Ok);
+        assert_eq!(outcome.tries(), 3);
+        assert_eq!(outcome.counts.connect_timeout, 2);
+        assert!(!outcome.exhausted);
+    }
+
+    #[test]
+    fn terminal_failures_are_not_retried() {
+        // 404 and NXDOMAIN are definitive: even a generous policy issues
+        // exactly one fetch and the verdict matches the single-attempt one
+        let net = TableNet(
+            [("http://gone.org/a".to_string(), Ok(Response::not_found()))]
+                .into_iter()
+                .collect(),
+        );
+        let generous = RetryPolicy::standard(10, 3);
+        for url in ["http://gone.org/a", "http://nodns.org/a"] {
+            let plain = live_check(&net, &u(url), t0());
+            let (wrapped, outcome) = live_check_with_retry(&net, &u(url), t0(), &generous);
+            assert_eq!(plain, wrapped, "{url}");
+            assert_eq!(outcome.tries(), 1, "{url} must not be retried");
+            assert!(!outcome.exhausted);
+        }
     }
 
     #[test]

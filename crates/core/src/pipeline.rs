@@ -21,7 +21,7 @@
 
 use crate::archival::{classify_archival, post_marking_check, ArchivalClass, PostMarkingCheck};
 use crate::dataset::{Dataset, DatasetEntry};
-use crate::livecheck::{live_check, LiveCheck};
+use crate::livecheck::{live_check_with_retry, LiveCheck};
 use crate::params::{find_param_reorder_copy, ParamReorderRescue};
 use crate::redirects::{validate_redirect, RedirectVerdict};
 use crate::report::LinkFinding;
@@ -30,7 +30,7 @@ use crate::spatial::{spatial_coverage, SpatialCoverage};
 use crate::temporal::{temporal_analysis, TemporalAnalysis};
 use crate::typos::{find_typo_candidate, TypoCandidate};
 use permadead_archive::ArchiveStore;
-use permadead_net::{LiveStatus, Network, SimTime};
+use permadead_net::{LiveStatus, Network, RetryCounts, RetryPolicy, SimTime};
 use std::time::Instant;
 
 /// Everything a stage may read: the live web, the archive, and the study
@@ -40,6 +40,10 @@ pub struct StudyEnv<'a> {
     pub web: &'a dyn Network,
     pub archive: &'a ArchiveStore,
     pub now: SimTime,
+    /// Retry schedule for live checks. [`RetryPolicy::single`] — IABot's
+    /// one-attempt behaviour — keeps every output bit-identical to a study
+    /// run with no retry machinery at all.
+    pub retry: RetryPolicy,
 }
 
 /// Per-link accumulator the stages fill in. `None` means "not yet run" for
@@ -61,6 +65,10 @@ pub struct LinkAnalysis {
     pub spatial: Option<SpatialCoverage>,
     pub typo: Option<TypoCandidate>,
     pub param_rescue: Option<ParamReorderRescue>,
+    /// Retries spent on this link so far, by cause. Stages that retry fold
+    /// their outcome counts in; [`analyze_link`] diffs around each stage to
+    /// attribute them. Zero under the default single-attempt policy.
+    pub retries: RetryCounts,
 }
 
 impl LinkAnalysis {
@@ -77,6 +85,7 @@ impl LinkAnalysis {
             spatial: None,
             typo: None,
             param_rescue: None,
+            retries: RetryCounts::default(),
         }
     }
 
@@ -121,14 +130,17 @@ pub struct StageStats {
     pub hits: u64,
     /// Total wall-clock time spent inside the stage.
     pub nanos: u64,
+    /// Retries this stage scheduled, by cause (zero under the default
+    /// single-attempt policy). Deterministic, so included in equality.
+    pub retries: RetryCounts,
 }
 
 /// Equality ignores `nanos`: hits are deterministic, wall-clock is not, and
 /// report comparisons (e.g. the determinism suite) must survive timing
-/// jitter.
+/// jitter. Retry counts are as deterministic as hits and stay in.
 impl PartialEq for StageStats {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.hits == other.hits
+        self.name == other.name && self.hits == other.hits && self.retries == other.retries
     }
 }
 
@@ -147,7 +159,9 @@ impl Stage for LiveCheckStage {
     }
 
     fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
-        acc.live = Some(live_check(env.web, &acc.entry.url, env.now));
+        let (live, outcome) = live_check_with_retry(env.web, &acc.entry.url, env.now, &env.retry);
+        acc.live = Some(live);
+        acc.retries.add(outcome.counts);
         true
     }
 }
@@ -293,6 +307,9 @@ pub struct StudyOptions {
     /// any value.
     pub jobs: usize,
     pub stages: Vec<Box<dyn Stage>>,
+    /// Retry schedule for live checks; defaults to IABot's single attempt
+    /// so the study's outputs are unchanged unless retries are asked for.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StudyOptions {
@@ -300,6 +317,7 @@ impl Default for StudyOptions {
         StudyOptions {
             jobs: 1,
             stages: default_stages(),
+            retry: RetryPolicy::single(),
         }
     }
 }
@@ -310,6 +328,11 @@ impl StudyOptions {
             jobs,
             ..Default::default()
         }
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     fn effective_jobs(&self, len: usize) -> usize {
@@ -354,10 +377,12 @@ pub fn analyze_link(
     debug_assert_eq!(stages.len(), stats.len());
     let mut acc = LinkAnalysis::new(index, entry);
     for (stage, stat) in stages.iter().zip(stats.iter_mut()) {
+        let retries_before = acc.retries;
         let started = Instant::now();
         let hit = stage.run(env, &mut acc);
         stat.nanos += started.elapsed().as_nanos() as u64;
         stat.hits += hit as u64;
+        stat.retries.add(acc.retries.diff(retries_before));
     }
     acc.finish()
 }
@@ -390,6 +415,7 @@ fn merge_stats(total: &mut [StageStats], part: &[StageStats]) {
         debug_assert_eq!(t.name, p.name);
         t.hits += p.hits;
         t.nanos += p.nanos;
+        t.retries.add(p.retries);
     }
 }
 
@@ -430,20 +456,41 @@ pub fn run_study(
     .expect("pipeline scope panicked")
 }
 
-/// Render stage stats as aligned report lines under a heading.
+/// Render stage stats as aligned report lines under a heading. The retry
+/// summary appears only when some stage actually retried, so the default
+/// single-attempt output is byte-identical to the pre-retry renderer.
 pub fn render_stage_stats(stats: &[StageStats]) -> String {
     let width = stats.iter().map(|s| s.name.len()).max().unwrap_or(0);
-    std::iter::once("pipeline stages (links processed, wall-clock):".to_string())
-        .chain(stats.iter().map(|s| {
-            format!(
-                "  {:width$}  {:>8} hits  {:>10.3} ms",
-                s.name,
-                s.hits,
-                s.millis(),
-            )
-        }))
-        .collect::<Vec<_>>()
-        .join("\n")
+    let mut lines: Vec<String> =
+        std::iter::once("pipeline stages (links processed, wall-clock):".to_string())
+            .chain(stats.iter().map(|s| {
+                format!(
+                    "  {:width$}  {:>8} hits  {:>10.3} ms",
+                    s.name,
+                    s.hits,
+                    s.millis(),
+                )
+            }))
+            .collect();
+    let mut retries = RetryCounts::default();
+    for s in stats {
+        retries.add(s.retries);
+    }
+    if !retries.is_zero() {
+        let causes: Vec<String> = retries
+            .per_cause()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(label, n)| format!("{label}={n}"))
+            .collect();
+        lines.push(format!(
+            "  retries: {} ({}), exhausted: {}",
+            retries.total(),
+            causes.join(", "),
+            retries.exhausted,
+        ));
+    }
+    lines.join("\n")
 }
 
 #[cfg(test)]
@@ -482,6 +529,7 @@ mod tests {
             web,
             archive,
             now: SimTime::from_ymd(2022, 3, 1),
+            retry: RetryPolicy::single(),
         }
     }
 
@@ -552,11 +600,13 @@ mod tests {
             name: "live-check",
             hits: 3,
             nanos: 100,
+            ..Default::default()
         };
         let b = StageStats {
             name: "live-check",
             hits: 3,
             nanos: 999_999,
+            ..Default::default()
         };
         assert_eq!(a, b);
         assert_ne!(
@@ -564,9 +614,14 @@ mod tests {
             StageStats {
                 name: "live-check",
                 hits: 4,
-                nanos: 100
+                nanos: 100,
+                ..Default::default()
             }
         );
+        // retries are deterministic, so a divergence is a real inequality
+        let mut c = a.clone();
+        c.retries.record(permadead_net::RetryCause::ConnectTimeout);
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -576,17 +631,26 @@ mod tests {
                 name: "live-check",
                 hits: 10,
                 nanos: 1_500_000,
+                ..Default::default()
             },
             StageStats {
                 name: "rescue-scan",
                 hits: 2,
                 nanos: 700,
+                ..Default::default()
             },
         ];
         let s = render_stage_stats(&stats);
         assert!(s.contains("live-check"));
         assert!(s.contains("rescue-scan"));
         assert!(s.contains("10 hits"));
+        // no retries → no retry line, so default output stays unchanged
+        assert!(!s.contains("retries:"));
+        let mut with_retries = stats.to_vec();
+        with_retries[0].retries.record(permadead_net::RetryCause::Unavailable);
+        with_retries[0].retries.record(permadead_net::RetryCause::Unavailable);
+        let s = render_stage_stats(&with_retries);
+        assert!(s.contains("retries: 2 (unavailable=2), exhausted: 0"));
     }
 
     #[test]
@@ -622,6 +686,7 @@ mod tests {
                 Box::new(PostMarkingStage),
                 Box::new(TemporalStage),
             ],
+            retry: RetryPolicy::single(),
         };
         let (findings, stats) = run_study(&env, &ds, &options);
         assert_eq!(findings.len(), 3);

@@ -118,7 +118,12 @@ impl Study {
         now: SimTime,
         options: StudyOptions,
     ) -> Study {
-        let env = StudyEnv { web, archive, now };
+        let env = StudyEnv {
+            web,
+            archive,
+            now,
+            retry: options.retry,
+        };
         let (findings, stage_stats) = run_study(&env, dataset, &options);
         Study {
             label: dataset.label.clone(),
@@ -353,6 +358,16 @@ impl StudyReport {
     /// [`StudyReport::render_comparison`], which stays timing-free).
     pub fn render_stage_stats(&self) -> String {
         render_stage_stats(&self.stage_stats)
+    }
+
+    /// Retries spent across every stage of the run, by cause. All zeros
+    /// under the default single-attempt policy.
+    pub fn retry_counts(&self) -> permadead_net::RetryCounts {
+        let mut total = permadead_net::RetryCounts::default();
+        for s in &self.stage_stats {
+            total.add(s.retries);
+        }
+        total
     }
 }
 

@@ -117,12 +117,27 @@ impl Client {
     /// callers holding a `&dyn Network` (the pipeline's shared environment)
     /// can fetch without knowing the concrete network type.
     pub fn get<N: Network + ?Sized>(&self, net: &N, url: &Url, t: SimTime) -> FetchRecord {
+        self.get_attempt(net, url, t, 0)
+    }
+
+    /// Like [`get`](Self::get), tagging every hop's request as the
+    /// `attempt`-th retry so the network's probabilistic faults re-roll.
+    /// `attempt == 0` is bit-identical to `get`.
+    pub fn get_attempt<N: Network + ?Sized>(
+        &self,
+        net: &N,
+        url: &Url,
+        t: SimTime,
+        attempt: u32,
+    ) -> FetchRecord {
         let requested = url.clone();
         let mut current = url.without_fragment();
         let mut hops: Vec<Hop> = Vec::new();
 
         loop {
-            let req = Request::get(current.clone(), t).from_vantage(self.vantage);
+            let req = Request::get(current.clone(), t)
+                .from_vantage(self.vantage)
+                .with_attempt(attempt);
             let resp = match net.request(&req) {
                 Ok(r) => r,
                 Err(e) => {

@@ -88,6 +88,22 @@ impl FaultProfile {
     /// The fault, if any, this request hits. Evaluated before the origin's
     /// real handler.
     pub fn check(&self, url_key: &str, vantage: Vantage, t: SimTime) -> Option<Fault> {
+        self.check_attempt(url_key, vantage, t, 0)
+    }
+
+    /// Like [`check`](Self::check), but for the `attempt`-th retry of the
+    /// same request. Geo-blocks, scripted windows and the rate limiter are
+    /// attempt-independent (a 403 does not clear on retry; every retry still
+    /// burns daily budget), while the probabilistic faults re-roll — a retry
+    /// is a genuinely new draw, which is the whole premise of the §4.1 retry
+    /// counterfactual. `attempt == 0` is bit-identical to `check`.
+    pub fn check_attempt(
+        &self,
+        url_key: &str,
+        vantage: Vantage,
+        t: SimTime,
+        attempt: u32,
+    ) -> Option<Fault> {
         if self.geo_blocked.contains(&vantage) {
             return Some(Fault::GeoBlocked);
         }
@@ -101,7 +117,10 @@ impl FaultProfile {
         }
         let day = t.as_unix().div_euclid(86_400) as u64;
         let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ fnv1a(url_key.as_bytes()) ^ day.wrapping_mul(0x9E3779B97F4A7C15),
+            self.seed
+                ^ fnv1a(url_key.as_bytes())
+                ^ day.wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (attempt as u64).wrapping_mul(0xD1B54A32D192ED03),
         );
         if self.timeout_p > 0.0 && rng.gen_bool(self.timeout_p.clamp(0.0, 1.0)) {
             return Some(Fault::ConnectTimeout);
@@ -131,9 +150,15 @@ impl DailyRateLimiter {
     }
 
     /// Admit a request at `t`? Increments the day's count when admitted.
+    ///
+    /// Counts for days earlier than `t`'s are pruned on the way in: a
+    /// long-lived `permadead serve` process walks its serving clock forward
+    /// monotonically, so stale days can never be consulted again and keeping
+    /// them was a slow leak.
     pub fn admit(&self, t: SimTime) -> bool {
         let day = t.as_unix().div_euclid(86_400);
         let mut served = self.served.lock();
+        served.retain(|&d, _| d >= day);
         let count = served.entry(day).or_insert(0);
         if *count < self.per_day {
             *count += 1;
@@ -141,6 +166,11 @@ impl DailyRateLimiter {
         } else {
             false
         }
+    }
+
+    /// Days currently tracked (the regression surface for the prune above).
+    pub fn tracked_days(&self) -> usize {
+        self.served.lock().len()
     }
 }
 
@@ -262,6 +292,64 @@ mod tests {
         // half-open: the end instant is healthy again
         assert_eq!(f.check("u", Vantage::UsEducation, y(2021)), None);
         assert_eq!(f.check("u", Vantage::UsEducation, y(2019)), None);
+    }
+
+    #[test]
+    fn rate_limiter_prunes_past_days() {
+        let limiter = DailyRateLimiter::new(2);
+        for d in 1..=30 {
+            assert!(limiter.admit(noon(2022, 3, d)));
+            assert_eq!(limiter.tracked_days(), 1, "day {d}: stale entries kept");
+        }
+        // same-day counting still works after pruning
+        let last = noon(2022, 3, 30);
+        assert!(limiter.admit(last));
+        assert!(!limiter.admit(last));
+    }
+
+    #[test]
+    fn attempt_zero_matches_check_and_retries_reroll() {
+        let f = FaultProfile::none(9).with_timeouts(0.5);
+        let t = noon(2022, 3, 5);
+        for d in 1..=10 {
+            let t = noon(2022, 3, d);
+            assert_eq!(
+                f.check("u", Vantage::UsEducation, t),
+                f.check_attempt("u", Vantage::UsEducation, t, 0)
+            );
+        }
+        // retries draw independently: across attempts both outcomes appear
+        let outcomes: Vec<_> = (0..20)
+            .map(|a| f.check_attempt("u", Vantage::UsEducation, t, a))
+            .collect();
+        assert!(outcomes.contains(&Some(Fault::ConnectTimeout)));
+        assert!(outcomes.contains(&None));
+        // and each attempt's roll is itself deterministic
+        for a in 0..20 {
+            assert_eq!(
+                f.check_attempt("u", Vantage::UsEducation, t, a),
+                f.check_attempt("u", Vantage::UsEducation, t, a)
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_do_not_clear_geo_blocks_and_burn_rate_budget() {
+        let f = FaultProfile::none(1).with_geo_block(&[Vantage::UsEducation]);
+        let t = noon(2022, 3, 1);
+        for a in 0..5 {
+            assert_eq!(
+                f.check_attempt("u", Vantage::UsEducation, t, a),
+                Some(Fault::GeoBlocked)
+            );
+        }
+        let f = FaultProfile::none(1).with_daily_rate_limit(2);
+        assert_eq!(f.check_attempt("u", Vantage::UsEducation, t, 0), None);
+        assert_eq!(f.check_attempt("u", Vantage::UsEducation, t, 1), None);
+        assert_eq!(
+            f.check_attempt("u", Vantage::UsEducation, t, 2),
+            Some(Fault::RateLimited)
+        );
     }
 
     #[test]

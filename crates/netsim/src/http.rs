@@ -84,6 +84,10 @@ pub struct Request {
     /// When the request is issued — the web answers differently at different
     /// points in its history.
     pub time: SimTime,
+    /// 0-based retry index. Probabilistic faults re-roll per attempt while
+    /// everything else (geo-blocks, windows) is attempt-independent;
+    /// `0` is the single-attempt behaviour every existing caller gets.
+    pub attempt: u32,
 }
 
 impl Request {
@@ -92,11 +96,17 @@ impl Request {
             url,
             vantage: Vantage::default(),
             time,
+            attempt: 0,
         }
     }
 
     pub fn from_vantage(mut self, vantage: Vantage) -> Request {
         self.vantage = vantage;
+        self
+    }
+
+    pub fn with_attempt(mut self, attempt: u32) -> Request {
+        self.attempt = attempt;
         self
     }
 }

@@ -19,6 +19,9 @@
 //! - [`fault`]: fault injection — geo-blocking by vantage, transient
 //!   failures, rate limiting — mirroring the confounders the paper lists
 //!   (§3: "blocked because of our measurement vantage point").
+//! - [`retry`]: a deterministic retry/backoff policy with per-cause
+//!   retryability — the counterfactual fix for the §4.1 timeout-miss bug
+//!   class that IABot's single-attempt behaviour reproduces.
 //!
 //! The design is synchronous and deterministic (smoltcp-style event-driven
 //! simulation): a fetch is a pure function of `(network state, time, rng
@@ -33,6 +36,7 @@ pub mod fault;
 pub mod http;
 pub mod latency;
 pub mod metrics;
+pub mod retry;
 pub mod time;
 
 pub use client::{Client, FetchRecord, Hop, Network, ServeResult};
@@ -42,4 +46,5 @@ pub use events::EventQueue;
 pub use http::{Request, Response, StatusCode};
 pub use latency::LatencyModel;
 pub use metrics::{Counter, MetricsSnapshot, NetMetrics};
+pub use retry::{Attempt, AttemptFailure, RetryCause, RetryCounts, RetryOutcome, RetryPolicy};
 pub use time::{Date, Duration, SimTime};

@@ -108,17 +108,21 @@ impl ServeMetrics {
         self.latency_count.incr();
     }
 
-    /// Fold one audit's stage stats into the running totals.
+    /// Fold one audit's stage stats into the running totals, matching rows
+    /// by stage name. Stages the totals have never seen are appended — the
+    /// previous positional `zip` silently dropped trailing stages whenever an
+    /// audit ran a longer stage list than the first one recorded (and its
+    /// `debug_assert_eq!` on names compiled away in release builds).
     pub fn merge_stage_stats(&self, part: &[StageStats]) {
         let mut total = self.stage_stats.lock();
-        if total.is_empty() {
-            total.extend(part.iter().cloned());
-            return;
-        }
-        for (t, p) in total.iter_mut().zip(part) {
-            debug_assert_eq!(t.name, p.name);
-            t.hits += p.hits;
-            t.nanos += p.nanos;
+        for p in part {
+            if let Some(t) = total.iter_mut().find(|t| t.name == p.name) {
+                t.hits += p.hits;
+                t.nanos += p.nanos;
+                t.retries.add(p.retries);
+            } else {
+                total.push(p.clone());
+            }
         }
     }
 
@@ -323,6 +327,29 @@ impl ServeMetrics {
                 })
                 .collect::<Vec<_>>(),
         );
+
+        // retry counters, summed across stages. Every cause series is always
+        // present (zero included) so dashboards see stable label sets.
+        let mut retries = permadead_net::RetryCounts::default();
+        for s in &stages {
+            retries.add(s.retries);
+        }
+        metric(
+            "permadead_retries_total",
+            "counter",
+            "Retries scheduled by the audit retry policy, by cause.",
+            &retries
+                .per_cause()
+                .iter()
+                .map(|(cause, n)| format!("permadead_retries_total{{cause=\"{cause}\"}} {n}"))
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_retry_exhausted_total",
+            "counter",
+            "Audits that gave up with a retryable failure still in hand.",
+            &[format!("permadead_retry_exhausted_total {}", retries.exhausted)],
+        );
         out
     }
 }
@@ -363,6 +390,7 @@ mod tests {
             name: "live-check",
             hits: 1,
             nanos: 1000,
+            ..Default::default()
         }]);
         let cache = CacheStats {
             hits: 3,
@@ -378,6 +406,9 @@ mod tests {
             "permadead_cache_hit_ratio 0.750000",
             "permadead_pending_queue_depth 2",
             "permadead_stage_hits_total{stage=\"live-check\"} 1",
+            "permadead_retries_total{cause=\"connect-timeout\"} 0",
+            "permadead_retries_total{cause=\"availability-timeout\"} 0",
+            "permadead_retry_exhausted_total 0",
         ] {
             assert!(text.contains(needle), "missing: {needle}\n{text}");
         }
@@ -386,5 +417,54 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
             assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
         }
+    }
+
+    fn stat(name: &'static str, hits: u64) -> StageStats {
+        StageStats {
+            name,
+            hits,
+            nanos: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_by_name_survives_mismatched_lengths() {
+        let m = ServeMetrics::new();
+        // a short stage list first (e.g. a custom two-stage audit)…
+        m.merge_stage_stats(&[stat("live-check", 1), stat("archival-class", 1)]);
+        // …then the full default list: trailing stages must not be dropped
+        m.merge_stage_stats(&[
+            stat("live-check", 1),
+            stat("archival-class", 1),
+            stat("rescue-scan", 5),
+        ]);
+        let total = m.stage_stats();
+        let by_name = |n: &str| total.iter().find(|s| s.name == n).map(|s| s.hits);
+        assert_eq!(by_name("live-check"), Some(2));
+        assert_eq!(by_name("archival-class"), Some(2));
+        assert_eq!(by_name("rescue-scan"), Some(5), "trailing stage was truncated");
+        // order-independent too: a permuted list merges by name, not position
+        m.merge_stage_stats(&[stat("rescue-scan", 1), stat("live-check", 1)]);
+        let total = m.stage_stats();
+        let by_name = |n: &str| total.iter().find(|s| s.name == n).map(|s| s.hits);
+        assert_eq!(by_name("live-check"), Some(3));
+        assert_eq!(by_name("rescue-scan"), Some(6));
+    }
+
+    #[test]
+    fn merged_retry_counts_flow_into_prometheus() {
+        let m = ServeMetrics::new();
+        let mut s = stat("live-check", 1);
+        s.retries.record(permadead_net::RetryCause::ConnectTimeout);
+        s.retries.record(permadead_net::RetryCause::RateLimited);
+        s.retries.exhausted += 1;
+        m.merge_stage_stats(&[s.clone()]);
+        m.merge_stage_stats(&[s]);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0);
+        assert!(text.contains("permadead_retries_total{cause=\"connect-timeout\"} 2"));
+        assert!(text.contains("permadead_retries_total{cause=\"rate-limited\"} 2"));
+        assert!(text.contains("permadead_retries_total{cause=\"unavailable\"} 0"));
+        assert!(text.contains("permadead_retry_exhausted_total 2"));
     }
 }

@@ -18,7 +18,7 @@ use permadead_core::{
     analyze_link, default_stages, empty_stats, recommend_for, Dataset, DatasetEntry,
     Recommendation, Stage, StageStats, StudyEnv,
 };
-use permadead_net::{MetricsSnapshot, SimTime};
+use permadead_net::{MetricsSnapshot, RetryPolicy, SimTime};
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_url::Url;
 use std::collections::HashMap;
@@ -62,6 +62,9 @@ pub struct AuditService {
     /// Provenance for tagged URLs outside the sample.
     extra: HashMap<String, DatasetEntry>,
     cache: ShardedCache<String>,
+    /// Retry schedule for transient live-check failures. The default —
+    /// [`RetryPolicy::single`] — preserves the batch-parity contract exactly.
+    retry: RetryPolicy,
 }
 
 impl AuditService {
@@ -103,7 +106,21 @@ impl AuditService {
             dataset,
             extra,
             cache: ShardedCache::new(cache),
+            retry: RetryPolicy::single(),
         }
+    }
+
+    /// Replace the live-check retry policy (`--retries` on the CLI). Anything
+    /// other than [`RetryPolicy::single`] trades bit-parity with the batch
+    /// audit for resilience to the simulated web's transient faults.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> AuditService {
+        self.retry = retry;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The moment every audit is evaluated at (the paper's study time).
@@ -155,6 +172,7 @@ impl AuditService {
             web: &self.scenario.web,
             archive: &self.scenario.archive,
             now: self.study_time(),
+            retry: self.retry,
         };
         let mut stats = empty_stats(&self.stages);
         let finding = analyze_link(&env, &self.stages, index, entry, &mut stats);

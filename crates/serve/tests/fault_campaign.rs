@@ -1,0 +1,266 @@
+//! The fault campaign: drive `permadead-serve` over loopback TCP against a
+//! world whose target origins misbehave, and measure what a retry policy
+//! buys — and what it provably cannot.
+//!
+//! Three servers over the *same* seeded world:
+//!
+//! - **A** — fault-free, single attempt: the ground-truth baseline.
+//! - **B** — faulted origins, single attempt (IABot's behaviour): transient
+//!   faults land directly in the Figure-4 verdicts.
+//! - **C** — the same faulted origins, retries enabled: transient faults are
+//!   re-drawn per attempt, so most verdicts flip back to the baseline, while
+//!   attempt-independent faults (an exhausted daily budget) demonstrably
+//!   stay broken no matter how many retries are spent.
+//!
+//! Every fault draw is keyed `(seed, url, day, attempt)`, so the whole
+//! campaign is deterministic: the test asserts the *exact* per-cause retry
+//! counters scraped from `/metrics` against a local replay of the same
+//! policy over the same world.
+
+use permadead_net::fault::FaultProfile;
+use permadead_net::RetryPolicy;
+use permadead_serve::{start, AuditService, CacheConfig, ServerConfig, ServerHandle};
+use permadead_sim::{Scenario, ScenarioConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+const RETRY_SEED: u64 = 0xFA;
+const FAULT_SEED: u64 = 0xFA17;
+
+fn world_config() -> ScenarioConfig {
+    ScenarioConfig {
+        rot_links: 160,
+        ..ScenarioConfig::small(7)
+    }
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or((response.as_str(), ""));
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn metric_value(metrics_body: &str, name: &str) -> f64 {
+    metrics_body
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found"))
+}
+
+/// `"live_status"` out of a `/check` body — the Figure-4 verdict the
+/// campaign compares across servers.
+fn live_status_of(body: &str) -> String {
+    let needle = "\"live_status\":\"";
+    let start = body.find(needle).unwrap_or_else(|| panic!("no live_status in {body}")) + needle.len();
+    let end = body[start..].find('"').expect("unterminated live_status") + start;
+    body[start..end].to_string()
+}
+
+fn check(addr: std::net::SocketAddr, url: &str) -> String {
+    let (status, body) = get(addr, &format!("/check?url={}", percent_encode(url)));
+    assert!(status.contains("200"), "{status}: {body}");
+    body
+}
+
+fn spawn(service: AuditService) -> ServerHandle {
+    start(
+        service,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// The fault class each campaign target's origin is put into.
+#[derive(Clone, Copy)]
+enum Campaign {
+    /// Connections hang 70% of the time — retryable, usually rescued.
+    Timeouts,
+    /// 503s 70% of the time — retryable, usually rescued.
+    Unavailable,
+    /// Daily budget of zero — every attempt 429s; retries cannot help.
+    RateLimited,
+}
+
+impl Campaign {
+    fn of(index: usize) -> Campaign {
+        match index % 3 {
+            0 => Campaign::Timeouts,
+            1 => Campaign::Unavailable,
+            _ => Campaign::RateLimited,
+        }
+    }
+
+    fn profile(self, seed: u64) -> FaultProfile {
+        match self {
+            Campaign::Timeouts => FaultProfile::none(seed).with_timeouts(0.7),
+            Campaign::Unavailable => FaultProfile::none(seed).with_unavailable(0.7),
+            Campaign::RateLimited => FaultProfile::none(seed).with_daily_rate_limit(0),
+        }
+    }
+}
+
+/// Break the origins of `targets` in `scenario`, identically for every
+/// caller: the profile seed depends only on the site id.
+fn inject_faults(scenario: &mut Scenario, targets: &[(String, Campaign)]) {
+    let study = scenario.config.study_time;
+    for (url, campaign) in targets {
+        let host = permadead_url::Url::parse(url).expect("target parses").host().to_string();
+        let Some(id) = scenario.web.site_by_host(&host, study).map(|s| s.id) else {
+            panic!("target host {host} has no live site");
+        };
+        let site = scenario.web.site_mut(id).expect("site exists");
+        site.faults = campaign.profile(id.0 ^ FAULT_SEED);
+    }
+}
+
+#[test]
+fn fault_campaign_retries_bound_verdict_flips_and_counters_match_exactly() {
+    // ---- server A: the fault-free baseline --------------------------------
+    let a = spawn(AuditService::new(world_config(), CacheConfig::default()));
+
+    // Campaign targets: dataset URLs whose origin still resolves (faults act
+    // at the origin, so a lapsed-DNS link can never observe one), spread
+    // round-robin over the three fault classes.
+    let candidates: Vec<String> = a
+        .service()
+        .dataset()
+        .entries
+        .iter()
+        .map(|e| e.url.to_string())
+        .collect();
+    let mut targets: Vec<(String, Campaign)> = Vec::new();
+    let mut baseline: Vec<String> = Vec::new();
+    let mut seen_hosts = std::collections::HashSet::new();
+    for url in &candidates {
+        if targets.len() == 9 {
+            break;
+        }
+        let host = permadead_url::Url::parse(url).unwrap().host().to_string();
+        if !seen_hosts.insert(host) {
+            continue; // one target per origin keeps the fault classes clean
+        }
+        let body = check(a.addr(), url);
+        let status = live_status_of(&body);
+        // a campaign target must (a) resolve, so origin faults can act, and
+        // (b) have a definitive baseline verdict distinct from every fault
+        // symptom (Timeout / 503-or-429 "Other"), so a flip is unambiguous
+        if status != "200" && status != "404" {
+            continue;
+        }
+        targets.push((url.clone(), Campaign::of(targets.len())));
+        baseline.push(status);
+    }
+    assert_eq!(targets.len(), 9, "world too small for the campaign");
+    a.shutdown();
+
+    // ---- servers B and C: identical faulted worlds ------------------------
+    let mut scenario_b = Scenario::generate(world_config());
+    inject_faults(&mut scenario_b, &targets);
+    let b = spawn(AuditService::over(scenario_b, CacheConfig::default()));
+
+    let retry = RetryPolicy::standard(4, RETRY_SEED);
+    let mut scenario_c = Scenario::generate(world_config());
+    inject_faults(&mut scenario_c, &targets);
+    let c = spawn(AuditService::over(scenario_c, CacheConfig::default()).with_retry(retry));
+
+    let statuses_b: Vec<String> =
+        targets.iter().map(|(u, _)| live_status_of(&check(b.addr(), u))).collect();
+    let statuses_c: Vec<String> =
+        targets.iter().map(|(u, _)| live_status_of(&check(c.addr(), u))).collect();
+
+    // ---- the verdict-flip ledger ------------------------------------------
+    let flips = |statuses: &[String]| -> usize {
+        statuses.iter().zip(&baseline).filter(|(s, b)| s != b).count()
+    };
+    let flips_b = flips(&statuses_b);
+    let flips_c = flips(&statuses_c);
+
+    // no-retry demonstrably misclassifies: transient faults land in verdicts
+    assert!(flips_b >= 3, "faults flipped only {flips_b}/9 verdicts: {statuses_b:?}");
+    // retries keep the damage bounded — strictly fewer flips than no-retry
+    assert!(
+        flips_c < flips_b,
+        "retries did not reduce flips: {flips_c} vs {flips_b} ({statuses_c:?})"
+    );
+    // ...but they cannot rescue an attempt-independent fault: every
+    // rate-limited target flips on both servers, retries or not
+    for (i, (url, campaign)) in targets.iter().enumerate() {
+        if matches!(campaign, Campaign::RateLimited) {
+            assert_ne!(statuses_b[i], baseline[i], "{url} dodged its rate limit");
+            assert_ne!(statuses_c[i], baseline[i], "{url} dodged its rate limit with retries");
+        }
+    }
+
+    // ---- exact counters: /metrics vs a local replay -----------------------
+    // B never retries: its counters must be exactly zero.
+    let (_, metrics_b) = get(b.addr(), "/metrics");
+    for (label, _) in permadead_net::RetryCounts::default().per_cause() {
+        assert_eq!(
+            metric_value(&metrics_b, &format!("permadead_retries_total{{cause=\"{label}\"}}")),
+            0.0,
+            "single-attempt server counted {label} retries"
+        );
+    }
+    assert_eq!(metric_value(&metrics_b, "permadead_retry_exhausted_total"), 0.0);
+    b.shutdown();
+
+    // C's counters must equal, per cause, a local replay of the same policy
+    // over the same world — the fault draws are pure in (url, day, attempt).
+    let mut expected = permadead_net::RetryCounts::default();
+    let study = c.service().study_time();
+    for (url, _) in &targets {
+        let parsed = permadead_url::Url::parse(url).unwrap();
+        let (_, outcome) = permadead_core::live_check_with_retry(
+            &c.service().scenario().web,
+            &parsed,
+            study,
+            &retry,
+        );
+        expected.add(outcome.counts);
+    }
+    assert!(expected.total() > 0, "the campaign provoked no retries at all");
+
+    let (_, metrics_c) = get(c.addr(), "/metrics");
+    for (label, want) in expected.per_cause() {
+        assert_eq!(
+            metric_value(&metrics_c, &format!("permadead_retries_total{{cause=\"{label}\"}}")),
+            want as f64,
+            "cause {label} diverged from the local replay"
+        );
+    }
+    assert_eq!(
+        metric_value(&metrics_c, "permadead_retry_exhausted_total"),
+        expected.exhausted as f64,
+        "exhaustion count diverged from the local replay"
+    );
+    // the rate-limited targets are the exhaustion: 3 targets × 1 schedule
+    assert!(expected.exhausted >= 3, "rate-limited targets must exhaust their schedules");
+    c.shutdown();
+}

@@ -117,7 +117,7 @@ impl LiveWeb {
         // 3. faults (geo-blocking, transient outages) fire before app logic
         if let Some(fault) = site
             .faults
-            .check(&req.url.to_string(), req.vantage, req.time)
+            .check_attempt(&req.url.to_string(), req.vantage, req.time, req.attempt)
         {
             return match fault {
                 Fault::ConnectTimeout => Err(FetchError::ConnectTimeout),

@@ -47,4 +47,9 @@ trap - EXIT
 rm -f "$serve_log"
 echo "check.sh: serve smoke test green"
 
+# Fault campaign: the service under injected origin faults, with and without
+# retries — exact per-cause /metrics counters against a local replay.
+cargo test -q --offline -p permadead-serve --test fault_campaign
+echo "check.sh: fault campaign green"
+
 echo "check.sh: all green"

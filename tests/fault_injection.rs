@@ -117,6 +117,38 @@ fn crawler_stores_nothing_during_outages() {
 }
 
 #[test]
+fn retries_never_change_permanent_failure_verdicts() {
+    // 404 and NXDOMAIN are terminal: a link that is *genuinely* gone keeps
+    // its verdict under any retry policy — the §4.1 counterfactual rescues
+    // only transient misreads, never actually-dead links
+    use permadead::analysis::{live_check, live_check_with_retry};
+    use permadead::net::RetryPolicy;
+
+    let mut web = LiveWeb::new(7);
+    web.add_site(site_with_page(1, "gone.example"));
+    // "gone.example/missing.html" 404s; "nxdomain.example" never resolves
+    let cases = [
+        u("http://gone.example/missing.html"),
+        u("http://nxdomain.example/page.html"),
+    ];
+    let generous = RetryPolicy::standard(10, 99);
+    let now = t(2022, 3);
+    for url in &cases {
+        let plain = live_check(&web, url, now);
+        assert!(
+            matches!(plain.status, LiveStatus::NotFound | LiveStatus::DnsFailure),
+            "{url}: {:?}",
+            plain.status
+        );
+        let (retried, outcome) = live_check_with_retry(&web, url, now, &generous);
+        assert_eq!(plain, retried, "{url}: a permanent failure changed under retries");
+        assert_eq!(outcome.tries(), 1, "{url}: a permanent failure was retried");
+        assert!(!outcome.exhausted);
+        assert!(outcome.counts.is_zero(), "{url}: retries were counted");
+    }
+}
+
+#[test]
 fn probabilistic_faults_are_daily_deterministic() {
     let mut web = LiveWeb::new(6);
     let mut site = site_with_page(1, "proba.example");
