@@ -8,6 +8,7 @@
 
 use crate::snapshot::Snapshot;
 use crate::store::ArchiveStore;
+use permadead_net::latency::{LatencyModel, Millis};
 use permadead_net::SimTime;
 use permadead_url::Url;
 
@@ -175,6 +176,77 @@ impl<'a> CdxApi<'a> {
     }
 }
 
+/// CDX lookup failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdxError {
+    /// The API did not answer within the caller's timeout. Like the
+    /// Availability API's timeout (§4.1), the caller cannot distinguish this
+    /// from "no rows" unless it retries — treating it as an empty result is
+    /// exactly the blind spot the §4.2 and §5.2 analyses inherit.
+    Timeout,
+}
+
+/// [`CdxApi`] behind the shared lookup service's heavy-tailed latency — the
+/// CDX server is the same public infrastructure as the Availability API, so
+/// its queries can miss a client timeout too.
+///
+/// `timeout_ms: None` waits forever *and skips the latency draw entirely*:
+/// results, and every downstream random stream, are bit-identical to the raw
+/// [`CdxApi`]. `nonce` distinguishes repeated calls (each is an independent
+/// draw); retried callers derive it via
+/// [`attempt_nonce`](crate::availability::attempt_nonce).
+pub struct TimedCdx<'a> {
+    api: CdxApi<'a>,
+    latency: LatencyModel,
+    timeout_ms: Option<Millis>,
+}
+
+impl<'a> TimedCdx<'a> {
+    pub fn new(store: &'a ArchiveStore, latency_seed: u64, timeout_ms: Option<Millis>) -> Self {
+        TimedCdx {
+            api: CdxApi::new(store),
+            latency: LatencyModel::lookup_api(latency_seed),
+            timeout_ms,
+        }
+    }
+
+    /// The latency stream is keyed by what the server scans, so two queries
+    /// over different directories (or a directory vs. its host) draw
+    /// independently, while re-asking the same question re-draws only via
+    /// the nonce.
+    fn latency_key(q: &CdxQuery) -> String {
+        match &q.match_type {
+            CdxMatchType::Exact(url) => format!("cdx-exact:{}", permadead_url::surt(url)),
+            CdxMatchType::DirectoryOf(url) => {
+                format!("cdx-dir:{}", permadead_url::surt_directory_prefix(url))
+            }
+            CdxMatchType::Host(host) => format!("cdx-host:{}", permadead_url::surt_host_prefix(host)),
+        }
+    }
+
+    fn wait(&self, q: &CdxQuery, nonce: u64) -> Result<(), CdxError> {
+        let Some(timeout) = self.timeout_ms else {
+            return Ok(());
+        };
+        if self.latency.exceeds_timeout(&Self::latency_key(q), nonce, timeout) {
+            return Err(CdxError::Timeout);
+        }
+        Ok(())
+    }
+
+    /// [`CdxApi::query`], paying one latency draw.
+    pub fn query(&self, q: &CdxQuery, nonce: u64) -> Result<Vec<&'a Snapshot>, CdxError> {
+        self.wait(q, nonce)?;
+        Ok(self.api.query(q))
+    }
+
+    /// [`CdxApi::distinct_url_count`], paying one latency draw.
+    pub fn distinct_url_count(&self, q: &CdxQuery, nonce: u64) -> Result<usize, CdxError> {
+        self.wait(q, nonce)?;
+        Ok(self.api.distinct_url_count(q))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +371,48 @@ mod tests {
         let api = CdxApi::new(&s);
         assert_eq!(api.count(&CdxQuery::exact(&u("http://nowhere.org/x"))), 0);
         assert_eq!(api.count(&CdxQuery::host("nowhere.org")), 0);
+    }
+
+    #[test]
+    fn timed_cdx_without_timeout_is_bit_identical_to_raw() {
+        let s = store();
+        let raw = CdxApi::new(&s);
+        let timed = TimedCdx::new(&s, 7, None);
+        let q = CdxQuery::host("e.org").with_status(StatusFilter::Code(200));
+        for nonce in 0..50 {
+            let fast = timed.query(&q, nonce).expect("unbounded query cannot time out");
+            assert_eq!(fast.len(), raw.query(&q).len());
+            assert_eq!(timed.distinct_url_count(&q, nonce), Ok(raw.distinct_url_count(&q)));
+        }
+    }
+
+    #[test]
+    fn timed_cdx_tight_timeout_times_out_sometimes() {
+        let s = store();
+        let timed = TimedCdx::new(&s, 7, Some(1_000));
+        let raw = CdxApi::new(&s);
+        let q = CdxQuery::host("e.org");
+        let outcomes: Vec<_> = (0..200).map(|n| timed.query(&q, n)).collect();
+        let timeouts = outcomes.iter().filter(|o| o.is_err()).count();
+        assert!(timeouts > 0, "expected some timeouts");
+        assert!(timeouts < 200, "expected some successes");
+        // a success returns exactly the raw rows
+        for o in outcomes.into_iter().flatten() {
+            assert_eq!(o.len(), raw.query(&q).len());
+        }
+    }
+
+    #[test]
+    fn timed_cdx_distinct_queries_draw_independently() {
+        let s = store();
+        let timed = TimedCdx::new(&s, 7, Some(1_000));
+        let dir = CdxQuery::directory_of(&u("http://e.org/d/whatever.html"));
+        let host = CdxQuery::host("e.org");
+        // the same nonce must not tie the directory query's fate to the
+        // host query's — their latency keys differ
+        let diverges =
+            (0..200).any(|n| timed.query(&dir, n).is_err() != timed.query(&host, n).is_err());
+        assert!(diverges, "directory and host queries share latency draws");
     }
 
     mod completeness {

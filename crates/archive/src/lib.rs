@@ -29,7 +29,7 @@ pub mod store;
 
 pub use availability::{attempt_nonce, AvailabilityApi, AvailabilityError, AvailabilityPolicy};
 pub use cdxfile::{from_cdx_string, to_cdx_string};
-pub use cdx::{CdxApi, CdxMatchType, CdxQuery, StatusFilter};
+pub use cdx::{CdxApi, CdxError, CdxMatchType, CdxQuery, StatusFilter, TimedCdx};
 pub use crawler::{CaptureOutcome, Crawler};
 pub use snapshot::{BodyClass, Snapshot};
 pub use replay::{ReplayNet, REPLAY_HOST};

@@ -112,6 +112,7 @@ fn bench_stages(c: &mut Criterion) {
         archive: &r.scenario.archive,
         now: r.scenario.config.study_time,
         retry: permadead_net::RetryPolicy::single(),
+        cdx_timeout_ms: None,
     };
     let stages = default_stages();
     let mut accs: Vec<LinkAnalysis> = r

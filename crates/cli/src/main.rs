@@ -7,7 +7,7 @@
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
 //! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
-//!                    [--retries N] [--retry-budget-ms B]
+//!                    [--retries N] [--retry-budget-ms B] [--origin-retry-budget-ms B]
 //! permadead help
 //! ```
 
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
         &[
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
             "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
-            "retry-budget-ms", "retry-table",
+            "retry-budget-ms", "retry-table", "origin-retry-budget-ms",
         ],
     );
     let args = match parsed {
@@ -94,7 +94,9 @@ fn print_help() {
          \x20 --cache-cap C     (serve) verdict-cache capacity in entries (default 4096)\n\
          \x20 --shards N        (serve) cache shard count (default 8)\n\
          \x20 --ttl-secs S      (serve) cache entry TTL in simulated seconds (default 3600)\n\
-         \x20 --queue-cap Q     (serve) pending-connection queue before 503s (default 64)"
+         \x20 --queue-cap Q     (serve) pending-connection queue before 503s (default 64)\n\
+         \x20 --origin-retry-budget-ms B   (serve) cap on cumulative retry backoff per origin;\n\
+         \x20                   exhausted hosts fall back to single-attempt checks (default: off)"
     );
 }
 
@@ -312,6 +314,10 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ..permadead_serve::ServerConfig::default()
     };
     let retry = retry_policy_from(args)?;
+    let origin_budget_ms = match args.get("origin-retry-budget-ms") {
+        Some(_) => Some(args.get_u64("origin-retry-budget-ms", 0)?),
+        None => None,
+    };
     let scenario = scenario_from(args)?;
     eprintln!(
         "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
@@ -320,7 +326,9 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         cache.shards,
         retry.max_attempts,
     );
-    let service = permadead_serve::AuditService::over(scenario, cache).with_retry(retry);
+    let service = permadead_serve::AuditService::over(scenario, cache)
+        .with_retry(retry)
+        .with_origin_retry_budget_ms(origin_budget_ms);
     let handle = permadead_serve::start(service, config)?;
     // the exact line scripts/check.sh greps for the ephemeral port
     println!("listening on {}", handle.addr());

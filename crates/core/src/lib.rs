@@ -46,9 +46,9 @@ pub use pipeline::{
     analyze_link, default_stages, empty_stats, run_study, LinkAnalysis, Stage, StageStats,
     StudyEnv, StudyOptions,
 };
-pub use redirects::{validate_redirect, RedirectVerdict};
+pub use redirects::{validate_redirect, validate_redirect_with_retry, RedirectVerdict};
 pub use report::{Study, StudyReport};
-pub use soft404::{soft404_probe, Soft404Verdict};
-pub use spatial::{spatial_coverage, SpatialCoverage};
+pub use soft404::{soft404_probe, soft404_probe_with_retry, Soft404Verdict};
+pub use spatial::{spatial_coverage, spatial_coverage_with_retry, SpatialCoverage};
 pub use temporal::{temporal_analysis, TemporalAnalysis};
 pub use typos::{find_typo_candidate, TypoCandidate};

@@ -63,10 +63,10 @@ pub fn live_check_with_retry<N: Network + ?Sized>(
         match RetryCause::classify_fetch(&record.outcome) {
             Some(cause) if cause.is_retryable() => Err(AttemptFailure {
                 cause,
-                // the simulated web carries no Retry-After header; the policy
-                // honors hints when a caller supplies them (unit-tested at
-                // the policy layer)
-                retry_after_ms: None,
+                // 429/503 origins advertise how long until their budget
+                // resets / outage ends; the policy stretches its backoff to
+                // at least the hint
+                retry_after_ms: record.retry_after_ms,
                 error: record,
             }),
             // success or a terminal failure: a definitive answer either way
@@ -202,6 +202,28 @@ mod tests {
         assert_eq!(outcome.tries(), 3);
         assert_eq!(outcome.counts.connect_timeout, 2);
         assert!(!outcome.exhausted);
+    }
+
+    #[test]
+    fn header_borne_retry_after_stretches_backoff() {
+        // a 503 whose Retry-After (7s) exceeds every computed backoff: the
+        // scheduled delays must be exactly the hint, end-to-end through the
+        // fetch record — no hand-injected hints anywhere
+        struct BusyNet;
+        impl Network for BusyNet {
+            fn request(&self, _req: &Request) -> ServeResult {
+                Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)
+                    .with_header("Retry-After", "7"))
+            }
+        }
+        let url = u("http://busy.org/a");
+        let (check, outcome) =
+            live_check_with_retry(&BusyNet, &url, t0(), &RetryPolicy::standard(3, 5));
+        assert_eq!(check.record.retry_after_ms, Some(7_000));
+        assert_eq!(outcome.tries(), 3);
+        assert_eq!(outcome.attempts[0].backoff_ms, Some(7_000));
+        assert_eq!(outcome.attempts[1].backoff_ms, Some(7_000));
+        assert_eq!(outcome.elapsed_ms, 14_000);
     }
 
     #[test]

@@ -23,13 +23,14 @@ use crate::archival::{classify_archival, post_marking_check, ArchivalClass, Post
 use crate::dataset::{Dataset, DatasetEntry};
 use crate::livecheck::{live_check_with_retry, LiveCheck};
 use crate::params::{find_param_reorder_copy, ParamReorderRescue};
-use crate::redirects::{validate_redirect, RedirectVerdict};
+use crate::redirects::{validate_redirect_with_retry, RedirectVerdict};
 use crate::report::LinkFinding;
-use crate::soft404::{soft404_probe, Soft404Verdict};
-use crate::spatial::{spatial_coverage, SpatialCoverage};
+use crate::soft404::{soft404_probe_with_retry, Soft404Verdict};
+use crate::spatial::{spatial_coverage_with_retry, SpatialCoverage};
 use crate::temporal::{temporal_analysis, TemporalAnalysis};
 use crate::typos::{find_typo_candidate, TypoCandidate};
 use permadead_archive::ArchiveStore;
+use permadead_net::latency::Millis;
 use permadead_net::{LiveStatus, Network, RetryCounts, RetryPolicy, SimTime};
 use std::time::Instant;
 
@@ -40,10 +41,16 @@ pub struct StudyEnv<'a> {
     pub web: &'a dyn Network,
     pub archive: &'a ArchiveStore,
     pub now: SimTime,
-    /// Retry schedule for live checks. [`RetryPolicy::single`] — IABot's
-    /// one-attempt behaviour — keeps every output bit-identical to a study
-    /// run with no retry machinery at all.
+    /// Retry schedule for every network-touching stage (live check, soft-404
+    /// probe, redirect validation, spatial scan). [`RetryPolicy::single`] —
+    /// IABot's one-attempt behaviour — keeps every output bit-identical to a
+    /// study run with no retry machinery at all.
     pub retry: RetryPolicy,
+    /// Client-side timeout for the CDX lookups the redirect and rescue
+    /// stages issue. `None` — the default — waits forever and draws no
+    /// latency, so those stages stay bit-identical to their un-timed
+    /// originals. The latency stream is seeded from `retry.seed`.
+    pub cdx_timeout_ms: Option<Millis>,
 }
 
 /// Per-link accumulator the stages fill in. `None` means "not yet run" for
@@ -69,6 +76,10 @@ pub struct LinkAnalysis {
     /// their outcome counts in; [`analyze_link`] diffs around each stage to
     /// attribute them. Zero under the default single-attempt policy.
     pub retries: RetryCounts,
+    /// Simulated backoff spent waiting between this link's retry attempts,
+    /// ms. Deterministic (seeded jitter plus Retry-After hints), and the
+    /// unit a serving layer charges against per-origin retry budgets.
+    pub retry_backoff_ms: u64,
 }
 
 impl LinkAnalysis {
@@ -86,6 +97,7 @@ impl LinkAnalysis {
             typo: None,
             param_rescue: None,
             retries: RetryCounts::default(),
+            retry_backoff_ms: 0,
         }
     }
 
@@ -133,6 +145,10 @@ pub struct StageStats {
     /// Retries this stage scheduled, by cause (zero under the default
     /// single-attempt policy). Deterministic, so included in equality.
     pub retries: RetryCounts,
+    /// Simulated backoff scheduled by this stage's retries, ms. As
+    /// deterministic as the retry counts (seeded jitter + Retry-After
+    /// hints), unlike the measured `nanos`.
+    pub retry_backoff_ms: u64,
 }
 
 /// Equality ignores `nanos`: hits are deterministic, wall-clock is not, and
@@ -140,7 +156,10 @@ pub struct StageStats {
 /// jitter. Retry counts are as deterministic as hits and stay in.
 impl PartialEq for StageStats {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.hits == other.hits && self.retries == other.retries
+        self.name == other.name
+            && self.hits == other.hits
+            && self.retries == other.retries
+            && self.retry_backoff_ms == other.retry_backoff_ms
     }
 }
 
@@ -162,6 +181,7 @@ impl Stage for LiveCheckStage {
         let (live, outcome) = live_check_with_retry(env.web, &acc.entry.url, env.now, &env.retry);
         acc.live = Some(live);
         acc.retries.add(outcome.counts);
+        acc.retry_backoff_ms += outcome.elapsed_ms;
         true
     }
 }
@@ -181,12 +201,16 @@ impl Stage for Soft404Stage {
             .as_ref()
             .is_some_and(|l| l.status == LiveStatus::Ok);
         if live_ok {
-            acc.soft404 = Some(soft404_probe(
+            let (verdict, outcome) = soft404_probe_with_retry(
                 env.web,
                 &acc.entry.url,
                 env.now,
                 acc.index as u64,
-            ));
+                &env.retry,
+            );
+            acc.soft404 = Some(verdict);
+            acc.retries.add(outcome.counts);
+            acc.retry_backoff_ms += outcome.elapsed_ms;
             true
         } else {
             acc.soft404 = Some(Soft404Verdict::NotApplicable);
@@ -223,9 +247,21 @@ impl Stage for RedirectStage {
 
     fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
         if acc.archival == Some(ArchivalClass::Had3xxOnly) {
-            acc.redirect_verdict =
+            if let Some(snap) =
                 crate::archival::first_3xx_before(env.archive, &acc.entry.url, acc.entry.marked_at)
-                    .map(|snap| validate_redirect(env.archive, snap));
+            {
+                let (verdict, outcome) = validate_redirect_with_retry(
+                    env.archive,
+                    snap,
+                    env.cdx_timeout_ms,
+                    env.retry.seed,
+                    acc.index as u64,
+                    &env.retry,
+                );
+                acc.redirect_verdict = Some(verdict);
+                acc.retries.add(outcome.counts);
+                acc.retry_backoff_ms += outcome.elapsed_ms;
+            }
         }
         acc.redirect_verdict.is_some()
     }
@@ -280,7 +316,17 @@ impl Stage for RescueScanStage {
         if acc.archival != Some(ArchivalClass::NeverArchived) {
             return false;
         }
-        acc.spatial = Some(spatial_coverage(env.archive, &acc.entry.url));
+        let (coverage, outcome) = spatial_coverage_with_retry(
+            env.archive,
+            &acc.entry.url,
+            env.cdx_timeout_ms,
+            env.retry.seed,
+            acc.index as u64,
+            &env.retry,
+        );
+        acc.spatial = Some(coverage);
+        acc.retries.add(outcome.counts);
+        acc.retry_backoff_ms += outcome.elapsed_ms;
         acc.typo = find_typo_candidate(env.archive, &acc.entry.url);
         acc.param_rescue = find_param_reorder_copy(env.archive, &acc.entry.url).map(|(r, _)| r);
         true
@@ -307,9 +353,13 @@ pub struct StudyOptions {
     /// any value.
     pub jobs: usize,
     pub stages: Vec<Box<dyn Stage>>,
-    /// Retry schedule for live checks; defaults to IABot's single attempt
-    /// so the study's outputs are unchanged unless retries are asked for.
+    /// Retry schedule for the network-touching stages; defaults to IABot's
+    /// single attempt so the study's outputs are unchanged unless retries
+    /// are asked for.
     pub retry: RetryPolicy,
+    /// CDX client timeout for the redirect and rescue stages; `None` (the
+    /// default) draws no latency and changes nothing.
+    pub cdx_timeout_ms: Option<Millis>,
 }
 
 impl Default for StudyOptions {
@@ -318,6 +368,7 @@ impl Default for StudyOptions {
             jobs: 1,
             stages: default_stages(),
             retry: RetryPolicy::single(),
+            cdx_timeout_ms: None,
         }
     }
 }
@@ -332,6 +383,11 @@ impl StudyOptions {
 
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    pub fn with_cdx_timeout_ms(mut self, timeout_ms: Option<Millis>) -> Self {
+        self.cdx_timeout_ms = timeout_ms;
         self
     }
 
@@ -378,11 +434,13 @@ pub fn analyze_link(
     let mut acc = LinkAnalysis::new(index, entry);
     for (stage, stat) in stages.iter().zip(stats.iter_mut()) {
         let retries_before = acc.retries;
+        let backoff_before = acc.retry_backoff_ms;
         let started = Instant::now();
         let hit = stage.run(env, &mut acc);
         stat.nanos += started.elapsed().as_nanos() as u64;
         stat.hits += hit as u64;
         stat.retries.add(acc.retries.diff(retries_before));
+        stat.retry_backoff_ms += acc.retry_backoff_ms - backoff_before;
     }
     acc.finish()
 }
@@ -416,6 +474,7 @@ fn merge_stats(total: &mut [StageStats], part: &[StageStats]) {
         t.hits += p.hits;
         t.nanos += p.nanos;
         t.retries.add(p.retries);
+        t.retry_backoff_ms += p.retry_backoff_ms;
     }
 }
 
@@ -530,6 +589,7 @@ mod tests {
             archive,
             now: SimTime::from_ymd(2022, 3, 1),
             retry: RetryPolicy::single(),
+            cdx_timeout_ms: None,
         }
     }
 
@@ -687,6 +747,7 @@ mod tests {
                 Box::new(TemporalStage),
             ],
             retry: RetryPolicy::single(),
+            cdx_timeout_ms: None,
         };
         let (findings, stats) = run_study(&env, &ds, &options);
         assert_eq!(findings.len(), 3);

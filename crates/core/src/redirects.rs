@@ -8,8 +8,11 @@
 //! compare the target against those seen for **up to 6 other URLs within 90
 //! days** of the copy.
 
-use permadead_archive::{ArchiveStore, CdxApi, CdxQuery, Snapshot, StatusFilter};
-use permadead_net::Duration;
+use permadead_archive::{
+    attempt_nonce, ArchiveStore, CdxApi, CdxQuery, Snapshot, StatusFilter, TimedCdx,
+};
+use permadead_net::latency::Millis;
+use permadead_net::{AttemptFailure, Duration, RetryCause, RetryOutcome, RetryPolicy};
 use permadead_url::Url;
 
 /// The comparison window around the archived copy.
@@ -27,6 +30,11 @@ pub enum RedirectVerdict {
     Erroneous { shared_target: Url },
     /// The snapshot carries no target (malformed capture) — unusable.
     NoTarget,
+    /// The CDX lookup never answered within the retry schedule: the copy
+    /// might be valid, but nobody could check. Counted as not-valid — the
+    /// safely pessimistic reading, and exactly what a timeout-bound bot
+    /// would conclude.
+    Unverified,
 }
 
 impl RedirectVerdict {
@@ -53,29 +61,44 @@ pub fn validate_redirect_with(
     let Some(target) = &snap.redirect_target else {
         return RedirectVerdict::NoTarget;
     };
-    let api = CdxApi::new(archive);
-    let from = snap.captured - window;
-    let to = snap.captured + window;
-    // all captures in the same directory within the window, 3xx only
-    let rows = api.query(
-        &CdxQuery::directory_of(&snap.url)
-            .with_status(StatusFilter::Family(3))
-            .since(from)
-            .until(to),
-    );
-    let mut siblings_seen = 0usize;
-    let mut last_url: Option<&str> = None;
+    let rows = CdxApi::new(archive).query(&sibling_query(snap, window));
+    compare_against_siblings(&rows, &snap.surt, target, max_siblings)
+}
+
+/// All captures in the same directory within the window, 3xx only.
+fn sibling_query(snap: &Snapshot, window: Duration) -> CdxQuery {
+    CdxQuery::directory_of(&snap.url)
+        .with_status(StatusFilter::Family(3))
+        .since(snap.captured - window)
+        .until(snap.captured + window)
+}
+
+/// The comparison core: is `target` shared by any capture of the first
+/// `max_siblings` distinct sibling URLs (in SURT order)?
+///
+/// The consulted set is fixed by sorting, so the verdict is independent of
+/// row order. The previous implementation counted distinct siblings by
+/// adjacency while scanning — correct for the CDX API's SURT-sorted rows,
+/// but any other order made repeat captures of one sibling burn several cap
+/// slots, and the row that tripped the cap was skipped without ever being
+/// target-compared.
+fn compare_against_siblings(
+    rows: &[&Snapshot],
+    own_surt: &str,
+    target: &Url,
+    max_siblings: usize,
+) -> RedirectVerdict {
+    let mut consulted: Vec<&str> = rows
+        .iter()
+        .filter(|other| other.surt != own_surt)
+        .map(|other| other.surt.as_str())
+        .collect();
+    consulted.sort_unstable();
+    consulted.dedup();
+    consulted.truncate(max_siblings);
     for other in rows {
-        if other.surt == snap.surt {
+        if other.surt == own_surt || consulted.binary_search(&other.surt.as_str()).is_err() {
             continue;
-        }
-        // count distinct sibling URLs, capped at MAX_SIBLINGS
-        if last_url != Some(other.surt.as_str()) {
-            siblings_seen += 1;
-            last_url = Some(other.surt.as_str());
-            if siblings_seen > max_siblings {
-                break;
-            }
         }
         if other.redirect_target.as_ref() == Some(target) {
             return RedirectVerdict::Erroneous {
@@ -84,6 +107,39 @@ pub fn validate_redirect_with(
         }
     }
     RedirectVerdict::Valid
+}
+
+/// [`validate_redirect`] against a latency-bound CDX server: the sibling
+/// query can miss `cdx_timeout_ms`, and each retry attempt is an independent
+/// latency draw (via [`attempt_nonce`]). Exhaustion yields
+/// [`RedirectVerdict::Unverified`].
+///
+/// With `cdx_timeout_ms: None` no latency is drawn and the verdict is
+/// bit-identical to [`validate_redirect`], whatever the policy.
+pub fn validate_redirect_with_retry(
+    archive: &ArchiveStore,
+    snap: &Snapshot,
+    cdx_timeout_ms: Option<Millis>,
+    latency_seed: u64,
+    nonce: u64,
+    retry: &RetryPolicy,
+) -> (RedirectVerdict, RetryOutcome) {
+    let api = TimedCdx::new(archive, latency_seed, cdx_timeout_ms);
+    let key = format!("redirect:{}", snap.url);
+    let (result, outcome) = retry.run(&key, |attempt| {
+        let Some(target) = &snap.redirect_target else {
+            return Ok(RedirectVerdict::NoTarget);
+        };
+        let rows = api
+            .query(&sibling_query(snap, WINDOW), attempt_nonce(nonce, attempt))
+            .map_err(|_| AttemptFailure {
+                cause: RetryCause::AvailabilityTimeout,
+                retry_after_ms: None,
+                error: (),
+            })?;
+        Ok(compare_against_siblings(&rows, &snap.surt, target, MAX_SIBLINGS))
+    });
+    (result.unwrap_or(RedirectVerdict::Unverified), outcome)
 }
 
 #[cfg(test)]
@@ -207,5 +263,145 @@ mod tests {
         let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/new-a");
         a.insert(snap.clone());
         assert_eq!(validate_redirect(&a, &snap), RedirectVerdict::Valid);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 1 {
+            return vec![vec![0]];
+        }
+        let mut out = Vec::new();
+        for p in permutations(n - 1) {
+            for slot in 0..n {
+                let mut q = p.clone();
+                q.insert(slot, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn verdict_is_independent_of_row_order() {
+        // Three distinct siblings — exactly the cap — one of which shares the
+        // target, and one of which was captured twice. The adjacency-counting
+        // implementation double-counted the repeat capture when rows arrived
+        // interleaved, tripped the cap early, and skipped the catch-all row
+        // without comparing it: Valid under some orders, Erroneous under
+        // others. The verdict must not depend on row order.
+        let target = u("http://n.org/");
+        let own = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        let rows_owned = [
+            redirect_snap("http://n.org/news/dup.html", t(2015, 2, 5), "http://n.org/one"),
+            redirect_snap("http://n.org/news/mid.html", t(2015, 2, 8), "http://n.org/two"),
+            redirect_snap("http://n.org/news/dup.html", t(2015, 2, 12), "http://n.org/three"),
+            redirect_snap("http://n.org/news/zzz.html", t(2015, 2, 15), "http://n.org/"),
+        ];
+        for perm in permutations(rows_owned.len()) {
+            let rows: Vec<&Snapshot> = perm.iter().map(|&i| &rows_owned[i]).collect();
+            assert_eq!(
+                compare_against_siblings(&rows, &own.surt, &target, 3),
+                RedirectVerdict::Erroneous { shared_target: target.clone() },
+                "order {perm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_captures_do_not_burn_cap_slots() {
+        // one sibling captured 7 times with harmless targets, plus the
+        // catch-all: two distinct siblings, well under the cap of 6 — the
+        // catch-all must be found no matter how many rows precede it
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        for d in 0..7 {
+            a.insert(redirect_snap(
+                "http://n.org/news/busy.html",
+                t(2015, 2, 3 + d),
+                &format!("http://n.org/v{d}"),
+            ));
+        }
+        a.insert(redirect_snap("http://n.org/news/zzz.html", t(2015, 2, 20), "http://n.org/"));
+        match validate_redirect(&a, &snap) {
+            RedirectVerdict::Erroneous { shared_target } => {
+                assert_eq!(shared_target, u("http://n.org/"));
+            }
+            other => panic!("expected erroneous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unverified_is_not_valid() {
+        assert!(!RedirectVerdict::Unverified.is_valid());
+    }
+
+    #[test]
+    fn single_policy_without_timeout_is_bit_identical() {
+        let mut a = ArchiveStore::new();
+        let valid = redirect_snap("http://m.org/d/a.html", t(2014, 5, 1), "http://m.org/new-a");
+        a.insert(valid.clone());
+        let erroneous = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(erroneous.clone());
+        a.insert(redirect_snap("http://n.org/news/b.html", t(2015, 2, 15), "http://n.org/"));
+        let no_target = Snapshot::from_observation(
+            &u("http://n.org/news/bare.html"),
+            t(2015, 2, 1),
+            StatusCode::FOUND,
+            None,
+            "",
+        );
+        a.insert(no_target.clone());
+        let single = permadead_net::RetryPolicy::single();
+        for snap in [&valid, &erroneous, &no_target] {
+            let plain = validate_redirect(&a, snap);
+            let (wrapped, outcome) =
+                validate_redirect_with_retry(&a, snap, None, 7, 0, &single);
+            assert_eq!(plain, wrapped);
+            assert_eq!(outcome.tries(), 1);
+            assert_eq!(outcome.counts.total(), 0);
+        }
+    }
+
+    #[test]
+    fn exhausted_cdx_lookup_is_unverified() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        // a zero timeout no latency draw can beat: every attempt times out
+        let retrying = permadead_net::RetryPolicy::standard(3, 0xC1);
+        let (verdict, outcome) =
+            validate_redirect_with_retry(&a, &snap, Some(0), 7, 0, &retrying);
+        assert_eq!(verdict, RedirectVerdict::Unverified);
+        assert_eq!(outcome.tries(), 3);
+        assert_eq!(outcome.counts.availability_timeout, 2);
+        assert!(outcome.exhausted);
+    }
+
+    #[test]
+    fn retries_rescue_timed_out_validations() {
+        let mut a = ArchiveStore::new();
+        let snap = redirect_snap("http://n.org/news/a.html", t(2015, 2, 1), "http://n.org/");
+        a.insert(snap.clone());
+        a.insert(redirect_snap("http://n.org/news/b.html", t(2015, 2, 15), "http://n.org/"));
+        let truth = validate_redirect(&a, &snap);
+        let single = permadead_net::RetryPolicy::single();
+        let retrying = permadead_net::RetryPolicy::standard(4, 0xC2);
+        let mut rescued = 0;
+        for nonce in 0..200 {
+            let (one, _) =
+                validate_redirect_with_retry(&a, &snap, Some(1_000), 7, nonce, &single);
+            let (many, outcome) =
+                validate_redirect_with_retry(&a, &snap, Some(1_000), 7, nonce, &retrying);
+            if one == RedirectVerdict::Unverified && many != RedirectVerdict::Unverified {
+                rescued += 1;
+                assert_eq!(many, truth);
+                assert!(outcome.tries() > 1);
+            }
+            // any answered lookup must agree with the latency-free truth
+            if many != RedirectVerdict::Unverified {
+                assert_eq!(many, truth);
+            }
+        }
+        assert!(rescued > 0, "retries rescued nothing");
     }
 }

@@ -123,6 +123,7 @@ impl Study {
             archive,
             now,
             retry: options.retry,
+            cdx_timeout_ms: options.cdx_timeout_ms,
         };
         let (findings, stage_stats) = run_study(&env, dataset, &options);
         Study {

@@ -11,7 +11,10 @@
 //! - the k-shingling similarity between the two final bodies exceeds 99%
 //!   (not 100% — even refetching the same page yields small differences).
 
-use permadead_net::{Client, LiveStatus, Network, SimTime};
+use permadead_net::latency::Millis;
+use permadead_net::{
+    AttemptFailure, Client, LiveStatus, Network, RetryCause, RetryOutcome, RetryPolicy, SimTime,
+};
 use permadead_text::{shingle_similarity, soft404::is_login_path, SOFT404_SIMILARITY_THRESHOLD};
 use permadead_url::{replace_last_segment, Url};
 use rand::rngs::SmallRng;
@@ -42,6 +45,72 @@ impl Soft404Verdict {
     }
 }
 
+/// One full probe pass: the verdict [`soft404_probe`] computes, plus the
+/// first retryable transient failure among its fetches (with any header
+/// hint). A transient on either fetch can flip the verdict — a 503 on `u`
+/// masks it as `NotApplicable`, a timeout on `u'` masks a template as
+/// `Genuine` — so the retry driver re-runs the *whole* pass.
+struct ProbeAttempt {
+    verdict: Soft404Verdict,
+    transient: Option<(RetryCause, Option<Millis>)>,
+}
+
+fn probe_once<N: Network + ?Sized>(
+    web: &N,
+    url: &Url,
+    now: SimTime,
+    seed: u64,
+    attempt: u32,
+) -> ProbeAttempt {
+    let client = Client::new();
+    let original = client.get_attempt(web, url, now, attempt);
+    if original.live_status() != LiveStatus::Ok {
+        let transient = RetryCause::classify_fetch(&original.outcome)
+            .filter(|c| c.is_retryable())
+            .map(|c| (c, original.retry_after_ms));
+        return ProbeAttempt {
+            verdict: Soft404Verdict::NotApplicable,
+            transient,
+        };
+    }
+
+    let probe_url = replace_last_segment(url, &random_segment(url, seed));
+    let probe = client.get_attempt(web, &probe_url, now, attempt);
+    // the probe URL *should* 404 — that is a definitive answer, not a fault;
+    // only a transient cause (timeout, 503, 429, resolver hiccup) is retried
+    let transient = RetryCause::classify_fetch(&probe.outcome)
+        .filter(|c| c.is_retryable())
+        .map(|c| (c, probe.retry_after_ms));
+
+    // same-redirect rule
+    if original.was_redirected() && probe.was_redirected() {
+        if let (Some(a), Some(b)) = (original.final_url(), probe.final_url()) {
+            if a == b && !is_login_path(a.path()) {
+                return ProbeAttempt {
+                    verdict: Soft404Verdict::BrokenSameRedirect,
+                    transient,
+                };
+            }
+        }
+    }
+
+    // similarity rule (only meaningful when the probe also answered 200)
+    if probe.live_status() == LiveStatus::Ok {
+        let sim = shingle_similarity(&original.body, &probe.body, SHINGLE_K);
+        if sim > SOFT404_SIMILARITY_THRESHOLD {
+            return ProbeAttempt {
+                verdict: Soft404Verdict::BrokenSimilarBody,
+                transient,
+            };
+        }
+    }
+
+    ProbeAttempt {
+        verdict: Soft404Verdict::Genuine,
+        transient,
+    }
+}
+
 /// Run the probe at time `now`. `seed` makes the random suffix
 /// deterministic per URL (the suffix content never matters, only that it
 /// cannot name a real page).
@@ -51,33 +120,42 @@ pub fn soft404_probe<N: Network + ?Sized>(
     now: SimTime,
     seed: u64,
 ) -> Soft404Verdict {
-    let client = Client::new();
-    let original = client.get(web, url, now);
-    if original.live_status() != LiveStatus::Ok {
-        return Soft404Verdict::NotApplicable;
-    }
+    probe_once(web, url, now, seed, 0).verdict
+}
 
-    let probe_url = replace_last_segment(url, &random_segment(url, seed));
-    let probe = client.get(web, &probe_url, now);
-
-    // same-redirect rule
-    if original.was_redirected() && probe.was_redirected() {
-        if let (Some(a), Some(b)) = (original.final_url(), probe.final_url()) {
-            if a == b && !is_login_path(a.path()) {
-                return Soft404Verdict::BrokenSameRedirect;
-            }
+/// [`soft404_probe`] under a [`RetryPolicy`]: a probe pass whose fetches hit
+/// a transient fault (timeout, 503, 429, resolver hiccup) is re-run whole,
+/// with each attempt re-rolling the network's probabilistic faults through
+/// `Request.attempt`. The first pass free of transients determines the
+/// verdict; on exhaustion the last pass's verdict stands — exactly what a
+/// non-retrying caller would have recorded.
+///
+/// With [`RetryPolicy::single`] this is bit-identical to [`soft404_probe`]:
+/// one pass at attempt 0, no extra randomness consumed.
+pub fn soft404_probe_with_retry<N: Network + ?Sized>(
+    web: &N,
+    url: &Url,
+    now: SimTime,
+    seed: u64,
+    retry: &RetryPolicy,
+) -> (Soft404Verdict, RetryOutcome) {
+    let key = format!("soft404:{url}");
+    let (result, outcome) = retry.run(&key, |attempt| {
+        let pass = probe_once(web, url, now, seed, attempt);
+        match pass.transient {
+            Some((cause, hint)) => Err(AttemptFailure {
+                cause,
+                retry_after_ms: hint,
+                error: pass.verdict,
+            }),
+            None => Ok(pass.verdict),
         }
-    }
-
-    // similarity rule (only meaningful when the probe also answered 200)
-    if probe.live_status() == LiveStatus::Ok {
-        let sim = shingle_similarity(&original.body, &probe.body, SHINGLE_K);
-        if sim > SOFT404_SIMILARITY_THRESHOLD {
-            return Soft404Verdict::BrokenSimilarBody;
-        }
-    }
-
-    Soft404Verdict::Genuine
+    });
+    let verdict = match result {
+        Ok(v) => v,
+        Err(v) => v,
+    };
+    (verdict, outcome)
 }
 
 /// 25 random lowercase characters, deterministic in `(url, seed)`.
@@ -209,6 +287,149 @@ mod tests {
         let b = random_segment(&u("http://b.org/x"), 1);
         assert_eq!(a.len(), 25);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_policy_retry_is_bit_identical_to_plain_probe() {
+        for (policy, path) in [
+            (UnknownPathPolicy::NotFound, "/news/real-story.html"),
+            (UnknownPathPolicy::Soft404, "/news/gone.html"),
+            (UnknownPathPolicy::RedirectHome, "/news/gone.html"),
+            (UnknownPathPolicy::NotFound, "/nope.html"),
+        ] {
+            let web = world(policy, false);
+            let url = u(&format!("http://probe.example.org{path}"));
+            let plain = soft404_probe(&web, &url, t(), 7);
+            let (wrapped, outcome) =
+                soft404_probe_with_retry(&web, &url, t(), 7, &RetryPolicy::single());
+            assert_eq!(plain, wrapped, "{url}");
+            assert_eq!(outcome.tries(), 1);
+            assert!(outcome.counts.is_zero());
+        }
+    }
+
+    /// The world from [`world`], with transient faults layered in front: the
+    /// fault-free `inner` is this network's own counterfactual twin.
+    struct FaultyNet<'a> {
+        inner: &'a LiveWeb,
+        faults: permadead_net::fault::FaultProfile,
+    }
+
+    impl Network for FaultyNet<'_> {
+        fn request(&self, req: &permadead_net::Request) -> permadead_net::ServeResult {
+            use permadead_net::fault::Fault;
+            use permadead_net::{FetchError, Response, StatusCode};
+            let fault =
+                self.faults
+                    .check_attempt(&req.url.to_string(), req.vantage, req.time, req.attempt);
+            match fault {
+                Some(Fault::ConnectTimeout) => Err(FetchError::ConnectTimeout),
+                Some(Fault::Unavailable) => {
+                    Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE))
+                }
+                Some(Fault::GeoBlocked) => Ok(Response::status_only(StatusCode::FORBIDDEN)),
+                Some(Fault::RateLimited) => {
+                    Ok(Response::status_only(StatusCode::TOO_MANY_REQUESTS))
+                }
+                None => self.inner.request(req),
+            }
+        }
+    }
+
+    /// First attempt whose two probe fetches are both fault-free — the
+    /// attempt that must determine the retried verdict. The profile must be
+    /// purely probabilistic (no rate limiter) so probing it is side-effect
+    /// free.
+    fn first_clean_attempt(
+        faults: &permadead_net::fault::FaultProfile,
+        url: &Url,
+        seed: u64,
+        max: u32,
+    ) -> Option<u32> {
+        use permadead_net::http::Vantage;
+        let probe_url = replace_last_segment(url, &random_segment(url, seed));
+        (0..max).find(|&a| {
+            faults.check_attempt(&url.to_string(), Vantage::UsEducation, t(), a).is_none()
+                && faults
+                    .check_attempt(&probe_url.to_string(), Vantage::UsEducation, t(), a)
+                    .is_none()
+        })
+    }
+
+    #[test]
+    fn transient_faults_converge_to_fault_free_verdict_monotonically() {
+        use permadead_net::fault::FaultProfile;
+        for (policy, path) in [
+            (UnknownPathPolicy::NotFound, "/news/real-story.html"),
+            (UnknownPathPolicy::Soft404, "/news/gone.html"),
+        ] {
+            let inner = world(policy, false);
+            let url = u(&format!("http://probe.example.org{path}"));
+            let truth = soft404_probe(&inner, &url, t(), 7);
+            let faults = FaultProfile::none(0xBAD).with_timeouts(0.5).with_unavailable(0.4);
+            let k = first_clean_attempt(&faults, &url, 7, 64)
+                .expect("a clean attempt exists within 64 draws");
+            assert!(k > 0, "seed 0xBAD must fault attempt 0 for the test to bite");
+            let net = FaultyNet { inner: &inner, faults };
+            // the ladder is monotone: short of k the verdict is whatever the
+            // last faulted pass said; from k+1 attempts on it is pinned to
+            // the fault-free truth
+            for extra in 0..3 {
+                let (v, outcome) = soft404_probe_with_retry(
+                    &net,
+                    &url,
+                    t(),
+                    7,
+                    &RetryPolicy::standard(k + 1 + extra, 9),
+                );
+                assert_eq!(v, truth, "attempts={} did not converge", k + 1 + extra);
+                assert_eq!(outcome.tries(), k + 1, "stops at the first clean pass");
+                assert!(!outcome.exhausted);
+            }
+        }
+    }
+
+    mod convergence {
+        //! Proptest pin: under transient-only faults the retried probe always
+        //! converges to the fault-free verdict once the schedule covers the
+        //! first clean attempt.
+        use super::*;
+        use permadead_net::fault::FaultProfile;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn retried_probe_converges(
+                fault_seed in 0u64..500,
+                timeout_tenths in 0u32..=7,
+                unavailable_tenths in 0u32..=7,
+                soft404_site in 0u32..=1,
+            ) {
+                let (policy, path) = if soft404_site == 1 {
+                    (UnknownPathPolicy::Soft404, "/news/gone.html")
+                } else {
+                    (UnknownPathPolicy::NotFound, "/news/real-story.html")
+                };
+                let inner = world(policy, false);
+                let url = u(&format!("http://probe.example.org{path}"));
+                let truth = soft404_probe(&inner, &url, t(), 7);
+                let faults = FaultProfile::none(fault_seed)
+                    .with_timeouts(timeout_tenths as f64 / 10.0)
+                    .with_unavailable(unavailable_tenths as f64 / 10.0);
+                // with p ≤ 0.7 each, a clean attempt almost surely exists in
+                // 64 draws; the rare profile without one proves nothing
+                let Some(k) = first_clean_attempt(&faults, &url, 7, 64) else {
+                    return Ok(());
+                };
+                let net = FaultyNet { inner: &inner, faults };
+                let (v, outcome) = soft404_probe_with_retry(
+                    &net, &url, t(), 7, &RetryPolicy::standard(k + 1, fault_seed),
+                );
+                prop_assert_eq!(v, truth);
+                prop_assert_eq!(outcome.tries(), k + 1);
+                prop_assert!(!outcome.exhausted);
+            }
+        }
     }
 
     #[test]

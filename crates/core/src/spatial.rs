@@ -5,7 +5,9 @@
 //! CDX queries per link: how many *other* URLs with 200-status copies exist
 //! in the same directory, and under the same hostname.
 
-use permadead_archive::{ArchiveStore, CdxApi, CdxQuery, StatusFilter};
+use permadead_archive::{attempt_nonce, ArchiveStore, CdxApi, CdxQuery, StatusFilter, TimedCdx};
+use permadead_net::latency::Millis;
+use permadead_net::{AttemptFailure, RetryCause, RetryOutcome, RetryPolicy};
 use permadead_url::Url;
 
 /// Archived-200 coverage around one never-archived link.
@@ -42,6 +44,54 @@ pub fn spatial_coverage(archive: &ArchiveStore, url: &Url) -> SpatialCoverage {
         directory_urls,
         hostname_urls,
     }
+}
+
+/// [`spatial_coverage`] against a latency-bound CDX server. The two queries
+/// are independent latency draws; either missing `cdx_timeout_ms` fails the
+/// whole attempt, and each retry re-draws both (via [`attempt_nonce`]).
+///
+/// Exhaustion degrades to *empty* coverage — the bot saw nothing archived
+/// nearby, the paper's documented pessimistic misread — which the default
+/// no-timeout path (`cdx_timeout_ms: None`, bit-identical to
+/// [`spatial_coverage`]) can never produce for a covered URL.
+pub fn spatial_coverage_with_retry(
+    archive: &ArchiveStore,
+    url: &Url,
+    cdx_timeout_ms: Option<Millis>,
+    latency_seed: u64,
+    nonce: u64,
+    retry: &RetryPolicy,
+) -> (SpatialCoverage, RetryOutcome) {
+    let api = TimedCdx::new(archive, latency_seed, cdx_timeout_ms);
+    let key = format!("spatial:{url}");
+    let timeout = |_| AttemptFailure {
+        cause: RetryCause::AvailabilityTimeout,
+        retry_after_ms: None,
+        error: (),
+    };
+    let (result, outcome) = retry.run(&key, |attempt| {
+        let n = attempt_nonce(nonce, attempt);
+        let directory_urls = api
+            .distinct_url_count(
+                &CdxQuery::directory_of(url).with_status(StatusFilter::Code(200)),
+                n,
+            )
+            .map_err(timeout)?;
+        let hostname_urls = api
+            .distinct_url_count(&CdxQuery::host(url.host()).with_status(StatusFilter::Code(200)), n)
+            .map_err(timeout)?;
+        Ok(SpatialCoverage {
+            directory_urls,
+            hostname_urls,
+        })
+    });
+    (
+        result.unwrap_or(SpatialCoverage {
+            directory_urls: 0,
+            hostname_urls: 0,
+        }),
+        outcome,
+    )
 }
 
 #[cfg(test)]
@@ -100,6 +150,65 @@ mod tests {
         assert_eq!(cov.hostname_urls, 0);
         assert!(cov.hostname_is_empty());
         assert!(cov.directory_is_empty());
+    }
+
+    #[test]
+    fn single_policy_without_timeout_is_bit_identical() {
+        let a = store();
+        let single = permadead_net::RetryPolicy::single();
+        for url in [
+            "http://big.org/news/missing.html",
+            "http://big.org/cgi/article.asp?id=7",
+            "http://nowhere.example/p/q.html",
+        ] {
+            let url = u(url);
+            let plain = spatial_coverage(&a, &url);
+            let (wrapped, outcome) = spatial_coverage_with_retry(&a, &url, None, 7, 0, &single);
+            assert_eq!(plain, wrapped, "{url}");
+            assert_eq!(outcome.tries(), 1);
+            assert_eq!(outcome.counts.total(), 0);
+        }
+    }
+
+    #[test]
+    fn exhausted_scan_degrades_to_empty_coverage() {
+        let a = store();
+        let url = u("http://big.org/news/missing.html");
+        let retrying = permadead_net::RetryPolicy::standard(3, 0xD1);
+        // zero timeout: every attempt times out → the §5.2 pessimistic misread
+        let (cov, outcome) = spatial_coverage_with_retry(&a, &url, Some(0), 7, 0, &retrying);
+        assert!(cov.directory_is_empty());
+        assert!(cov.hostname_is_empty());
+        assert!(outcome.exhausted);
+        assert_eq!(outcome.counts.availability_timeout, 2);
+    }
+
+    #[test]
+    fn retries_rescue_timed_out_scans() {
+        let a = store();
+        let url = u("http://big.org/news/missing.html");
+        let truth = spatial_coverage(&a, &url);
+        let single = permadead_net::RetryPolicy::single();
+        let retrying = permadead_net::RetryPolicy::standard(4, 0xD2);
+        let mut rescued = 0;
+        for nonce in 0..200 {
+            let (one, one_out) =
+                spatial_coverage_with_retry(&a, &url, Some(1_000), 7, nonce, &single);
+            let (many, outcome) =
+                spatial_coverage_with_retry(&a, &url, Some(1_000), 7, nonce, &retrying);
+            // an answered scan always matches the latency-free truth, so any
+            // coverage divergence is a timeout artifact
+            if one != truth {
+                assert_eq!(one, SpatialCoverage { directory_urls: 0, hostname_urls: 0 });
+                assert_eq!(one_out.tries(), 1);
+                if many == truth {
+                    rescued += 1;
+                    assert!(outcome.tries() > 1);
+                    assert!(outcome.counts.availability_timeout > 0);
+                }
+            }
+        }
+        assert!(rescued > 0, "retries rescued nothing");
     }
 
     #[test]

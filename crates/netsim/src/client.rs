@@ -8,6 +8,7 @@
 
 use crate::error::{FetchError, LiveStatus};
 use crate::http::{Request, Response, StatusCode, Vantage};
+use crate::latency::Millis;
 use crate::time::SimTime;
 use permadead_url::Url;
 
@@ -49,6 +50,10 @@ pub struct FetchRecord {
     pub outcome: Result<StatusCode, FetchError>,
     /// Body of the final response (empty on errors and redirect dead-ends).
     pub body: String,
+    /// `Retry-After` carried by the final response, in ms — the back-pressure
+    /// hint a retry policy honors. `None` on transport errors and redirect
+    /// dead-ends (there is no final response to read it from).
+    pub retry_after_ms: Option<Millis>,
 }
 
 impl FetchRecord {
@@ -147,6 +152,7 @@ impl Client {
                         hops,
                         outcome: Err(e),
                         body: String::new(),
+                        retry_after_ms: None,
                     };
                 }
             };
@@ -164,6 +170,7 @@ impl Client {
                         hops,
                         outcome: Err(FetchError::MalformedRedirect),
                         body: String::new(),
+                        retry_after_ms: None,
                     };
                 };
                 hops.push(Hop {
@@ -182,6 +189,7 @@ impl Client {
                         hops,
                         outcome: Err(FetchError::TooManyRedirects),
                         body: String::new(),
+                        retry_after_ms: None,
                     };
                 }
                 current = loc.without_fragment();
@@ -198,6 +206,7 @@ impl Client {
                 time: t,
                 hops,
                 outcome: Ok(resp.status),
+                retry_after_ms: resp.retry_after_ms(),
                 body: resp.body,
             };
         }
@@ -336,14 +345,32 @@ mod tests {
     fn malformed_redirect() {
         let net = TableNet::new(vec![(
             "http://e.org/a",
-            Ok(Response {
-                status: StatusCode::FOUND,
-                location: None,
-                body: String::new(),
-            }),
+            Ok(Response::status_only(StatusCode::FOUND)),
         )]);
         let rec = Client::new().get(&net, &u("http://e.org/a"), t0());
         assert_eq!(rec.outcome, Err(FetchError::MalformedRedirect));
+    }
+
+    #[test]
+    fn retry_after_from_final_response_is_captured() {
+        // the hint rides the *final* response, even behind a redirect
+        let net = TableNet::new(vec![
+            (
+                "http://e.org/old",
+                Ok(Response::redirect(StatusCode::FOUND, u("http://e.org/busy"))),
+            ),
+            (
+                "http://e.org/busy",
+                Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)
+                    .with_header("Retry-After", "3")),
+            ),
+        ]);
+        let rec = Client::new().get(&net, &u("http://e.org/old"), t0());
+        assert_eq!(rec.outcome, Ok(StatusCode::SERVICE_UNAVAILABLE));
+        assert_eq!(rec.retry_after_ms, Some(3_000));
+        // a plain 200 carries none
+        let ok = Client::new().get(&net, &u("http://e.org/other"), t0());
+        assert_eq!(ok.retry_after_ms, None);
     }
 
     #[test]

@@ -130,7 +130,42 @@ impl FaultProfile {
         }
         None
     }
+
+    /// The `Retry-After` value (delta-seconds) an origin advertises alongside
+    /// a 429/503 it just served at `t`. Deterministic in `(profile, t)` and
+    /// capped at [`MAX_RETRY_AFTER_SECS`] so a hinted backoff can never dwarf
+    /// a retry budget:
+    ///
+    /// - 429: the daily budget resets at the next UTC midnight, so the honest
+    ///   hint is the time until then (capped);
+    /// - a scripted 503 window: time until the window's end (capped);
+    /// - a probabilistic 503: the origin has no idea either — a token 1s.
+    ///
+    /// Timeouts and geo-blocks produce no response, hence no header.
+    pub fn retry_after_secs(&self, fault: Fault, t: SimTime) -> Option<u64> {
+        match fault {
+            Fault::RateLimited => {
+                let next_midnight = (t.as_unix().div_euclid(86_400) + 1) * 86_400;
+                let secs = (next_midnight - t.as_unix()).max(1) as u64;
+                Some(secs.min(MAX_RETRY_AFTER_SECS))
+            }
+            Fault::Unavailable => {
+                let window_end = self
+                    .windows
+                    .iter()
+                    .find(|w| w.fault == Fault::Unavailable && w.from <= t && t < w.to)
+                    .map(|w| (w.to.as_unix() - t.as_unix()).max(1) as u64);
+                Some(window_end.unwrap_or(1).min(MAX_RETRY_AFTER_SECS))
+            }
+            Fault::ConnectTimeout | Fault::GeoBlocked => None,
+        }
+    }
 }
+
+/// Ceiling on advertised `Retry-After` values, seconds. Real origins clamp
+/// too (nobody says "retry in 14 hours"); here it also keeps hinted waits
+/// commensurate with retry budgets like serve's default 30s.
+pub const MAX_RETRY_AFTER_SECS: u64 = 30;
 
 /// A deterministic per-day admission counter. Shared behind a mutex because
 /// the network trait takes `&self`; cloning starts a fresh day-count table
@@ -350,6 +385,31 @@ mod tests {
             f.check_attempt("u", Vantage::UsEducation, t, 2),
             Some(Fault::RateLimited)
         );
+    }
+
+    #[test]
+    fn retry_after_hints_are_bounded_and_fault_shaped() {
+        let t = noon(2022, 3, 1); // 12h before midnight — beyond the cap
+        let f = FaultProfile::none(1).with_daily_rate_limit(0);
+        assert_eq!(f.retry_after_secs(Fault::RateLimited, t), Some(MAX_RETRY_AFTER_SECS));
+        // one second before midnight the honest hint fits under the cap
+        let almost = SimTime::from_ymd(2022, 3, 2) - crate::time::Duration::seconds(1);
+        assert_eq!(f.retry_after_secs(Fault::RateLimited, almost), Some(1));
+        // scripted window: hint is the time to the window's end, capped
+        let from = noon(2022, 3, 3);
+        let f = FaultProfile::none(1).with_window(
+            from,
+            from + crate::time::Duration::seconds(10),
+            Fault::Unavailable,
+        );
+        assert_eq!(
+            f.retry_after_secs(Fault::Unavailable, from + crate::time::Duration::seconds(4)),
+            Some(6)
+        );
+        assert_eq!(f.retry_after_secs(Fault::Unavailable, from - crate::time::Duration::seconds(5)), Some(1), "outside any window: the token hint");
+        // no response, no header
+        assert_eq!(f.retry_after_secs(Fault::ConnectTimeout, t), None);
+        assert_eq!(f.retry_after_secs(Fault::GeoBlocked, t), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! distinction between a redirect's *kind* (permanent vs temporary) when the
 //! archive records it.
 
+use crate::latency::Millis;
 use crate::time::SimTime;
 use permadead_url::Url;
 use std::fmt;
@@ -129,6 +130,10 @@ pub struct Response {
     pub status: StatusCode,
     /// Redirect target for 3xx responses.
     pub location: Option<Url>,
+    /// Response headers beyond `Location`, in emission order. The study only
+    /// reads `Retry-After` (429/503 back-pressure), but origins may say
+    /// anything.
+    pub headers: Vec<(String, String)>,
     /// Response body (HTML). Empty for redirects and most errors.
     pub body: String,
 }
@@ -138,6 +143,7 @@ impl Response {
         Response {
             status: StatusCode::OK,
             location: None,
+            headers: Vec::new(),
             body,
         }
     }
@@ -147,6 +153,7 @@ impl Response {
         Response {
             status,
             location: Some(to),
+            headers: Vec::new(),
             body: String::new(),
         }
     }
@@ -155,12 +162,36 @@ impl Response {
         Response {
             status,
             location: None,
+            headers: Vec::new(),
             body: String::new(),
         }
     }
 
     pub fn not_found() -> Response {
         Response::status_only(StatusCode::NOT_FOUND)
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// First header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `Retry-After`, converted to ms. Only the delta-seconds form exists in
+    /// the simulation (no HTTP-date clock to parse against).
+    pub fn retry_after_ms(&self) -> Option<Millis> {
+        self.header("Retry-After")?
+            .trim()
+            .parse::<Millis>()
+            .ok()
+            .map(|secs| secs.saturating_mul(1_000))
     }
 }
 
@@ -198,6 +229,19 @@ mod tests {
         assert!(r.body.is_empty());
 
         assert_eq!(Response::not_found().status, StatusCode::NOT_FOUND);
+        assert!(ok.headers.is_empty(), "constructors emit no headers");
+    }
+
+    #[test]
+    fn retry_after_header_parses_to_ms() {
+        let r = Response::status_only(StatusCode::SERVICE_UNAVAILABLE).with_header("Retry-After", "7");
+        assert_eq!(r.header("retry-after"), Some("7"));
+        assert_eq!(r.retry_after_ms(), Some(7_000));
+        // absent, or present but not delta-seconds: no hint
+        assert_eq!(Response::not_found().retry_after_ms(), None);
+        let bad = Response::status_only(StatusCode::SERVICE_UNAVAILABLE)
+            .with_header("Retry-After", "Fri, 01 Jan 2100 00:00:00 GMT");
+        assert_eq!(bad.retry_after_ms(), None);
     }
 
     #[test]

@@ -172,14 +172,30 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
-    /// Insert (or refresh) `key`, evicting the shard's least-recently-used
-    /// entry first if the shard is at capacity.
+    /// Insert (or refresh) `key`. A full shard first sweeps its expired
+    /// entries — dead weight only `get` used to reclaim, one key at a time,
+    /// so a cold shard full of stale verdicts would evict *fresh* entries to
+    /// admit new ones — and only evicts the least-recently-used live entry
+    /// if still at capacity. Swept entries count as expirations, not
+    /// evictions.
     pub fn insert(&self, key: &str, value: V, now: SimTime) {
         let mut shard = self.shards[self.shard_of(key)].lock();
         if !shard.map.contains_key(key) && shard.map.len() >= shard.capacity {
-            if let Some(victim) = shard.lru_key() {
-                shard.map.remove(&victim);
-                self.evictions.incr();
+            let dead: Vec<String> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| self.expired(e.inserted, now))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in &dead {
+                shard.map.remove(k);
+                self.expirations.incr();
+            }
+            if shard.map.len() >= shard.capacity {
+                if let Some(victim) = shard.lru_key() {
+                    shard.map.remove(&victim);
+                    self.evictions.incr();
+                }
             }
         }
         let tick = shard.touch();
@@ -312,6 +328,33 @@ mod tests {
         // re-insert after expiry restarts the clock
         c.insert("k", 10, at_deadline);
         assert_eq!(c.get("k", at_deadline + Duration::minutes(9)), Some(10));
+    }
+
+    #[test]
+    fn full_shard_of_expired_entries_admits_without_evicting_fresh_ones() {
+        // one shard, capacity 3: two entries inserted at t0 expire an hour
+        // later; one refreshed entry stays live. At capacity, inserting a new
+        // key must sweep the two corpses (expirations) and keep the fresh
+        // entry — not evict it as the tick-wise LRU victim.
+        let c = tiny(1, 3);
+        c.insert("old-a", 1, t0());
+        c.insert("old-b", 2, t0());
+        let later = t0() + Duration::minutes(50);
+        c.insert("fresh", 3, later);
+        let after_expiry = t0() + Duration::hours(1); // old-* dead, fresh alive
+        c.insert("new", 4, after_expiry);
+        assert!(c.contains("fresh"), "live entry evicted in favor of corpses");
+        assert!(c.contains("new"));
+        assert!(!c.contains("old-a") && !c.contains("old-b"));
+        let s = c.stats();
+        assert_eq!(s.evictions, 0, "sweeping expired entries is not an eviction");
+        assert_eq!(s.expirations, 2);
+        assert_eq!(s.entries, 2);
+        // with every resident entry live, the LRU path still works
+        c.insert("more", 5, after_expiry); // at capacity 3 after this
+        c.insert("even-more", 6, after_expiry); // now a live eviction
+        assert_eq!(c.stats().evictions, 1);
+        assert!(!c.contains("fresh"), "fresh was the LRU live entry");
     }
 
     #[test]

@@ -29,11 +29,13 @@
 pub mod cache;
 pub mod json;
 pub mod metrics;
+pub mod origin;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use metrics::ServeMetrics;
+pub use origin::OriginLedger;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use service::{AuditService, CheckOutcome, Provenance};

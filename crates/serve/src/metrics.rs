@@ -120,6 +120,7 @@ impl ServeMetrics {
                 t.hits += p.hits;
                 t.nanos += p.nanos;
                 t.retries.add(p.retries);
+                t.retry_backoff_ms += p.retry_backoff_ms;
             } else {
                 total.push(p.clone());
             }
@@ -136,12 +137,14 @@ impl ServeMetrics {
 
     /// Render everything as Prometheus exposition text. The caller supplies
     /// the pieces owned elsewhere: cache stats, the simulated web's counter
-    /// snapshot, and the current admission-queue depth.
+    /// snapshot, the current admission-queue depth, and the origin-budget
+    /// ledger's exhausted hosts (empty when no budget is configured).
     pub fn render_prometheus(
         &self,
         cache: &CacheStats,
         net: &MetricsSnapshot,
         queue_depth: usize,
+        origin_budget: &[(String, u64)],
     ) -> String {
         let mut out = String::with_capacity(4096);
         let mut metric = |name: &str, kind: &str, help: &str, lines: &[String]| {
@@ -350,6 +353,21 @@ impl ServeMetrics {
             "Audits that gave up with a retryable failure still in hand.",
             &[format!("permadead_retry_exhausted_total {}", retries.exhausted)],
         );
+        // per-host series appear only once a host's budget runs out; the
+        // preamble is always present so scrapers learn the metric exists
+        metric(
+            "permadead_origin_retry_budget_exhausted_total",
+            "counter",
+            "Checks refused retries because the origin's retry budget ran out.",
+            &origin_budget
+                .iter()
+                .map(|(host, refused)| {
+                    format!(
+                        "permadead_origin_retry_budget_exhausted_total{{host=\"{host}\"}} {refused}"
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
         out
     }
 }
@@ -374,7 +392,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.observe_latency(0.0002); // falls in every bucket from 0.25ms up
         m.observe_latency(0.3); // only the 1.0 bucket
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"0.00025\"} 1"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
@@ -397,7 +415,7 @@ mod tests {
             misses: 1,
             ..Default::default()
         };
-        let text = m.render_prometheus(&cache, &MetricsSnapshot::default(), 2);
+        let text = m.render_prometheus(&cache, &MetricsSnapshot::default(), 2, &[]);
         for needle in [
             "# TYPE permadead_requests_total counter",
             "permadead_requests_total{endpoint=\"check\"} 1",
@@ -453,6 +471,26 @@ mod tests {
     }
 
     #[test]
+    fn origin_budget_series_render_per_exhausted_host() {
+        let m = ServeMetrics::new();
+        let none = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
+        // preamble always present, no series until a host exhausts its budget
+        assert!(none.contains("# TYPE permadead_origin_retry_budget_exhausted_total counter"));
+        assert!(!none.contains("permadead_origin_retry_budget_exhausted_total{"));
+
+        let exhausted = vec![("flappy.org".to_string(), 3u64)];
+        let text = m.render_prometheus(
+            &CacheStats::default(),
+            &MetricsSnapshot::default(),
+            0,
+            &exhausted,
+        );
+        assert!(text.contains(
+            "permadead_origin_retry_budget_exhausted_total{host=\"flappy.org\"} 3"
+        ));
+    }
+
+    #[test]
     fn merged_retry_counts_flow_into_prometheus() {
         let m = ServeMetrics::new();
         let mut s = stat("live-check", 1);
@@ -461,7 +499,7 @@ mod tests {
         s.retries.exhausted += 1;
         m.merge_stage_stats(&[s.clone()]);
         m.merge_stage_stats(&[s]);
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
         assert!(text.contains("permadead_retries_total{cause=\"connect-timeout\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"rate-limited\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"unavailable\"} 0"));

@@ -179,12 +179,25 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, inner: &Inner) {
                 // must not stall the acceptor on a full socket buffer.
                 let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
                 let resp = HttpResponse::error(503, "server at capacity, retry later")
-                    .with_header("Retry-After", inner.config.retry_after_secs.to_string());
+                    .with_header("Retry-After", retry_after_secs(inner).to_string());
                 let _ = resp.write_to(&mut stream);
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
     }
+}
+
+/// Seconds a refused client should wait before retrying, scaled by how much
+/// work is already queued ahead of it. The configured `retry_after_secs` used
+/// to be advertised verbatim — so every client refused during a burst came
+/// back after the same fixed delay into a queue that had not drained, got
+/// refused again, and synchronized into a retry stampede. Scaling by queue
+/// occupancy spreads the herd: the fuller the queue at refusal time, the
+/// longer the advertised wait, capped at a minute.
+fn retry_after_secs(inner: &Inner) -> u32 {
+    let base = inner.config.retry_after_secs.max(1);
+    let occupied = inner.queue_probe.len() as u32;
+    base.saturating_mul(1 + occupied).min(60)
 }
 
 fn handle_connection(inner: &Inner, mut stream: TcpStream) {
@@ -250,6 +263,7 @@ fn handle_metrics(inner: &Inner) -> HttpResponse {
         &inner.service.cache_stats(),
         &inner.service.net_snapshot(),
         inner.queue_probe.len(),
+        &inner.service.origin_budget_snapshot(),
     );
     HttpResponse::metrics(text)
 }

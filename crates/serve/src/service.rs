@@ -14,6 +14,7 @@
 
 use crate::cache::{fnv1a, CacheConfig, CacheStats, ShardedCache};
 use crate::json::Object;
+use crate::origin::OriginLedger;
 use permadead_core::{
     analyze_link, default_stages, empty_stats, recommend_for, Dataset, DatasetEntry,
     Recommendation, Stage, StageStats, StudyEnv,
@@ -65,6 +66,10 @@ pub struct AuditService {
     /// Retry schedule for transient live-check failures. The default —
     /// [`RetryPolicy::single`] — preserves the batch-parity contract exactly.
     retry: RetryPolicy,
+    /// Per-origin retry budget (`--origin-retry-budget-ms`). Once a host's
+    /// checks have scheduled this much cumulative backoff, later checks
+    /// against it run single-attempt and each refusal is counted.
+    origin_budget: Option<OriginLedger>,
 }
 
 impl AuditService {
@@ -107,6 +112,7 @@ impl AuditService {
             extra,
             cache: ShardedCache::new(cache),
             retry: RetryPolicy::single(),
+            origin_budget: None,
         }
     }
 
@@ -121,6 +127,23 @@ impl AuditService {
     /// The active retry policy.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// Cap the cumulative backoff any single origin may cost us
+    /// (`--origin-retry-budget-ms`). `None` disables the cap. Only meaningful
+    /// alongside a retrying policy; with the single-attempt default there is
+    /// no backoff to budget and no check is ever refused.
+    pub fn with_origin_retry_budget_ms(mut self, budget_ms: Option<u64>) -> AuditService {
+        self.origin_budget = budget_ms.map(OriginLedger::new);
+        self
+    }
+
+    /// `(host, refused_checks)` per budget-exhausted origin, for `/metrics`.
+    pub fn origin_budget_snapshot(&self) -> Vec<(String, u64)> {
+        self.origin_budget
+            .as_ref()
+            .map(|l| l.exhausted_snapshot())
+            .unwrap_or_default()
     }
 
     /// The moment every audit is evaluated at (the paper's study time).
@@ -168,14 +191,27 @@ impl AuditService {
         }
 
         let (index, entry, provenance) = self.resolve(&url);
+        // one budget question per audited check: a refused host degrades to
+        // the single-attempt policy for this check and the refusal is counted
+        let host = url.host().to_string();
+        let retry = match &self.origin_budget {
+            Some(ledger) if self.retry.retries_enabled() && !ledger.admit_retries(&host) => {
+                RetryPolicy::single()
+            }
+            _ => self.retry,
+        };
         let env = StudyEnv {
             web: &self.scenario.web,
             archive: &self.scenario.archive,
             now: self.study_time(),
-            retry: self.retry,
+            retry,
+            cdx_timeout_ms: None,
         };
         let mut stats = empty_stats(&self.stages);
         let finding = analyze_link(&env, &self.stages, index, entry, &mut stats);
+        if let Some(ledger) = &self.origin_budget {
+            ledger.charge(&host, stats.iter().map(|s| s.retry_backoff_ms).sum());
+        }
         let recommendation = recommend_for(&finding, &self.scenario.archive);
 
         let verdict = if finding.genuinely_alive() {

@@ -208,9 +208,11 @@ fn admission_control_rejects_with_retry_after() {
     for _ in 0..5 {
         let (status, headers, _) = get(addr, "/healthz");
         if status.contains("503") {
+            // occupancy-scaled hint: base 1s × (1 + the one queued request).
+            // A fixed hint would send every refused client back in lockstep.
             assert!(
-                headers.to_ascii_lowercase().contains("retry-after:"),
-                "503 without Retry-After: {headers}"
+                headers.to_ascii_lowercase().contains("retry-after: 2"),
+                "503 without occupancy-scaled Retry-After: {headers}"
             );
             saw_503 = true;
             break;

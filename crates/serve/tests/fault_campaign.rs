@@ -140,6 +140,75 @@ fn inject_faults(scenario: &mut Scenario, targets: &[(String, Campaign)]) {
     }
 }
 
+/// A flapping origin burns through its retry budget; a calm one never does.
+/// The budget ledger must refuse retries — and export the refusals — for the
+/// flapping host *only*.
+#[test]
+fn origin_retry_budget_exhausts_only_for_the_flapping_host() {
+    // pick two dataset URLs on distinct, resolving origins
+    let probe = Scenario::generate(world_config());
+    let study = probe.config.study_time;
+    let dataset = permadead_core::Dataset::alphabetical(
+        &probe.wiki,
+        (probe.wiki.permanently_dead_category().len() * 6 / 10).max(1),
+        probe.config.sample_size,
+        probe.config.seed ^ 0xA1,
+    );
+    let mut hosts: Vec<String> = Vec::new();
+    for e in &dataset.entries {
+        let host = e.url.host().to_string();
+        if hosts.contains(&host) || probe.web.site_by_host(&host, study).is_none() {
+            continue;
+        }
+        hosts.push(host);
+        if hosts.len() == 2 {
+            break;
+        }
+    }
+    let [flappy, calm] = hosts.try_into().expect("world too small for two origins");
+
+    let mut scenario = Scenario::generate(world_config());
+    inject_faults(
+        &mut scenario,
+        &[(format!("http://{flappy}/"), Campaign::Timeouts)],
+    );
+    // budget 1ms: the first probe that schedules any backoff at all exhausts
+    // the flapping origin; every later check against it is refused + counted
+    let service = AuditService::over(scenario, CacheConfig::default())
+        .with_retry(RetryPolicy::standard(4, RETRY_SEED))
+        .with_origin_retry_budget_ms(Some(1));
+    let server = spawn(service);
+
+    // distinct paths per request so the verdict cache never short-circuits
+    // the budget bookkeeping; the 70%-timeout origin retries almost surely
+    // within the first few probes, the calm one never does
+    for i in 0..8 {
+        check(server.addr(), &format!("http://{flappy}/budget-probe-{i}"));
+        check(server.addr(), &format!("http://{calm}/budget-probe-{i}"));
+    }
+
+    let (_, metrics) = get(server.addr(), "/metrics");
+    let series: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("permadead_origin_retry_budget_exhausted_total{"))
+        .collect();
+    assert_eq!(
+        series.len(),
+        1,
+        "exactly one origin must exhaust its budget: {series:?}"
+    );
+    let refused = metric_value(
+        &metrics,
+        &format!("permadead_origin_retry_budget_exhausted_total{{host=\"{flappy}\"}}"),
+    );
+    assert!(refused >= 1.0, "flapping host never got refused: {metrics}");
+    assert!(
+        !metrics.contains(&format!("host=\"{calm}\"")),
+        "calm host {calm} was charged budget refusals"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn fault_campaign_retries_bound_verdict_flips_and_counters_match_exactly() {
     // ---- server A: the fault-free baseline --------------------------------

@@ -119,12 +119,21 @@ impl LiveWeb {
             .faults
             .check_attempt(&req.url.to_string(), req.vantage, req.time, req.attempt)
         {
+            // 429/503 carry the origin's honest Retry-After (how long until
+            // the budget resets / the outage window ends), which the retry
+            // policies honor end-to-end
+            let with_hint = |resp: Response| match site.faults.retry_after_secs(fault, req.time) {
+                Some(secs) => resp.with_header("Retry-After", secs.to_string()),
+                None => resp,
+            };
             return match fault {
                 Fault::ConnectTimeout => Err(FetchError::ConnectTimeout),
-                Fault::Unavailable => Ok(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)),
+                Fault::Unavailable => {
+                    Ok(with_hint(Response::status_only(StatusCode::SERVICE_UNAVAILABLE)))
+                }
                 Fault::GeoBlocked => Ok(Response::status_only(StatusCode::FORBIDDEN)),
                 Fault::RateLimited => {
-                    Ok(Response::status_only(StatusCode::TOO_MANY_REQUESTS))
+                    Ok(with_hint(Response::status_only(StatusCode::TOO_MANY_REQUESTS)))
                 }
             };
         }
@@ -231,6 +240,19 @@ mod tests {
         let eu = Client::new().with_vantage(Vantage::Europe);
         assert_eq!(us.get(&web, &url, t(2022)).live_status(), LiveStatus::Other);
         assert_eq!(eu.get(&web, &url, t(2022)).live_status(), LiveStatus::Ok);
+    }
+
+    #[test]
+    fn fault_responses_carry_retry_after() {
+        let mut web = build_world();
+        web.site_mut(SiteId(1)).unwrap().faults = FaultProfile::none(5).with_daily_rate_limit(0);
+        let rec = Client::new().get(&web, &u("http://alive.example.org/about.html"), t(2022));
+        assert_eq!(rec.outcome, Ok(permadead_net::StatusCode::TOO_MANY_REQUESTS));
+        // t(2022) is midnight UTC: a full day to the reset, capped at 30s
+        assert_eq!(
+            rec.retry_after_ms,
+            Some(permadead_net::fault::MAX_RETRY_AFTER_SECS * 1_000)
+        );
     }
 
     #[test]

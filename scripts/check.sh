@@ -52,4 +52,17 @@ echo "check.sh: serve smoke test green"
 cargo test -q --offline -p permadead-serve --test fault_campaign
 echo "check.sh: fault campaign green"
 
+# Retry-counterfactual golden: the §4.1 table is a pure function of
+# (seed, scale); a drift in any rescued/retries-spent cell on the pinned
+# seed means a retry-subsystem regression.
+retry_out="$(mktemp)"
+PERMADEAD_SEED=42 PERMADEAD_SCALE=small PERMADEAD_RETRY_MAX=5 \
+    ./target/release/repro_retry_table >"$retry_out" 2>/dev/null
+if ! diff -u results/RETRY_TABLE_seed42.txt "$retry_out"; then
+    echo "check.sh: retry counterfactual drifted from results/RETRY_TABLE_seed42.txt" >&2
+    exit 1
+fi
+rm -f "$retry_out"
+echo "check.sh: retry-table golden green"
+
 echo "check.sh: all green"

@@ -4,7 +4,7 @@
 //! only change the wall clock, never a single figure.
 
 use permadead::analysis::{soft404_probe, Dataset, Study, StudyOptions};
-use permadead::net::LiveStatus;
+use permadead::net::{LiveStatus, RetryPolicy};
 use permadead::sim::{Scenario, ScenarioConfig};
 use std::sync::OnceLock;
 
@@ -56,6 +56,49 @@ fn rendered_report_identical_across_worker_counts() {
         serial.report().render_comparison(),
         sharded.report().render_comparison()
     );
+}
+
+/// Attempt-0 bit-identity over the full sample. Two layers:
+///
+/// 1. Passing the default knobs *explicitly* (single attempt, no CDX
+///    timeout) is the identity: findings AND stage counters — retry counts
+///    and accumulated backoff sit inside `StageStats`' `PartialEq` — match
+///    the default study exactly, with zero retries recorded.
+/// 2. A retrying policy on this world spends real retries (rotted origins
+///    fail with permanent connect-timeout/unavailable states), but those
+///    failures are attempt-independent, so every retry ladder exhausts and
+///    attempt 0's draw decides every verdict: findings stay bit-identical.
+#[test]
+fn explicit_single_policy_is_the_identity_and_retries_never_flip_rot_verdicts() {
+    let s = scenario();
+    let baseline = study_with_jobs(1);
+
+    let explicit = Study::run_with(
+        &s.web,
+        &s.archive,
+        &dataset(),
+        s.config.study_time,
+        StudyOptions::with_jobs(1)
+            .with_retry(RetryPolicy::single())
+            .with_cdx_timeout_ms(None),
+    );
+    assert_eq!(baseline.findings, explicit.findings);
+    assert_eq!(baseline.stage_stats, explicit.stage_stats);
+    assert!(explicit.report().retry_counts().is_zero());
+
+    let retried = Study::run_with(
+        &s.web,
+        &s.archive,
+        &dataset(),
+        s.config.study_time,
+        StudyOptions::with_jobs(1)
+            .with_retry(RetryPolicy::standard(3, 0xA77))
+            .with_cdx_timeout_ms(None),
+    );
+    assert_eq!(baseline.findings, retried.findings, "attempt 0 diverged");
+    let counts = retried.report().retry_counts();
+    assert!(counts.total() > 0, "permanently-failing origins must provoke retries");
+    assert!(counts.exhausted > 0, "attempt-independent failures must exhaust the ladder");
 }
 
 /// Regression pin for the soft-404 probe seed: shard workers must key the
