@@ -8,6 +8,9 @@
 //! permadead bots     [--seed N]
 //! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
 //!                    [--retries N] [--retry-budget-ms B] [--origin-retry-budget-ms B]
+//! permadead watch    [--seed N] [--scale small|paper] [--sample N] [--days D] [--strikes K]
+//!                    [--min-span-days S] [--cadence fixed|aging|jitter[:DAYS]] [--host-budget B]
+//!                    [--jobs N] [--retries N]
 //! permadead help
 //! ```
 
@@ -27,7 +30,8 @@ fn main() -> ExitCode {
         &[
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
             "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
-            "retry-budget-ms", "retry-table", "origin-retry-budget-ms",
+            "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
+            "min-span-days", "cadence", "host-budget",
         ],
     );
     let args = match parsed {
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "bots" => cmd_bots(&args),
         "recommend" => cmd_recommend(&args),
         "serve" => cmd_serve(&args),
+        "watch" => cmd_watch(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -73,6 +78,7 @@ fn print_help() {
          \x20 bots       IABot sweep totals and the WaybackMedic rescue comparison\n\
          \x20 recommend  the paper's implications as a work-list: what to untag, patch, or fix\n\
          \x20 serve      run the per-link audit HTTP service (GET /check, POST /batch, GET /metrics)\n\
+         \x20 watch      replay N days of IABot-style continuous re-checking over the dataset\n\
          \x20 help       this text\n\n\
          FLAGS:\n\
          \x20 --seed N          world seed (default 42)\n\
@@ -96,7 +102,14 @@ fn print_help() {
          \x20 --ttl-secs S      (serve) cache entry TTL in simulated seconds (default 3600)\n\
          \x20 --queue-cap Q     (serve) pending-connection queue before 503s (default 64)\n\
          \x20 --origin-retry-budget-ms B   (serve) cap on cumulative retry backoff per origin;\n\
-         \x20                   exhausted hosts fall back to single-attempt checks (default: off)"
+         \x20                   exhausted hosts fall back to single-attempt checks (default: off)\n\
+         \x20 --days D          (watch) simulated days to replay (default 30)\n\
+         \x20 --strikes K       (watch) consecutive failures before tagging (default 3)\n\
+         \x20 --min-span-days S (watch) minimum days between first strike and tag (default 2)\n\
+         \x20 --cadence SPEC    (watch) re-check interval: fixed[:DAYS], aging[:DAYS], or\n\
+         \x20                   jitter[:DAYS] (default fixed:1)\n\
+         \x20 --host-budget B   (watch) per-host checks per day; excess defers to the next\n\
+         \x20                   midnight (default: off)"
     );
 }
 
@@ -338,6 +351,60 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     loop {
         std::thread::park();
     }
+}
+
+/// Replay N simulated days of IABot-style continuous monitoring over the
+/// audit dataset and print the per-day timeline. Deterministic for a given
+/// `(seed, scale, sample, days, cadence, strikes)` regardless of `--jobs`
+/// (scripts/check.sh pins the seed-42 output as a golden file).
+fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use permadead_sched::{Cadence, Scheduler, SchedulerConfig, WatchPolicy};
+    // parse every flag before the world build so a typo fails fast
+    let seed = args.get_u64("seed", 42)?;
+    let days = u32::try_from(args.get_u64("days", 30)?)
+        .map_err(|_| "flag --days must fit in 32 bits")?;
+    let strikes = u32::try_from(args.get_u64("strikes", 3)?)
+        .map_err(|_| "flag --strikes must fit in 32 bits")?
+        .max(1);
+    let min_span = permadead_net::Duration::days(args.get_u64("min-span-days", 2)? as i64);
+    let cadence = Cadence::parse(args.get("cadence").unwrap_or("fixed:1"), seed)?;
+    let host_budget = match args.get("host-budget") {
+        Some(_) => Some(
+            u32::try_from(args.get_u64("host-budget", 0)?)
+                .map_err(|_| "flag --host-budget must fit in 32 bits")?,
+        ),
+        None => None,
+    };
+    let jobs = match args.get_usize("jobs", 1)? {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    let retry = retry_policy_from(args)?;
+    let scenario = scenario_from(args)?;
+    let start = scenario.config.study_time;
+
+    let mut sched = Scheduler::new(SchedulerConfig {
+        policy: WatchPolicy { strikes, min_span },
+        cadence,
+        host_budget_per_day: host_budget,
+    });
+    for entry in &march_dataset(&scenario).entries {
+        sched.watch_staggered(entry.url.clone(), start);
+    }
+    eprintln!("[permadead] watching {} links for {days} simulated days…", sched.len());
+    let web = &scenario.web;
+    let timeline = permadead_sched::run_days(&mut sched, start, days, jobs, |url, at| {
+        permadead_core::live_check_with_retry(web, url, at, &retry)
+            .0
+            .is_final_200()
+    });
+    let header = format!(
+        "permadead watch — {} links over {days} days (seed {seed}, strikes {strikes} over >= {}d, cadence {cadence})",
+        timeline.links,
+        min_span.as_days(),
+    );
+    println!("{}", timeline.render(&header));
+    Ok(())
 }
 
 fn cmd_bots(args: &Args) -> Result<(), Box<dyn std::error::Error>> {

@@ -12,7 +12,7 @@ fn help_lists_commands() {
     let out = bin().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["audit", "figures", "forensics", "bots", "recommend", "serve"] {
+    for cmd in ["audit", "figures", "forensics", "bots", "recommend", "serve", "watch"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -42,6 +42,52 @@ fn serve_rejects_unknown_flag_before_binding() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown flag"), "stderr: {err}");
     assert!(err.contains("--cache-capp"), "stderr: {err}");
+}
+
+#[test]
+fn watch_rejects_unknown_flag_before_world_generation() {
+    let out = bin()
+        .args(["watch", "--cadense", "fixed:1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+    assert!(err.contains("--cadense"), "stderr: {err}");
+    assert!(
+        !err.contains("generating world"),
+        "flag validation must precede world generation: {err}"
+    );
+}
+
+#[test]
+fn watch_rejects_a_bad_cadence_spec_fast() {
+    let out = bin()
+        .args(["watch", "--cadence", "hourly"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown cadence"), "stderr: {err}");
+    assert!(!err.contains("generating world"), "stderr: {err}");
+}
+
+#[test]
+fn watch_prints_a_per_day_timeline() {
+    let out = bin()
+        .args(["watch", "--seed", "3", "--days", "4", "--jobs", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("permadead watch —"), "{text}");
+    assert!(text.contains("tagged-total"), "{text}");
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("    ")).count(),
+        4,
+        "one row per simulated day:\n{text}"
+    );
+    assert!(text.contains("final:"), "{text}");
 }
 
 #[test]

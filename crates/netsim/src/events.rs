@@ -80,15 +80,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event. Advances the simulation clock; popping never goes
-    /// backwards in time.
+    /// backwards in time. An event scheduled *before* an instant that has
+    /// already been popped (a re-check rescheduled into the past by a
+    /// sub-interval cadence) is delivered late, at the clock — exactly what
+    /// a real scheduler does with an overdue job.
     pub fn pop_next(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(
-            self.now.is_none_or(|n| entry.at >= n),
-            "time went backwards"
-        );
-        self.now = Some(entry.at);
-        Some((entry.at, entry.event))
+        let at = match self.now {
+            Some(now) if entry.at < now => now,
+            _ => entry.at,
+        };
+        self.now = Some(at);
+        Some((at, entry.event))
     }
 
     /// The instant of the most recently popped event.
@@ -180,6 +183,19 @@ mod tests {
             seen,
             vec![(t(0), 0), (t(10), 1), (t(20), 2), (t(30), 3)]
         );
+    }
+
+    #[test]
+    fn events_scheduled_in_the_past_are_delivered_late_not_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 0, "first");
+        q.pop_next();
+        // rescheduling into the past must not rewind the clock
+        q.schedule(t(2), 0, "late");
+        let (at, e) = q.pop_next().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(at, t(5), "overdue events run at the clock, not in the past");
+        assert_eq!(q.now(), Some(t(5)));
     }
 
     #[test]

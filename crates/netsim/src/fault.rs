@@ -168,8 +168,10 @@ impl FaultProfile {
 pub const MAX_RETRY_AFTER_SECS: u64 = 30;
 
 /// A deterministic per-day admission counter. Shared behind a mutex because
-/// the network trait takes `&self`; cloning starts a fresh day-count table
-/// (a cloned profile models a *new* origin, not a mirror of the old one).
+/// the network trait takes `&self`; cloning copies the day-count table, so a
+/// profile cloned mid-run (fault campaigns swap profiles onto sites, config
+/// structs derive `Clone`) remembers what the day has already served instead
+/// of silently handing the origin a second budget.
 #[derive(Debug, Default)]
 pub struct DailyRateLimiter {
     per_day: u32,
@@ -211,7 +213,10 @@ impl DailyRateLimiter {
 
 impl Clone for DailyRateLimiter {
     fn clone(&self) -> Self {
-        DailyRateLimiter::new(self.per_day)
+        DailyRateLimiter {
+            per_day: self.per_day,
+            served: Mutex::new(self.served.lock().clone()),
+        }
     }
 }
 
@@ -310,9 +315,36 @@ mod tests {
         );
         // next day the budget is fresh
         assert_eq!(f.check("u", Vantage::UsEducation, noon(2022, 3, 2)), None);
-        // a clone is a fresh origin with its own budget
+    }
+
+    /// Regression: `Clone` used to construct a fresh limiter, so any profile
+    /// clone mid-run silently reset the day's spend and an exhausted origin
+    /// came back with a full budget.
+    #[test]
+    fn rate_limiter_clone_preserves_the_days_spend() {
+        let f = FaultProfile::none(1).with_daily_rate_limit(2);
+        let day1 = noon(2022, 3, 1);
+        for _ in 0..2 {
+            assert_eq!(f.check("u", Vantage::UsEducation, day1), None);
+        }
+        assert_eq!(f.check("u", Vantage::UsEducation, day1), Some(Fault::RateLimited));
+        // the clone inherits the exhausted budget, not a fresh one
         let g = f.clone();
-        assert_eq!(g.check("u", Vantage::UsEducation, day1), None);
+        assert_eq!(
+            g.check("u", Vantage::UsEducation, day1),
+            Some(Fault::RateLimited),
+            "clone forgot the day's spend"
+        );
+        // and it is a copy, not a shared handle: the original rolling over
+        // to a new day does not refill the clone retroactively for day 1
+        assert_eq!(f.check("u", Vantage::UsEducation, noon(2022, 3, 2)), None);
+        assert_eq!(g.check("u", Vantage::UsEducation, day1), Some(Fault::RateLimited));
+
+        // the bare limiter, for the same contract without the profile wrap
+        let limiter = DailyRateLimiter::new(1);
+        assert!(limiter.admit(day1));
+        let copied = limiter.clone();
+        assert!(!copied.admit(day1), "cloned limiter must remember the spend");
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! The batch monitoring driver behind `permadead watch`.
+//!
+//! Replays N simulated days of continuous re-checking and aggregates a
+//! per-day timeline (comparable to the paper's Figure 2 re-check
+//! timelines): how many checks ran, how many were deferred by politeness,
+//! how many links got tagged permanently dead or came back alive.
+//!
+//! **Jobs-independence.** Within a day the driver repeatedly drains the
+//! batch of currently-due events in `(due, seq)` order, fetches their
+//! outcomes — each a pure function of `(web, url, time)` — possibly in
+//! parallel, then applies the outcomes *sequentially in pop order*. All
+//! scheduler bookkeeping (politeness admission, strike accounting, next-due
+//! computation) happens on the single applying thread, so `jobs` changes
+//! wall-clock only, never a byte of the timeline. Draining in batches also
+//! handles cadences shorter than a day: an applied check whose next due
+//! lands inside the same day simply joins a later batch.
+
+use crate::scheduler::{SchedCounters, Scheduler};
+use crate::watcher::Transition;
+use permadead_net::{Date, Duration, SimTime};
+use permadead_url::Url;
+
+/// One simulated day of monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayRow {
+    /// 1-based day number.
+    pub day: u32,
+    pub date: Date,
+    /// Checks applied this day.
+    pub checks: u64,
+    /// Checks deferred by the per-host politeness budget.
+    pub deferred: u64,
+    /// Links tagged permanently dead this day.
+    pub tagged: u64,
+    /// Tagged links that answered 200 again this day.
+    pub revived: u64,
+    /// Watchers tagged at end of day.
+    pub tagged_total: u64,
+    /// Watchers not tagged at end of day.
+    pub watching: u64,
+}
+
+/// The full run: per-day rows plus the raw event log (the determinism test
+/// compares the log event-for-event across worker counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    pub rows: Vec<DayRow>,
+    /// Every state-changing event in apply order: `(at, watcher id, what)`.
+    /// Healthy/strike noise is omitted; tags, revivals, and strike-clears
+    /// are the signal.
+    pub events: Vec<(SimTime, usize, Transition)>,
+    /// Totals over the whole run.
+    pub totals: SchedCounters,
+    /// Watchlist size.
+    pub links: usize,
+    /// Tagged at end of run.
+    pub tagged_final: usize,
+}
+
+impl Timeline {
+    /// Render the table `permadead watch` prints (and the golden file pins).
+    pub fn render(&self, header: &str) -> String {
+        let mut out = String::new();
+        out.push_str(header);
+        out.push('\n');
+        out.push('\n');
+        out.push_str(
+            "  day        date  checks  deferred  tagged  revived | tagged-total  watching\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>5}  {}  {:>6}  {:>8}  {:>6}  {:>7} | {:>12}  {:>8}\n",
+                r.day, r.date, r.checks, r.deferred, r.tagged, r.revived, r.tagged_total, r.watching
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "total: {} checks ({} deferred), {} tag events, {} revivals; \
+             final: {}/{} tagged ({:.1}%)\n",
+            self.totals.checks,
+            self.totals.deferred,
+            self.totals.tagged,
+            self.totals.revived,
+            self.tagged_final,
+            self.links,
+            if self.links == 0 {
+                0.0
+            } else {
+                100.0 * self.tagged_final as f64 / self.links as f64
+            },
+        ));
+        out
+    }
+}
+
+/// Drive `sched` for `days` simulated days starting at `start`. `check`
+/// fetches one URL at one instant and reports whether it answered 200 after
+/// redirects; it must be pure in `(url, at)` for the jobs-independence
+/// guarantee to hold (the simulated web's fault draws are).
+pub fn run_days<F>(
+    sched: &mut Scheduler,
+    start: SimTime,
+    days: u32,
+    jobs: usize,
+    check: F,
+) -> Timeline
+where
+    F: Fn(&Url, SimTime) -> bool + Sync,
+{
+    let mut rows = Vec::with_capacity(days as usize);
+    let mut events = Vec::new();
+    for day in 0..days {
+        let before = sched.counters;
+        // inclusive horizon: everything strictly inside this day
+        let until = start + Duration::days(i64::from(day) + 1) - Duration::seconds(1);
+        loop {
+            // drain the currently-due batch in (due, seq) order
+            let mut batch = Vec::new();
+            while let Some((id, at)) = sched.pop_due(until) {
+                batch.push((id, at));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let outcomes = fetch_batch(sched, &batch, jobs, &check);
+            // bookkeeping is strictly sequential, in pop order
+            for (&(id, at), &ok) in batch.iter().zip(&outcomes) {
+                match sched.apply(id, at, ok) {
+                    Transition::Healthy | Transition::Strike => {}
+                    t => events.push((at, id, t)),
+                }
+            }
+        }
+        let delta = sched.counters.diff(before);
+        let tagged_total = sched.tagged_now() as u64;
+        rows.push(DayRow {
+            day: day + 1,
+            date: (start + Duration::days(i64::from(day))).date(),
+            checks: delta.checks,
+            deferred: delta.deferred,
+            tagged: delta.tagged,
+            revived: delta.revived,
+            tagged_total,
+            watching: sched.len() as u64 - tagged_total,
+        });
+    }
+    Timeline {
+        rows,
+        events,
+        totals: sched.counters,
+        links: sched.len(),
+        tagged_final: sched.tagged_now(),
+    }
+}
+
+/// Fetch every outcome for one batch, in parallel chunks when `jobs > 1`.
+/// Chunks are joined in spawn order, so the outcome vector lines up with
+/// the batch regardless of which worker finished first (the same reassembly
+/// contract as `permadead-core`'s `run_study`).
+fn fetch_batch<F>(sched: &Scheduler, batch: &[(usize, SimTime)], jobs: usize, check: &F) -> Vec<bool>
+where
+    F: Fn(&Url, SimTime) -> bool + Sync,
+{
+    let fetch_one = |&(id, at): &(usize, SimTime)| check(&sched.watcher(id).url, at);
+    if jobs <= 1 || batch.len() <= 1 {
+        return batch.iter().map(fetch_one).collect();
+    }
+    let chunk = batch.len().div_ceil(jobs);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = batch
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| part.iter().map(fetch_one).collect::<Vec<bool>>()))
+            .collect();
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for handle in handles {
+            outcomes.extend(handle.join().expect("watch fetch worker panicked"));
+        }
+        outcomes
+    })
+    .expect("watch fetch scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+
+    fn day(d: i64) -> SimTime {
+        SimTime::from_ymd(2022, 3, 1) + Duration::days(d)
+    }
+
+    /// A scripted world: hosts named `dead*` always fail, `flap*` fail for
+    /// days 0..=4 then recover, everything else is healthy.
+    fn scripted(url: &Url, at: SimTime) -> bool {
+        let host = url.host();
+        if host.starts_with("dead") {
+            false
+        } else if host.starts_with("flap") {
+            (at - day(0)).as_days() >= 5
+        } else {
+            true
+        }
+    }
+
+    fn populated() -> Scheduler {
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        for i in 0..4 {
+            s.watch(Url::parse(&format!("http://dead{i}.org/x")).unwrap(), day(0));
+        }
+        for i in 0..3 {
+            s.watch(Url::parse(&format!("http://flap{i}.org/x")).unwrap(), day(0));
+        }
+        for i in 0..5 {
+            s.watch(Url::parse(&format!("http://alive{i}.org/x")).unwrap(), day(0));
+        }
+        s
+    }
+
+    #[test]
+    fn timeline_captures_tags_and_revivals() {
+        let mut s = populated();
+        let tl = run_days(&mut s, day(0), 10, 1, scripted);
+        assert_eq!(tl.rows.len(), 10);
+        assert_eq!(tl.links, 12);
+        // day 3 (index 2): dead+flap hosts hit strike 3 over a 2-day span
+        assert_eq!(tl.rows[2].tagged, 7);
+        assert_eq!(tl.rows[2].tagged_total, 7);
+        // day 6 (index 5): flap hosts answer 200 again
+        assert_eq!(tl.rows[5].revived, 3);
+        assert_eq!(tl.rows[5].tagged_total, 4);
+        assert_eq!(tl.tagged_final, 4, "only the permanently dead stay tagged");
+        assert_eq!(tl.totals.revived, 3);
+        // every day checks every link under the daily fixed cadence
+        assert!(tl.rows.iter().all(|r| r.checks == 12));
+        assert_eq!(tl.rows[9].watching, 8);
+    }
+
+    #[test]
+    fn timeline_is_identical_across_job_counts() {
+        let run = |jobs| {
+            let mut s = populated();
+            run_days(&mut s, day(0), 10, jobs, scripted)
+        };
+        let serial = run(1);
+        assert!(!serial.events.is_empty());
+        for jobs in [2, 5, 16] {
+            assert_eq!(serial, run(jobs), "timeline diverged at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let mut s = populated();
+        let tl = run_days(&mut s, day(0), 3, 1, scripted);
+        let text = tl.render("watching 12 links");
+        assert!(text.starts_with("watching 12 links\n"));
+        assert!(text.contains("2022-03-01"));
+        assert!(text.contains("tagged-total"));
+        assert!(text.contains("final: 7/12 tagged (58.3%)"), "{text}");
+    }
+
+    #[test]
+    fn politeness_deferrals_surface_in_the_rows() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            host_budget_per_day: Some(1),
+            ..SchedulerConfig::default()
+        });
+        for i in 0..3 {
+            s.watch(Url::parse(&format!("http://alive.org/{i}")).unwrap(), day(0));
+        }
+        let tl = run_days(&mut s, day(0), 3, 1, scripted);
+        // one admitted per day; the rest defer to the next midnight
+        assert_eq!(tl.rows[0].checks, 1);
+        assert!(tl.rows[0].deferred >= 2);
+        assert!(tl.totals.deferred > 0);
+    }
+}

@@ -14,8 +14,11 @@
 //! - the batch pipeline's own per-link unit underneath, with provenance
 //!   resolution that keeps `/check` verdicts bit-identical to `permadead
 //!   audit` for every dataset URL ([`service`]);
-//! - Prometheus exposition of request, cache, pipeline-stage, and
-//!   simulated-network counters ([`metrics`]).
+//! - Prometheus exposition of request, cache, pipeline-stage, watch, and
+//!   simulated-network counters ([`metrics`]);
+//! - a background watch scheduler (`POST /watch`, `GET /watchlist`) that
+//!   pumps IABot-style continuous re-checks through the same worker pool,
+//!   built on [`permadead_sched`] ([`server`]).
 //!
 //! ```no_run
 //! use permadead_serve::{start, AuditService, CacheConfig, ServerConfig};
@@ -37,5 +40,5 @@ pub mod wire;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use metrics::ServeMetrics;
 pub use origin::OriginLedger;
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, ServerConfig, ServerHandle, WatchConfig};
 pub use service::{AuditService, CheckOutcome, Provenance};

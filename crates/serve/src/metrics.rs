@@ -11,6 +11,7 @@ use crate::cache::CacheStats;
 use parking_lot::Mutex;
 use permadead_core::StageStats;
 use permadead_net::{Counter, MetricsSnapshot};
+use permadead_sched::WatchSnapshot;
 use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Histogram bucket upper bounds, in seconds. Audit queries on the simulated
@@ -48,7 +49,8 @@ pub struct ServeMetrics {
     stage_stats: Mutex<Vec<StageStats>>,
 }
 
-pub const ROUTES: [&str; 5] = ["check", "batch", "metrics", "healthz", "other"];
+pub const ROUTES: [&str; 7] =
+    ["check", "batch", "watch", "watchlist", "metrics", "healthz", "other"];
 
 impl Default for ServeMetrics {
     fn default() -> Self {
@@ -137,14 +139,18 @@ impl ServeMetrics {
 
     /// Render everything as Prometheus exposition text. The caller supplies
     /// the pieces owned elsewhere: cache stats, the simulated web's counter
-    /// snapshot, the current admission-queue depth, and the origin-budget
-    /// ledger's exhausted hosts (empty when no budget is configured).
+    /// snapshot, the current admission-queue depth, the origin-budget
+    /// ledger's exhausted hosts (empty when no budget is configured), and the
+    /// watch scheduler's snapshot. Watch counters come straight from that
+    /// snapshot — the scheduler is the single source of truth, so `/metrics`
+    /// is in exact parity with `/watchlist` by construction.
     pub fn render_prometheus(
         &self,
         cache: &CacheStats,
         net: &MetricsSnapshot,
         queue_depth: usize,
         origin_budget: &[(String, u64)],
+        watch: &WatchSnapshot,
     ) -> String {
         let mut out = String::with_capacity(4096);
         let mut metric = |name: &str, kind: &str, help: &str, lines: &[String]| {
@@ -368,6 +374,56 @@ impl ServeMetrics {
                 })
                 .collect::<Vec<_>>(),
         );
+
+        // the continuous-monitoring workload (the watch scheduler)
+        metric(
+            "permadead_watch_due_total",
+            "counter",
+            "Re-checks dispatched by the watch scheduler.",
+            &[format!("permadead_watch_due_total {}", watch.counters.due)],
+        );
+        metric(
+            "permadead_watch_checks_total",
+            "counter",
+            "Re-check outcomes applied to watched links.",
+            &[format!("permadead_watch_checks_total {}", watch.counters.checks)],
+        );
+        metric(
+            "permadead_watch_tagged_total",
+            "counter",
+            "Watched links tagged permanently dead (strike ladder completed).",
+            &[format!("permadead_watch_tagged_total {}", watch.counters.tagged)],
+        );
+        metric(
+            "permadead_watch_revived_total",
+            "counter",
+            "Tagged links observed alive again (the paper's ~3% resurrections).",
+            &[format!("permadead_watch_revived_total {}", watch.counters.revived)],
+        );
+        metric(
+            "permadead_watch_deferred_total",
+            "counter",
+            "Re-checks pushed to the next day by per-host politeness budgets.",
+            &[format!("permadead_watch_deferred_total {}", watch.counters.deferred)],
+        );
+        metric(
+            "permadead_watch_queue_depth",
+            "gauge",
+            "Re-check events waiting in the watch scheduler's queue.",
+            &[format!("permadead_watch_queue_depth {}", watch.pending)],
+        );
+        metric(
+            "permadead_watchlist_size",
+            "gauge",
+            "Links currently being watched.",
+            &[format!("permadead_watchlist_size {}", watch.watchlist)],
+        );
+        metric(
+            "permadead_watch_tagged_links",
+            "gauge",
+            "Watched links currently in the tagged state.",
+            &[format!("permadead_watch_tagged_links {}", watch.tagged_now)],
+        );
         out
     }
 }
@@ -392,7 +448,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.observe_latency(0.0002); // falls in every bucket from 0.25ms up
         m.observe_latency(0.3); // only the 1.0 bucket
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"0.00025\"} 1"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
@@ -415,7 +471,8 @@ mod tests {
             misses: 1,
             ..Default::default()
         };
-        let text = m.render_prometheus(&cache, &MetricsSnapshot::default(), 2, &[]);
+        let text =
+            m.render_prometheus(&cache, &MetricsSnapshot::default(), 2, &[], &WatchSnapshot::default());
         for needle in [
             "# TYPE permadead_requests_total counter",
             "permadead_requests_total{endpoint=\"check\"} 1",
@@ -473,7 +530,7 @@ mod tests {
     #[test]
     fn origin_budget_series_render_per_exhausted_host() {
         let m = ServeMetrics::new();
-        let none = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
+        let none = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
         // preamble always present, no series until a host exhausts its budget
         assert!(none.contains("# TYPE permadead_origin_retry_budget_exhausted_total counter"));
         assert!(!none.contains("permadead_origin_retry_budget_exhausted_total{"));
@@ -484,6 +541,7 @@ mod tests {
             &MetricsSnapshot::default(),
             0,
             &exhausted,
+            &WatchSnapshot::default(),
         );
         assert!(text.contains(
             "permadead_origin_retry_budget_exhausted_total{host=\"flappy.org\"} 3"
@@ -499,10 +557,42 @@ mod tests {
         s.retries.exhausted += 1;
         m.merge_stage_stats(&[s.clone()]);
         m.merge_stage_stats(&[s]);
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[]);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
         assert!(text.contains("permadead_retries_total{cause=\"connect-timeout\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"rate-limited\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"unavailable\"} 0"));
         assert!(text.contains("permadead_retry_exhausted_total 2"));
+    }
+
+    #[test]
+    fn watch_series_render_from_the_scheduler_snapshot() {
+        let m = ServeMetrics::new();
+        let watch = WatchSnapshot {
+            counters: permadead_sched::SchedCounters {
+                due: 9,
+                checks: 8,
+                tagged: 2,
+                revived: 1,
+                deferred: 1,
+            },
+            pending: 4,
+            watchlist: 5,
+            tagged_now: 1,
+        };
+        let text =
+            m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &watch);
+        for needle in [
+            "# TYPE permadead_watch_due_total counter",
+            "permadead_watch_due_total 9",
+            "permadead_watch_checks_total 8",
+            "permadead_watch_tagged_total 2",
+            "permadead_watch_revived_total 1",
+            "permadead_watch_deferred_total 1",
+            "permadead_watch_queue_depth 4",
+            "permadead_watchlist_size 5",
+            "permadead_watch_tagged_links 1",
+        ] {
+            assert!(text.contains(needle), "missing: {needle}");
+        }
     }
 }

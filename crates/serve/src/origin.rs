@@ -131,4 +131,32 @@ mod tests {
         let hosts: Vec<&str> = snapshot.iter().map(|(h, _)| h.as_str()).collect();
         assert_eq!(hosts, ["aa.org", "mm.org", "zz.org"]);
     }
+
+    /// The sort contract under load: enough hosts to populate every FNV
+    /// shard, registered in scrambled order, must come back globally sorted
+    /// — not merely sorted within each shard — and identically on every
+    /// call. HashMap iteration order varies run to run; without the final
+    /// sort this flaps and `/metrics` emits unstable series orderings.
+    #[test]
+    fn snapshot_ordering_is_total_and_repeatable_over_many_hosts() {
+        let ledger = OriginLedger::new(0);
+        // register in a deliberately non-sorted, shard-scattering order
+        let mut hosts: Vec<String> = (0..100).map(|i| format!("h{:03}.org", (i * 37) % 100)).collect();
+        for host in &hosts {
+            assert!(!ledger.admit_retries(host));
+            assert!(!ledger.admit_retries(host), "second refusal counts too");
+        }
+        // every shard should actually hold something, else the test proves
+        // nothing about cross-shard merging
+        let populated = ledger.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(populated > SHARDS / 2, "only {populated}/{SHARDS} shards populated");
+
+        let snapshot = ledger.exhausted_snapshot();
+        assert_eq!(snapshot.len(), 100);
+        hosts.sort();
+        let got: Vec<&str> = snapshot.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(got, hosts.iter().map(String::as_str).collect::<Vec<_>>());
+        assert!(snapshot.iter().all(|(_, refused)| *refused == 2));
+        assert_eq!(snapshot, ledger.exhausted_snapshot(), "snapshot must be repeatable");
+    }
 }

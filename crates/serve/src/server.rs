@@ -1,12 +1,20 @@
-//! The HTTP server: acceptor thread, crossbeam-channel worker pool, and
-//! admission control.
+//! The HTTP server: acceptor thread, crossbeam-channel worker pool, the
+//! background watch scheduler, and admission control.
 //!
-//! Accepted connections are `try_send`-dispatched into a **bounded** channel.
-//! Workers pull from it; when every worker is busy and the queue is full the
-//! acceptor answers `503 Service Unavailable` with `Retry-After` *itself* and
-//! closes the socket — the one response cheap enough to serve inline. That is
-//! the whole degradation story: bounded queue, bounded workers, explicit
-//! back-pressure to the client instead of unbounded memory growth.
+//! Accepted connections are `try_send`-dispatched into a **bounded** channel
+//! of [`Job`]s. Workers pull from it; when every worker is busy and the queue
+//! is full the acceptor answers `503 Service Unavailable` with `Retry-After`
+//! *itself* and closes the socket — the one response cheap enough to serve
+//! inline. That is the whole degradation story: bounded queue, bounded
+//! workers, explicit back-pressure to the client instead of unbounded memory
+//! growth.
+//!
+//! The same worker pool also executes the continuous-monitoring workload: a
+//! background pump thread pops due re-checks off the [`permadead_sched`]
+//! scheduler and enqueues them as jobs, so watch traffic and request traffic
+//! share one capacity model. When the queue is full, re-checks yield to
+//! connections and retry on the next tick — monitoring is the deferrable
+//! workload.
 //!
 //! Endpoints:
 //!
@@ -14,19 +22,54 @@
 //! |------------------|--------|----------------------------------------------------|
 //! | `/check?url=U`   | GET    | audit one link; JSON verdict + rescue              |
 //! | `/batch`         | POST   | newline-delimited URLs (bounded); JSON array       |
+//! | `/watch`         | POST   | register newline-delimited URLs for re-checking    |
+//! | `/watchlist`     | GET    | JSON state of every watched link                   |
 //! | `/metrics`       | GET    | Prometheus text                                    |
-//! | `/healthz`       | GET    | `ok`                                               |
+//! | `/healthz`       | GET    | JSON: queue depth, worker count, watchlist size    |
 
 use crate::metrics::ServeMetrics;
 use crate::service::AuditService;
 use crate::wire::{query_param, read_request, HttpRequest, HttpResponse, WireError};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
 use permadead_net::{Duration, SimTime};
+use permadead_sched::{Cadence, Scheduler, SchedulerConfig, WatchPolicy, WatchSnapshot};
+use permadead_url::Url;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// How the background monitoring workload behaves.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Consecutive failed re-checks before a watched link is tagged.
+    pub strikes: u32,
+    /// Minimum span between the first strike and the tagging check.
+    pub min_span: Duration,
+    /// Re-check interval policy.
+    pub cadence: Cadence,
+    /// Simulated seconds the watch clock advances per real second. Re-check
+    /// cadences are day-scale, so the default maps one real second to one
+    /// simulated day; `0` freezes the clock (tests drive it through
+    /// `/debug/watch-advance`).
+    pub sim_secs_per_real_sec: i64,
+    /// Per-host re-checks per simulated UTC day; `None` = no politeness cap.
+    pub host_budget_per_day: Option<u32>,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            strikes: 3,
+            min_span: Duration::days(2),
+            cadence: Cadence::Fixed { every: Duration::days(1) },
+            sim_secs_per_real_sec: 86_400,
+            host_budget_per_day: None,
+        }
+    }
+}
 
 /// Server shape: listener address and pool/queue/batch bounds.
 #[derive(Debug, Clone)]
@@ -38,12 +81,15 @@ pub struct ServerConfig {
     /// Accepted connections allowed to wait for a worker before admission
     /// control starts refusing with 503.
     pub queue_cap: usize,
-    /// Maximum URLs accepted in one `POST /batch`.
+    /// Maximum URLs accepted in one `POST /batch` (or `POST /watch`).
     pub max_batch: usize,
     /// Seconds advertised in `Retry-After` on an admission refusal.
     pub retry_after_secs: u32,
-    /// Enable `/debug/sleep` (load tests exercise admission control with it).
+    /// Enable `/debug/sleep` and `/debug/watch-advance` (load tests exercise
+    /// admission control and the watch clock with them).
     pub debug_endpoints: bool,
+    /// The continuous-monitoring workload behind `POST /watch`.
+    pub watch: WatchConfig,
 }
 
 impl Default for ServerConfig {
@@ -55,8 +101,16 @@ impl Default for ServerConfig {
             max_batch: 256,
             retry_after_secs: 1,
             debug_endpoints: false,
+            watch: WatchConfig::default(),
         }
     }
+}
+
+/// One unit of worker-pool work: an accepted connection, or a due re-check
+/// pumped in by the watch scheduler.
+enum Job {
+    Conn(TcpStream),
+    Recheck { id: usize, due: SimTime },
 }
 
 /// Everything workers share.
@@ -67,8 +121,14 @@ struct Inner {
     started: Instant,
     shutdown: AtomicBool,
     /// A non-consuming view of the pending queue, for the depth gauge only
-    /// (never `recv`d, so no connection is ever stolen from the workers).
-    queue_probe: Receiver<TcpStream>,
+    /// (never `recv`d, so no job is ever stolen from the workers).
+    queue_probe: Receiver<Job>,
+    /// The continuous-monitoring scheduler. Lock discipline: take briefly,
+    /// never while holding another lock, and never across a network fetch —
+    /// the fetch half of a re-check runs unlocked in the worker.
+    watch: Mutex<Scheduler>,
+    /// Simulated seconds added to the watch clock by `/debug/watch-advance`.
+    watch_offset: AtomicI64,
 }
 
 impl Inner {
@@ -78,6 +138,17 @@ impl Inner {
     fn now_sim(&self) -> SimTime {
         self.service.study_time() + Duration::seconds(self.started.elapsed().as_secs() as i64)
     }
+
+    /// The watch scheduler's clock: study time plus *scaled* wall-clock
+    /// elapsed plus any debug advance. Deliberately separate from
+    /// [`Self::now_sim`] — re-check cadences are day-scale, so the watch
+    /// clock runs fast while cache TTLs keep their 1:1 mapping.
+    fn watch_now(&self) -> SimTime {
+        let real = self.started.elapsed().as_secs() as i64;
+        self.service.study_time()
+            + Duration::seconds(real.saturating_mul(self.config.watch.sim_secs_per_real_sec))
+            + Duration::seconds(self.watch_offset.load(Ordering::SeqCst))
+    }
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -86,6 +157,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
     acceptor: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -102,13 +174,24 @@ impl ServerHandle {
         &self.inner.service
     }
 
+    /// A point-in-time view of the watch scheduler (tests assert counter
+    /// parity between this and `/metrics`).
+    pub fn watch_snapshot(&self) -> WatchSnapshot {
+        self.inner.watch.lock().snapshot()
+    }
+
     /// Stop accepting, drain the queue, and join every thread.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // unblock the acceptor's blocking accept() with one throwaway
-        // connection; it sees the flag and exits, dropping the sender
+        // connection; it sees the flag and exits, dropping its sender. The
+        // pump notices the flag within one tick and drops the other sender;
+        // with both gone the workers drain the queue and exit.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -117,11 +200,19 @@ impl ServerHandle {
     }
 }
 
-/// Bind, spawn the pool, and return immediately.
+/// Bind, spawn the pool and the watch pump, and return immediately.
 pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", config.port))?;
     let addr = listener.local_addr()?;
-    let (tx, rx) = bounded::<TcpStream>(config.queue_cap.max(1));
+    let (tx, rx) = bounded::<Job>(config.queue_cap.max(1));
+    let scheduler = Scheduler::new(SchedulerConfig {
+        policy: WatchPolicy {
+            strikes: config.watch.strikes.max(1),
+            min_span: config.watch.min_span,
+        },
+        cadence: config.watch.cadence,
+        host_budget_per_day: config.watch.host_budget_per_day,
+    });
     let inner = Arc::new(Inner {
         service,
         metrics: ServeMetrics::new(),
@@ -129,18 +220,23 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         queue_probe: rx.clone(),
+        watch: Mutex::new(scheduler),
+        watch_offset: AtomicI64::new(0),
     });
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let rx = rx.clone();
             let inner = inner.clone();
             std::thread::spawn(move || {
-                for stream in rx.iter() {
+                for job in rx.iter() {
                     // The pool is fixed-size: a panicking handler must not
                     // kill the worker, or the pool silently shrinks until no
-                    // thread is left to answer queued connections.
+                    // thread is left to answer queued jobs.
                     let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(&inner, stream);
+                        match job {
+                            Job::Conn(stream) => handle_connection(&inner, stream),
+                            Job::Recheck { id, due } => handle_recheck(&inner, id, due),
+                        }
                     }));
                     if handled.is_err() {
                         inner.metrics.worker_panics_total.incr();
@@ -151,6 +247,11 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         .collect();
     drop(rx);
 
+    let pump = {
+        let inner = inner.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || pump_loop(&inner, tx))
+    };
     let acceptor = {
         let inner = inner.clone();
         std::thread::spawn(move || accept_loop(listener, tx, &inner))
@@ -160,19 +261,56 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         addr,
         inner,
         acceptor: Some(acceptor),
+        pump: Some(pump),
         workers,
     })
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, inner: &Inner) {
+/// The background scheduler thread: every tick, pop everything due on the
+/// watch clock and feed it through the worker pool. With an empty watchlist
+/// this is a 25ms heartbeat and nothing else — a server that never sees
+/// `POST /watch` behaves bit-identically to one without the subsystem.
+fn pump_loop(inner: &Inner, tx: Sender<Job>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let now = inner.watch_now();
+        loop {
+            let popped = inner.watch.lock().pop_due(now);
+            let Some((id, due)) = popped else { break };
+            match tx.try_send(Job::Recheck { id, due }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // queue saturated with connections: put the event back
+                    // (undoing the pop's counters) and retry next tick —
+                    // monitoring yields to interactive traffic
+                    inner.watch.lock().requeue(id, due);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// The worker half of one re-check: fetch unlocked, then apply the outcome
+/// under the scheduler lock. Tag/revival counters live in the scheduler
+/// itself, so `/metrics` is in exact parity with the watcher states by
+/// construction.
+fn handle_recheck(inner: &Inner, id: usize, due: SimTime) {
+    let url = inner.watch.lock().watcher(id).url.clone();
+    let (check, _retry) = inner.service.live_recheck(&url, due);
+    inner.watch.lock().apply(id, due, check.is_final_200());
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Job>, inner: &Inner) {
     for stream in listener.incoming() {
         if inner.shutdown.load(Ordering::SeqCst) {
             break; // tx drops here; workers drain the queue and exit
         }
         let Ok(stream) = stream else { continue };
-        match tx.try_send(stream) {
+        match tx.try_send(Job::Conn(stream)) {
             Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
+            Err(TrySendError::Full(Job::Conn(mut stream))) => {
                 inner.metrics.rejected_total.incr();
                 inner.metrics.count_status(503);
                 // Best-effort refusal: a rejected client that never reads
@@ -182,6 +320,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, inner: &Inner) {
                     .with_header("Retry-After", retry_after_secs(inner).to_string());
                 let _ = resp.write_to(&mut stream);
             }
+            Err(TrySendError::Full(Job::Recheck { .. })) => unreachable!("acceptor sends Conn"),
             Err(TrySendError::Disconnected(_)) => break,
         }
     }
@@ -239,10 +378,12 @@ fn respond(inner: &Inner, stream: &mut TcpStream, route: &str, response: HttpRes
 
 fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => ("healthz", HttpResponse::text(200, "ok\n")),
+        ("GET", "/healthz") => ("healthz", handle_healthz(inner)),
         ("GET", "/metrics") => ("metrics", handle_metrics(inner)),
         ("GET", "/check") => ("check", handle_check(inner, req)),
         ("POST", "/batch") => ("batch", handle_batch(inner, req)),
+        ("POST", "/watch") => ("watch", handle_watch(inner, req)),
+        ("GET", "/watchlist") => ("watchlist", handle_watchlist(inner)),
         ("GET", "/debug/sleep") if inner.config.debug_endpoints => {
             let ms: u64 = query_param(req.query.as_deref(), "ms")
                 .and_then(|v| v.parse().ok())
@@ -250,20 +391,45 @@ fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
             std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
             ("other", HttpResponse::text(200, "slept\n"))
         }
+        ("GET", "/debug/watch-advance") if inner.config.debug_endpoints => {
+            let secs: i64 = query_param(req.query.as_deref(), "secs")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(86_400);
+            inner.watch_offset.fetch_add(secs.max(0), Ordering::SeqCst);
+            ("other", HttpResponse::text(200, format!("watch clock at {}\n", inner.watch_now())))
+        }
         ("GET", _) => ("other", HttpResponse::error(404, "no such endpoint")),
-        (_, "/check" | "/batch" | "/metrics" | "/healthz") => {
+        (_, "/check" | "/batch" | "/metrics" | "/healthz" | "/watch" | "/watchlist") => {
             ("other", HttpResponse::error(405, "method not allowed"))
         }
         _ => ("other", HttpResponse::error(404, "no such endpoint")),
     }
 }
 
+/// `/healthz`: liveness plus the three numbers an operator triages with —
+/// how much work is queued, how many hands are on deck, and how big the
+/// monitoring population is.
+fn handle_healthz(inner: &Inner) -> HttpResponse {
+    let watchlist = inner.watch.lock().len();
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"pending\":{},\"workers\":{},\"watchlist\":{}}}",
+            inner.queue_probe.len(),
+            inner.config.workers.max(1),
+            watchlist,
+        ),
+    )
+}
+
 fn handle_metrics(inner: &Inner) -> HttpResponse {
+    let watch = inner.watch.lock().snapshot();
     let text = inner.metrics.render_prometheus(
         &inner.service.cache_stats(),
         &inner.service.net_snapshot(),
         inner.queue_probe.len(),
         &inner.service.origin_budget_snapshot(),
+        &watch,
     );
     HttpResponse::metrics(text)
 }
@@ -318,4 +484,82 @@ fn handle_batch(inner: &Inner, req: &HttpRequest) -> HttpResponse {
         }
     }
     HttpResponse::json(200, format!("{{\"results\":[{}]}}", items.join(",")))
+}
+
+/// `POST /watch`: register newline-delimited URLs for continuous
+/// re-checking. Registration is idempotent per URL; the first check comes
+/// due immediately (at the current watch clock) and the cadence policy
+/// takes over from there.
+fn handle_watch(inner: &Inner, req: &HttpRequest) -> HttpResponse {
+    let urls: Vec<&str> = req
+        .body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if urls.is_empty() {
+        return HttpResponse::error(400, "empty watch request");
+    }
+    if urls.len() > inner.config.max_batch {
+        return HttpResponse::error(
+            413,
+            &format!("watch batch of {} exceeds limit {}", urls.len(), inner.config.max_batch),
+        );
+    }
+    let now = inner.watch_now();
+    let mut registered = 0usize;
+    let mut invalid = 0usize;
+    let mut sched = inner.watch.lock();
+    for raw in urls {
+        match Url::parse(raw) {
+            Ok(url) => {
+                if sched.watch(url, now).is_some() {
+                    registered += 1;
+                }
+            }
+            Err(_) => invalid += 1,
+        }
+    }
+    let watchlist = sched.len();
+    drop(sched);
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"registered\":{registered},\"invalid\":{invalid},\"watchlist\":{watchlist}}}"
+        ),
+    )
+}
+
+/// `GET /watchlist`: the full monitoring state, one object per watched link.
+fn handle_watchlist(inner: &Inner) -> HttpResponse {
+    let sched = inner.watch.lock();
+    let snap = sched.snapshot();
+    let items: Vec<String> = sched
+        .watchers()
+        .iter()
+        .map(|w| {
+            let mut obj = crate::json::Object::new()
+                .str("url", &w.url.to_string())
+                .str("state", w.state.as_str())
+                .num("strikes", w.strikes as usize)
+                .num("checks", w.checks as usize)
+                .num("revivals", w.revivals as usize);
+            obj = match w.tagged_at {
+                Some(t) => obj.str("tagged_at", &t.to_string()),
+                None => obj.raw("tagged_at", "null"),
+            };
+            obj.render()
+        })
+        .collect();
+    drop(sched);
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"size\":{},\"pending\":{},\"tagged\":{},\"watchers\":[{}]}}",
+            snap.watchlist,
+            snap.pending,
+            snap.tagged_now,
+            items.join(",")
+        ),
+    )
 }

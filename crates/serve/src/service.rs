@@ -16,8 +16,8 @@ use crate::cache::{fnv1a, CacheConfig, CacheStats, ShardedCache};
 use crate::json::Object;
 use crate::origin::OriginLedger;
 use permadead_core::{
-    analyze_link, default_stages, empty_stats, recommend_for, Dataset, DatasetEntry,
-    Recommendation, Stage, StageStats, StudyEnv,
+    analyze_link, default_stages, empty_stats, live_check_with_retry, recommend_for, Dataset,
+    DatasetEntry, LiveCheck, Recommendation, Stage, StageStats, StudyEnv,
 };
 use permadead_net::{MetricsSnapshot, RetryPolicy, SimTime};
 use permadead_sim::{Scenario, ScenarioConfig};
@@ -149,6 +149,19 @@ impl AuditService {
     /// The moment every audit is evaluated at (the paper's study time).
     pub fn study_time(&self) -> SimTime {
         self.scenario.config.study_time
+    }
+
+    /// One watch-scheduler re-check: fetch `url` at simulated instant `at`
+    /// through the service's retry policy. Unlike [`Self::check`] this is a
+    /// raw live fetch — no cache, no pipeline, no study-time pinning —
+    /// because the whole point of watching is observing the world *change*
+    /// after the study snapshot.
+    pub fn live_recheck(
+        &self,
+        url: &Url,
+        at: SimTime,
+    ) -> (LiveCheck, permadead_net::RetryOutcome) {
+        live_check_with_retry(&self.scenario.web, url, at, &self.retry)
     }
 
     pub fn scenario(&self) -> &Scenario {

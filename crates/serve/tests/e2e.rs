@@ -69,10 +69,13 @@ fn endpoints_end_to_end() {
     let handle = spawn_server();
     let addr = handle.addr();
 
-    // /healthz
+    // /healthz: liveness plus the operator triage numbers
     let (status, _, body) = get(addr, "/healthz");
     assert!(status.contains("200"), "{status}");
-    assert_eq!(body, "ok\n");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"pending\":"), "{body}");
+    assert!(body.contains("\"workers\":2"), "{body}");
+    assert!(body.contains("\"watchlist\":0"), "{body}");
 
     // /check on a known dataset URL: twice, second from cache
     let url = handle.service().dataset().entries[0].url.to_string();

@@ -37,9 +37,11 @@ fi
 
 probe=./target/release/serve-probe
 "$probe" "$addr" /healthz ok >/dev/null
+"$probe" "$addr" /healthz '"watchlist"' >/dev/null
 "$probe" "$addr" '/check?url=http%3A%2F%2Fexample.org%2Fsmoke' '"verdict":' >/dev/null
 "$probe" "$addr" /metrics permadead_cache_hits_total >/dev/null
 "$probe" "$addr" /metrics 'permadead_requests_total{endpoint="check"}' >/dev/null
+"$probe" "$addr" /metrics permadead_watchlist_size >/dev/null
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
@@ -64,5 +66,25 @@ if ! diff -u results/RETRY_TABLE_seed42.txt "$retry_out"; then
 fi
 rm -f "$retry_out"
 echo "check.sh: retry-table golden green"
+
+# Watch-timeline golden: 30 simulated days of IABot-style continuous
+# re-checking on the pinned seed. The table is a pure function of
+# (seed, scale, sample, days, cadence, strikes) and identical for every
+# --jobs, so any byte of drift is a scheduler regression.
+watch_out="$(mktemp)"
+./target/release/permadead watch --seed 42 --jobs 4 >"$watch_out" 2>/dev/null
+if ! diff -u results/WATCH_TIMELINE_seed42.txt "$watch_out"; then
+    echo "check.sh: watch timeline drifted from results/WATCH_TIMELINE_seed42.txt" >&2
+    exit 1
+fi
+rm -f "$watch_out"
+echo "check.sh: watch-timeline golden green"
+
+# Unknown flags must fail fast, before any world generation.
+if ./target/release/permadead watch --no-such-flag 2>/dev/null; then
+    echo "check.sh: permadead watch accepted an unknown flag" >&2
+    exit 1
+fi
+echo "check.sh: watch flag validation green"
 
 echo "check.sh: all green"

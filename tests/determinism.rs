@@ -101,6 +101,47 @@ fn explicit_single_policy_is_the_identity_and_retries_never_flip_rot_verdicts() 
     assert!(counts.exhausted > 0, "attempt-independent failures must exhaust the ladder");
 }
 
+/// The watch scheduler's jobs-independence contract, end to end over the
+/// real simulated web: the same `(seed, scale, sample, days, cadence,
+/// strikes)` must produce a bit-identical event timeline — per-day rows,
+/// the raw transition log, and the rendered table — for every `--jobs`.
+#[test]
+fn watch_timeline_identical_across_worker_counts() {
+    use permadead::analysis::live_check;
+    use permadead::net::Duration;
+    use permadead::sched::{run_days, Cadence, Scheduler, SchedulerConfig, WatchPolicy};
+
+    let s = scenario();
+    let run = |jobs: usize| {
+        let mut sched = Scheduler::new(SchedulerConfig {
+            policy: WatchPolicy {
+                strikes: 3,
+                min_span: Duration::days(2),
+            },
+            cadence: Cadence::Fixed { every: Duration::days(1) },
+            host_budget_per_day: Some(8), // politeness deferrals must replay too
+        });
+        for entry in &dataset().entries {
+            sched.watch_staggered(entry.url.clone(), s.config.study_time);
+        }
+        run_days(&mut sched, s.config.study_time, 7, jobs, |url, at| {
+            live_check(&s.web, url, at).is_final_200()
+        })
+    };
+    let serial = run(1);
+    assert!(serial.links > 50, "dataset too small to exercise sharding");
+    assert!(serial.totals.checks > 0);
+    for jobs in [2usize, 8] {
+        let sharded = run(jobs);
+        assert_eq!(serial, sharded, "watch timeline diverged at jobs={jobs}");
+        assert_eq!(
+            serial.render("header"),
+            sharded.render("header"),
+            "rendered table diverged at jobs={jobs}"
+        );
+    }
+}
+
 /// Regression pin for the soft-404 probe seed: shard workers must key the
 /// probe's randomness on the link's *dataset index*, never on a
 /// shard-relative position. Recomputing each probe serially from the
