@@ -40,6 +40,13 @@ impl ArchiveStore {
         self.index.len()
     }
 
+    /// Monotone insertion counter: bumps on every [`insert`](Self::insert)
+    /// and never decreases, so derived state (e.g. an archive content
+    /// digest) can be cached against it instead of rescanning the index.
+    pub fn mutation_stamp(&self) -> u64 {
+        self.seq
+    }
+
     pub fn is_empty(&self) -> bool {
         self.index.is_empty()
     }
@@ -95,6 +102,14 @@ impl ArchiveStore {
             ))
             .take_while(move |((k, _, _), _)| *k == surt)
             .map(|(_, s)| s)
+    }
+
+    /// Every snapshot in key order, *without* touching the access counters
+    /// (for world serialization: the store round-trips by re-inserting in
+    /// this order — fresh seqs `0..n` preserve relative order, so every
+    /// range scan is bit-identical after a save/load cycle).
+    pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
+        self.index.values()
     }
 
     /// Every distinct SURT in the store (test/debug aid).

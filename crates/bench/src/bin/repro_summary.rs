@@ -1,11 +1,21 @@
 //! E11 — the conclusion's headline table, paper vs measured, for both the
 //! March-style and September-style samples.
+//!
+//! With `PERMADEAD_WORLD_CACHE=DIR` the world comes from the snapshot cache
+//! (generated and saved on the first run, decoded on every later one); the
+//! tables are bit-identical either way.
 
-use permadead_bench::Repro;
+use permadead_bench::{Repro, WorldRepro};
 
 fn main() {
-    let repro = Repro::from_env();
-    for study in [repro.march_study(), repro.september_study()] {
+    let studies = match WorldRepro::from_env_cache() {
+        Some(repro) => [repro.march_study(), repro.september_study()],
+        None => {
+            let repro = Repro::from_env();
+            [repro.march_study(), repro.september_study()]
+        }
+    };
+    for study in studies {
         println!("{}", study.report().render_comparison());
         println!();
     }

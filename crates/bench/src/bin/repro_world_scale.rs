@@ -1,0 +1,109 @@
+//! E17 — the economics of the world snapshot + incremental re-audit path:
+//! what does generation cost, what does a snapshot cost to save and load
+//! back, and what does one flipped link cost to re-audit against a full
+//! study re-run?
+//!
+//! Prints one JSON line per measurement and persists them to
+//! `results/BENCH_world.json`. Honours `PERMADEAD_SEED` / `PERMADEAD_SCALE`
+//! / `PERMADEAD_JOBS`; the snapshot goes to `PERMADEAD_WORLD_CACHE` when
+//! set, a temp directory otherwise.
+//!
+//! The run also asserts the reproduction's correctness contract along the
+//! way: the loaded world's study report must be byte-identical to the
+//! incremental engine's maintained report.
+
+use permadead_bench::{config_from_env, jobs_from_env, persist_bench_results};
+use permadead_core::{IncrementalAudit, Study, StudyOptions};
+use permadead_serve::worldcache;
+use permadead_sim::Scenario;
+use permadead_worldstore::World;
+use std::time::Instant;
+
+fn main() {
+    let (scale, cfg) = config_from_env();
+    let jobs = jobs_from_env();
+    let seed = cfg.seed;
+
+    // 1. generation: the cost a snapshot saves us
+    eprintln!("[permadead] generating world (seed {seed}, scale {scale}) …");
+    let t0 = Instant::now();
+    let scenario = Scenario::generate(cfg);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // 2. lower + save
+    let t0 = Instant::now();
+    let world = worldcache::world_from_scenario(scenario, &scale);
+    let lower_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let dir = std::env::var_os("PERMADEAD_WORLD_CACHE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("permadead-world-scale"));
+    std::fs::create_dir_all(&dir).expect("snapshot directory");
+    let path = worldcache::world_cache_path(&dir, seed, &scale);
+    let t0 = Instant::now();
+    let size_bytes = world.save(&path).expect("snapshot saves");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(world);
+
+    // 3. load: what every later run pays instead of (1)
+    let t0 = Instant::now();
+    let world = World::load(&path).expect("snapshot loads");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let repro = permadead_bench::WorldRepro::over(world);
+    let links = repro.march.len();
+
+    // 4. full study over the loaded world
+    let t0 = Instant::now();
+    let study = Study::run_with(
+        &repro.world.web,
+        &repro.world.archive,
+        &repro.march,
+        repro.world.meta.study_time,
+        StudyOptions::with_jobs(jobs),
+    );
+    let full_study_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // 5. incremental engine: build once, then re-audit one link at a time —
+    // the serve watch-pump's steady-state operation
+    let t0 = Instant::now();
+    let mut audit = IncrementalAudit::build(
+        &repro.world.web,
+        &repro.world.archive,
+        &repro.march,
+        repro.world.meta.study_time,
+        StudyOptions::default(),
+    );
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        audit.report(),
+        study.report(),
+        "incremental report must match the from-scratch study"
+    );
+    let flips = links.min(64);
+    let t0 = Instant::now();
+    for i in 0..flips {
+        audit.reaudit_indices(
+            &repro.world.web,
+            &repro.world.archive,
+            &[i],
+            repro.world.meta.study_time,
+        );
+    }
+    let single_flip_ms = t0.elapsed().as_secs_f64() * 1e3 / flips as f64;
+
+    let load_speedup = generate_ms / load_ms;
+    let flip_speedup = full_study_ms / single_flip_ms;
+    let lines = format!(
+        "{{\"bench\":\"world/generate\",\"scale\":\"{scale}\",\"links\":{links},\"mean_ms\":{generate_ms:.3}}}\n\
+         {{\"bench\":\"world/lower\",\"scale\":\"{scale}\",\"mean_ms\":{lower_ms:.3}}}\n\
+         {{\"bench\":\"world/save\",\"scale\":\"{scale}\",\"bytes\":{size_bytes},\"mean_ms\":{save_ms:.3}}}\n\
+         {{\"bench\":\"world/load\",\"scale\":\"{scale}\",\"mean_ms\":{load_ms:.3},\"speedup_vs_generate\":{load_speedup:.1}}}\n\
+         {{\"bench\":\"world/full_study\",\"scale\":\"{scale}\",\"jobs\":{jobs},\"links\":{links},\"mean_ms\":{full_study_ms:.3}}}\n\
+         {{\"bench\":\"world/incremental_build\",\"scale\":\"{scale}\",\"mean_ms\":{build_ms:.3}}}\n\
+         {{\"bench\":\"world/single_flip_reaudit\",\"scale\":\"{scale}\",\"flips\":{flips},\"mean_ms\":{single_flip_ms:.4},\"speedup_vs_full\":{flip_speedup:.1}}}\n"
+    );
+    print!("{lines}");
+    match persist_bench_results("world", &lines) {
+        Ok(path) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench] could not persist results: {e}"),
+    }
+}

@@ -11,11 +11,15 @@
 //! - `PERMADEAD_SCALE` — `small` (default; seconds) or `paper` (the full
 //!   ~18k-rot-link world; takes a few minutes);
 //! - `PERMADEAD_JOBS` — pipeline worker threads (default 1, 0 = all cores;
-//!   findings are identical for every value).
+//!   findings are identical for every value);
+//! - `PERMADEAD_WORLD_CACHE` — a directory of world snapshots; binaries
+//!   that only need the audit surface (e.g. `repro_summary`) load the world
+//!   from it instead of regenerating, printing the cache hit/miss and load
+//!   time.
 
 pub mod harness;
 
-pub use harness::{jobs_from_env, Repro};
+pub use harness::{config_from_env, jobs_from_env, Repro, WorldRepro};
 
 /// Persist a machine-readable benchmark summary under `results/`.
 ///

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! permadead audit    [--seed N] [--scale small|paper] [--jobs N] [--retries N] [--retry-table MAX]
-//!                    [--csv PATH] [--cdx PATH] [--stage-csv PATH]
+//!                    [--csv PATH] [--cdx PATH] [--stage-csv PATH] [--world-cache DIR]
 //! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
@@ -21,6 +21,7 @@ use args::Args;
 use permadead_core::{Dataset, Study, StudyOptions};
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_stats::{percentile, render_bar_chart, render_cdf, Cdf};
+use permadead_worldstore::World;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,7 +32,7 @@ fn main() -> ExitCode {
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
             "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
             "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
-            "min-span-days", "cadence", "host-budget",
+            "min-span-days", "cadence", "host-budget", "world-cache",
         ],
     );
     let args = match parsed {
@@ -84,6 +85,9 @@ fn print_help() {
          \x20 --seed N          world seed (default 42)\n\
          \x20 --scale small|paper   world size (default small)\n\
          \x20 --sample N        dataset sample size cap\n\
+         \x20 --world-cache DIR load the world from DIR's snapshot cache instead of\n\
+         \x20                   regenerating; a miss generates once and saves the snapshot\n\
+         \x20                   (every command except bots, which needs generation ground truth)\n\
          \x20 --jobs N          pipeline worker threads (0 = all cores, default 1);\n\
          \x20                   findings are identical for every N\n\
          \x20 --csv PATH        (audit) write per-link findings as CSV\n\
@@ -114,15 +118,79 @@ fn print_help() {
 }
 
 fn scenario_from(args: &Args) -> Result<Scenario, Box<dyn std::error::Error>> {
+    let (_, cfg) = config_from(args)?;
+    eprintln!(
+        "[permadead] generating world (seed {}, {} rot links)…",
+        cfg.seed, cfg.rot_links
+    );
+    Ok(Scenario::generate(cfg))
+}
+
+/// `(scale label, config)` from `--seed` / `--scale` / `--sample`.
+fn config_from(args: &Args) -> Result<(&'static str, ScenarioConfig), Box<dyn std::error::Error>> {
     let seed = args.get_u64("seed", 42)?;
-    let mut cfg = match args.get("scale") {
-        Some("paper") => ScenarioConfig::paper(seed),
-        None | Some("small") => ScenarioConfig::small(seed),
+    let (scale, mut cfg) = match args.get("scale") {
+        Some("paper") => ("paper", ScenarioConfig::paper(seed)),
+        None | Some("small") => ("small", ScenarioConfig::small(seed)),
         Some(other) => return Err(format!("unknown scale {other:?}").into()),
     };
     cfg.sample_size = args.get_usize("sample", cfg.sample_size)?;
-    eprintln!("[permadead] generating world (seed {seed}, {} rot links)…", cfg.rot_links);
-    Ok(Scenario::generate(cfg))
+    Ok((scale, cfg))
+}
+
+/// The world a command runs over: freshly generated, or decoded from a
+/// `--world-cache` snapshot. The worldstore determinism contract makes the
+/// two answer every audit question identically; only generation ground
+/// truth (wiki articles, bot reports) is missing from a snapshot, which is
+/// why `bots` keeps its own [`scenario_from`] path.
+enum CliWorld {
+    Generated(Box<Scenario>),
+    Snapshot(Box<World>),
+}
+
+impl CliWorld {
+    fn web(&self) -> &permadead_web::LiveWeb {
+        match self {
+            CliWorld::Generated(s) => &s.web,
+            CliWorld::Snapshot(w) => &w.web,
+        }
+    }
+
+    fn archive(&self) -> &permadead_archive::ArchiveStore {
+        match self {
+            CliWorld::Generated(s) => &s.archive,
+            CliWorld::Snapshot(w) => &w.archive,
+        }
+    }
+
+    fn study_time(&self) -> permadead_net::SimTime {
+        match self {
+            CliWorld::Generated(s) => s.config.study_time,
+            CliWorld::Snapshot(w) => w.meta.study_time,
+        }
+    }
+
+    /// The batch dataset `audit`, `watch`, and `serve` share: recomputed
+    /// from the wiki for a generated world, decoded from the interned march
+    /// table for a snapshot.
+    fn march_dataset(&self) -> Dataset {
+        match self {
+            CliWorld::Generated(s) => march_dataset(s),
+            CliWorld::Snapshot(w) => Dataset::from_table(&w.march, &w.interner),
+        }
+    }
+}
+
+/// Build the command's world, honouring `--world-cache DIR`.
+fn world_from(args: &Args) -> Result<CliWorld, Box<dyn std::error::Error>> {
+    let Some(dir) = args.get("world-cache") else {
+        return Ok(CliWorld::Generated(Box::new(scenario_from(args)?)));
+    };
+    let (scale, cfg) = config_from(args)?;
+    let (world, outcome) =
+        permadead_serve::load_or_generate(std::path::Path::new(dir), cfg, scale)?;
+    eprintln!("[permadead] {}", outcome.describe());
+    Ok(CliWorld::Snapshot(Box::new(world)))
 }
 
 /// Retry policy from `--retries` / `--retry-budget-ms`. One attempt — the
@@ -151,27 +219,27 @@ fn march_dataset(scenario: &Scenario) -> Dataset {
     )
 }
 
-fn march_study(scenario: &Scenario, jobs: usize, retry: permadead_net::RetryPolicy) -> Study {
+fn march_study(world: &CliWorld, jobs: usize, retry: permadead_net::RetryPolicy) -> Study {
     Study::run_with(
-        &scenario.web,
-        &scenario.archive,
-        &march_dataset(scenario),
-        scenario.config.study_time,
+        world.web(),
+        world.archive(),
+        &world.march_dataset(),
+        world.study_time(),
         StudyOptions::with_jobs(jobs).with_retry(retry),
     )
 }
 
 fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let retry = retry_policy_from(args)?;
-    let scenario = scenario_from(args)?;
+    let world = world_from(args)?;
     let jobs = args.get_usize("jobs", 1)?;
     // snapshot the cost counters so we report what the *pipeline* spends,
-    // not what world generation spent
-    let web_before = scenario.web.metrics.snapshot();
-    let archive_lookups_before = scenario.archive.lookups.get();
-    let archive_rows_before = scenario.archive.rows_scanned.get();
-    let study = march_study(&scenario, jobs, retry);
-    let web_cost = scenario.web.metrics.snapshot().diff(&web_before);
+    // not what world generation (or snapshot decoding) spent
+    let web_before = world.web().metrics.snapshot();
+    let archive_lookups_before = world.archive().lookups.get();
+    let archive_rows_before = world.archive().rows_scanned.get();
+    let study = march_study(&world, jobs, retry);
+    let web_cost = world.web().metrics.snapshot().diff(&web_before);
     println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
     let report = study.report();
     println!("{}", report.render_comparison());
@@ -179,8 +247,8 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "measurement cost: live web {}; archive index: {} scans touching {} rows",
         web_cost.summary(),
-        scenario.archive.lookups.get() - archive_lookups_before,
-        scenario.archive.rows_scanned.get() - archive_rows_before,
+        world.archive().lookups.get() - archive_lookups_before,
+        world.archive().rows_scanned.get() - archive_rows_before,
     );
     if let Some(path) = args.get("csv") {
         std::fs::write(path, export::study_to_csv(&study))?;
@@ -191,21 +259,21 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("[permadead] wrote {} stage rows to {path}", study.stage_stats.len());
     }
     if let Some(path) = args.get("cdx") {
-        std::fs::write(path, permadead_archive::to_cdx_string(&scenario.archive))?;
+        std::fs::write(path, permadead_archive::to_cdx_string(world.archive()))?;
         eprintln!(
             "[permadead] wrote {} snapshots to {path}",
-            scenario.archive.len()
+            world.archive().len()
         );
     }
     if args.get("retry-table").is_some() {
         let max = u32::try_from(args.get_u64("retry-table", 5)?)
             .map_err(|_| "flag --retry-table must fit in 32 bits")?;
-        let ds = march_dataset(&scenario);
+        let ds = world.march_dataset();
         let rows = permadead_core::retry_counterfactual(
-            &scenario.archive,
+            world.archive(),
             &ds,
             permadead_core::IABOT_TIMEOUT_MS,
-            scenario.config.seed ^ 0x5EC41,
+            args.get_u64("seed", 42)? ^ 0x5EC41,
             max,
         );
         println!("{}", permadead_core::render_retry_counterfactual(&rows, ds.len()));
@@ -214,8 +282,8 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = scenario_from(args)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let world = world_from(args)?;
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
     let ds_years = study
         .findings
         .iter()
@@ -254,9 +322,9 @@ fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = scenario_from(args)?;
+    let world = world_from(args)?;
     let limit = args.get_usize("limit", 5)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
     for f in study.findings.iter().take(limit) {
         println!("── {}", f.entry.url);
         println!("   cited in:       {}", f.entry.article);
@@ -276,10 +344,10 @@ fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = scenario_from(args)?;
+    let world = world_from(args)?;
     let limit = args.get_usize("limit", 10)?;
-    let study = march_study(&scenario, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
-    let recs = permadead_core::recommendations(&study, &scenario.archive);
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let recs = permadead_core::recommendations(&study, world.archive());
     println!(
         "{} tagged links analyzed; {} actionable recommendations:\n",
         study.len(),
@@ -331,7 +399,7 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Some(_) => Some(args.get_u64("origin-retry-budget-ms", 0)?),
         None => None,
     };
-    let scenario = scenario_from(args)?;
+    let world = world_from(args)?;
     eprintln!(
         "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
         config.workers,
@@ -339,9 +407,12 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         cache.shards,
         retry.max_attempts,
     );
-    let service = permadead_serve::AuditService::over(scenario, cache)
-        .with_retry(retry)
-        .with_origin_retry_budget_ms(origin_budget_ms);
+    let service = match world {
+        CliWorld::Generated(scenario) => permadead_serve::AuditService::over(*scenario, cache),
+        CliWorld::Snapshot(w) => permadead_serve::AuditService::from_world(*w, cache),
+    }
+    .with_retry(retry)
+    .with_origin_retry_budget_ms(origin_budget_ms);
     let handle = permadead_serve::start(service, config)?;
     // the exact line scripts/check.sh greps for the ephemeral port
     println!("listening on {}", handle.addr());
@@ -380,19 +451,19 @@ fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         n => n,
     };
     let retry = retry_policy_from(args)?;
-    let scenario = scenario_from(args)?;
-    let start = scenario.config.study_time;
+    let world = world_from(args)?;
+    let start = world.study_time();
 
     let mut sched = Scheduler::new(SchedulerConfig {
         policy: WatchPolicy { strikes, min_span },
         cadence,
         host_budget_per_day: host_budget,
     });
-    for entry in &march_dataset(&scenario).entries {
+    for entry in &world.march_dataset().entries {
         sched.watch_staggered(entry.url.clone(), start);
     }
     eprintln!("[permadead] watching {} links for {days} simulated days…", sched.len());
-    let web = &scenario.web;
+    let web = world.web();
     let timeline = permadead_sched::run_days(&mut sched, start, days, jobs, |url, at| {
         permadead_core::live_check_with_retry(web, url, at, &retry)
             .0

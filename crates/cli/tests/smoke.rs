@@ -126,6 +126,42 @@ fn audit_produces_report_and_exports() {
 }
 
 #[test]
+fn audit_world_cache_miss_then_hit_prints_the_same_report() {
+    let dir = std::env::temp_dir().join(format!("permadead-cli-worldcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        bin()
+            .args(["audit", "--seed", "3", "--world-cache", dir.to_str().unwrap()])
+            .output()
+            .expect("binary runs")
+    };
+    let first = run();
+    assert!(first.status.success(), "stderr: {}", String::from_utf8_lossy(&first.stderr));
+    let err1 = String::from_utf8_lossy(&first.stderr);
+    assert!(err1.contains("world cache miss"), "first run must miss: {err1}");
+
+    let second = run();
+    assert!(second.status.success(), "stderr: {}", String::from_utf8_lossy(&second.stderr));
+    let err2 = String::from_utf8_lossy(&second.stderr);
+    assert!(err2.contains("world cache hit"), "second run must hit: {err2}");
+    // drop the per-stage wall-clock latency rows — real time, never
+    // run-to-run stable — and require everything else byte-identical
+    let findings_only = |out: &[u8]| {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| !l.contains(" hits "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        findings_only(&first.stdout),
+        findings_only(&second.stdout),
+        "a snapshot-backed audit must print the generated audit's exact report"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn recommend_prints_worklist() {
     let out = bin()
         .args(["recommend", "--seed", "3", "--limit", "3"])

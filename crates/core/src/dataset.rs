@@ -106,6 +106,48 @@ impl Dataset {
     pub fn post_years(&self) -> Vec<f64> {
         self.entries.iter().map(|e| e.added_at.as_year_f64()).collect()
     }
+
+    /// Lower into an interned columnar table (the world-snapshot currency).
+    /// Row order is preserved; strings are deduplicated into `interner`.
+    pub fn to_table(
+        &self,
+        interner: &mut permadead_worldstore::Interner,
+    ) -> permadead_worldstore::LinkTable {
+        let mut t = permadead_worldstore::LinkTable::new(&self.label);
+        for e in &self.entries {
+            t.push(
+                interner,
+                &e.url.to_string(),
+                &e.article,
+                e.added_at.0,
+                e.marked_at.0,
+                &e.marked_by,
+            );
+        }
+        t
+    }
+
+    /// Rehydrate from an interned table — the inverse of
+    /// [`Dataset::to_table`] (URL parsing is idempotent on already-
+    /// normalized URLs, so the round trip is exact).
+    pub fn from_table(
+        table: &permadead_worldstore::LinkTable,
+        interner: &permadead_worldstore::Interner,
+    ) -> Dataset {
+        Dataset {
+            label: table.label.clone(),
+            entries: table
+                .rows()
+                .map(|r| DatasetEntry {
+                    url: Url::parse(interner.resolve(r.url)).expect("stored URL parses"),
+                    article: interner.resolve(r.article).to_string(),
+                    added_at: SimTime(r.added_at),
+                    marked_at: SimTime(r.marked_at),
+                    marked_by: interner.resolve(r.marked_by).to_string(),
+                })
+                .collect(),
+        }
+    }
 }
 
 fn collect_from(
@@ -286,6 +328,18 @@ mod tests {
         let d = Dataset::random(&w, 100, 1);
         assert_eq!(d.urls_per_domain(), vec![1, 2]); // one.org ×2, two.org ×1
         assert_eq!(d.distinct_hostnames(), 3);
+    }
+
+    #[test]
+    fn table_round_trip_is_exact() {
+        let w = wiki(6);
+        let d = Dataset::alphabetical(&w, 100, 100, 1);
+        let mut interner = permadead_worldstore::Interner::new();
+        let table = d.to_table(&mut interner);
+        assert_eq!(table.len(), d.len());
+        let back = Dataset::from_table(&table, &interner);
+        assert_eq!(back.label, d.label);
+        assert_eq!(back.entries, d.entries);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod archival;
 pub mod counterfactual;
 pub mod dataset;
 pub mod implications;
+pub mod incremental;
 pub mod livecheck;
 pub mod params;
 pub mod pipeline;
@@ -40,6 +41,7 @@ pub use counterfactual::{
 };
 pub use dataset::{Dataset, DatasetEntry};
 pub use implications::{recommend_for, recommendations, summarize, Recommendation};
+pub use incremental::{IncrementalAudit, ReauditOutcome};
 pub use livecheck::{live_check, live_check_with_retry, LiveCheck};
 pub use params::{find_param_reorder_copy, ParamReorderRescue};
 pub use pipeline::{
@@ -47,7 +49,7 @@ pub use pipeline::{
     StudyEnv, StudyOptions,
 };
 pub use redirects::{validate_redirect, validate_redirect_with_retry, RedirectVerdict};
-pub use report::{Study, StudyReport};
+pub use report::{fold_finding, LinkFinding, Study, StudyReport};
 pub use soft404::{soft404_probe, soft404_probe_with_retry, Soft404Verdict};
 pub use spatial::{spatial_coverage, spatial_coverage_with_retry, SpatialCoverage};
 pub use temporal::{temporal_analysis, TemporalAnalysis};

@@ -399,9 +399,21 @@ impl StudyOptions {
         } else {
             self.jobs
         };
-        requested.clamp(1, len.max(1))
+        // Shard granularity scales with corpus size: spawning a thread per
+        // `len/jobs` links only pays once each shard amortizes its spawn +
+        // reassembly overhead. At the 244-link study corpus this resolves to
+        // one shard (BENCH_pipeline.json used to show jobs=8 running at
+        // 0.72× jobs=1); at 18k links it still allows ~70 shards.
+        let max_useful = len.div_ceil(MIN_LINKS_PER_SHARD).max(1);
+        requested.clamp(1, len.max(1)).min(max_useful)
     }
 }
+
+/// Smallest corpus slice worth a dedicated worker thread. Findings are
+/// bit-identical for any shard count, so this is purely a latency knob:
+/// per-link analysis costs ~25µs, making a 256-link shard ~6ms of work
+/// against ~100µs of spawn/join overhead.
+pub const MIN_LINKS_PER_SHARD: usize = 256;
 
 /// Fresh zeroed stats rows, one per stage, in stage order.
 pub fn empty_stats(stages: &[Box<dyn Stage>]) -> Vec<StageStats> {
@@ -467,7 +479,7 @@ fn run_shard(
     (findings, stats)
 }
 
-fn merge_stats(total: &mut [StageStats], part: &[StageStats]) {
+pub(crate) fn merge_stats(total: &mut [StageStats], part: &[StageStats]) {
     debug_assert_eq!(total.len(), part.len());
     for (t, p) in total.iter_mut().zip(part) {
         debug_assert_eq!(t.name, p.name);
@@ -633,6 +645,22 @@ mod tests {
         let (serial, _) = run_study(&env, &ds, &StudyOptions::default());
         let (auto, _) = run_study(&env, &ds, &StudyOptions::with_jobs(0));
         assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn small_corpora_collapse_to_one_shard() {
+        // below MIN_LINKS_PER_SHARD every jobs value runs serially, so
+        // jobs>1 can never be slower than jobs=1 on a toy corpus
+        let o = StudyOptions::with_jobs(8);
+        assert_eq!(o.effective_jobs(244), 1);
+        assert_eq!(o.effective_jobs(MIN_LINKS_PER_SHARD), 1);
+        assert_eq!(o.effective_jobs(MIN_LINKS_PER_SHARD + 1), 2);
+        // large corpora still fan out to the requested width
+        assert_eq!(o.effective_jobs(18_000), 8);
+        assert_eq!(StudyOptions::with_jobs(128).effective_jobs(18_000), 71);
+        // degenerate cases
+        assert_eq!(o.effective_jobs(0), 1);
+        assert_eq!(o.effective_jobs(1), 1);
     }
 
     #[test]

@@ -182,74 +182,92 @@ impl Study {
             ..Default::default()
         };
         for f in &self.findings {
-            match f.live.status {
-                LiveStatus::DnsFailure => r.dns_failure += 1,
-                LiveStatus::Timeout => r.timeout += 1,
-                LiveStatus::NotFound => r.not_found += 1,
-                LiveStatus::Ok => r.final_200 += 1,
-                LiveStatus::Other => r.other += 1,
-            }
-            if f.genuinely_alive() {
-                r.genuinely_alive += 1;
-                if f.live.was_redirected() {
-                    r.alive_via_redirect += 1;
-                }
-            }
-            match f.archival {
-                ArchivalClass::Had200Copy => r.had_200_copy += 1,
-                ArchivalClass::Had3xxOnly => {
-                    r.had_3xx_only += 1;
-                    if f.redirect_verdict.as_ref().is_some_and(|v| v.is_valid()) {
-                        r.valid_3xx += 1;
-                    }
-                }
-                ArchivalClass::HadErroneousOnly => r.had_erroneous_only += 1,
-                ArchivalClass::NothingBeforeMarking => r.nothing_before_marking += 1,
-                ArchivalClass::NeverArchived => r.never_archived += 1,
-            }
-            match f.post_marking {
-                PostMarkingCheck::NoCopyAfterMarking => {}
-                PostMarkingCheck::FirstCopyErroneous => {
-                    r.post_marking_checked += 1;
-                    r.post_marking_erroneous += 1;
-                }
-                PostMarkingCheck::FirstCopyGood => r.post_marking_checked += 1,
-            }
-            if f.archival != ArchivalClass::Had200Copy {
-                match f.temporal {
-                    TemporalAnalysis::ArchivedBeforePosting => r.archived_before_posting += 1,
-                    TemporalAnalysis::FirstCaptureAfterPosting {
-                        same_day,
-                        first_copy_erroneous,
-                        ..
-                    } => {
-                        r.first_capture_after_posting += 1;
-                        if same_day {
-                            r.same_day_capture += 1;
-                            if first_copy_erroneous {
-                                r.same_day_erroneous += 1;
-                            }
-                        }
-                    }
-                    TemporalAnalysis::NeverArchived => {}
-                }
-            }
-            if let Some(s) = f.spatial {
-                if s.directory_is_empty() {
-                    r.directory_level_zero += 1;
-                }
-                if s.hostname_is_empty() {
-                    r.hostname_level_zero += 1;
-                }
-            }
-            if f.typo.is_some() {
-                r.unique_edit_distance_1 += 1;
-            }
-            if f.param_rescue.is_some() {
-                r.param_reorder_rescuable += 1;
-            }
+            fold_finding(&mut r, f, 1);
         }
         r
+    }
+}
+
+/// Apply one finding's contribution to a report's counters with the given
+/// sign: `+1` folds it in, `-1` retracts it. [`Study::report`] is a fold of
+/// this over every finding; the incremental engine
+/// ([`crate::incremental::IncrementalAudit`]) uses the `-1` direction to
+/// retire a link's stale finding before folding its replacement in, keeping
+/// the aggregate bit-identical to a from-scratch fold at O(changed) cost.
+///
+/// `label`, `n`, and `stage_stats` are run-level, not per-finding, and are
+/// untouched here.
+pub fn fold_finding(r: &mut StudyReport, f: &LinkFinding, sign: isize) {
+    fn bump(counter: &mut usize, sign: isize) {
+        *counter = counter
+            .checked_add_signed(sign)
+            .expect("report counter underflow: retracting a finding that was never folded in");
+    }
+    match f.live.status {
+        LiveStatus::DnsFailure => bump(&mut r.dns_failure, sign),
+        LiveStatus::Timeout => bump(&mut r.timeout, sign),
+        LiveStatus::NotFound => bump(&mut r.not_found, sign),
+        LiveStatus::Ok => bump(&mut r.final_200, sign),
+        LiveStatus::Other => bump(&mut r.other, sign),
+    }
+    if f.genuinely_alive() {
+        bump(&mut r.genuinely_alive, sign);
+        if f.live.was_redirected() {
+            bump(&mut r.alive_via_redirect, sign);
+        }
+    }
+    match f.archival {
+        ArchivalClass::Had200Copy => bump(&mut r.had_200_copy, sign),
+        ArchivalClass::Had3xxOnly => {
+            bump(&mut r.had_3xx_only, sign);
+            if f.redirect_verdict.as_ref().is_some_and(|v| v.is_valid()) {
+                bump(&mut r.valid_3xx, sign);
+            }
+        }
+        ArchivalClass::HadErroneousOnly => bump(&mut r.had_erroneous_only, sign),
+        ArchivalClass::NothingBeforeMarking => bump(&mut r.nothing_before_marking, sign),
+        ArchivalClass::NeverArchived => bump(&mut r.never_archived, sign),
+    }
+    match f.post_marking {
+        PostMarkingCheck::NoCopyAfterMarking => {}
+        PostMarkingCheck::FirstCopyErroneous => {
+            bump(&mut r.post_marking_checked, sign);
+            bump(&mut r.post_marking_erroneous, sign);
+        }
+        PostMarkingCheck::FirstCopyGood => bump(&mut r.post_marking_checked, sign),
+    }
+    if f.archival != ArchivalClass::Had200Copy {
+        match f.temporal {
+            TemporalAnalysis::ArchivedBeforePosting => bump(&mut r.archived_before_posting, sign),
+            TemporalAnalysis::FirstCaptureAfterPosting {
+                same_day,
+                first_copy_erroneous,
+                ..
+            } => {
+                bump(&mut r.first_capture_after_posting, sign);
+                if same_day {
+                    bump(&mut r.same_day_capture, sign);
+                    if first_copy_erroneous {
+                        bump(&mut r.same_day_erroneous, sign);
+                    }
+                }
+            }
+            TemporalAnalysis::NeverArchived => {}
+        }
+    }
+    if let Some(s) = f.spatial {
+        if s.directory_is_empty() {
+            bump(&mut r.directory_level_zero, sign);
+        }
+        if s.hostname_is_empty() {
+            bump(&mut r.hostname_level_zero, sign);
+        }
+    }
+    if f.typo.is_some() {
+        bump(&mut r.unique_edit_distance_1, sign);
+    }
+    if f.param_rescue.is_some() {
+        bump(&mut r.param_reorder_rescuable, sign);
     }
 }
 

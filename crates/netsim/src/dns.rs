@@ -75,6 +75,12 @@ impl HostTimeline {
         self.states.push((from, state));
     }
 
+    /// The raw transition list, time-ordered (for world serialization: a
+    /// timeline round-trips by replaying these through [`HostTimeline::push`]).
+    pub fn states(&self) -> &[(SimTime, HostState)] {
+        &self.states
+    }
+
     /// The state in effect at `t`, or `None` if `t` precedes registration.
     pub fn state_at(&self, t: SimTime) -> Option<HostState> {
         self.states
@@ -127,6 +133,11 @@ impl StaticDns {
 
     pub fn is_empty(&self) -> bool {
         self.zones.is_empty()
+    }
+
+    /// Every `(host, timeline)` pair, in arbitrary order (serializers sort).
+    pub fn zones(&self) -> impl Iterator<Item = (&String, &HostTimeline)> {
+        self.zones.iter()
     }
 }
 

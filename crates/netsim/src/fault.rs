@@ -58,6 +58,12 @@ impl FaultProfile {
         }
     }
 
+    /// The seed the probabilistic faults draw from (for serialization; a
+    /// profile round-trips through [`FaultProfile::none`] + the builders).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Script a fault for every request in `[from, to)`.
     pub fn with_window(mut self, from: SimTime, to: SimTime, fault: Fault) -> Self {
         self.windows.push(FaultWindow { from, to, fault });
@@ -208,6 +214,14 @@ impl DailyRateLimiter {
     /// Days currently tracked (the regression surface for the prune above).
     pub fn tracked_days(&self) -> usize {
         self.served.lock().len()
+    }
+
+    /// The configured per-day budget. Day counts are runtime state and are
+    /// *not* serialized with a world: [`DailyRateLimiter::admit`] prunes every
+    /// day earlier than the query's, so a freshly-constructed limiter behaves
+    /// identically from the first post-load request onward.
+    pub fn per_day(&self) -> u32 {
+        self.per_day
     }
 }
 

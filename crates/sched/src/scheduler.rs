@@ -14,7 +14,7 @@ use crate::politeness::HostBudget;
 use crate::watcher::{Transition, WatchPolicy, WatchState, Watcher};
 use permadead_net::{Duration, EventQueue, SimTime};
 use permadead_url::Url;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Everything that shapes a monitoring run.
 #[derive(Debug, Clone)]
@@ -79,6 +79,11 @@ pub struct Scheduler {
     watchers: Vec<Watcher>,
     id_of: HashMap<String, usize>,
     budget: Option<HostBudget>,
+    /// Watchers whose state flipped (Tagged / Revived) since the last
+    /// [`Self::take_dirty`] — the incremental re-audit's work list. Ordered
+    /// and deduplicated so consumers re-audit each flipped link once, in a
+    /// deterministic order.
+    dirty: BTreeSet<usize>,
     pub counters: SchedCounters,
 }
 
@@ -91,6 +96,7 @@ impl Scheduler {
             watchers: Vec::new(),
             id_of: HashMap::new(),
             budget,
+            dirty: BTreeSet::new(),
             counters: SchedCounters::default(),
         }
     }
@@ -193,14 +199,33 @@ impl Scheduler {
         let w = &mut self.watchers[id];
         let transition = w.observe(ok, at, &policy);
         match transition {
-            Transition::Tagged => self.counters.tagged += 1,
-            Transition::Revived => self.counters.revived += 1,
+            Transition::Tagged => {
+                self.counters.tagged += 1;
+                self.dirty.insert(id);
+            }
+            Transition::Revived => {
+                self.counters.revived += 1;
+                self.dirty.insert(id);
+            }
             _ => {}
         }
         let key = w.url.to_string();
         let delay = self.config.cadence.next_delay(&key, w.stable_streak, w.checks);
         self.queue.schedule(at + delay, 0, id);
         transition
+    }
+
+    /// Drain the set of watchers whose state flipped since the last call,
+    /// in ascending id order. A link that flapped (tagged then revived)
+    /// between drains appears once — consumers re-audit its *current*
+    /// state, so coalescing is exactly right.
+    pub fn take_dirty(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Flipped watchers waiting to be drained (for `/metrics`).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Watchers currently tagged permanently dead.
@@ -349,6 +374,42 @@ mod tests {
         assert_eq!(snap.counters.checks, 6);
         assert_eq!(snap.pending, 2, "both watchers have a next check queued");
         assert_eq!(snap.tagged_now, 0);
+    }
+
+    #[test]
+    fn dirty_set_collects_flips_once_and_drains() {
+        let mut s = sched();
+        s.watch(url("http://dead.org/x"), day(0)); // id 0: will tag
+        s.watch(url("http://fine.org/x"), day(0)); // id 1: stays healthy
+        assert_eq!(s.take_dirty(), Vec::<usize>::new());
+        for d in 0..3 {
+            while let Some((id, at)) = s.pop_due(day(d)) {
+                s.apply(id, at, id == 1);
+            }
+        }
+        assert_eq!(s.dirty_len(), 1);
+        assert_eq!(s.take_dirty(), vec![0], "only the tagged link is dirty");
+        assert_eq!(s.take_dirty(), Vec::<usize>::new(), "drain empties the set");
+        // a revival dirties it again; strikes alone never do
+        let (id, at) = s.pop_due(day(3)).expect("due");
+        assert_eq!(s.apply(id, at, true), Transition::Revived);
+        let (id1, at1) = s.pop_due(day(3)).expect("due");
+        assert_eq!(s.apply(id1, at1, false), Transition::Strike);
+        assert_eq!(s.take_dirty(), vec![0]);
+    }
+
+    #[test]
+    fn flapping_link_appears_once_per_drain() {
+        let mut s = sched();
+        s.watch(url("http://flap.org/x"), day(0));
+        for d in 0..3 {
+            let (id, at) = s.pop_due(day(d)).unwrap();
+            s.apply(id, at, false);
+        }
+        let (id, at) = s.pop_due(day(3)).unwrap();
+        assert_eq!(s.apply(id, at, true), Transition::Revived);
+        // tagged then revived without a drain in between: one entry
+        assert_eq!(s.take_dirty(), vec![0]);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   simulated-network counters ([`metrics`]);
 //! - a background watch scheduler (`POST /watch`, `GET /watchlist`) that
 //!   pumps IABot-style continuous re-checks through the same worker pool,
-//!   built on [`permadead_sched`] ([`server`]).
+//!   built on [`permadead_sched`] ([`server`]);
+//! - an incremental re-audit engine fed by the scheduler's dirty set: one
+//!   flipped watched link re-runs one link, and `GET /report` serves the
+//!   maintained study aggregate ([`server`]);
+//! - scenario → world-snapshot composition and the on-disk world cache
+//!   behind `--world-cache` ([`worldcache`]).
 //!
 //! ```no_run
 //! use permadead_serve::{start, AuditService, CacheConfig, ServerConfig};
@@ -36,9 +41,11 @@ pub mod origin;
 pub mod server;
 pub mod service;
 pub mod wire;
+pub mod worldcache;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use metrics::ServeMetrics;
 pub use origin::OriginLedger;
 pub use server::{start, ServerConfig, ServerHandle, WatchConfig};
 pub use service::{AuditService, CheckOutcome, Provenance};
+pub use worldcache::{load_or_generate, world_from_scenario, WorldCacheOutcome};

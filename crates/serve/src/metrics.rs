@@ -41,6 +41,10 @@ pub struct ServeMetrics {
     pub worker_panics_total: Counter,
     /// Requests currently being processed by workers.
     pub inflight: AtomicI64,
+    /// Links re-run by the incremental re-audit engine after watch flips.
+    pub reaudit_links_total: Counter,
+    /// Incremental re-runs whose memoized finding actually changed.
+    pub reaudit_changed_total: Counter,
     /// Cumulative latency histogram over handled requests.
     bucket_counts: Vec<Counter>,
     latency_sum_nanos: Counter,
@@ -49,8 +53,8 @@ pub struct ServeMetrics {
     stage_stats: Mutex<Vec<StageStats>>,
 }
 
-pub const ROUTES: [&str; 7] =
-    ["check", "batch", "watch", "watchlist", "metrics", "healthz", "other"];
+pub const ROUTES: [&str; 8] =
+    ["check", "batch", "watch", "watchlist", "report", "metrics", "healthz", "other"];
 
 impl Default for ServeMetrics {
     fn default() -> Self {
@@ -74,6 +78,8 @@ impl ServeMetrics {
             rejected_total: Counter::default(),
             worker_panics_total: Counter::default(),
             inflight: AtomicI64::new(0),
+            reaudit_links_total: Counter::default(),
+            reaudit_changed_total: Counter::default(),
             bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
             latency_sum_nanos: Counter::default(),
             latency_count: Counter::default(),
@@ -407,6 +413,18 @@ impl ServeMetrics {
             &[format!("permadead_watch_deferred_total {}", watch.counters.deferred)],
         );
         metric(
+            "permadead_reaudit_links_total",
+            "counter",
+            "Links re-run by the incremental re-audit engine after watch flips.",
+            &[format!("permadead_reaudit_links_total {}", self.reaudit_links_total.get())],
+        );
+        metric(
+            "permadead_reaudit_changed_total",
+            "counter",
+            "Incremental re-runs whose memoized finding actually changed.",
+            &[format!("permadead_reaudit_changed_total {}", self.reaudit_changed_total.get())],
+        );
+        metric(
             "permadead_watch_queue_depth",
             "gauge",
             "Re-check events waiting in the watch scheduler's queue.",
@@ -562,6 +580,23 @@ mod tests {
         assert!(text.contains("permadead_retries_total{cause=\"rate-limited\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"unavailable\"} 0"));
         assert!(text.contains("permadead_retry_exhausted_total 2"));
+    }
+
+    #[test]
+    fn reaudit_counters_render_and_route_counts() {
+        let m = ServeMetrics::new();
+        m.count_route("report");
+        m.reaudit_links_total.add(4);
+        m.reaudit_changed_total.add(1);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
+        for needle in [
+            "permadead_requests_total{endpoint=\"report\"} 1",
+            "# TYPE permadead_reaudit_links_total counter",
+            "permadead_reaudit_links_total 4",
+            "permadead_reaudit_changed_total 1",
+        ] {
+            assert!(text.contains(needle), "missing: {needle}");
+        }
     }
 
     #[test]

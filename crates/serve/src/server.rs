@@ -24,6 +24,7 @@
 //! | `/batch`         | POST   | newline-delimited URLs (bounded); JSON array       |
 //! | `/watch`         | POST   | register newline-delimited URLs for re-checking    |
 //! | `/watchlist`     | GET    | JSON state of every watched link                   |
+//! | `/report`        | GET    | incremental study report over the batch dataset    |
 //! | `/metrics`       | GET    | Prometheus text                                    |
 //! | `/healthz`       | GET    | JSON: queue depth, worker count, watchlist size    |
 
@@ -32,6 +33,7 @@ use crate::service::AuditService;
 use crate::wire::{query_param, read_request, HttpRequest, HttpResponse, WireError};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use permadead_core::IncrementalAudit;
 use permadead_net::{Duration, SimTime};
 use permadead_sched::{Cadence, Scheduler, SchedulerConfig, WatchPolicy, WatchSnapshot};
 use permadead_url::Url;
@@ -129,6 +131,11 @@ struct Inner {
     watch: Mutex<Scheduler>,
     /// Simulated seconds added to the watch clock by `/debug/watch-advance`.
     watch_offset: AtomicI64,
+    /// The incremental re-audit engine over the batch dataset, built lazily
+    /// on the first dirty watcher or `GET /report` — a server that never
+    /// watches and never asks for the report pays nothing. Lock discipline:
+    /// never taken while holding the `watch` lock.
+    reaudit: Mutex<Option<IncrementalAudit>>,
 }
 
 impl Inner {
@@ -222,6 +229,7 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         queue_probe: rx.clone(),
         watch: Mutex::new(scheduler),
         watch_offset: AtomicI64::new(0),
+        reaudit: Mutex::new(None),
     });
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
@@ -299,7 +307,31 @@ fn pump_loop(inner: &Inner, tx: Sender<Job>) {
 fn handle_recheck(inner: &Inner, id: usize, due: SimTime) {
     let url = inner.watch.lock().watcher(id).url.clone();
     let (check, _retry) = inner.service.live_recheck(&url, due);
-    inner.watch.lock().apply(id, due, check.is_final_200());
+    let mut sched = inner.watch.lock();
+    sched.apply(id, due, check.is_final_200());
+    // Drain the scheduler's dirty set (every watcher that flipped state,
+    // deduplicated) and resolve each to its batch-dataset index while the
+    // lock is still held; watched URLs outside the dataset have no
+    // memoized finding to maintain and are simply dropped.
+    let dirty = sched.take_dirty();
+    let indices: Vec<usize> = dirty
+        .iter()
+        .filter_map(|&w| inner.service.dataset_index_of(&sched.watcher(w).url.to_string()))
+        .collect();
+    drop(sched);
+    if indices.is_empty() {
+        return;
+    }
+    // O(changed): re-run exactly the flipped links at the flip instant. The
+    // engine builds on the first flip; afterwards `GET /report` reflects
+    // every watch transition without a full-study re-run.
+    let mut guard = inner.reaudit.lock();
+    let audit = guard.get_or_insert_with(|| inner.service.build_incremental());
+    let outcome = inner.service.reaudit(audit, &indices, due);
+    // counters move before the lock drops, so anything that observes the
+    // updated report also observes them
+    inner.metrics.reaudit_links_total.add(outcome.reaudited as u64);
+    inner.metrics.reaudit_changed_total.add(outcome.changed as u64);
 }
 
 fn accept_loop(listener: TcpListener, tx: Sender<Job>, inner: &Inner) {
@@ -384,6 +416,7 @@ fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
         ("POST", "/batch") => ("batch", handle_batch(inner, req)),
         ("POST", "/watch") => ("watch", handle_watch(inner, req)),
         ("GET", "/watchlist") => ("watchlist", handle_watchlist(inner)),
+        ("GET", "/report") => ("report", handle_report(inner)),
         ("GET", "/debug/sleep") if inner.config.debug_endpoints => {
             let ms: u64 = query_param(req.query.as_deref(), "ms")
                 .and_then(|v| v.parse().ok())
@@ -399,7 +432,7 @@ fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
             ("other", HttpResponse::text(200, format!("watch clock at {}\n", inner.watch_now())))
         }
         ("GET", _) => ("other", HttpResponse::error(404, "no such endpoint")),
-        (_, "/check" | "/batch" | "/metrics" | "/healthz" | "/watch" | "/watchlist") => {
+        (_, "/check" | "/batch" | "/metrics" | "/healthz" | "/watch" | "/watchlist" | "/report") => {
             ("other", HttpResponse::error(405, "method not allowed"))
         }
         _ => ("other", HttpResponse::error(404, "no such endpoint")),
@@ -528,6 +561,48 @@ fn handle_watch(inner: &Inner, req: &HttpRequest) -> HttpResponse {
             "{{\"registered\":{registered},\"invalid\":{invalid},\"watchlist\":{watchlist}}}"
         ),
     )
+}
+
+/// `GET /report`: the paper's headline counters over the batch dataset,
+/// maintained incrementally. The first request (or the first watched-link
+/// flip) builds the engine with one full pipeline pass; afterwards every
+/// watch transition updates the aggregate at O(changed) cost and this
+/// endpoint just renders the maintained counters.
+fn handle_report(inner: &Inner) -> HttpResponse {
+    let mut guard = inner.reaudit.lock();
+    let audit = guard.get_or_insert_with(|| inner.service.build_incremental());
+    let report = audit.report();
+    let as_of = audit.now();
+    drop(guard);
+    let body = crate::json::Object::new()
+        .str("label", &report.label)
+        .num("n", report.n)
+        .str("as_of", &as_of.to_string())
+        .num("dns_failure", report.dns_failure)
+        .num("timeout", report.timeout)
+        .num("not_found", report.not_found)
+        .num("final_200", report.final_200)
+        .num("other", report.other)
+        .num("genuinely_alive", report.genuinely_alive)
+        .num("alive_via_redirect", report.alive_via_redirect)
+        .num("post_marking_checked", report.post_marking_checked)
+        .num("post_marking_erroneous", report.post_marking_erroneous)
+        .num("had_200_copy", report.had_200_copy)
+        .num("had_3xx_only", report.had_3xx_only)
+        .num("valid_3xx", report.valid_3xx)
+        .num("had_erroneous_only", report.had_erroneous_only)
+        .num("nothing_before_marking", report.nothing_before_marking)
+        .num("never_archived", report.never_archived)
+        .num("archived_before_posting", report.archived_before_posting)
+        .num("first_capture_after_posting", report.first_capture_after_posting)
+        .num("same_day_capture", report.same_day_capture)
+        .num("same_day_erroneous", report.same_day_erroneous)
+        .num("directory_level_zero", report.directory_level_zero)
+        .num("hostname_level_zero", report.hostname_level_zero)
+        .num("unique_edit_distance_1", report.unique_edit_distance_1)
+        .num("param_reorder_rescuable", report.param_reorder_rescuable)
+        .render();
+    HttpResponse::json(200, body)
 }
 
 /// `GET /watchlist`: the full monitoring state, one object per watched link.

@@ -15,13 +15,17 @@
 use crate::cache::{fnv1a, CacheConfig, CacheStats, ShardedCache};
 use crate::json::Object;
 use crate::origin::OriginLedger;
+use permadead_archive::ArchiveStore;
 use permadead_core::{
     analyze_link, default_stages, empty_stats, live_check_with_retry, recommend_for, Dataset,
-    DatasetEntry, LiveCheck, Recommendation, Stage, StageStats, StudyEnv,
+    DatasetEntry, IncrementalAudit, LiveCheck, Recommendation, ReauditOutcome, Stage, StageStats,
+    StudyEnv, StudyOptions,
 };
 use permadead_net::{MetricsSnapshot, RetryPolicy, SimTime};
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_url::Url;
+use permadead_web::LiveWeb;
+use permadead_worldstore::World;
 use std::collections::HashMap;
 
 /// Where a queried URL's provenance came from.
@@ -52,9 +56,41 @@ pub struct CheckOutcome {
     pub cached: bool,
 }
 
+/// The seeded world behind a service: either a freshly generated
+/// [`Scenario`] or a [`World`] rehydrated from an on-disk snapshot. The
+/// snapshot determinism contract makes the two behaviourally identical, so
+/// every handler goes through these accessors and never cares which it got.
+enum WorldSource {
+    Scenario(Box<Scenario>),
+    Snapshot(Box<World>),
+}
+
+impl WorldSource {
+    fn web(&self) -> &LiveWeb {
+        match self {
+            WorldSource::Scenario(s) => &s.web,
+            WorldSource::Snapshot(w) => &w.web,
+        }
+    }
+
+    fn archive(&self) -> &ArchiveStore {
+        match self {
+            WorldSource::Scenario(s) => &s.archive,
+            WorldSource::Snapshot(w) => &w.archive,
+        }
+    }
+
+    fn study_time(&self) -> SimTime {
+        match self {
+            WorldSource::Scenario(s) => s.config.study_time,
+            WorldSource::Snapshot(w) => w.meta.study_time,
+        }
+    }
+}
+
 /// The shared audit service: immutable world + concurrent cache.
 pub struct AuditService {
-    scenario: Scenario,
+    world: WorldSource,
     stages: Vec<Box<dyn Stage>>,
     /// URL → index in the batch dataset (the parity set).
     index_of: HashMap<String, usize>,
@@ -105,7 +141,39 @@ impl AuditService {
             .map(|e| (e.url.to_string(), e))
             .collect();
         AuditService {
-            scenario,
+            world: WorldSource::Scenario(Box::new(scenario)),
+            stages: default_stages(),
+            index_of,
+            dataset,
+            extra,
+            cache: ShardedCache::new(cache),
+            retry: RetryPolicy::single(),
+            origin_budget: None,
+        }
+    }
+
+    /// Build over a world snapshot (the `--world-cache` path). No wiki, no
+    /// replay: the batch-parity dataset comes straight from the interned
+    /// march table, and the all-tagged table supplies provenance beyond the
+    /// sample — the same two sets [`Self::over`] derives from the scenario,
+    /// recorded at snapshot time.
+    pub fn from_world(world: World, cache: CacheConfig) -> AuditService {
+        let dataset = Dataset::from_table(&world.march, &world.interner);
+        let index_of: HashMap<String, usize> = dataset
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.url.to_string(), i))
+            .collect();
+        let all = Dataset::from_table(&world.all_tagged, &world.interner);
+        let extra: HashMap<String, DatasetEntry> = all
+            .entries
+            .into_iter()
+            .filter(|e| !index_of.contains_key(&e.url.to_string()))
+            .map(|e| (e.url.to_string(), e))
+            .collect();
+        AuditService {
+            world: WorldSource::Snapshot(Box::new(world)),
             stages: default_stages(),
             index_of,
             dataset,
@@ -148,7 +216,7 @@ impl AuditService {
 
     /// The moment every audit is evaluated at (the paper's study time).
     pub fn study_time(&self) -> SimTime {
-        self.scenario.config.study_time
+        self.world.study_time()
     }
 
     /// One watch-scheduler re-check: fetch `url` at simulated instant `at`
@@ -161,11 +229,20 @@ impl AuditService {
         url: &Url,
         at: SimTime,
     ) -> (LiveCheck, permadead_net::RetryOutcome) {
-        live_check_with_retry(&self.scenario.web, url, at, &self.retry)
+        live_check_with_retry(self.world.web(), url, at, &self.retry)
     }
 
+    /// The generated scenario behind a [`Self::new`]/[`Self::over`] service.
+    /// Panics for snapshot-backed services: ground truth (the wiki, the link
+    /// specs) is deliberately not serialized, so only generation-aware
+    /// callers (tests, calibration tools) may ask.
     pub fn scenario(&self) -> &Scenario {
-        &self.scenario
+        match &self.world {
+            WorldSource::Scenario(s) => s,
+            WorldSource::Snapshot(_) => {
+                panic!("scenario(): service is snapshot-backed; generation ground truth is unavailable")
+            }
+        }
     }
 
     /// The batch-parity dataset backing `/check`.
@@ -179,7 +256,36 @@ impl AuditService {
 
     /// Counters of the simulated live web (measurement cost side).
     pub fn net_snapshot(&self) -> MetricsSnapshot {
-        self.scenario.web.metrics.snapshot()
+        self.world.web().metrics.snapshot()
+    }
+
+    /// Dataset index of `url`, if it is in the batch-parity sample.
+    pub fn dataset_index_of(&self, url: &str) -> Option<usize> {
+        self.index_of.get(url).copied()
+    }
+
+    /// Build the incremental re-audit engine over this service's world: one
+    /// full pipeline pass at study time, memoized per link. Expensive —
+    /// callers cache the result and feed it to [`Self::reaudit`].
+    pub fn build_incremental(&self) -> IncrementalAudit {
+        IncrementalAudit::build(
+            self.world.web(),
+            self.world.archive(),
+            &self.dataset,
+            self.study_time(),
+            StudyOptions::default().with_retry(self.retry),
+        )
+    }
+
+    /// Re-run exactly `indices` of the batch dataset at watch instant `at`.
+    /// Wrapped here so the world's web and archive stay private.
+    pub fn reaudit(
+        &self,
+        audit: &mut IncrementalAudit,
+        indices: &[usize],
+        at: SimTime,
+    ) -> ReauditOutcome {
+        audit.reaudit_indices(self.world.web(), self.world.archive(), indices, at)
     }
 
     /// Audit one URL at serving time `now` (cache TTL clock only; the
@@ -214,8 +320,8 @@ impl AuditService {
             _ => self.retry,
         };
         let env = StudyEnv {
-            web: &self.scenario.web,
-            archive: &self.scenario.archive,
+            web: self.world.web(),
+            archive: self.world.archive(),
             now: self.study_time(),
             retry,
             cdx_timeout_ms: None,
@@ -225,7 +331,7 @@ impl AuditService {
         if let Some(ledger) = &self.origin_budget {
             ledger.charge(&host, stats.iter().map(|s| s.retry_backoff_ms).sum());
         }
-        let recommendation = recommend_for(&finding, &self.scenario.archive);
+        let recommendation = recommend_for(&finding, self.world.archive());
 
         let verdict = if finding.genuinely_alive() {
             "alive"
@@ -427,6 +533,37 @@ mod tests {
     fn bad_url_is_an_error() {
         let svc = tiny_service();
         assert!(svc.check("not a url at all", svc.study_time()).is_err());
+    }
+
+    #[test]
+    fn snapshot_backed_service_answers_like_the_generated_one() {
+        let cfg = ScenarioConfig {
+            rot_links: 40,
+            ..ScenarioConfig::small(7)
+        };
+        let generated = AuditService::new(cfg.clone(), CacheConfig::default());
+        let world = crate::worldcache::world_from_scenario(Scenario::generate(cfg), "small");
+        let snapped = AuditService::from_world(world, CacheConfig::default());
+
+        assert_eq!(snapped.study_time(), generated.study_time());
+        assert_eq!(snapped.dataset().len(), generated.dataset().len());
+        assert_eq!(snapped.extra.len(), generated.extra.len());
+        let now = generated.study_time();
+        for url in generated.sample_urls(8) {
+            let (a, _) = generated.check(&url, now).unwrap();
+            let (b, _) = snapped.check(&url, now).unwrap();
+            assert_eq!(a.body, b.body, "snapshot-backed divergence for {url}");
+        }
+    }
+
+    #[test]
+    fn incremental_reaudit_of_unchanged_world_changes_nothing() {
+        let svc = tiny_service();
+        let mut audit = svc.build_incremental();
+        assert_eq!(audit.len(), svc.dataset().len());
+        let out = svc.reaudit(&mut audit, &[0, 1], svc.study_time());
+        assert_eq!(out.reaudited, 2);
+        assert_eq!(out.changed, 0, "same clock, same world: no finding may move");
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Scenario → [`World`] composition and the on-disk world cache.
+//!
+//! `permadead-sim` deliberately knows nothing about `core`'s datasets or
+//! `worldstore`'s tables, so lowering a generated scenario into a savable
+//! [`World`] lives here, in the lowest crate that depends on all three. The
+//! dataset formulas are exactly the audit/serve ones — march = 60% of the
+//! category, alphabetical, sample-capped, seed `^ 0xA1`; september = random
+//! sample, seed `^ 0xB2`; all-tagged = every IABot-tagged URL — so a
+//! snapshot-backed [`AuditService`](crate::AuditService) answers
+//! bit-identically to a generated one.
+//!
+//! [`load_or_generate`] is the `--world-cache` entry point the CLI and the
+//! repro binaries share: hit → decode the snapshot (no wiki replay at all);
+//! miss → generate, lower, save, and leave the snapshot behind for next
+//! time.
+
+use permadead_core::Dataset;
+use permadead_sim::{Scenario, ScenarioConfig};
+use permadead_worldstore::{Interner, World, WorldMeta};
+use std::path::{Path, PathBuf};
+
+/// Lower a fully generated scenario into a savable [`World`]. Consumes the
+/// scenario: the web and archive move into the world unchanged, the wiki is
+/// reduced to the three link tables, and ground truth (`specs`,
+/// `bot_reports`) is dropped — a snapshot answers audits, not calibration.
+pub fn world_from_scenario(scenario: Scenario, scale: &str) -> World {
+    let category = scenario.wiki.permanently_dead_category().len();
+    let march = Dataset::alphabetical(
+        &scenario.wiki,
+        (category * 6 / 10).max(1),
+        scenario.config.sample_size,
+        scenario.config.seed ^ 0xA1,
+    );
+    let september = Dataset::random(
+        &scenario.wiki,
+        scenario.config.sample_size,
+        scenario.config.seed ^ 0xB2,
+    );
+    let all = Dataset::random(&scenario.wiki, usize::MAX, 0);
+
+    let mut interner = Interner::new();
+    let march = march.to_table(&mut interner);
+    let september = september.to_table(&mut interner);
+    let all = all.to_table(&mut interner);
+
+    let meta = WorldMeta {
+        seed: scenario.config.seed,
+        scale: scale.to_string(),
+        rot_links: scenario.config.rot_links as u32,
+        sample_size: scenario.config.sample_size as u32,
+        study_time: scenario.config.study_time,
+        random_sample_time: scenario.config.random_sample_time,
+        // the builder's derivation (simgen keys page content off the
+        // scenario seed); recorded so `World::load` re-aims `LiveWeb::new`
+        content_seed: scenario.config.seed ^ 0xC0FFEE,
+    };
+    World::assemble(meta, scenario.web, scenario.archive, interner, march, september, all)
+}
+
+/// Where a `(seed, scale)` world lives inside a cache directory.
+pub fn world_cache_path(dir: &Path, seed: u64, scale: &str) -> PathBuf {
+    dir.join(format!("world_seed{seed}_{scale}.pdw"))
+}
+
+/// How [`load_or_generate`] satisfied a request.
+#[derive(Debug)]
+pub struct WorldCacheOutcome {
+    /// True when the world came from an existing snapshot.
+    pub hit: bool,
+    /// The snapshot file consulted (and written, on a miss).
+    pub path: PathBuf,
+    /// Snapshot size in bytes.
+    pub size_bytes: u64,
+    /// Wall-clock of the load (hit) or the generate + lower + save (miss).
+    pub elapsed: std::time::Duration,
+}
+
+impl WorldCacheOutcome {
+    /// One operator-facing line: `world cache hit: … (412 KiB, 3.2ms)`.
+    pub fn describe(&self) -> String {
+        format!(
+            "world cache {}: {} ({} bytes, {:.1?})",
+            if self.hit { "hit" } else { "miss" },
+            self.path.display(),
+            self.size_bytes,
+            self.elapsed,
+        )
+    }
+}
+
+/// Load the `(config.seed, scale)` world from `dir`, or generate it and
+/// leave a snapshot behind for next time. A file whose header does not echo
+/// the requested seed, scale, and corpus sizes — a renamed file, a stale
+/// `--sample` override, a corrupt format — is regenerated and overwritten
+/// rather than trusted.
+pub fn load_or_generate(
+    dir: &Path,
+    config: ScenarioConfig,
+    scale: &str,
+) -> std::io::Result<(World, WorldCacheOutcome)> {
+    let path = world_cache_path(dir, config.seed, scale);
+    let t0 = std::time::Instant::now();
+    if path.exists() {
+        match World::load(&path) {
+            Ok(world)
+                if world.meta.seed == config.seed
+                    && world.meta.scale == scale
+                    && world.meta.rot_links == config.rot_links as u32
+                    && world.meta.sample_size == config.sample_size as u32 =>
+            {
+                let size_bytes = std::fs::metadata(&path)?.len();
+                let outcome =
+                    WorldCacheOutcome { hit: true, path, size_bytes, elapsed: t0.elapsed() };
+                return Ok((world, outcome));
+            }
+            // wrong world under the right name, or undecodable: fall through
+            Ok(_) | Err(_) => {}
+        }
+    }
+    std::fs::create_dir_all(dir)?;
+    let scenario = Scenario::generate(config);
+    let world = world_from_scenario(scenario, scale);
+    let size_bytes = world.save(&path)?;
+    let outcome = WorldCacheOutcome { hit: false, path, size_bytes, elapsed: t0.elapsed() };
+    Ok((world, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScenarioConfig {
+        ScenarioConfig { rot_links: 40, ..ScenarioConfig::small(7) }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdw-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit_yield_the_same_bytes() {
+        let dir = tmpdir("roundtrip");
+        let (first, out1) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(!out1.hit);
+        assert_eq!(out1.size_bytes, std::fs::metadata(&out1.path).unwrap().len());
+
+        let (second, out2) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(out2.hit, "second call must load the snapshot");
+        assert_eq!(out2.path, out1.path);
+        assert_eq!(first.to_bytes(), second.to_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_header_is_regenerated() {
+        let dir = tmpdir("mismatch");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        // masquerade the seed-7 snapshot as seed 8
+        let path8 = world_cache_path(&dir, 8, "small");
+        std::fs::rename(&out.path, &path8).unwrap();
+        let cfg8 = ScenarioConfig { rot_links: 40, ..ScenarioConfig::small(8) };
+        let (world, out8) = load_or_generate(&dir, cfg8, "small").unwrap();
+        assert!(!out8.hit, "a header echoing the wrong seed must not be trusted");
+        assert_eq!(world.meta.seed, 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sample_override_does_not_hit_a_stale_snapshot() {
+        let dir = tmpdir("sample");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(!out.hit);
+        // same seed + scale, different --sample: the cached world answers a
+        // different question and must be regenerated, not served
+        let smaller = ScenarioConfig { sample_size: 10, ..cfg() };
+        let (world, out2) = load_or_generate(&dir, smaller, "small").unwrap();
+        assert!(!out2.hit, "a stale sample size must not be trusted");
+        assert_eq!(world.meta.sample_size, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_regenerated() {
+        let dir = tmpdir("corrupt");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        let mut bytes = std::fs::read(&out.path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&out.path, &bytes).unwrap();
+        let (world, out2) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(!out2.hit);
+        assert_eq!(world.meta.seed, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -43,6 +43,12 @@ impl ContentGen {
         ContentGen { seed }
     }
 
+    /// The world seed this generator derives every body from (for world
+    /// serialization: a generator round-trips through [`ContentGen::new`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     fn rng_for(&self, key: &str) -> SmallRng {
         SmallRng::seed_from_u64(self.seed ^ fnv1a(key.as_bytes()))
     }

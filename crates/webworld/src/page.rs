@@ -82,6 +82,12 @@ impl Page {
         self.events.push((at, event));
     }
 
+    /// The raw event list, time-ordered (for world serialization: a page
+    /// round-trips by replaying these through [`Page::push_event`]).
+    pub fn events(&self) -> &[(SimTime, PageEvent)] {
+        &self.events
+    }
+
     /// The path serving this page's content at `t` (regardless of deletion).
     pub fn current_path(&self, t: SimTime) -> &str {
         let mut path = self.initial_path.as_str();

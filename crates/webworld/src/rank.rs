@@ -51,6 +51,11 @@ impl RankTable {
     pub fn is_empty(&self) -> bool {
         self.by_host.is_empty()
     }
+
+    /// Every `(host, rank)` pair, in arbitrary order (serializers sort).
+    pub fn entries(&self) -> impl Iterator<Item = (&String, u32)> {
+        self.by_host.iter().map(|(h, &r)| (h, r))
+    }
 }
 
 /// Expected number of pages for a site of the given rank under a Zipf-like

@@ -119,6 +119,19 @@ impl Site {
         self.policies.push((from, policy));
     }
 
+    /// The full policy history, time-ordered, *excluding* the initial policy
+    /// (which [`Site::new`] installs at the dawn of time). For world
+    /// serialization: a site round-trips via `Site::new(initial)` plus
+    /// replaying these through [`Site::change_policy`].
+    pub fn policy_changes(&self) -> &[(SimTime, UnknownPathPolicy)] {
+        &self.policies[1..]
+    }
+
+    /// The initial unknown-path policy passed to [`Site::new`].
+    pub fn initial_policy(&self) -> UnknownPathPolicy {
+        self.policies[0].1
+    }
+
     /// The unknown-path policy in effect at `t`.
     pub fn policy_at(&self, t: SimTime) -> UnknownPathPolicy {
         self.policies

@@ -1,0 +1,306 @@
+//! Little-endian binary encoding for world snapshots.
+//!
+//! Deliberately minimal: fixed-width integers, length-prefixed strings, and
+//! a running FNV-1a checksum over every byte written/read. No varints, no
+//! compression — determinism and auditability beat density here (the format
+//! spec in DESIGN.md is readable against this file).
+
+use std::fmt;
+
+/// Errors from decoding a snapshot stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream ended mid-value.
+    UnexpectedEof { at: usize, wanted: usize },
+    /// The leading magic didn't match [`crate::MAGIC`].
+    BadMagic([u8; 4]),
+    /// Version not understood by this build.
+    UnsupportedVersion(u32),
+    /// A string wasn't valid UTF-8.
+    BadUtf8 { at: usize },
+    /// An enum tag was out of range.
+    BadTag { at: usize, tag: u8, what: &'static str },
+    /// The trailing checksum didn't match the stream contents.
+    ChecksumMismatch { expected: u64, found: u64 },
+    /// Trailing bytes after the checksum.
+    TrailingBytes { at: usize },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { at, wanted } => {
+                write!(f, "unexpected EOF at byte {at} (wanted {wanted} more)")
+            }
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:?} (not a world snapshot)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            CodecError::BadTag { at, tag, what } => {
+                write!(f, "invalid {what} tag {tag} at byte {at}")
+            }
+            CodecError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: stream says {expected:#018x}, contents hash to {found:#018x}"
+            ),
+            CodecError::TrailingBytes { at } => write!(f, "trailing bytes after checksum at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+pub(crate) fn fnv1a_init() -> u64 {
+    0xcbf29ce484222325
+}
+
+pub(crate) fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Append-only encoder with a running checksum.
+#[derive(Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+    hash: u64,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new(), hash: fnv1a_init() }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        self.hash = fnv1a_update(self.hash, bytes);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.raw(bytes);
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.raw(&[v]);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// `f64` as its IEEE-754 bit pattern: bit-exact round-trip, no parsing.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string too long"));
+        self.raw(s.as_bytes());
+    }
+
+    /// Collection length prefix.
+    pub fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("collection too long"));
+    }
+
+    /// Finish the stream: append the checksum over everything written so far
+    /// (the checksum itself is not hashed) and return the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let h = self.hash;
+        self.buf.extend_from_slice(&h.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cursor-based decoder mirroring [`Writer`], with the same running
+/// checksum so [`Reader::verify_checksum`] can close the loop.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    hash: u64,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, hash: fnv1a_init() }
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::UnexpectedEof { at: self.pos, wanted: n });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        self.hash = fnv1a_update(self.hash, out);
+        Ok(out)
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let at = self.pos;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a length prefix from the stream; not a container length,
+    /// so there is no matching `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// Read the trailing checksum and compare it against the bytes consumed
+    /// so far. Also rejects trailing garbage.
+    pub fn verify_checksum(&mut self) -> Result<(), CodecError> {
+        let found = self.hash;
+        // read the stored checksum without hashing it
+        if self.buf.len() - self.pos < 8 {
+            return Err(CodecError::UnexpectedEof { at: self.pos, wanted: 8 });
+        }
+        let expected =
+            u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        if expected != found {
+            return Err(CodecError::ChecksumMismatch { expected, found });
+        }
+        if self.pos != self.buf.len() {
+            return Err(CodecError::TrailingBytes { at: self.pos });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(0.25);
+        w.bool(true);
+        w.str("héllo");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_caught() {
+        let mut w = Writer::new();
+        w.str("payload");
+        let mut buf = w.finish();
+        buf[5] ^= 0x01;
+        let mut r = Reader::new(&buf);
+        let _ = r.str();
+        assert!(matches!(r.verify_checksum(), Err(CodecError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..7]);
+        assert!(matches!(r.u64(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        let mut buf = w.finish();
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(matches!(r.verify_checksum(), Err(CodecError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn nan_round_trips_bit_exact() {
+        let weird = f64::from_bits(0x7ff8_0000_0000_1234);
+        let mut w = Writer::new();
+        w.f64(weird);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.f64().unwrap().to_bits(), weird.to_bits());
+    }
+}

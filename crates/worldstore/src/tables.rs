@@ -1,0 +1,207 @@
+//! Columnar link tables.
+//!
+//! A dataset row is `(url, article, added_at, marked_at, marked_by)`. Stored
+//! row-wise with owned strings that's five allocations per link; stored
+//! columnar over an [`Interner`] it's three `u32`s and two `i64`s — and the
+//! strings themselves are shared across every table in the world (the march
+//! and september samples overlap heavily, and every link's tagger is one of
+//! a handful of bot names).
+
+use crate::intern::{Interner, Sym};
+
+/// One logical row, as symbols (resolve via the owning [`Interner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRow {
+    pub url: Sym,
+    pub article: Sym,
+    pub added_at: i64,
+    pub marked_at: i64,
+    pub marked_by: Sym,
+}
+
+/// Struct-of-arrays link storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkTable {
+    /// Dataset label (e.g. "march-2022 parity sample").
+    pub label: String,
+    url: Vec<Sym>,
+    article: Vec<Sym>,
+    added_at: Vec<i64>,
+    marked_at: Vec<i64>,
+    marked_by: Vec<Sym>,
+}
+
+impl LinkTable {
+    pub fn new(label: &str) -> Self {
+        LinkTable { label: label.to_string(), ..Default::default() }
+    }
+
+    /// Append a row, interning its strings.
+    pub fn push(
+        &mut self,
+        interner: &mut Interner,
+        url: &str,
+        article: &str,
+        added_at: i64,
+        marked_at: i64,
+        marked_by: &str,
+    ) {
+        self.url.push(interner.intern(url));
+        self.article.push(interner.intern(article));
+        self.added_at.push(added_at);
+        self.marked_at.push(marked_at);
+        self.marked_by.push(interner.intern(marked_by));
+    }
+
+    /// Append an already-interned row.
+    pub fn push_row(&mut self, row: LinkRow) {
+        self.url.push(row.url);
+        self.article.push(row.article);
+        self.added_at.push(row.added_at);
+        self.marked_at.push(row.marked_at);
+        self.marked_by.push(row.marked_by);
+    }
+
+    pub fn len(&self) -> usize {
+        self.url.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.url.is_empty()
+    }
+
+    pub fn row(&self, i: usize) -> LinkRow {
+        LinkRow {
+            url: self.url[i],
+            article: self.article[i],
+            added_at: self.added_at[i],
+            marked_at: self.marked_at[i],
+            marked_by: self.marked_by[i],
+        }
+    }
+
+    pub fn rows(&self) -> impl Iterator<Item = LinkRow> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// Direct column access for scans that only need URLs.
+    pub fn urls(&self) -> &[Sym] {
+        &self.url
+    }
+
+    /// Row indices ordered by resolved `(url, article, added_at, marked_at,
+    /// marked_by)`. The sort is over *string contents*, not symbol ids, so
+    /// two tables holding the same logical rows agree on the sorted view no
+    /// matter what order their rows (and hence symbols) were created in.
+    pub fn sorted_indices(&self, interner: &Interner) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let ra = self.row(a);
+            let rb = self.row(b);
+            (interner.resolve(ra.url), interner.resolve(ra.article), ra.added_at, ra.marked_at, interner.resolve(ra.marked_by))
+                .cmp(&(interner.resolve(rb.url), interner.resolve(rb.article), rb.added_at, rb.marked_at, interner.resolve(rb.marked_by)))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn resolved(t: &LinkTable, i: &Interner) -> Vec<(String, String, i64, i64, String)> {
+        t.rows()
+            .map(|r| {
+                (
+                    i.resolve(r.url).to_string(),
+                    i.resolve(r.article).to_string(),
+                    r.added_at,
+                    r.marked_at,
+                    i.resolve(r.marked_by).to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_then_row_round_trip() {
+        let mut i = Interner::new();
+        let mut t = LinkTable::new("demo");
+        t.push(&mut i, "http://e.org/a", "Article A", 100, 200, "IABot");
+        t.push(&mut i, "http://e.org/b", "Article A", 150, 250, "IABot");
+        assert_eq!(t.len(), 2);
+        let r = t.row(1);
+        assert_eq!(i.resolve(r.url), "http://e.org/b");
+        assert_eq!(i.resolve(r.article), "Article A");
+        assert_eq!((r.added_at, r.marked_at), (150, 250));
+        // shared strings share symbols
+        assert_eq!(t.row(0).article, t.row(1).article);
+        assert_eq!(t.row(0).marked_by, t.row(1).marked_by);
+    }
+
+    fn arb_rows() -> impl Strategy<Value = Vec<(String, String, i64, i64, String)>> {
+        proptest::collection::vec(
+            ("[a-z]{1,8}", "[A-Z][a-z]{0,6}", -5000i64..5000, -5000i64..5000, "[A-Za-z]{1,5}"),
+            0..30,
+        )
+    }
+
+    proptest! {
+        /// Building the same logical rows in any order yields the same
+        /// multiset, and the content-sorted view is permutation-invariant.
+        #[test]
+        fn permutation_invariance(rows in arb_rows(), seed in 0u64..1000) {
+            let build = |order: &[usize]| {
+                let mut i = Interner::new();
+                let mut t = LinkTable::new("p");
+                for &k in order {
+                    let (u, a, ad, ma, by) = &rows[k];
+                    t.push(&mut i, u, a, *ad, *ma, by);
+                }
+                (t, i)
+            };
+            let forward: Vec<usize> = (0..rows.len()).collect();
+            // a deterministic pseudo-shuffle driven by `seed`
+            let mut shuffled = forward.clone();
+            let n = shuffled.len();
+            if n > 1 {
+                let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for k in (1..n).rev() {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    shuffled.swap(k, (s % (k as u64 + 1)) as usize);
+                }
+            }
+
+            let (ta, ia) = build(&forward);
+            let (tb, ib) = build(&shuffled);
+
+            let mut ra = resolved(&ta, &ia);
+            let mut rb = resolved(&tb, &ib);
+            ra.sort();
+            rb.sort();
+            prop_assert_eq!(ra, rb, "same multiset of rows");
+
+            let sa: Vec<_> = ta.sorted_indices(&ia).into_iter()
+                .map(|k| resolved(&ta, &ia)[k].clone()).collect();
+            let sb: Vec<_> = tb.sorted_indices(&ib).into_iter()
+                .map(|k| resolved(&tb, &ib)[k].clone()).collect();
+            prop_assert_eq!(sa, sb, "content-sorted views agree across permutations");
+        }
+
+        /// Round-trip through push_row preserves rows exactly.
+        #[test]
+        fn push_row_copies(rows in arb_rows()) {
+            let mut i = Interner::new();
+            let mut a = LinkTable::new("a");
+            for (u, art, ad, ma, by) in &rows {
+                a.push(&mut i, u, art, *ad, *ma, by);
+            }
+            let mut b = LinkTable::new("a");
+            for r in a.rows() {
+                b.push_row(r);
+            }
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -80,6 +80,34 @@ fi
 rm -f "$watch_out"
 echo "check.sh: watch-timeline golden green"
 
+# World-cache round trip: `audit --world-cache` must miss (generate + save),
+# then hit (decode the snapshot), and print the identical report — only the
+# per-stage wall-clock latency rows may differ. Then the world-scale bench
+# must run end to end and persist its JSON summary.
+world_dir="$(mktemp -d)"
+audit_miss="$(mktemp)"
+audit_hit="$(mktemp)"
+cache_log="$(mktemp)"
+./target/release/permadead audit --seed 42 --world-cache "$world_dir" 2>"$cache_log" \
+    | grep -v ' hits ' >"$audit_miss"
+grep -q 'world cache miss' "$cache_log"
+./target/release/permadead audit --seed 42 --world-cache "$world_dir" 2>"$cache_log" \
+    | grep -v ' hits ' >"$audit_hit"
+grep -q 'world cache hit' "$cache_log"
+if ! diff -u "$audit_miss" "$audit_hit"; then
+    echo "check.sh: snapshot-backed audit drifted from the generated audit" >&2
+    exit 1
+fi
+results_tmp="$(mktemp -d)"
+PERMADEAD_RESULTS_DIR="$results_tmp" PERMADEAD_WORLD_CACHE="$world_dir" \
+    ./target/release/repro_world_scale >/dev/null
+if [ ! -s "$results_tmp/BENCH_world.json" ]; then
+    echo "check.sh: repro_world_scale did not persist BENCH_world.json" >&2
+    exit 1
+fi
+rm -rf "$world_dir" "$results_tmp" "$audit_miss" "$audit_hit" "$cache_log"
+echo "check.sh: world-cache round trip green"
+
 # Unknown flags must fail fast, before any world generation.
 if ./target/release/permadead watch --no-such-flag 2>/dev/null; then
     echo "check.sh: permadead watch accepted an unknown flag" >&2
