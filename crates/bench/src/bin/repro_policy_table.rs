@@ -1,0 +1,80 @@
+//! E18 — the policy-lab scoreboard as a standalone repro artifact.
+//!
+//! Replays the same seeded ground-truth fault timelines (the
+//! `permadead-policy` lab profiles: stable, flapping, slow-death) through
+//! every detection policy at its default arguments and scores each
+//! `(profile, policy)` pair against the script: tag precision, end-state
+//! recall, median days from scripted death to the tag that stuck, wasted
+//! checks per link, and the resurrection-miss rate. No world generation —
+//! the lab fates are pure functions of `(profile, link index, seed)` — so
+//! the table is a pure function of `(seed, days)` and jobs-independent via
+//! the scheduler's drain/fetch/apply contract; CI pins the seed-42 output
+//! as `results/POLICY_TABLE_seed42.txt`.
+
+use permadead_bench::jobs_from_env;
+use permadead_net::SimTime;
+use permadead_policy::lab::{profile_links, PROFILES};
+use permadead_sched::{render_score_table, score_policy, PolicySpec};
+
+fn main() {
+    let seed: u64 = std::env::var("PERMADEAD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let days: u32 = std::env::var("PERMADEAD_WATCH_DAYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45);
+    let jobs = jobs_from_env();
+    let start = SimTime::from_ymd(2022, 3, 1);
+
+    let mut rows = Vec::new();
+    for profile in PROFILES {
+        let links = profile_links(profile, seed);
+        for spec in PolicySpec::all_default() {
+            rows.push(score_policy(spec, profile, &links, start, days, jobs, seed));
+        }
+    }
+
+    println!(
+        "policy lab scoreboard — {} links/profile, {days} simulated days (seed {seed})\n",
+        rows.first().map_or(0, |r| r.links),
+    );
+    print!("{}", render_score_table(&rows));
+    println!(
+        "\nreading: iabot-strikes tags fast but eats flaps; pywikibot-weekly\n\
+         trades days of latency for flap immunity; health-score spends its\n\
+         checks where the uncertainty is via adaptive cadence."
+    );
+
+    let mut lines = String::new();
+    for r in &rows {
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string())
+        };
+        lines.push_str(&format!(
+            "{{\"bench\":\"policy_table\",\"profile\":\"{}\",\"policy\":\"{}\",\"days\":{days},\
+             \"links\":{},\"truth_dead\":{},\"tags\":{},\"true_tags\":{},\"dead_tagged\":{},\
+             \"checks\":{},\"wasted\":{},\"precision\":{},\"recall\":{},\
+             \"median_days_to_tag\":{},\"wasted_per_link\":{:.4},\"resurrection_miss\":{}}}\n",
+            r.profile,
+            r.policy,
+            r.links,
+            r.truth_dead,
+            r.tags,
+            r.true_tags,
+            r.dead_tagged,
+            r.checks,
+            r.wasted,
+            fmt_opt(r.precision()),
+            fmt_opt(r.recall()),
+            fmt_opt(r.median_days_to_tag()),
+            r.wasted_per_link(),
+            fmt_opt(r.resurrection_miss()),
+        ));
+    }
+    match permadead_bench::persist_bench_results("policy_table", &lines) {
+        Ok(path) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench] could not persist results: {e}"),
+    }
+}

@@ -12,7 +12,7 @@
 use permadead_bench::{jobs_from_env, Repro};
 use permadead_core::live_check;
 use permadead_net::Duration;
-use permadead_sched::{run_days, Cadence, Scheduler, SchedulerConfig, WatchPolicy};
+use permadead_sched::{run_days, Cadence, PolicySpec, Scheduler, SchedulerConfig};
 
 fn main() {
     let repro = Repro::from_env();
@@ -43,7 +43,7 @@ fn main() {
         let cadence = Cadence::parse(spec, seed).expect("sweep specs are valid");
         for strikes in strike_ladders {
             let mut sched = Scheduler::new(SchedulerConfig {
-                policy: WatchPolicy {
+                policy: PolicySpec::IabotStrikes {
                     strikes,
                     min_span: Duration::days(i64::from(strikes) - 1),
                 },

@@ -8,8 +8,9 @@
 //! permadead bots     [--seed N]
 //! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
 //!                    [--retries N] [--retry-budget-ms B] [--origin-retry-budget-ms B]
-//! permadead watch    [--seed N] [--scale small|paper] [--sample N] [--days D] [--strikes K]
-//!                    [--min-span-days S] [--cadence fixed|aging|jitter[:DAYS]] [--host-budget B]
+//! permadead watch    [--seed N] [--scale small|paper] [--sample N] [--days D]
+//!                    [--policy NAME[:ARGS]] [--strikes K] [--min-span-days S]
+//!                    [--cadence fixed|aging|jitter[:DAYS]] [--host-budget B]
 //!                    [--jobs N] [--retries N]
 //! permadead help
 //! ```
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
             "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
             "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
-            "min-span-days", "cadence", "host-budget", "world-cache",
+            "min-span-days", "policy", "cadence", "host-budget", "world-cache",
         ],
     );
     let args = match parsed {
@@ -108,12 +109,15 @@ fn print_help() {
          \x20 --origin-retry-budget-ms B   (serve) cap on cumulative retry backoff per origin;\n\
          \x20                   exhausted hosts fall back to single-attempt checks (default: off)\n\
          \x20 --days D          (watch) simulated days to replay (default 30)\n\
-         \x20 --strikes K       (watch) consecutive failures before tagging (default 3)\n\
-         \x20 --min-span-days S (watch) minimum days between first strike and tag (default 2)\n\
+         \x20 --policy SPEC     (watch/serve) dead-link detection policy, NAME[:ARGS]:\n\
+{}\n\
+         \x20 --strikes K       (watch/serve) shorthand for --policy iabot-strikes:K,S (default 3)\n\
+         \x20 --min-span-days S (watch/serve) minimum days between first strike and tag (default 2)\n\
          \x20 --cadence SPEC    (watch) re-check interval: fixed[:DAYS], aging[:DAYS], or\n\
          \x20                   jitter[:DAYS] (default fixed:1)\n\
          \x20 --host-budget B   (watch) per-host checks per day; excess defers to the next\n\
-         \x20                   midnight (default: off)"
+         \x20                   midnight (default: off)",
+        permadead_sched::POLICY_USAGE,
     );
 }
 
@@ -205,6 +209,34 @@ fn retry_policy_from(args: &Args) -> Result<permadead_net::RetryPolicy, Box<dyn 
     let seed = args.get_u64("seed", 42)?;
     let budget = args.get_u64("retry-budget-ms", 30_000)?;
     Ok(permadead_net::RetryPolicy::standard(attempts, seed ^ 0x5EC41).with_budget_ms(budget))
+}
+
+/// Detection policy from `--policy` / the `--strikes`+`--min-span-days`
+/// shorthand. Validated before the (multi-second) world build; the two
+/// spellings conflict rather than silently shadowing each other.
+fn watch_policy_from(args: &Args) -> Result<permadead_sched::PolicySpec, Box<dyn std::error::Error>> {
+    use permadead_sched::PolicySpec;
+    if let Some(spec) = args.get("policy") {
+        if args.get("strikes").is_some() || args.get("min-span-days").is_some() {
+            return Err("--policy conflicts with --strikes/--min-span-days; \
+                        say --policy iabot-strikes:STRIKES,SPAN_DAYS instead"
+                .into());
+        }
+        return Ok(PolicySpec::parse(spec)?);
+    }
+    let strikes = u32::try_from(args.get_u64("strikes", 3)?)
+        .map_err(|_| "flag --strikes must fit in 32 bits")?;
+    if strikes == 0 {
+        return Err("flag --strikes must be >= 1 (0 would tag every link on sight)".into());
+    }
+    let span_days = args.get_u64("min-span-days", 2)?;
+    if span_days == 0 {
+        return Err("flag --min-span-days must be >= 1 (a tag needs a real observation span)".into());
+    }
+    Ok(PolicySpec::IabotStrikes {
+        strikes,
+        min_span: permadead_net::Duration::days(span_days as i64),
+    })
 }
 
 /// The batch dataset `audit` and `serve` share: 60% of the category,
@@ -399,6 +431,14 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         Some(_) => Some(args.get_u64("origin-retry-budget-ms", 0)?),
         None => None,
     };
+    let watch_policy = watch_policy_from(args)?;
+    let config = permadead_serve::ServerConfig {
+        watch: permadead_serve::WatchConfig {
+            policy: watch_policy,
+            ..permadead_serve::WatchConfig::default()
+        },
+        ..config
+    };
     let world = world_from(args)?;
     eprintln!(
         "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
@@ -424,20 +464,18 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-/// Replay N simulated days of IABot-style continuous monitoring over the
-/// audit dataset and print the per-day timeline. Deterministic for a given
-/// `(seed, scale, sample, days, cadence, strikes)` regardless of `--jobs`
-/// (scripts/check.sh pins the seed-42 output as a golden file).
+/// Replay N simulated days of continuous monitoring over the audit dataset
+/// under the selected detection policy and print the per-day timeline.
+/// Deterministic for a given `(seed, scale, sample, days, cadence, policy)`
+/// regardless of `--jobs` (scripts/check.sh pins the seed-42 output as a
+/// golden file).
 fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    use permadead_sched::{Cadence, Scheduler, SchedulerConfig, WatchPolicy};
+    use permadead_sched::{Cadence, Scheduler, SchedulerConfig};
     // parse every flag before the world build so a typo fails fast
     let seed = args.get_u64("seed", 42)?;
     let days = u32::try_from(args.get_u64("days", 30)?)
         .map_err(|_| "flag --days must fit in 32 bits")?;
-    let strikes = u32::try_from(args.get_u64("strikes", 3)?)
-        .map_err(|_| "flag --strikes must fit in 32 bits")?
-        .max(1);
-    let min_span = permadead_net::Duration::days(args.get_u64("min-span-days", 2)? as i64);
+    let policy = watch_policy_from(args)?;
     let cadence = Cadence::parse(args.get("cadence").unwrap_or("fixed:1"), seed)?;
     let host_budget = match args.get("host-budget") {
         Some(_) => Some(
@@ -455,7 +493,7 @@ fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let start = world.study_time();
 
     let mut sched = Scheduler::new(SchedulerConfig {
-        policy: WatchPolicy { strikes, min_span },
+        policy,
         cadence,
         host_budget_per_day: host_budget,
     });
@@ -470,9 +508,9 @@ fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .is_final_200()
     });
     let header = format!(
-        "permadead watch — {} links over {days} days (seed {seed}, strikes {strikes} over >= {}d, cadence {cadence})",
+        "permadead watch — {} links over {days} days (seed {seed}, {}, cadence {cadence})",
         timeline.links,
-        min_span.as_days(),
+        policy.describe(),
     );
     println!("{}", timeline.render(&header));
     Ok(())

@@ -73,6 +73,72 @@ fn watch_rejects_a_bad_cadence_spec_fast() {
 }
 
 #[test]
+fn watch_rejects_bad_policy_flags_before_world_generation() {
+    // unknown policy name: the error lists the available policies
+    let out = bin()
+        .args(["watch", "--policy", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown policy"), "stderr: {err}");
+    assert!(err.contains("iabot-strikes"), "error must list policies: {err}");
+    assert!(err.contains("pywikibot-weekly"), "error must list policies: {err}");
+    assert!(err.contains("health-score"), "error must list policies: {err}");
+    assert!(!err.contains("generating world"), "stderr: {err}");
+
+    // degenerate policy parameters are rejected, not clamped
+    for degenerate in [
+        &["watch", "--strikes", "0"][..],
+        &["watch", "--min-span-days", "0"][..],
+        &["watch", "--policy", "iabot-strikes:0"][..],
+        &["watch", "--policy", "health-score:0"][..],
+    ] {
+        let out = bin().args(degenerate).output().expect("binary runs");
+        assert!(!out.status.success(), "{degenerate:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(">= 1"), "{degenerate:?} stderr: {err}");
+        assert!(!err.contains("generating world"), "{degenerate:?} stderr: {err}");
+    }
+
+    // the two spellings conflict instead of silently shadowing
+    let out = bin()
+        .args(["watch", "--policy", "health-score", "--strikes", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("conflicts"), "stderr: {err}");
+    assert!(!err.contains("generating world"), "stderr: {err}");
+
+    // serve validates the same way, before binding or world generation
+    let out = bin()
+        .args(["serve", "--policy", "bogus", "--port", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown policy"), "stderr: {err}");
+    assert!(!err.contains("generating world"), "stderr: {err}");
+}
+
+#[test]
+fn watch_runs_under_each_alternative_policy() {
+    for (spec, needle) in [
+        ("pywikibot-weekly:2,7", "dead x2 >= 7d apart"),
+        ("health-score:1", "health score, base 1d"),
+    ] {
+        let out = bin()
+            .args(["watch", "--seed", "3", "--days", "3", "--policy", spec])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(needle), "header must carry the policy: {text}");
+    }
+}
+
+#[test]
 fn watch_prints_a_per_day_timeline() {
     let out = bin()
         .args(["watch", "--seed", "3", "--days", "4", "--jobs", "2"])

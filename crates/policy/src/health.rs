@@ -1,0 +1,218 @@
+//! The umbrix-style scored state machine with adaptive check cadence.
+//!
+//! Instead of counting strikes, keep a continuous health score in
+//! `[0, 1000]` (integer fixed-point — no float summation-order hazards).
+//! Every failure costs [`FAIL_PENALTY`]; every success restores
+//! [`SUCCESS_RECOVERY`], capped at full health. The score buckets into
+//! four states:
+//!
+//! | score      | state       | next check       |
+//! |-----------:|-------------|------------------|
+//! | 700..=1000 | HEALTHY     | scheduler cadence|
+//! | 400..=699  | SUSPICIOUS  | base / 2         |
+//! |   1..=399  | QUARANTINED | base × 2         |
+//! |          0 | DEAD        | base × 4         |
+//!
+//! Suspicious links are probed *more* often (confirm or clear quickly);
+//! quarantined and dead links back off (don't waste checks on the
+//! probably-dead). The cadence column is the policy's `next_check_in`
+//! override — the adaptive back-off the `DeadPolicy` trait exists for.
+//!
+//! Because a success restores more than one failure costs, death always
+//! takes at least two consecutive failures after any success, and a
+//! fresh link needs four — flapping hosts sit in SUSPICIOUS/QUARANTINED
+//! rather than oscillating through DEAD.
+
+use crate::{DeadPolicy, LinkState, Observation, Transition};
+use permadead_net::{Duration, SimTime};
+
+/// Full health; also the starting score.
+pub const FULL_SCORE: u32 = 1000;
+/// Cost of one failed check.
+pub const FAIL_PENALTY: u32 = 250;
+/// Restoration from one successful check (≥ `FAIL_PENALTY` + quarantine
+/// floor, so one success always buys back more than one failure).
+pub const SUCCESS_RECOVERY: u32 = 400;
+
+#[derive(Debug, Clone)]
+pub struct HealthScore {
+    /// Base re-check interval the state multipliers scale.
+    base: Duration,
+    score: u32,
+    /// Consecutive failed checks — the `evidence` column.
+    consecutive_fails: u32,
+    tagged_at: Option<SimTime>,
+}
+
+impl HealthScore {
+    pub fn new(base: Duration) -> HealthScore {
+        HealthScore {
+            base,
+            score: FULL_SCORE,
+            consecutive_fails: 0,
+            tagged_at: None,
+        }
+    }
+
+    pub fn score(&self) -> u32 {
+        self.score
+    }
+
+    /// The adaptive re-check interval for the current state (`None` in
+    /// HEALTHY: the scheduler's configured cadence applies).
+    fn cadence_override(&self) -> Option<Duration> {
+        let secs = self.base.as_seconds().max(1);
+        match self.state() {
+            LinkState::Healthy => None,
+            LinkState::Suspicious => Some(Duration::seconds((secs / 2).max(1))),
+            LinkState::Quarantined => Some(Duration::seconds(secs * 2)),
+            LinkState::Tagged => Some(Duration::seconds(secs * 4)),
+        }
+    }
+}
+
+impl DeadPolicy for HealthScore {
+    fn name(&self) -> &'static str {
+        "health-score"
+    }
+
+    fn observe(&mut self, ok: bool, at: SimTime) -> Observation {
+        let transition = if ok {
+            let had_deficit = self.score < FULL_SCORE;
+            self.score = (self.score + SUCCESS_RECOVERY).min(FULL_SCORE);
+            self.consecutive_fails = 0;
+            if self.tagged_at.is_some() {
+                self.tagged_at = None;
+                Transition::Revived
+            } else if had_deficit {
+                Transition::StrikeCleared
+            } else {
+                Transition::Healthy
+            }
+        } else {
+            self.score = self.score.saturating_sub(FAIL_PENALTY);
+            self.consecutive_fails = self.consecutive_fails.saturating_add(1);
+            if self.score == 0 && self.tagged_at.is_none() {
+                self.tagged_at = Some(at);
+                Transition::Tagged
+            } else {
+                Transition::Strike
+            }
+        };
+        Observation {
+            transition,
+            next_check_in: self.cadence_override(),
+        }
+    }
+
+    fn state(&self) -> LinkState {
+        if self.tagged_at.is_some() {
+            LinkState::Tagged
+        } else if self.score >= 700 {
+            LinkState::Healthy
+        } else if self.score >= 400 {
+            LinkState::Suspicious
+        } else {
+            LinkState::Quarantined
+        }
+    }
+
+    fn tagged_at(&self) -> Option<SimTime> {
+        self.tagged_at
+    }
+
+    fn evidence(&self) -> u32 {
+        self.consecutive_fails
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DeadPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: i64) -> SimTime {
+        SimTime::from_ymd(2022, 3, 1) + Duration::days(d)
+    }
+
+    fn policy() -> HealthScore {
+        HealthScore::new(Duration::days(1))
+    }
+
+    #[test]
+    fn four_failures_from_fresh_walk_the_whole_ladder() {
+        let mut p = policy();
+        assert_eq!(p.state(), LinkState::Healthy);
+        assert_eq!(p.observe(false, day(0)).transition, Transition::Strike);
+        assert_eq!(p.state(), LinkState::Healthy); // 750
+        assert_eq!(p.observe(false, day(1)).transition, Transition::Strike);
+        assert_eq!(p.state(), LinkState::Suspicious); // 500
+        assert_eq!(p.observe(false, day(2)).transition, Transition::Strike);
+        assert_eq!(p.state(), LinkState::Quarantined); // 250
+        assert_eq!(p.observe(false, day(3)).transition, Transition::Tagged);
+        assert_eq!(p.state(), LinkState::Tagged); // 0
+        assert_eq!(p.tagged_at(), Some(day(3)));
+    }
+
+    #[test]
+    fn adaptive_cadence_tracks_the_state() {
+        let mut p = policy();
+        assert_eq!(p.observe(false, day(0)).next_check_in, None); // still healthy
+        assert_eq!(
+            p.observe(false, day(1)).next_check_in,
+            Some(Duration::hours(12)) // suspicious: check twice as often
+        );
+        assert_eq!(
+            p.observe(false, day(2)).next_check_in,
+            Some(Duration::days(2)) // quarantined: back off
+        );
+        assert_eq!(
+            p.observe(false, day(3)).next_check_in,
+            Some(Duration::days(4)) // dead: barely check
+        );
+        assert_eq!(p.observe(true, day(7)).next_check_in, Some(Duration::hours(12)));
+    }
+
+    #[test]
+    fn one_success_outweighs_one_failure() {
+        let mut p = policy();
+        for d in 0..20 {
+            // strict alternation never sinks below suspicious
+            p.observe(d % 2 == 0, day(d));
+            assert!(p.score() >= 400, "day {d}: score {}", p.score());
+        }
+        assert_ne!(p.state(), LinkState::Tagged);
+    }
+
+    #[test]
+    fn post_tag_success_revives_into_suspicious() {
+        let mut p = policy();
+        for d in 0..4 {
+            p.observe(false, day(d));
+        }
+        assert_eq!(p.state(), LinkState::Tagged);
+        let obs = p.observe(true, day(10));
+        assert_eq!(obs.transition, Transition::Revived);
+        assert_eq!(p.state(), LinkState::Suspicious); // 400: trust is earned back
+        assert_eq!(p.score(), 400);
+        // two clean checks restore full health
+        p.observe(true, day(11));
+        p.observe(true, day(12));
+        assert_eq!(p.state(), LinkState::Healthy);
+        assert_eq!(p.score(), FULL_SCORE);
+    }
+
+    #[test]
+    fn failures_while_dead_do_not_retag() {
+        let mut p = policy();
+        for d in 0..4 {
+            p.observe(false, day(d));
+        }
+        assert_eq!(p.observe(false, day(4)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(5)).transition, Transition::Strike);
+        assert_eq!(p.evidence(), 6);
+    }
+}

@@ -1,0 +1,190 @@
+//! IABot's production rule — the policy that built the paper's dataset.
+//!
+//! A link is tagged permanently dead only after **N consecutive failed
+//! checks** spread across a **minimum wall-clock span** — one bad day is
+//! not death. Any successful check clears the strike count; a success
+//! *after* the tag is a resurrection (§3's "genuinely alive again"
+//! population, ~3%) and is recorded as a revival.
+//!
+//! This is a bit-identical port of the original `sched::Watcher` ladder:
+//! the pinned watch-timeline golden (`results/WATCH_TIMELINE_seed42.txt`)
+//! holds it to byte-for-byte equivalence.
+
+use crate::{DeadPolicy, LinkState, Observation, Transition};
+use permadead_net::{Duration, SimTime};
+
+#[derive(Debug, Clone)]
+pub struct IabotStrikes {
+    /// Consecutive failed checks required before tagging (min 1).
+    required: u32,
+    /// Minimum span between the first strike and the tagging check.
+    min_span: Duration,
+    /// Consecutive failed checks so far.
+    strikes: u32,
+    /// When the current strike run began (cleared on success).
+    first_strike_at: Option<SimTime>,
+    /// When the tag landed, if currently tagged.
+    tagged_at: Option<SimTime>,
+}
+
+impl IabotStrikes {
+    pub fn new(strikes: u32, min_span: Duration) -> IabotStrikes {
+        IabotStrikes {
+            required: strikes,
+            min_span,
+            strikes: 0,
+            first_strike_at: None,
+            tagged_at: None,
+        }
+    }
+}
+
+impl DeadPolicy for IabotStrikes {
+    fn name(&self) -> &'static str {
+        "iabot-strikes"
+    }
+
+    fn observe(&mut self, ok: bool, at: SimTime) -> Observation {
+        if ok {
+            let had_strikes = self.strikes > 0;
+            self.strikes = 0;
+            self.first_strike_at = None;
+            if self.tagged_at.is_some() {
+                self.tagged_at = None;
+                Observation::of(Transition::Revived)
+            } else if had_strikes {
+                Observation::of(Transition::StrikeCleared)
+            } else {
+                Observation::of(Transition::Healthy)
+            }
+        } else {
+            self.strikes = self.strikes.saturating_add(1);
+            let first = *self.first_strike_at.get_or_insert(at);
+            if self.tagged_at.is_none()
+                && self.strikes >= self.required.max(1)
+                && at - first >= self.min_span
+            {
+                self.tagged_at = Some(at);
+                Observation::of(Transition::Tagged)
+            } else {
+                Observation::of(Transition::Strike)
+            }
+        }
+    }
+
+    fn state(&self) -> LinkState {
+        if self.tagged_at.is_some() {
+            LinkState::Tagged
+        } else if self.strikes > 0 {
+            LinkState::Suspicious
+        } else {
+            LinkState::Healthy
+        }
+    }
+
+    fn tagged_at(&self) -> Option<SimTime> {
+        self.tagged_at
+    }
+
+    fn evidence(&self) -> u32 {
+        self.strikes
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DeadPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: i64) -> SimTime {
+        SimTime::from_ymd(2022, 3, 1) + Duration::days(d)
+    }
+
+    fn policy() -> IabotStrikes {
+        IabotStrikes::new(3, Duration::days(2))
+    }
+
+    #[test]
+    fn three_consecutive_failures_over_the_span_tag() {
+        let mut p = policy();
+        assert_eq!(p.observe(false, day(0)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(1)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(2)).transition, Transition::Tagged);
+        assert_eq!(p.state(), LinkState::Tagged);
+        assert_eq!(p.tagged_at(), Some(day(2)));
+    }
+
+    #[test]
+    fn min_span_delays_a_rapid_strike_run() {
+        let mut p = policy(); // 3 strikes over >= 2 days
+        let base = day(0);
+        for h in 0..5 {
+            // five failures within five hours: strikes pile up but no tag
+            let t = base + Duration::hours(h);
+            assert_eq!(p.observe(false, t).transition, Transition::Strike, "hour {h}");
+        }
+        assert_eq!(p.state(), LinkState::Suspicious);
+        // the first failure past the span finally tags
+        assert_eq!(
+            p.observe(false, base + Duration::days(2)).transition,
+            Transition::Tagged
+        );
+    }
+
+    #[test]
+    fn success_clears_strikes_and_restarts_the_span() {
+        let mut p = policy();
+        p.observe(false, day(0));
+        p.observe(false, day(1));
+        assert_eq!(p.observe(true, day(2)).transition, Transition::StrikeCleared);
+        assert_eq!(p.evidence(), 0);
+        assert_eq!(p.state(), LinkState::Healthy);
+        // the run must start over — two more failures are not enough
+        p.observe(false, day(3));
+        p.observe(false, day(4));
+        assert_ne!(p.state(), LinkState::Tagged);
+        assert_eq!(p.observe(false, day(5)).transition, Transition::Tagged);
+    }
+
+    #[test]
+    fn tagged_link_answering_200_is_a_revival() {
+        let mut p = policy();
+        for d in 0..3 {
+            p.observe(false, day(d));
+        }
+        assert_eq!(p.state(), LinkState::Tagged);
+        assert_eq!(p.observe(true, day(10)).transition, Transition::Revived);
+        assert_eq!(p.state(), LinkState::Healthy);
+        assert_eq!(p.tagged_at(), None);
+        // and it can be tagged (and revived) again — links flap
+        for d in 11..14 {
+            p.observe(false, day(d));
+        }
+        assert_eq!(p.state(), LinkState::Tagged);
+        assert_eq!(p.observe(true, day(20)).transition, Transition::Revived);
+    }
+
+    #[test]
+    fn failures_keep_counting_while_tagged_without_retagging() {
+        let mut p = policy();
+        for d in 0..3 {
+            p.observe(false, day(d));
+        }
+        assert_eq!(p.state(), LinkState::Tagged);
+        // further failures must not emit Tagged again (counters would drift)
+        assert_eq!(p.observe(false, day(3)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(4)).transition, Transition::Strike);
+        assert_eq!(p.evidence(), 5);
+    }
+
+    #[test]
+    fn never_requests_a_cadence_override() {
+        let mut p = policy();
+        for d in 0..6 {
+            assert_eq!(p.observe(d % 2 == 0, day(d)).next_check_in, None);
+        }
+    }
+}

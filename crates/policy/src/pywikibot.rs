@@ -1,0 +1,158 @@
+//! pywikibot's weblinkchecker rule.
+//!
+//! The weblinkchecker script only reports a page "which was reported dead
+//! at least two times, with a time lag of at least one week" — and the
+//! moment a link answers again it is removed from the `deadlinks.dat`
+//! history entirely, so the confirmation run starts over from scratch.
+//! Compared to IABot's daily strikes this is a *slow* but *conservative*
+//! tagger: a transient outage shorter than the gap can never tag.
+
+use crate::{DeadPolicy, LinkState, Observation, Transition};
+use permadead_net::{Duration, SimTime};
+
+#[derive(Debug, Clone)]
+pub struct PywikibotWeekly {
+    /// Dead reports required before tagging (weblinkchecker: 2).
+    confirmations: u32,
+    /// Minimum lag between the first and the tagging report (one week).
+    gap: Duration,
+    /// Dead reports since the last success — the `.dat` entry.
+    dead_count: u32,
+    /// When the first of the current dead reports landed.
+    first_dead_at: Option<SimTime>,
+    tagged_at: Option<SimTime>,
+}
+
+impl PywikibotWeekly {
+    pub fn new(confirmations: u32, gap: Duration) -> PywikibotWeekly {
+        PywikibotWeekly {
+            confirmations,
+            gap,
+            dead_count: 0,
+            first_dead_at: None,
+            tagged_at: None,
+        }
+    }
+}
+
+impl DeadPolicy for PywikibotWeekly {
+    fn name(&self) -> &'static str {
+        "pywikibot-weekly"
+    }
+
+    fn observe(&mut self, ok: bool, at: SimTime) -> Observation {
+        if ok {
+            // alive: the link's entry is removed from the .dat history
+            let had_reports = self.dead_count > 0;
+            self.dead_count = 0;
+            self.first_dead_at = None;
+            if self.tagged_at.is_some() {
+                self.tagged_at = None;
+                Observation::of(Transition::Revived)
+            } else if had_reports {
+                Observation::of(Transition::StrikeCleared)
+            } else {
+                Observation::of(Transition::Healthy)
+            }
+        } else {
+            self.dead_count = self.dead_count.saturating_add(1);
+            let first = *self.first_dead_at.get_or_insert(at);
+            if self.tagged_at.is_none()
+                && self.dead_count >= self.confirmations.max(1)
+                && at - first >= self.gap
+            {
+                self.tagged_at = Some(at);
+                Observation::of(Transition::Tagged)
+            } else {
+                Observation::of(Transition::Strike)
+            }
+        }
+    }
+
+    fn state(&self) -> LinkState {
+        if self.tagged_at.is_some() {
+            LinkState::Tagged
+        } else if self.dead_count > 0 {
+            LinkState::Suspicious
+        } else {
+            LinkState::Healthy
+        }
+    }
+
+    fn tagged_at(&self) -> Option<SimTime> {
+        self.tagged_at
+    }
+
+    fn evidence(&self) -> u32 {
+        self.dead_count
+    }
+
+    fn boxed_clone(&self) -> Box<dyn DeadPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: i64) -> SimTime {
+        SimTime::from_ymd(2022, 3, 1) + Duration::days(d)
+    }
+
+    fn policy() -> PywikibotWeekly {
+        PywikibotWeekly::new(2, Duration::weeks(1))
+    }
+
+    #[test]
+    fn two_reports_a_week_apart_tag() {
+        let mut p = policy();
+        assert_eq!(p.observe(false, day(0)).transition, Transition::Strike);
+        // six days of daily failures: plenty of reports, lag too short
+        for d in 1..7 {
+            assert_eq!(p.observe(false, day(d)).transition, Transition::Strike, "day {d}");
+        }
+        assert_eq!(p.state(), LinkState::Suspicious);
+        assert_eq!(p.observe(false, day(7)).transition, Transition::Tagged);
+        assert_eq!(p.tagged_at(), Some(day(7)));
+    }
+
+    #[test]
+    fn a_success_wipes_the_dat_entry() {
+        let mut p = policy();
+        p.observe(false, day(0));
+        p.observe(false, day(6));
+        assert_eq!(p.observe(true, day(7)).transition, Transition::StrikeCleared);
+        assert_eq!(p.evidence(), 0);
+        // the week must elapse again from the next report, not from day 0
+        assert_eq!(p.observe(false, day(8)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(14)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(15)).transition, Transition::Tagged);
+    }
+
+    #[test]
+    fn exactly_two_reports_exactly_a_week_apart_suffice() {
+        let mut p = policy();
+        assert_eq!(p.observe(false, day(0)).transition, Transition::Strike);
+        assert_eq!(p.observe(false, day(7)).transition, Transition::Tagged);
+    }
+
+    #[test]
+    fn post_tag_success_revives() {
+        let mut p = policy();
+        p.observe(false, day(0));
+        p.observe(false, day(7));
+        assert_eq!(p.state(), LinkState::Tagged);
+        assert_eq!(p.observe(true, day(9)).transition, Transition::Revived);
+        assert_eq!(p.state(), LinkState::Healthy);
+        assert_eq!(p.tagged_at(), None);
+    }
+
+    #[test]
+    fn never_requests_a_cadence_override() {
+        let mut p = policy();
+        for d in 0..20 {
+            assert_eq!(p.observe(d % 3 == 0, day(d)).next_check_in, None);
+        }
+    }
+}

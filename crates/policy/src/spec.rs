@@ -1,0 +1,251 @@
+//! `--policy NAME[:ARGS]` — the one place policy specs are parsed,
+//! validated, and turned into live [`DeadPolicy`] machines.
+//!
+//! The spec is `Copy` so scheduler configs stay cheap to clone; each
+//! watched link gets its own policy instance via [`PolicySpec::build`].
+
+use crate::{DeadPolicy, HealthScore, IabotStrikes, PywikibotWeekly};
+use permadead_net::Duration;
+use std::fmt;
+
+/// One line per policy, `NAME[:ARGS]` grammar included — rendered into
+/// unknown-policy errors and `--help`.
+pub const USAGE: &str = "\
+\x20 iabot-strikes[:STRIKES[,SPAN_DAYS]]   N consecutive failures over a minimum span (default 3,2)
+  pywikibot-weekly[:CONFIRMS[,GAP_DAYS]] dead >= K times >= GAP days apart (default 2,7)
+  health-score[:BASE_DAYS]              scored HEALTHY>SUSPICIOUS>QUARANTINED>DEAD ladder, adaptive cadence (default 1)";
+
+/// A validated dead-link detection policy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// IABot: `strikes` consecutive failures spanning at least `min_span`.
+    IabotStrikes { strikes: u32, min_span: Duration },
+    /// pywikibot weblinkchecker: dead `confirmations` times at least `gap`
+    /// apart, with no success in between.
+    PywikibotWeekly { confirmations: u32, gap: Duration },
+    /// umbrix-style health score with adaptive cadence scaled from `base`.
+    HealthScore { base: Duration },
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        PolicySpec::IabotStrikes {
+            strikes: 3,
+            min_span: Duration::days(2),
+        }
+    }
+}
+
+impl PolicySpec {
+    /// Every policy at its default arguments, in scoreboard order.
+    pub fn all_default() -> [PolicySpec; 3] {
+        [
+            PolicySpec::default(),
+            PolicySpec::PywikibotWeekly {
+                confirmations: 2,
+                gap: Duration::weeks(1),
+            },
+            PolicySpec::HealthScore {
+                base: Duration::days(1),
+            },
+        ]
+    }
+
+    /// Parse `NAME[:ARG[,ARG]]`, validating every argument. Errors are
+    /// complete sentences fit for CLI stderr.
+    pub fn parse(spec: &str) -> Result<PolicySpec, String> {
+        let (name, args) = match spec.split_once(':') {
+            Some((n, a)) => (n, a),
+            None => (spec, ""),
+        };
+        let nums: Vec<i64> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',')
+                .map(|a| {
+                    a.trim().parse::<i64>().map_err(|_| {
+                        format!("policy {name}: argument {a:?} is not an integer")
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let arg = |i: usize, default: i64| nums.get(i).copied().unwrap_or(default);
+        let positive = |label: &str, v: i64| -> Result<i64, String> {
+            if v >= 1 {
+                Ok(v)
+            } else {
+                Err(format!("policy {name}: {label} must be >= 1, got {v}"))
+            }
+        };
+        let max_args = |n: usize| -> Result<(), String> {
+            if nums.len() > n {
+                Err(format!(
+                    "policy {name} takes at most {n} argument(s), got {}",
+                    nums.len()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "iabot-strikes" => {
+                max_args(2)?;
+                Ok(PolicySpec::IabotStrikes {
+                    strikes: positive("strikes", arg(0, 3))? as u32,
+                    min_span: Duration::days(positive("span days", arg(1, 2))?),
+                })
+            }
+            "pywikibot-weekly" => {
+                max_args(2)?;
+                Ok(PolicySpec::PywikibotWeekly {
+                    confirmations: positive("confirmations", arg(0, 2))? as u32,
+                    gap: Duration::days(positive("gap days", arg(1, 7))?),
+                })
+            }
+            "health-score" => {
+                max_args(1)?;
+                Ok(PolicySpec::HealthScore {
+                    base: Duration::days(positive("base days", arg(0, 1))?),
+                })
+            }
+            other => Err(format!(
+                "unknown policy {other:?}; available policies:\n{USAGE}"
+            )),
+        }
+    }
+
+    /// Instantiate a fresh per-link state machine.
+    pub fn build(&self) -> Box<dyn DeadPolicy> {
+        match *self {
+            PolicySpec::IabotStrikes { strikes, min_span } => {
+                Box::new(IabotStrikes::new(strikes, min_span))
+            }
+            PolicySpec::PywikibotWeekly { confirmations, gap } => {
+                Box::new(PywikibotWeekly::new(confirmations, gap))
+            }
+            PolicySpec::HealthScore { base } => Box::new(HealthScore::new(base)),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::IabotStrikes { .. } => "iabot-strikes",
+            PolicySpec::PywikibotWeekly { .. } => "pywikibot-weekly",
+            PolicySpec::HealthScore { .. } => "health-score",
+        }
+    }
+
+    /// Human-readable rule summary for report headers. The iabot form is
+    /// pinned by the watch-timeline golden — do not reword it.
+    pub fn describe(&self) -> String {
+        match *self {
+            PolicySpec::IabotStrikes { strikes, min_span } => {
+                format!("strikes {strikes} over >= {}d", min_span.as_days())
+            }
+            PolicySpec::PywikibotWeekly { confirmations, gap } => {
+                format!("dead x{confirmations} >= {}d apart", gap.as_days())
+            }
+            PolicySpec::HealthScore { base } => {
+                format!("health score, base {}d", base.as_days())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    /// Canonical round-trippable spec: `Display` output re-parses to `self`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PolicySpec::IabotStrikes { strikes, min_span } => {
+                write!(f, "iabot-strikes:{strikes},{}", min_span.as_days())
+            }
+            PolicySpec::PywikibotWeekly { confirmations, gap } => {
+                write!(f, "pywikibot-weekly:{confirmations},{}", gap.as_days())
+            }
+            PolicySpec::HealthScore { base } => {
+                write!(f, "health-score:{}", base.as_days())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_get_defaults() {
+        assert_eq!(PolicySpec::parse("iabot-strikes").unwrap(), PolicySpec::default());
+        assert_eq!(
+            PolicySpec::parse("pywikibot-weekly").unwrap(),
+            PolicySpec::PywikibotWeekly {
+                confirmations: 2,
+                gap: Duration::weeks(1)
+            }
+        );
+        assert_eq!(
+            PolicySpec::parse("health-score").unwrap(),
+            PolicySpec::HealthScore {
+                base: Duration::days(1)
+            }
+        );
+    }
+
+    #[test]
+    fn args_override_defaults() {
+        assert_eq!(
+            PolicySpec::parse("iabot-strikes:5,3").unwrap(),
+            PolicySpec::IabotStrikes {
+                strikes: 5,
+                min_span: Duration::days(3)
+            }
+        );
+        assert_eq!(
+            PolicySpec::parse("pywikibot-weekly:3").unwrap(),
+            PolicySpec::PywikibotWeekly {
+                confirmations: 3,
+                gap: Duration::weeks(1)
+            }
+        );
+        assert_eq!(
+            PolicySpec::parse("health-score:2").unwrap(),
+            PolicySpec::HealthScore {
+                base: Duration::days(2)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_policy_lists_the_menu() {
+        let err = PolicySpec::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        assert!(err.contains("iabot-strikes"), "{err}");
+        assert!(err.contains("pywikibot-weekly"), "{err}");
+        assert!(err.contains("health-score"), "{err}");
+    }
+
+    #[test]
+    fn zero_and_negative_arguments_are_rejected() {
+        assert!(PolicySpec::parse("iabot-strikes:0").is_err());
+        assert!(PolicySpec::parse("iabot-strikes:3,0").is_err());
+        assert!(PolicySpec::parse("iabot-strikes:-1").is_err());
+        assert!(PolicySpec::parse("pywikibot-weekly:0").is_err());
+        assert!(PolicySpec::parse("pywikibot-weekly:2,0").is_err());
+        assert!(PolicySpec::parse("health-score:0").is_err());
+        assert!(PolicySpec::parse("iabot-strikes:x").is_err());
+        assert!(PolicySpec::parse("iabot-strikes:1,2,3").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in PolicySpec::all_default() {
+            assert_eq!(PolicySpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn default_describe_matches_the_watch_golden_header() {
+        // pinned: results/WATCH_TIMELINE_seed42.txt says "strikes 3 over >= 2d"
+        assert_eq!(PolicySpec::default().describe(), "strikes 3 over >= 2d");
+    }
+}

@@ -10,8 +10,10 @@
 //!
 //! The pieces:
 //!
-//! * [`Watcher`] — the per-link IABot state machine: consecutive-failure
-//!   strikes, the minimum-span rule, the permanently-dead tag, and
+//! * [`Watcher`] — the per-link monitoring record. The tagging decision is
+//!   delegated to a pluggable `permadead-policy` state machine (IABot's
+//!   consecutive-failure strikes by default; pywikibot weekly confirmation
+//!   and umbrix-style health scoring selectable via `--policy`), with
 //!   resurrection detection (a tagged link answering 200 again is recorded
 //!   as a *revival* and goes back to being watched).
 //! * [`Cadence`] — pluggable re-check interval policies: fixed interval,
@@ -39,14 +41,22 @@
 pub mod cadence;
 pub mod politeness;
 pub mod scheduler;
+pub mod score;
 pub mod timeline;
 pub mod watcher;
 
 pub use cadence::Cadence;
 pub use politeness::HostBudget;
 pub use scheduler::{SchedCounters, Scheduler, SchedulerConfig, WatchSnapshot};
+pub use score::{render_score_table, score_policy, PolicyScore};
 pub use timeline::{run_days, DayRow, Timeline};
-pub use watcher::{Transition, WatchPolicy, WatchState, Watcher};
+pub use watcher::Watcher;
+
+// The policy machinery lives in `permadead-policy`; re-export the pieces
+// every scheduler consumer needs so `sched::Transition` etc. keep working.
+pub use permadead_policy::{
+    DeadPolicy, LinkState, Observation, PolicySpec, StateDist, Transition, POLICY_USAGE,
+};
 
 /// FNV-1a, the workspace's stock deterministic string hash (same constants
 /// as `permadead-net`'s fault seeding and `permadead-serve`'s cache shards).

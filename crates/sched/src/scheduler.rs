@@ -4,22 +4,25 @@
 //! `(due, priority, seq)` — bit-identical pop order for the same insertion
 //! sequence, which is exactly the determinism the batch frontend pins in
 //! `tests/determinism.rs`. The scheduler owns the bookkeeping half of a
-//! re-check (admission, deferral, strike accounting, next-due computation);
-//! the *network* half — actually fetching the URL — stays with the caller,
-//! so the CLI drives it against the simulated web, `permadead-serve` pumps
-//! it through its worker pool, and unit tests feed scripted outcomes.
+//! re-check (admission, deferral, next-due computation); the *tagging
+//! decision* belongs to the configured `permadead-policy` machine, and the
+//! *network* half — actually fetching the URL — stays with the caller, so
+//! the CLI drives it against the simulated web, `permadead-serve` pumps it
+//! through its worker pool, and unit tests feed scripted outcomes.
 
 use crate::cadence::Cadence;
 use crate::politeness::HostBudget;
-use crate::watcher::{Transition, WatchPolicy, WatchState, Watcher};
+use crate::watcher::Watcher;
 use permadead_net::{Duration, EventQueue, SimTime};
+use permadead_policy::{PolicySpec, StateDist, Transition};
 use permadead_url::Url;
 use std::collections::{BTreeSet, HashMap};
 
 /// Everything that shapes a monitoring run.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
-    pub policy: WatchPolicy,
+    /// The dead-link detection policy every watcher runs.
+    pub policy: PolicySpec,
     pub cadence: Cadence,
     /// Per-host checks per UTC day; `None` disables politeness deferral.
     pub host_budget_per_day: Option<u32>,
@@ -28,7 +31,7 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            policy: WatchPolicy::default(),
+            policy: PolicySpec::default(),
             cadence: Cadence::Fixed { every: Duration::days(1) },
             host_budget_per_day: None,
         }
@@ -61,7 +64,7 @@ impl SchedCounters {
 }
 
 /// A point-in-time view for `/metrics` and `/healthz`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WatchSnapshot {
     pub counters: SchedCounters,
     /// Re-check events waiting in the queue.
@@ -70,6 +73,23 @@ pub struct WatchSnapshot {
     pub watchlist: usize,
     /// Watchers currently tagged permanently dead.
     pub tagged_now: usize,
+    /// How the watchlist distributes over the four link states.
+    pub states: StateDist,
+    /// The active policy's name.
+    pub policy: &'static str,
+}
+
+impl Default for WatchSnapshot {
+    fn default() -> Self {
+        WatchSnapshot {
+            counters: SchedCounters::default(),
+            pending: 0,
+            watchlist: 0,
+            tagged_now: 0,
+            states: StateDist::default(),
+            policy: PolicySpec::default().name(),
+        }
+    }
 }
 
 /// The deterministic re-check scheduler.
@@ -114,7 +134,7 @@ impl Scheduler {
             return None;
         }
         let id = self.watchers.len();
-        self.watchers.push(Watcher::new(url));
+        self.watchers.push(Watcher::new(url, self.config.policy.build()));
         self.id_of.insert(key, id);
         self.queue.schedule(first_due, 0, id);
         Some(id)
@@ -192,13 +212,14 @@ impl Scheduler {
         self.queue.schedule(at, 0, id);
     }
 
-    /// Apply one fetched outcome and schedule the watcher's next check.
+    /// Apply one fetched outcome and schedule the watcher's next check. The
+    /// policy may override the configured cadence with its own interval
+    /// (adaptive back-off); otherwise the cadence decides.
     pub fn apply(&mut self, id: usize, at: SimTime, ok: bool) -> Transition {
         self.counters.checks += 1;
-        let policy = self.config.policy;
         let w = &mut self.watchers[id];
-        let transition = w.observe(ok, at, &policy);
-        match transition {
+        let obs = w.observe(ok, at);
+        match obs.transition {
             Transition::Tagged => {
                 self.counters.tagged += 1;
                 self.dirty.insert(id);
@@ -209,10 +230,15 @@ impl Scheduler {
             }
             _ => {}
         }
-        let key = w.url.to_string();
-        let delay = self.config.cadence.next_delay(&key, w.stable_streak, w.checks);
+        let delay = match obs.next_check_in {
+            Some(d) => d.max(Duration::seconds(1)),
+            None => {
+                let key = w.url.to_string();
+                self.config.cadence.next_delay(&key, w.stable_streak, w.checks)
+            }
+        };
         self.queue.schedule(at + delay, 0, id);
-        transition
+        obs.transition
     }
 
     /// Drain the set of watchers whose state flipped since the last call,
@@ -230,10 +256,16 @@ impl Scheduler {
 
     /// Watchers currently tagged permanently dead.
     pub fn tagged_now(&self) -> usize {
-        self.watchers
-            .iter()
-            .filter(|w| w.state == WatchState::Tagged)
-            .count()
+        self.watchers.iter().filter(|w| w.is_tagged()).count()
+    }
+
+    /// How the watchlist distributes over the four link states.
+    pub fn state_dist(&self) -> StateDist {
+        let mut dist = StateDist::default();
+        for w in &self.watchers {
+            dist.add(w.state());
+        }
+        dist
     }
 
     pub fn snapshot(&self) -> WatchSnapshot {
@@ -242,6 +274,8 @@ impl Scheduler {
             pending: self.queue.len(),
             watchlist: self.watchers.len(),
             tagged_now: self.tagged_now(),
+            states: self.state_dist(),
+            policy: self.config.policy.name(),
         }
     }
 }
@@ -249,6 +283,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use permadead_policy::LinkState;
 
     fn url(s: &str) -> Url {
         Url::parse(s).unwrap()
@@ -374,6 +409,10 @@ mod tests {
         assert_eq!(snap.counters.checks, 6);
         assert_eq!(snap.pending, 2, "both watchers have a next check queued");
         assert_eq!(snap.tagged_now, 0);
+        assert_eq!(snap.policy, "iabot-strikes");
+        assert_eq!(snap.states.healthy, 1);
+        assert_eq!(snap.states.suspicious, 1, "b.org has a strike outstanding");
+        assert_eq!(snap.states.total(), snap.watchlist);
     }
 
     #[test]
@@ -432,5 +471,30 @@ mod tests {
             a.iter().map(|(_, at)| at.as_unix()).collect();
         assert!(distinct.len() > 40, "stagger should spread across the day");
         assert!(a.iter().all(|(_, at)| *at < day(1)), "stagger stays inside day one");
+    }
+
+    #[test]
+    fn health_score_policy_drives_adaptive_cadence() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            policy: PolicySpec::HealthScore { base: Duration::days(1) },
+            ..SchedulerConfig::default()
+        });
+        s.watch(url("http://fading.org/x"), day(0));
+        // two failures: healthy (day cadence), then suspicious (half-day)
+        let (id, at) = s.pop_due(day(0)).unwrap();
+        s.apply(id, at, false);
+        assert_eq!(s.next_due(), Some(day(1)), "still healthy: cadence rules");
+        let (id, at) = s.pop_due(day(1)).unwrap();
+        s.apply(id, at, false);
+        assert_eq!(
+            s.next_due(),
+            Some(day(1) + Duration::hours(12)),
+            "suspicious: the policy override halves the interval"
+        );
+        let (id, at) = s.pop_due(day(2)).unwrap();
+        s.apply(id, at, false); // quarantined: base * 2
+        assert_eq!(s.next_due(), Some(day(1) + Duration::hours(12) + Duration::days(2)));
+        assert_eq!(s.watcher(id).state(), LinkState::Quarantined);
+        assert_eq!(s.snapshot().states.quarantined, 1);
     }
 }

@@ -1,0 +1,292 @@
+//! The policy scoreboard: replay a ground-truth fault lab through a
+//! detection policy and score its tags against the script.
+//!
+//! The paper could only describe the links IABot chose to tag; it had no
+//! way to measure how many deaths were missed or how many tags were
+//! premature. Here the `permadead_policy::lab` populations come with their
+//! fate written down, so for each `(policy, profile)` pair we can report:
+//!
+//! * **precision** — of the tag events the policy emitted, how many landed
+//!   on a link that really was permanently dead at that moment;
+//! * **recall** — of the links permanently dead by the end of the run, how
+//!   many ended the run tagged;
+//! * **median time-to-tag** — days from a link's scripted death to the tag
+//!   that stuck (end-state tags on truly-dead links only);
+//! * **wasted checks/link** — checks that merely re-confirmed a settled
+//!   belief (healthy links re-confirmed healthy, tagged links re-confirmed
+//!   dead): the cost side of the cadence trade-off;
+//! * **resurrection-miss** — of the scripted revivals the policy had
+//!   tagged, how many it still believed dead at the end of the run.
+//!
+//! Everything is driven through the real [`Scheduler`] + [`run_days`]
+//! pipeline, so the scores inherit the jobs-independence guarantee: the
+//! table is a pure function of `(policy, profile, seed, days)`.
+
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::timeline::run_days;
+use permadead_net::SimTime;
+use permadead_policy::lab::LabLink;
+use permadead_policy::{PolicySpec, Transition};
+use std::collections::HashMap;
+
+/// One `(policy, profile)` scoreboard row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyScore {
+    pub policy: PolicySpec,
+    pub profile: String,
+    /// Links in the lab population.
+    pub links: usize,
+    /// Links permanently dead by the end of the run (ground truth).
+    pub truth_dead: usize,
+    /// Tag events emitted.
+    pub tags: u64,
+    /// Tag events that landed on a link permanently dead at that moment.
+    pub true_tags: u64,
+    /// Truly-dead links that ended the run tagged.
+    pub dead_tagged: usize,
+    /// Checks applied over the whole run.
+    pub checks: u64,
+    /// Checks that only re-confirmed a settled belief.
+    pub wasted: u64,
+    /// Days from scripted death to the tag that stuck, one per recalled
+    /// link, sorted ascending.
+    pub days_to_tag: Vec<i64>,
+    /// Scripted revivals the policy had tagged at some point.
+    pub resurrections_seen: u64,
+    /// Of those, links still believed dead at the end of the run.
+    pub resurrections_missed: u64,
+}
+
+impl PolicyScore {
+    /// Tag precision in [0, 1]; `None` when no tags were emitted.
+    pub fn precision(&self) -> Option<f64> {
+        (self.tags > 0).then(|| self.true_tags as f64 / self.tags as f64)
+    }
+
+    /// End-state recall in [0, 1]; `None` when nothing truly died.
+    pub fn recall(&self) -> Option<f64> {
+        (self.truth_dead > 0).then(|| self.dead_tagged as f64 / self.truth_dead as f64)
+    }
+
+    /// Median days from scripted death to the tag that stuck.
+    pub fn median_days_to_tag(&self) -> Option<f64> {
+        let n = self.days_to_tag.len();
+        if n == 0 {
+            return None;
+        }
+        Some(if n % 2 == 1 {
+            self.days_to_tag[n / 2] as f64
+        } else {
+            (self.days_to_tag[n / 2 - 1] + self.days_to_tag[n / 2]) as f64 / 2.0
+        })
+    }
+
+    pub fn wasted_per_link(&self) -> f64 {
+        if self.links == 0 {
+            0.0
+        } else {
+            self.wasted as f64 / self.links as f64
+        }
+    }
+
+    /// Resurrection-miss rate; `None` when the policy never tagged a
+    /// scripted reviver.
+    pub fn resurrection_miss(&self) -> Option<f64> {
+        (self.resurrections_seen > 0)
+            .then(|| self.resurrections_missed as f64 / self.resurrections_seen as f64)
+    }
+}
+
+/// Replay `links` through `spec` for `days` simulated days and score the
+/// result against the scripted ground truth. Pure in every argument —
+/// `jobs` only parallelizes the fetch half.
+pub fn score_policy(
+    spec: PolicySpec,
+    profile: &str,
+    links: &[LabLink],
+    start: SimTime,
+    days: u32,
+    jobs: usize,
+    seed: u64,
+) -> PolicyScore {
+    let mut sched = Scheduler::new(SchedulerConfig {
+        policy: spec,
+        ..SchedulerConfig::default()
+    });
+    let truth_of: HashMap<String, permadead_policy::lab::GroundTruth> = links
+        .iter()
+        .map(|l| (l.url.to_string(), l.truth))
+        .collect();
+    for l in links {
+        sched.watch(l.url.clone(), start);
+    }
+    let day_of = |at: SimTime| -> u32 {
+        ((at - start).as_seconds().div_euclid(86_400)).max(0) as u32
+    };
+    let timeline = run_days(&mut sched, start, days, jobs, |url, at| {
+        truth_of[&url.to_string()].up_on_day(day_of(at), url, seed)
+    });
+
+    let last_day = days.saturating_sub(1);
+    let mut tags = 0u64;
+    let mut true_tags = 0u64;
+    for &(at, id, t) in &timeline.events {
+        if t == Transition::Tagged {
+            tags += 1;
+            let truth = &truth_of[&sched.watcher(id).url.to_string()];
+            if truth.permanently_dead_at(day_of(at)) {
+                true_tags += 1;
+            }
+        }
+    }
+
+    let mut truth_dead = 0usize;
+    let mut dead_tagged = 0usize;
+    let mut days_to_tag = Vec::new();
+    let mut resurrections_seen = 0u64;
+    let mut resurrections_missed = 0u64;
+    let ever_tagged: std::collections::HashSet<usize> = timeline
+        .events
+        .iter()
+        .filter(|(_, _, t)| *t == Transition::Tagged)
+        .map(|&(_, id, _)| id)
+        .collect();
+    for (id, w) in sched.watchers().iter().enumerate() {
+        let truth = &truth_of[&w.url.to_string()];
+        if truth.permanently_dead_at(last_day) {
+            truth_dead += 1;
+            if w.is_tagged() {
+                dead_tagged += 1;
+                if let (Some(at), Some(death)) = (w.tagged_at(), truth.death_day()) {
+                    days_to_tag.push(i64::from(day_of(at)) - i64::from(death));
+                }
+            }
+        }
+        if truth.revives() && ever_tagged.contains(&id) {
+            resurrections_seen += 1;
+            if w.is_tagged() {
+                resurrections_missed += 1;
+            }
+        }
+    }
+    days_to_tag.sort_unstable();
+
+    PolicyScore {
+        policy: spec,
+        profile: profile.to_string(),
+        links: links.len(),
+        truth_dead,
+        tags,
+        true_tags,
+        dead_tagged,
+        checks: timeline.totals.checks,
+        wasted: sched.watchers().iter().map(|w| w.wasted).sum(),
+        days_to_tag,
+        resurrections_seen,
+        resurrections_missed,
+    }
+}
+
+fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Render the scoreboard the `repro_policy_table` golden pins.
+pub fn render_score_table(rows: &[PolicyScore]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "profile     policy                 precision  recall  med-days-to-tag  wasted/link  resurr-miss\n",
+    );
+    let mut last_profile: Option<&str> = None;
+    for r in rows {
+        if last_profile.is_some_and(|p| p != r.profile) {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:<10}  {:<21}  {:>9}  {:>6}  {:>15}  {:>11.1}  {:>11}\n",
+            r.profile,
+            r.policy.to_string(),
+            pct(r.precision()),
+            pct(r.recall()),
+            r.median_days_to_tag()
+                .map(|d| format!("{d:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.wasted_per_link(),
+            pct(r.resurrection_miss()),
+        ));
+        last_profile = Some(&r.profile);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_net::Duration;
+    use permadead_policy::lab::profile_links;
+
+    fn start() -> SimTime {
+        SimTime::from_ymd(2022, 3, 1)
+    }
+
+    #[test]
+    fn iabot_on_the_stable_profile_has_high_precision_and_recall() {
+        let links = profile_links("stable", 42);
+        let s = score_policy(PolicySpec::default(), "stable", &links, start(), 45, 1, 42);
+        assert_eq!(s.links, 120);
+        assert_eq!(s.truth_dead, 50, "the 50 DeadFrom links all die inside 45 days");
+        let precision = s.precision().expect("some tags");
+        let recall = s.recall().expect("some deaths");
+        assert!(precision > 0.8, "precision {precision}");
+        assert_eq!(recall, 1.0, "hard deaths under daily checks are unmissable");
+        // tags stick: a DeadFrom link never revives, so tagged_at holds
+        assert!(s.median_days_to_tag().expect("recalled links") >= 2.0);
+    }
+
+    #[test]
+    fn scores_are_jobs_independent() {
+        for profile in permadead_policy::lab::PROFILES {
+            let links = profile_links(profile, 42);
+            for spec in PolicySpec::all_default() {
+                let serial = score_policy(spec, profile, &links, start(), 20, 1, 42);
+                for jobs in [2, 8] {
+                    let parallel = score_policy(spec, profile, &links, start(), 20, jobs, 42);
+                    assert_eq!(serial, parallel, "{profile}/{spec} diverged at jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pywikibot_never_tags_a_short_flap() {
+        // flappers are down at most 4 consecutive days — under a week, so
+        // the weekly-gap rule can never confirm one dead
+        let links: Vec<_> = profile_links("flapping", 42)
+            .into_iter()
+            .filter(|l| matches!(l.truth, permadead_policy::lab::GroundTruth::Flapping { .. }))
+            .collect();
+        let spec = PolicySpec::PywikibotWeekly {
+            confirmations: 2,
+            gap: Duration::weeks(1),
+        };
+        let s = score_policy(spec, "flapping", &links, start(), 45, 1, 42);
+        assert_eq!(s.tags, 0, "no flapper outage spans the weekly gap");
+    }
+
+    #[test]
+    fn table_renders_a_row_per_score() {
+        let links = profile_links("stable", 42);
+        let rows: Vec<_> = PolicySpec::all_default()
+            .into_iter()
+            .map(|spec| score_policy(spec, "stable", &links, start(), 10, 1, 42))
+            .collect();
+        let table = render_score_table(&rows);
+        assert!(table.contains("iabot-strikes:3,2"), "{table}");
+        assert!(table.contains("pywikibot-weekly:2,7"), "{table}");
+        assert!(table.contains("health-score:1"), "{table}");
+        assert!(table.lines().count() >= 4);
+    }
+}

@@ -16,8 +16,8 @@
 //! lands inside the same day simply joins a later batch.
 
 use crate::scheduler::{SchedCounters, Scheduler};
-use crate::watcher::Transition;
 use permadead_net::{Date, Duration, SimTime};
+use permadead_policy::Transition;
 use permadead_url::Url;
 
 /// One simulated day of monitoring.

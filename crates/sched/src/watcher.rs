@@ -1,82 +1,25 @@
-//! The per-link IABot state machine.
+//! The per-link monitoring record.
 //!
-//! IABot's production rule (and the reason the paper's dataset exists at
-//! all): a link is tagged permanently dead only after **N consecutive
-//! failed checks** spread across a **minimum wall-clock span** — one bad
-//! day is not death. Any successful check clears the strike count; a
-//! success *after* the tag is a resurrection (§3's "genuinely alive again"
-//! population, ~3%) and is recorded as a revival event.
+//! The *tagging decision* lives in `permadead-policy`: each watcher owns a
+//! boxed [`DeadPolicy`] state machine (IABot strikes by default) and
+//! delegates every observed outcome to it. What stays here is the
+//! policy-agnostic bookkeeping the scheduler needs — check and revival
+//! totals, the stable-streak the aging cadence reads, and the wasted-check
+//! counter the policy scoreboard reports.
 
-use permadead_net::{Duration, SimTime};
+use permadead_net::SimTime;
+use permadead_policy::{DeadPolicy, LinkState, Observation, Transition};
 use permadead_url::Url;
 
-/// The tagging rule: how many consecutive failures, over how long.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WatchPolicy {
-    /// Consecutive failed checks required before tagging.
-    pub strikes: u32,
-    /// Minimum span between the first strike and the tagging check. With
-    /// daily re-checks and 3 strikes the natural span is 2 days, so the
-    /// default never delays a tag; tightening the cadence without touching
-    /// this keeps "three failures in three minutes" from tagging anything.
-    pub min_span: Duration,
-}
-
-impl Default for WatchPolicy {
-    fn default() -> Self {
-        WatchPolicy {
-            strikes: 3,
-            min_span: Duration::days(2),
-        }
-    }
-}
-
-/// Where a watched link currently stands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WatchState {
-    /// Not (currently) considered permanently dead.
-    Watching,
-    /// Tagged permanently dead; still re-checked so revivals are caught.
-    Tagged,
-}
-
-impl WatchState {
-    pub fn as_str(self) -> &'static str {
-        match self {
-            WatchState::Watching => "watching",
-            WatchState::Tagged => "tagged",
-        }
-    }
-}
-
-/// What one observed check did to a watcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Transition {
-    /// Success with no strikes outstanding.
-    Healthy,
-    /// Success that wiped one or more strikes (the link flapped back).
-    StrikeCleared,
-    /// A failure that did not (yet) reach the tagging threshold.
-    Strike,
-    /// This failure crossed the threshold: the link is now tagged.
-    Tagged,
-    /// A previously-tagged link answered 200 again: revival.
-    Revived,
-}
-
-/// One watched link's full monitoring state.
+/// One watched link: its URL, its policy state machine, and the
+/// policy-agnostic monitoring counters.
 #[derive(Debug, Clone)]
 pub struct Watcher {
     pub url: Url,
     /// Cached `url.host()` — politeness buckets key on it every pop.
     pub host: String,
-    pub state: WatchState,
-    /// Consecutive failed checks so far.
-    pub strikes: u32,
-    /// When the current strike run began (cleared on success).
-    pub first_strike_at: Option<SimTime>,
-    /// When the tag landed, if currently tagged.
-    pub tagged_at: Option<SimTime>,
+    /// The tagging decision: observes outcomes, owns the link state.
+    policy: Box<dyn DeadPolicy>,
     /// Total checks observed.
     pub checks: u64,
     /// Times this link came back from the tag.
@@ -86,167 +29,146 @@ pub struct Watcher {
     pub stable_streak: u32,
     /// Outcome of the most recent check (`None` before the first).
     pub last_ok: Option<bool>,
+    /// Checks that only re-confirmed a settled belief: a healthy link
+    /// answering 200 yet again, or an already-tagged link failing yet
+    /// again. The policy scoreboard's cost-of-monitoring column.
+    pub wasted: u64,
 }
 
 impl Watcher {
-    pub fn new(url: Url) -> Watcher {
+    pub fn new(url: Url, policy: Box<dyn DeadPolicy>) -> Watcher {
         let host = url.host().to_string();
         Watcher {
             url,
             host,
-            state: WatchState::Watching,
-            strikes: 0,
-            first_strike_at: None,
-            tagged_at: None,
+            policy,
             checks: 0,
             revivals: 0,
             stable_streak: 0,
             last_ok: None,
+            wasted: 0,
         }
     }
 
     /// Feed one check outcome (`ok` = answered 200 after redirects) observed
-    /// at `at`. Returns what changed.
-    pub fn observe(&mut self, ok: bool, at: SimTime, policy: &WatchPolicy) -> Transition {
+    /// at `at`. Updates the generic counters, then delegates the tagging
+    /// decision to the policy.
+    pub fn observe(&mut self, ok: bool, at: SimTime) -> Observation {
         self.checks += 1;
         self.stable_streak = match self.last_ok {
             Some(prev) if prev == ok => self.stable_streak.saturating_add(1),
             _ => 0,
         };
-        self.last_ok = Some(ok);
-
-        if ok {
-            let had_strikes = self.strikes > 0;
-            self.strikes = 0;
-            self.first_strike_at = None;
-            if self.state == WatchState::Tagged {
-                self.state = WatchState::Watching;
-                self.tagged_at = None;
-                self.revivals += 1;
-                Transition::Revived
-            } else if had_strikes {
-                Transition::StrikeCleared
-            } else {
-                Transition::Healthy
-            }
-        } else {
-            self.strikes = self.strikes.saturating_add(1);
-            let first = *self.first_strike_at.get_or_insert(at);
-            if self.state == WatchState::Watching
-                && self.strikes >= policy.strikes.max(1)
-                && at - first >= policy.min_span
-            {
-                self.state = WatchState::Tagged;
-                self.tagged_at = Some(at);
-                Transition::Tagged
-            } else {
-                Transition::Strike
-            }
+        let was_tagged = self.policy.state() == LinkState::Tagged;
+        let obs = self.policy.observe(ok, at);
+        if (obs.transition == Transition::Healthy && self.last_ok == Some(true))
+            || (was_tagged && !ok)
+        {
+            self.wasted += 1;
         }
+        self.last_ok = Some(ok);
+        if obs.transition == Transition::Revived {
+            self.revivals += 1;
+        }
+        obs
+    }
+
+    /// Where the link currently stands, per its policy.
+    pub fn state(&self) -> LinkState {
+        self.policy.state()
+    }
+
+    pub fn is_tagged(&self) -> bool {
+        self.policy.state() == LinkState::Tagged
+    }
+
+    /// When the current tag landed, if currently tagged.
+    pub fn tagged_at(&self) -> Option<SimTime> {
+        self.policy.tagged_at()
+    }
+
+    /// Accumulated evidence toward (or since) the tag — the policy's
+    /// strike / confirmation / consecutive-failure count.
+    pub fn evidence(&self) -> u32 {
+        self.policy.evidence()
+    }
+
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use permadead_net::Duration;
+    use permadead_policy::PolicySpec;
 
     fn day(d: i64) -> SimTime {
         SimTime::from_ymd(2022, 3, 1) + Duration::days(d)
     }
 
     fn watcher() -> Watcher {
-        Watcher::new(Url::parse("http://example.org/page").unwrap())
+        Watcher::new(
+            Url::parse("http://example.org/page").unwrap(),
+            PolicySpec::default().build(),
+        )
     }
 
     #[test]
-    fn three_consecutive_failures_over_the_span_tag() {
+    fn default_policy_walks_the_iabot_ladder() {
         let mut w = watcher();
-        let p = WatchPolicy::default();
-        assert_eq!(w.observe(false, day(0), &p), Transition::Strike);
-        assert_eq!(w.observe(false, day(1), &p), Transition::Strike);
-        assert_eq!(w.observe(false, day(2), &p), Transition::Tagged);
-        assert_eq!(w.state, WatchState::Tagged);
-        assert_eq!(w.tagged_at, Some(day(2)));
-    }
-
-    #[test]
-    fn min_span_delays_a_rapid_strike_run() {
-        let mut w = watcher();
-        let p = WatchPolicy::default(); // 3 strikes over >= 2 days
-        let base = day(0);
-        for h in 0..5 {
-            // five failures within five hours: strikes pile up but no tag
-            let t = base + Duration::hours(h);
-            assert_eq!(w.observe(false, t, &p), Transition::Strike, "hour {h}");
-        }
-        assert_eq!(w.state, WatchState::Watching);
-        // the first failure past the span finally tags
-        assert_eq!(w.observe(false, base + Duration::days(2), &p), Transition::Tagged);
-    }
-
-    #[test]
-    fn success_clears_strikes_and_restarts_the_span() {
-        let mut w = watcher();
-        let p = WatchPolicy::default();
-        w.observe(false, day(0), &p);
-        w.observe(false, day(1), &p);
-        assert_eq!(w.observe(true, day(2), &p), Transition::StrikeCleared);
-        assert_eq!(w.strikes, 0);
-        assert_eq!(w.first_strike_at, None);
-        // the run must start over — two more failures are not enough
-        w.observe(false, day(3), &p);
-        w.observe(false, day(4), &p);
-        assert_eq!(w.state, WatchState::Watching);
-        assert_eq!(w.observe(false, day(5), &p), Transition::Tagged);
-    }
-
-    #[test]
-    fn tagged_link_answering_200_is_a_revival() {
-        let mut w = watcher();
-        let p = WatchPolicy::default();
-        for d in 0..3 {
-            w.observe(false, day(d), &p);
-        }
-        assert_eq!(w.state, WatchState::Tagged);
-        assert_eq!(w.observe(true, day(10), &p), Transition::Revived);
-        assert_eq!(w.state, WatchState::Watching);
+        assert_eq!(w.observe(false, day(0)).transition, Transition::Strike);
+        assert_eq!(w.observe(false, day(1)).transition, Transition::Strike);
+        assert_eq!(w.observe(false, day(2)).transition, Transition::Tagged);
+        assert!(w.is_tagged());
+        assert_eq!(w.tagged_at(), Some(day(2)));
+        assert_eq!(w.observe(true, day(3)).transition, Transition::Revived);
         assert_eq!(w.revivals, 1);
-        assert_eq!(w.strikes, 0);
-        assert_eq!(w.tagged_at, None);
-        // and it can be tagged (and revived) again — links flap
-        for d in 11..14 {
-            w.observe(false, day(d), &p);
-        }
-        assert_eq!(w.state, WatchState::Tagged);
-        assert_eq!(w.observe(true, day(20), &p), Transition::Revived);
-        assert_eq!(w.revivals, 2);
+        assert!(!w.is_tagged());
     }
 
     #[test]
     fn healthy_checks_are_healthy_and_streaks_count_stability() {
         let mut w = watcher();
-        let p = WatchPolicy::default();
-        assert_eq!(w.observe(true, day(0), &p), Transition::Healthy);
+        assert_eq!(w.observe(true, day(0)).transition, Transition::Healthy);
         assert_eq!(w.stable_streak, 0, "first check has no predecessor");
-        assert_eq!(w.observe(true, day(1), &p), Transition::Healthy);
+        assert_eq!(w.observe(true, day(1)).transition, Transition::Healthy);
         assert_eq!(w.stable_streak, 1);
-        assert_eq!(w.observe(true, day(2), &p), Transition::Healthy);
+        assert_eq!(w.observe(true, day(2)).transition, Transition::Healthy);
         assert_eq!(w.stable_streak, 2);
-        w.observe(false, day(3), &p);
+        w.observe(false, day(3));
         assert_eq!(w.stable_streak, 0, "an outcome flip resets the streak");
     }
 
     #[test]
-    fn failures_keep_counting_while_tagged_without_retagging() {
+    fn wasted_counts_reconfirmations_only() {
         let mut w = watcher();
-        let p = WatchPolicy::default();
-        for d in 0..3 {
-            w.observe(false, day(d), &p);
+        w.observe(true, day(0));
+        assert_eq!(w.wasted, 0, "first check establishes the belief");
+        w.observe(true, day(1));
+        w.observe(true, day(2));
+        assert_eq!(w.wasted, 2, "healthy re-confirmations are wasted");
+        for d in 3..6 {
+            w.observe(false, day(d)); // strikes then tag: evidence, not waste
         }
-        assert_eq!(w.state, WatchState::Tagged);
-        // further failures must not emit Tagged again (counters would drift)
-        assert_eq!(w.observe(false, day(3), &p), Transition::Strike);
-        assert_eq!(w.observe(false, day(4), &p), Transition::Strike);
-        assert_eq!(w.strikes, 5);
+        assert_eq!(w.wasted, 2);
+        assert!(w.is_tagged());
+        w.observe(false, day(6));
+        w.observe(false, day(7));
+        assert_eq!(w.wasted, 4, "post-tag failures re-confirm the tag");
+        w.observe(true, day(8)); // the revival is pure signal
+        assert_eq!(w.wasted, 4);
+    }
+
+    #[test]
+    fn watcher_clones_with_its_policy_state() {
+        let mut w = watcher();
+        w.observe(false, day(0));
+        w.observe(false, day(1));
+        let mut fork = w.clone();
+        assert_eq!(fork.evidence(), 2);
+        assert_eq!(fork.observe(false, day(2)).transition, Transition::Tagged);
+        assert!(!w.is_tagged(), "the original is unaffected");
     }
 }

@@ -442,6 +442,27 @@ impl ServeMetrics {
             "Watched links currently in the tagged state.",
             &[format!("permadead_watch_tagged_links {}", watch.tagged_now)],
         );
+        // every state series is always present (zero included) so dashboards
+        // see stable label sets across policies
+        metric(
+            "permadead_watch_state",
+            "gauge",
+            "Watched links by policy state (healthy/suspicious/quarantined/tagged).",
+            &watch
+                .states
+                .iter()
+                .iter()
+                .map(|(state, count)| {
+                    format!("permadead_watch_state{{state=\"{state}\"}} {count}")
+                })
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_watch_policy",
+            "gauge",
+            "The active dead-link detection policy (info-style gauge).",
+            &[format!("permadead_watch_policy{{policy=\"{}\"}} 1", watch.policy)],
+        );
         out
     }
 }
@@ -613,6 +634,13 @@ mod tests {
             pending: 4,
             watchlist: 5,
             tagged_now: 1,
+            states: permadead_sched::StateDist {
+                healthy: 3,
+                suspicious: 1,
+                quarantined: 0,
+                tagged: 1,
+            },
+            policy: "health-score",
         };
         let text =
             m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &watch);
@@ -626,6 +654,12 @@ mod tests {
             "permadead_watch_queue_depth 4",
             "permadead_watchlist_size 5",
             "permadead_watch_tagged_links 1",
+            "# TYPE permadead_watch_state gauge",
+            "permadead_watch_state{state=\"healthy\"} 3",
+            "permadead_watch_state{state=\"suspicious\"} 1",
+            "permadead_watch_state{state=\"quarantined\"} 0",
+            "permadead_watch_state{state=\"tagged\"} 1",
+            "permadead_watch_policy{policy=\"health-score\"} 1",
         ] {
             assert!(text.contains(needle), "missing: {needle}");
         }

@@ -35,7 +35,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use permadead_core::IncrementalAudit;
 use permadead_net::{Duration, SimTime};
-use permadead_sched::{Cadence, Scheduler, SchedulerConfig, WatchPolicy, WatchSnapshot};
+use permadead_sched::{Cadence, PolicySpec, Scheduler, SchedulerConfig, WatchSnapshot};
 use permadead_url::Url;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -46,10 +46,9 @@ use std::time::Instant;
 /// How the background monitoring workload behaves.
 #[derive(Debug, Clone)]
 pub struct WatchConfig {
-    /// Consecutive failed re-checks before a watched link is tagged.
-    pub strikes: u32,
-    /// Minimum span between the first strike and the tagging check.
-    pub min_span: Duration,
+    /// The dead-link detection policy every watched link runs (IABot
+    /// strikes, pywikibot weekly confirmation, or health scoring).
+    pub policy: PolicySpec,
     /// Re-check interval policy.
     pub cadence: Cadence,
     /// Simulated seconds the watch clock advances per real second. Re-check
@@ -64,8 +63,7 @@ pub struct WatchConfig {
 impl Default for WatchConfig {
     fn default() -> Self {
         WatchConfig {
-            strikes: 3,
-            min_span: Duration::days(2),
+            policy: PolicySpec::default(),
             cadence: Cadence::Fixed { every: Duration::days(1) },
             sim_secs_per_real_sec: 86_400,
             host_budget_per_day: None,
@@ -213,10 +211,7 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
     let addr = listener.local_addr()?;
     let (tx, rx) = bounded::<Job>(config.queue_cap.max(1));
     let scheduler = Scheduler::new(SchedulerConfig {
-        policy: WatchPolicy {
-            strikes: config.watch.strikes.max(1),
-            min_span: config.watch.min_span,
-        },
+        policy: config.watch.policy,
         cadence: config.watch.cadence,
         host_budget_per_day: config.watch.host_budget_per_day,
     });
@@ -615,11 +610,11 @@ fn handle_watchlist(inner: &Inner) -> HttpResponse {
         .map(|w| {
             let mut obj = crate::json::Object::new()
                 .str("url", &w.url.to_string())
-                .str("state", w.state.as_str())
-                .num("strikes", w.strikes as usize)
+                .str("state", w.state().as_str())
+                .num("strikes", w.evidence() as usize)
                 .num("checks", w.checks as usize)
                 .num("revivals", w.revivals as usize);
-            obj = match w.tagged_at {
+            obj = match w.tagged_at() {
                 Some(t) => obj.str("tagged_at", &t.to_string()),
                 None => obj.raw("tagged_at", "null"),
             };
@@ -627,13 +622,21 @@ fn handle_watchlist(inner: &Inner) -> HttpResponse {
         })
         .collect();
     drop(sched);
+    let states: Vec<String> = snap
+        .states
+        .iter()
+        .iter()
+        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .collect();
     HttpResponse::json(
         200,
         format!(
-            "{{\"size\":{},\"pending\":{},\"tagged\":{},\"watchers\":[{}]}}",
+            "{{\"size\":{},\"pending\":{},\"tagged\":{},\"policy\":\"{}\",\"states\":{{{}}},\"watchers\":[{}]}}",
             snap.watchlist,
             snap.pending,
             snap.tagged_now,
+            snap.policy,
+            states.join(","),
             items.join(",")
         ),
     )

@@ -7,7 +7,7 @@
 use permadead_core::{live_check, Dataset};
 use permadead_net::fault::{Fault, FaultProfile};
 use permadead_net::Duration;
-use permadead_sched::Cadence;
+use permadead_sched::{Cadence, PolicySpec};
 use permadead_serve::{start, AuditService, CacheConfig, ServerConfig, WatchConfig};
 use permadead_sim::{Scenario, ScenarioConfig};
 use std::io::{Read, Write};
@@ -129,8 +129,10 @@ fn watch_flip_updates_the_incremental_report_by_exactly_one_link() {
             queue_cap: 8,
             debug_endpoints: true,
             watch: WatchConfig {
-                strikes: 2,
-                min_span: Duration::days(1),
+                policy: PolicySpec::IabotStrikes {
+                    strikes: 2,
+                    min_span: Duration::days(1),
+                },
                 cadence: Cadence::Fixed { every: Duration::days(1) },
                 sim_secs_per_real_sec: 0, // frozen; advanced via /debug
                 host_budget_per_day: None,

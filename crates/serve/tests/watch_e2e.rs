@@ -11,7 +11,7 @@
 use permadead_core::live_check;
 use permadead_net::fault::{Fault, FaultProfile};
 use permadead_net::Duration;
-use permadead_sched::Cadence;
+use permadead_sched::{Cadence, PolicySpec};
 use permadead_serve::{start, AuditService, CacheConfig, ServerConfig, WatchConfig};
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_url::Url;
@@ -120,8 +120,10 @@ fn watched_link_flaps_through_tag_and_revival_with_counter_parity() {
             queue_cap: 8,
             debug_endpoints: true,
             watch: WatchConfig {
-                strikes: 2,
-                min_span: Duration::days(1),
+                policy: PolicySpec::IabotStrikes {
+                    strikes: 2,
+                    min_span: Duration::days(1),
+                },
                 cadence: Cadence::Fixed { every: Duration::days(1) },
                 sim_secs_per_real_sec: 0, // frozen; advanced via /debug
                 host_budget_per_day: None,
@@ -145,14 +147,17 @@ fn watched_link_flaps_through_tag_and_revival_with_counter_parity() {
 
     // day 0: the first check comes due at registration time and succeeds
     let body = poll_watchlist(addr, "first check lands", |b| b.contains("\"checks\":1"));
-    assert!(body.contains("\"state\":\"watching\""), "{body}");
+    assert!(body.contains("\"state\":\"healthy\""), "{body}");
     assert!(body.contains("\"strikes\":0"), "{body}");
+    assert!(body.contains("\"policy\":\"iabot-strikes\""), "{body}");
+    assert!(body.contains("\"states\":{\"healthy\":1,\"suspicious\":0,\"quarantined\":0,\"tagged\":0}"), "{body}");
 
-    // day 1: the site is dark — strike one
+    // day 1: the site is dark — strike one, the link turns suspicious
     get(addr, "/debug/watch-advance?secs=86400");
     let body = poll_watchlist(addr, "strike one", |b| b.contains("\"checks\":2"));
     assert!(body.contains("\"strikes\":1"), "{body}");
-    assert!(body.contains("\"state\":\"watching\""), "{body}");
+    assert!(body.contains("\"state\":\"suspicious\""), "{body}");
+    assert!(body.contains("\"states\":{\"healthy\":0,\"suspicious\":1,\"quarantined\":0,\"tagged\":0}"), "{body}");
 
     // day 2: strike two, and the span since strike one is 1d >= min_span —
     // the link is tagged permanently dead
@@ -167,7 +172,7 @@ fn watched_link_flaps_through_tag_and_revival_with_counter_parity() {
     // again and is recorded as a revival (§3's "genuinely alive again")
     get(addr, "/debug/watch-advance?secs=86400");
     let body = poll_watchlist(addr, "revived", |b| b.contains("\"revivals\":1"));
-    assert!(body.contains("\"state\":\"watching\""), "{body}");
+    assert!(body.contains("\"state\":\"healthy\""), "{body}");
     assert!(body.contains("\"strikes\":0"), "{body}");
     assert!(body.contains("\"checks\":4"), "{body}");
     assert!(body.contains("\"tagged\":0"), "{body}");
@@ -182,6 +187,9 @@ fn watched_link_flaps_through_tag_and_revival_with_counter_parity() {
     assert_eq!(snap.counters.deferred, 0);
     assert_eq!(snap.watchlist, 1);
     assert_eq!(snap.tagged_now, 0);
+    assert_eq!(snap.policy, "iabot-strikes");
+    assert_eq!(snap.states.healthy, 1);
+    assert_eq!(snap.states.total(), snap.watchlist);
     let (_, _, metrics) = get(addr, "/metrics");
     assert_eq!(metric_value(&metrics, "permadead_watch_due_total"), 4.0);
     assert_eq!(metric_value(&metrics, "permadead_watch_checks_total"), 4.0);
@@ -191,6 +199,24 @@ fn watched_link_flaps_through_tag_and_revival_with_counter_parity() {
     assert_eq!(metric_value(&metrics, "permadead_watchlist_size"), 1.0);
     assert_eq!(metric_value(&metrics, "permadead_watch_tagged_links"), 0.0);
     assert_eq!(metric_value(&metrics, "permadead_watch_queue_depth"), 1.0, "next check queued");
+    // the state-distribution gauges mirror Scheduler::snapshot() exactly
+    assert_eq!(
+        metric_value(&metrics, "permadead_watch_state{state=\"healthy\"}"),
+        snap.states.healthy as f64
+    );
+    assert_eq!(
+        metric_value(&metrics, "permadead_watch_state{state=\"suspicious\"}"),
+        snap.states.suspicious as f64
+    );
+    assert_eq!(
+        metric_value(&metrics, "permadead_watch_state{state=\"quarantined\"}"),
+        snap.states.quarantined as f64
+    );
+    assert_eq!(
+        metric_value(&metrics, "permadead_watch_state{state=\"tagged\"}"),
+        snap.states.tagged as f64
+    );
+    assert_eq!(metric_value(&metrics, "permadead_watch_policy{policy=\"iabot-strikes\"}"), 1.0);
     assert!(metric_value(&metrics, "permadead_requests_total{endpoint=\"watch\"}") >= 2.0);
     assert!(metric_value(&metrics, "permadead_requests_total{endpoint=\"watchlist\"}") >= 4.0);
 

@@ -42,6 +42,8 @@ probe=./target/release/serve-probe
 "$probe" "$addr" /metrics permadead_cache_hits_total >/dev/null
 "$probe" "$addr" /metrics 'permadead_requests_total{endpoint="check"}' >/dev/null
 "$probe" "$addr" /metrics permadead_watchlist_size >/dev/null
+"$probe" "$addr" /metrics 'permadead_watch_state{state="healthy"}' >/dev/null
+"$probe" "$addr" /metrics 'permadead_watch_policy{policy="iabot-strikes"}' >/dev/null
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
@@ -80,6 +82,19 @@ fi
 rm -f "$watch_out"
 echo "check.sh: watch-timeline golden green"
 
+# Policy-lab golden: the precision/recall scoreboard over the ground-truth
+# fault lab, every policy × every profile. Pure function of (seed, days) —
+# no world generation — so any drift is a policy or scheduler regression.
+policy_out="$(mktemp)"
+PERMADEAD_SEED=42 PERMADEAD_JOBS=4 \
+    ./target/release/repro_policy_table >"$policy_out" 2>/dev/null
+if ! diff -u results/POLICY_TABLE_seed42.txt "$policy_out"; then
+    echo "check.sh: policy scoreboard drifted from results/POLICY_TABLE_seed42.txt" >&2
+    exit 1
+fi
+rm -f "$policy_out"
+echo "check.sh: policy-table golden green"
+
 # World-cache round trip: `audit --world-cache` must miss (generate + save),
 # then hit (decode the snapshot), and print the identical report — only the
 # per-stage wall-clock latency rows may differ. Then the world-scale bench
@@ -108,9 +123,18 @@ fi
 rm -rf "$world_dir" "$results_tmp" "$audit_miss" "$audit_hit" "$cache_log"
 echo "check.sh: world-cache round trip green"
 
-# Unknown flags must fail fast, before any world generation.
+# Unknown flags and degenerate policy specs must fail fast, before any
+# world generation.
 if ./target/release/permadead watch --no-such-flag 2>/dev/null; then
     echo "check.sh: permadead watch accepted an unknown flag" >&2
+    exit 1
+fi
+if ./target/release/permadead watch --policy bogus 2>/dev/null; then
+    echo "check.sh: permadead watch accepted an unknown policy" >&2
+    exit 1
+fi
+if ./target/release/permadead watch --strikes 0 2>/dev/null; then
+    echo "check.sh: permadead watch accepted --strikes 0" >&2
     exit 1
 fi
 echo "check.sh: watch flag validation green"

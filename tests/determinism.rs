@@ -109,12 +109,12 @@ fn explicit_single_policy_is_the_identity_and_retries_never_flip_rot_verdicts() 
 fn watch_timeline_identical_across_worker_counts() {
     use permadead::analysis::live_check;
     use permadead::net::Duration;
-    use permadead::sched::{run_days, Cadence, Scheduler, SchedulerConfig, WatchPolicy};
+    use permadead::sched::{run_days, Cadence, PolicySpec, Scheduler, SchedulerConfig};
 
     let s = scenario();
     let run = |jobs: usize| {
         let mut sched = Scheduler::new(SchedulerConfig {
-            policy: WatchPolicy {
+            policy: PolicySpec::IabotStrikes {
                 strikes: 3,
                 min_span: Duration::days(2),
             },
@@ -139,6 +139,35 @@ fn watch_timeline_identical_across_worker_counts() {
             sharded.render("header"),
             "rendered table diverged at jobs={jobs}"
         );
+    }
+}
+
+/// The policy lab's jobs-independence contract: every detection policy's
+/// 45-day timeline over every ground-truth fault profile — the transition
+/// log, the per-day rows, and the derived scoreboard — must be
+/// bit-identical across worker counts. The lab fates are pure functions of
+/// `(profile, url, seed)`, so any divergence here is a scheduler-ordering
+/// bug, not noise.
+#[test]
+fn policy_lab_timelines_identical_across_worker_counts() {
+    use permadead::net::SimTime;
+    use permadead::policy::lab::{profile_links, PROFILES};
+    use permadead::sched::{score_policy, PolicySpec};
+
+    let start = SimTime::from_ymd(2022, 3, 1);
+    for profile in PROFILES {
+        let links = profile_links(profile, 42);
+        for spec in PolicySpec::all_default() {
+            let serial = score_policy(spec, profile, &links, start, 45, 1, 42);
+            assert!(serial.checks > 0, "{profile}/{spec} ran no checks");
+            for jobs in [2usize, 8] {
+                let sharded = score_policy(spec, profile, &links, start, 45, jobs, 42);
+                assert_eq!(
+                    serial, sharded,
+                    "{profile}/{spec} scoreboard diverged at jobs={jobs}"
+                );
+            }
+        }
     }
 }
 
