@@ -8,11 +8,12 @@
 //! Line format (ours, CDX-server-flavoured):
 //!
 //! ```text
-//! <urlkey> <timestamp14> <original-url> <status> <redirect-target|-> <digest-hex> <empty-flag> <sketch-csv>
+//! <urlkey> <timestamp14> <original-url> <status> <redirect-target|-> <digest-hex> <empty-flag> <sketch-csv> <title|->
 //! ```
 //!
 //! Fields never contain spaces (URLs with spaces don't parse into the store
-//! in the first place), so splitting on spaces is unambiguous.
+//! in the first place, and titles are percent-encoded), so splitting on
+//! spaces is unambiguous.
 
 use crate::snapshot::{BodyClass, Snapshot};
 use crate::store::ArchiveStore;
@@ -48,7 +49,7 @@ fn write_line(out: &mut String, snap: &Snapshot) {
         .join(",");
     let _ = writeln!(
         out,
-        "{} {} {} {} {} {:x} {} {}",
+        "{} {} {} {} {} {:x} {} {} {}",
         snap.surt,
         ts,
         snap.url,
@@ -57,7 +58,49 @@ fn write_line(out: &mut String, snap: &Snapshot) {
         snap.sketch.digest,
         u8::from(snap.sketch.empty),
         sketch_csv,
+        encode_title(&snap.title),
     );
+}
+
+/// Percent-encode a title so it fits a space-separated line. Empty titles
+/// serialize as `-` (the CDX "no value" convention).
+fn encode_title(title: &str) -> String {
+    if title.is_empty() {
+        return "-".to_string();
+    }
+    let mut out = String::with_capacity(title.len());
+    for b in title.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.' | b'~' | b'!' => {
+                out.push(b as char)
+            }
+            _ => {
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_title`]. `None` on malformed escapes or bad UTF-8.
+fn decode_title(field: &str) -> Option<String> {
+    if field == "-" {
+        return Some(String::new());
+    }
+    let bytes = field.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 /// Why a CDX line failed to parse.
@@ -73,7 +116,7 @@ impl std::fmt::Display for CdxParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CdxParseError::FieldCount { line, got } => {
-                write!(f, "line {line}: expected 8 fields, got {got}")
+                write!(f, "line {line}: expected 9 fields, got {got}")
             }
             CdxParseError::BadField { line, field } => {
                 write!(f, "line {line}: bad {field} field")
@@ -96,7 +139,7 @@ pub fn from_cdx_string(text: &str) -> Result<ArchiveStore, CdxParseError> {
             continue;
         }
         let fields: Vec<&str> = line.split(' ').collect();
-        if fields.len() != 8 {
+        if fields.len() != 9 {
             return Err(CdxParseError::FieldCount {
                 line: line_no,
                 got: fields.len(),
@@ -149,6 +192,10 @@ pub fn from_cdx_string(text: &str) -> Result<ArchiveStore, CdxParseError> {
         } else {
             BodyClass::Error
         };
+        let title = decode_title(fields[8]).ok_or(CdxParseError::BadField {
+            line: line_no,
+            field: "title",
+        })?;
         store.insert(Snapshot {
             url: url.clone(),
             surt: permadead_url::surt(&url),
@@ -157,6 +204,7 @@ pub fn from_cdx_string(text: &str) -> Result<ArchiveStore, CdxParseError> {
             redirect_target,
             body_class,
             sketch: MinHashSketch::from_parts(mins, digest, empty),
+            title,
         });
     }
     Ok(store)
@@ -243,6 +291,7 @@ mod tests {
             assert_eq!(a.redirect_target, b.redirect_target);
             assert_eq!(a.body_class, b.body_class);
             assert_eq!(a.sketch, b.sketch);
+            assert_eq!(a.title, b.title);
         }
         // and the text itself is stable
         assert_eq!(to_cdx_string(&back), text);
@@ -274,6 +323,25 @@ mod tests {
         // first URL occurrence is inside the surt? no — surt has no scheme;
         // the replacement hits the original-url field
         assert!(from_cdx_string(&broken).is_err());
+    }
+
+    #[test]
+    fn titles_round_trip_percent_encoded() {
+        let mut store = ArchiveStore::new();
+        store.insert(Snapshot::from_observation(
+            &u("http://e.org/t"),
+            SimTime::from_ymd(2012, 2, 2),
+            StatusCode::OK,
+            None,
+            "<html><head><title>Quel été! 100% \"done\" — right?</title></head><body>x</body></html>",
+        ));
+        let text = to_cdx_string(&store);
+        assert_eq!(text.lines().next().unwrap().split(' ').count(), 9, "encoded titles add no fields");
+        let back = from_cdx_string(&text).unwrap();
+        assert_eq!(
+            back.scan_surt_prefix("").next().unwrap().title,
+            "Quel été! 100% \"done\" — right?"
+        );
     }
 
     #[test]

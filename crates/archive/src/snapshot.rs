@@ -41,6 +41,11 @@ pub struct Snapshot {
     /// Sketch of the stored body (meaningful for `Content`; a sketch of the
     /// empty string otherwise).
     pub sketch: MinHashSketch,
+    /// `<title>` of the stored body, or empty — the durable lexical
+    /// signature the rediscovery rescue queries with. Real CDX rows carry
+    /// this too (the Wayback `urlkey`/`original` metadata includes titles
+    /// for indexed HTML).
+    pub title: String,
 }
 
 impl Snapshot {
@@ -67,6 +72,7 @@ impl Snapshot {
             redirect_target,
             body_class,
             sketch: MinHashSketch::of(body, 5),
+            title: permadead_text::html::extract_title(body).unwrap_or_default(),
         }
     }
 
@@ -136,6 +142,15 @@ mod tests {
     fn surt_computed() {
         let s = Snapshot::from_observation(&u("http://www.e.org/a?x=1"), t(), StatusCode::OK, None, "b");
         assert_eq!(s.surt, "org,e,www)/a?x=1");
+    }
+
+    #[test]
+    fn title_extracted_from_content_body() {
+        let body = "<html><head><title>Steve: Selected Works</title></head><body>x</body></html>";
+        let s = Snapshot::from_observation(&u("http://e.org/a"), t(), StatusCode::OK, None, body);
+        assert_eq!(s.title, "Steve: Selected Works");
+        let bare = Snapshot::from_observation(&u("http://e.org/b"), t(), StatusCode::OK, None, "no markup");
+        assert_eq!(bare.title, "");
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn bench_stages(c: &mut Criterion) {
         now: r.scenario.config.study_time,
         retry: permadead_net::RetryPolicy::single(),
         cdx_timeout_ms: None,
+        rescue: None,
     };
     let stages = default_stages();
     let mut accs: Vec<LinkAnalysis> = r

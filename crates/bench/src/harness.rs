@@ -115,6 +115,35 @@ impl Repro {
             StudyOptions::with_jobs(jobs_from_env()),
         )
     }
+
+    /// Build the rediscovery index over this scenario's live web at study
+    /// time, honouring `PERMADEAD_JOBS` (the sharded build is bit-identical
+    /// for every worker count).
+    pub fn rescue_index(&self) -> permadead_rescue::RescueIndex {
+        let jobs = match jobs_from_env() {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        permadead_rescue::RescueIndex::build(
+            &self.scenario.web,
+            self.scenario.config.study_time,
+            jobs,
+        )
+    }
+
+    /// March pipeline with the rediscovery rescue stage armed.
+    pub fn march_study_with_rescue(
+        &self,
+        rescue: std::sync::Arc<permadead_rescue::RescueIndex>,
+    ) -> Study {
+        Study::run_with(
+            &self.scenario.web,
+            &self.scenario.archive,
+            &self.march,
+            self.scenario.config.study_time,
+            StudyOptions::with_jobs(jobs_from_env()).with_rescue(Some(rescue)),
+        )
+    }
 }
 
 /// A snapshot-backed repro: web + archive + datasets decoded from a world

@@ -3,15 +3,17 @@
 //! ```text
 //! permadead audit    [--seed N] [--scale small|paper] [--jobs N] [--retries N] [--retry-table MAX]
 //!                    [--csv PATH] [--cdx PATH] [--stage-csv PATH] [--world-cache DIR]
+//!                    [--rediscovery on|off]
 //! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
 //! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
 //!                    [--retries N] [--retry-budget-ms B] [--origin-retry-budget-ms B]
+//!                    [--rediscovery on|off]
 //! permadead watch    [--seed N] [--scale small|paper] [--sample N] [--days D]
 //!                    [--policy NAME[:ARGS]] [--strikes K] [--min-span-days S]
 //!                    [--cadence fixed|aging|jitter[:DAYS]] [--host-budget B]
-//!                    [--jobs N] [--retries N]
+//!                    [--jobs N] [--retries N] [--rediscovery on|off]
 //! permadead help
 //! ```
 
@@ -33,7 +35,7 @@ fn main() -> ExitCode {
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
             "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
             "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
-            "min-span-days", "policy", "cadence", "host-budget", "world-cache",
+            "min-span-days", "policy", "cadence", "host-budget", "world-cache", "rediscovery",
         ],
     );
     let args = match parsed {
@@ -116,7 +118,10 @@ fn print_help() {
          \x20 --cadence SPEC    (watch) re-check interval: fixed[:DAYS], aging[:DAYS], or\n\
          \x20                   jitter[:DAYS] (default fixed:1)\n\
          \x20 --host-budget B   (watch) per-host checks per day; excess defers to the next\n\
-         \x20                   midnight (default: off)",
+         \x20                   midnight (default: off)\n\
+         \x20 --rediscovery on|off  (audit/serve/watch) when no archived copy validates,\n\
+         \x20                   search the lexical-signature index (title + content shingles)\n\
+         \x20                   for the page's new live URL (default off)",
         permadead_sched::POLICY_USAGE,
     );
 }
@@ -183,6 +188,26 @@ impl CliWorld {
             CliWorld::Snapshot(w) => Dataset::from_table(&w.march, &w.interner),
         }
     }
+
+    /// The rediscovery index for this world: decoded from the snapshot when
+    /// it carries one, otherwise built from the live web. The sharded build
+    /// is bit-identical for every worker count, so the two paths agree.
+    fn rescue_index(&self, jobs: usize) -> std::sync::Arc<permadead_rescue::RescueIndex> {
+        if let CliWorld::Snapshot(w) = self {
+            if let Some(index) = &w.rescue {
+                return std::sync::Arc::new(index.clone());
+            }
+        }
+        let jobs = match jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        std::sync::Arc::new(permadead_rescue::RescueIndex::build(
+            self.web(),
+            self.study_time(),
+            jobs,
+        ))
+    }
 }
 
 /// Build the command's world, honouring `--world-cache DIR`.
@@ -239,6 +264,20 @@ fn watch_policy_from(args: &Args) -> Result<permadead_sched::PolicySpec, Box<dyn
     })
 }
 
+/// `--rediscovery on|off`: whether the pipeline's rediscovery stage may
+/// search the lexical-signature index for moved copies of dead links that
+/// no archived snapshot rescues. Validated before the (multi-second) world
+/// build so a typo'd value fails in milliseconds.
+fn rediscovery_from(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
+    match args.get("rediscovery") {
+        None | Some("off") => Ok(false),
+        Some("on") => Ok(true),
+        Some(other) => {
+            Err(format!("flag --rediscovery must be `on` or `off`, got {other:?}").into())
+        }
+    }
+}
+
 /// The batch dataset `audit` and `serve` share: 60% of the category,
 /// alphabetical, sample-capped, seeded `seed ^ 0xA1`.
 fn march_dataset(scenario: &Scenario) -> Dataset {
@@ -251,26 +290,36 @@ fn march_dataset(scenario: &Scenario) -> Dataset {
     )
 }
 
-fn march_study(world: &CliWorld, jobs: usize, retry: permadead_net::RetryPolicy) -> Study {
+fn march_study(
+    world: &CliWorld,
+    jobs: usize,
+    retry: permadead_net::RetryPolicy,
+    rescue: Option<std::sync::Arc<permadead_rescue::RescueIndex>>,
+) -> Study {
     Study::run_with(
         world.web(),
         world.archive(),
         &world.march_dataset(),
         world.study_time(),
-        StudyOptions::with_jobs(jobs).with_retry(retry),
+        StudyOptions::with_jobs(jobs).with_retry(retry).with_rescue(rescue),
     )
 }
 
 fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let retry = retry_policy_from(args)?;
+    let rediscovery = rediscovery_from(args)?;
     let world = world_from(args)?;
     let jobs = args.get_usize("jobs", 1)?;
+    let rescue = rediscovery.then(|| world.rescue_index(jobs));
+    if let Some(index) = &rescue {
+        eprintln!("[permadead] rediscovery index ready: {} pages", index.len());
+    }
     // snapshot the cost counters so we report what the *pipeline* spends,
     // not what world generation (or snapshot decoding) spent
     let web_before = world.web().metrics.snapshot();
     let archive_lookups_before = world.archive().lookups.get();
     let archive_rows_before = world.archive().rows_scanned.get();
-    let study = march_study(&world, jobs, retry);
+    let study = march_study(&world, jobs, retry, rescue);
     let web_cost = world.web().metrics.snapshot().diff(&web_before);
     println!("{}", render_bar_chart("Figure 4 — live status today", &study.live_breakdown()));
     let report = study.report();
@@ -315,7 +364,7 @@ fn cmd_audit(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let world = world_from(args)?;
-    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?, None);
     let ds_years = study
         .findings
         .iter()
@@ -356,7 +405,7 @@ fn cmd_figures(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let world = world_from(args)?;
     let limit = args.get_usize("limit", 5)?;
-    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?, None);
     for f in study.findings.iter().take(limit) {
         println!("── {}", f.entry.url);
         println!("   cited in:       {}", f.entry.article);
@@ -378,7 +427,7 @@ fn cmd_forensics(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_recommend(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let world = world_from(args)?;
     let limit = args.get_usize("limit", 10)?;
-    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?);
+    let study = march_study(&world, args.get_usize("jobs", 1)?, retry_policy_from(args)?, None);
     let recs = permadead_core::recommendations(&study, world.archive());
     println!(
         "{} tagged links analyzed; {} actionable recommendations:\n",
@@ -432,6 +481,7 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         None => None,
     };
     let watch_policy = watch_policy_from(args)?;
+    let rediscovery = rediscovery_from(args)?;
     let config = permadead_serve::ServerConfig {
         watch: permadead_serve::WatchConfig {
             policy: watch_policy,
@@ -440,6 +490,10 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ..config
     };
     let world = world_from(args)?;
+    let rescue = rediscovery.then(|| world.rescue_index(config.workers));
+    if let Some(index) = &rescue {
+        eprintln!("[permadead] rediscovery index ready: {} pages", index.len());
+    }
     eprintln!(
         "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
         config.workers,
@@ -452,7 +506,8 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         CliWorld::Snapshot(w) => permadead_serve::AuditService::from_world(*w, cache),
     }
     .with_retry(retry)
-    .with_origin_retry_budget_ms(origin_budget_ms);
+    .with_origin_retry_budget_ms(origin_budget_ms)
+    .with_rescue(rescue);
     let handle = permadead_serve::start(service, config)?;
     // the exact line scripts/check.sh greps for the ephemeral port
     println!("listening on {}", handle.addr());
@@ -489,6 +544,7 @@ fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         n => n,
     };
     let retry = retry_policy_from(args)?;
+    let rediscovery = rediscovery_from(args)?;
     let world = world_from(args)?;
     let start = world.study_time();
 
@@ -513,6 +569,21 @@ fn cmd_watch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         policy.describe(),
     );
     println!("{}", timeline.render(&header));
+    // Optional post-timeline sweep: how many of the study's dead links the
+    // lexical-signature index would relocate today. Off by default, so the
+    // seed-42 timeline golden in scripts/check.sh is untouched.
+    if rediscovery {
+        let rescue = world.rescue_index(jobs);
+        let pages = rescue.len();
+        let study = march_study(&world, jobs, retry, Some(rescue));
+        let report = study.report();
+        println!(
+            "rediscovery sweep: {} of {} dead links relocated via lexical-signature search \
+             ({pages} pages indexed)",
+            report.rediscovery_rescued,
+            study.len(),
+        );
+    }
     Ok(())
 }
 

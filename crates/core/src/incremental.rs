@@ -71,6 +71,11 @@ pub struct IncrementalAudit {
     stages: Vec<Box<dyn Stage>>,
     retry: RetryPolicy,
     cdx_timeout_ms: Option<Millis>,
+    /// Rediscovery index handed through to the pipeline, `None` for an
+    /// archive-only audit. Candidate liveness is folded into each link's
+    /// fingerprint (see [`IncrementalAudit::fingerprint`]), so a candidate
+    /// page dying or changing re-runs exactly the links it could rescue.
+    rescue: Option<std::sync::Arc<permadead_rescue::RescueIndex>>,
     entries: Vec<DatasetEntry>,
     findings: Vec<LinkFinding>,
     fingerprints: Vec<u64>,
@@ -110,6 +115,7 @@ impl IncrementalAudit {
             stages,
             retry,
             cdx_timeout_ms,
+            rescue,
         } = options;
         let mut audit = IncrementalAudit {
             label: dataset.label.clone(),
@@ -118,6 +124,7 @@ impl IncrementalAudit {
             stages,
             retry,
             cdx_timeout_ms,
+            rescue,
             entries: dataset.entries.clone(),
             findings: Vec::with_capacity(dataset.len()),
             fingerprints: Vec::with_capacity(dataset.len()),
@@ -128,7 +135,8 @@ impl IncrementalAudit {
         };
         audit.stats = empty_stats(&audit.stages);
         let digest = audit.cached_digest(archive);
-        let env = audit.env(web, archive);
+        let rescue = audit.rescue.clone();
+        let env = audit.env(web, archive, rescue.as_deref());
         for (i, entry) in audit.entries.iter().enumerate() {
             let mut stats = empty_stats(&audit.stages);
             let finding = analyze_link(&env, &audit.stages, i, entry.clone(), &mut stats);
@@ -246,13 +254,22 @@ impl IncrementalAudit {
         }
     }
 
-    fn env<'a>(&self, web: &'a dyn Network, archive: &'a ArchiveStore) -> StudyEnv<'a> {
+    /// `rescue` is passed back in by the caller (a clone of `self.rescue`)
+    /// rather than borrowed from `self`, so the returned env does not pin
+    /// `self` immutably while findings are being swapped in.
+    fn env<'a>(
+        &self,
+        web: &'a dyn Network,
+        archive: &'a ArchiveStore,
+        rescue: Option<&'a permadead_rescue::RescueIndex>,
+    ) -> StudyEnv<'a> {
         StudyEnv {
             web,
             archive,
             now: self.now,
             retry: self.retry,
             cdx_timeout_ms: self.cdx_timeout_ms,
+            rescue,
         }
     }
 
@@ -260,7 +277,8 @@ impl IncrementalAudit {
     /// aggregate by a −1/+1 fold pair and a stats row swap. Returns whether
     /// anything observable changed.
     fn rerun(&mut self, web: &dyn Network, archive: &ArchiveStore, i: usize, fp: u64) -> bool {
-        let env = self.env(web, archive);
+        let rescue = self.rescue.clone();
+        let env = self.env(web, archive, rescue.as_deref());
         let mut stats = empty_stats(&self.stages);
         let finding = analyze_link(&env, &self.stages, i, self.entries[i].clone(), &mut stats);
         let changed = finding != self.findings[i] || stats != self.link_stats[i];
@@ -282,7 +300,7 @@ impl IncrementalAudit {
     fn fingerprint(
         &self,
         web: &dyn Network,
-        _archive: &ArchiveStore,
+        archive: &ArchiveStore,
         index: usize,
         archive_digest: u64,
     ) -> u64 {
@@ -298,11 +316,34 @@ impl IncrementalAudit {
         let (live, outcome) = live_check_with_retry(web, &entry.url, self.now, &self.retry);
         hash_record(&mut h, &live.record);
         hash_outcome(&mut h, &outcome);
+        let mut alive = false;
         if live.status == LiveStatus::Ok {
             let (verdict, outcome) =
                 soft404_probe_with_retry(web, &entry.url, self.now, index as u64, &self.retry);
             h.str(&format!("{verdict:?}"));
             hash_outcome(&mut h, &outcome);
+            alive = verdict == crate::soft404::Soft404Verdict::Genuine;
+        }
+        // The rediscovery stage is the one analysis that observes the live
+        // web beyond the entry's own URL: its verdict depends on the
+        // candidates it would fetch. Hashing those observations keeps the
+        // fingerprint exact — a candidate page dying (or changing content)
+        // re-runs precisely the dead links it could have rescued.
+        if !alive {
+            if let Some(rescue) = self.rescue.as_deref() {
+                if let Some(fp) =
+                    crate::rediscovery::content_fingerprint(archive, &entry.url, entry.marked_at)
+                {
+                    let client = permadead_net::Client::new();
+                    for cand in rescue.query(&fp, permadead_rescue::DEFAULT_TOP_K) {
+                        let url = &rescue.entries()[cand.entry].url;
+                        h.str(url);
+                        if let Ok(parsed) = permadead_url::Url::parse(url) {
+                            hash_record(&mut h, &client.get(web, &parsed, self.now));
+                        }
+                    }
+                }
+            }
         }
         h.finish()
     }

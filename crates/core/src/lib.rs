@@ -29,6 +29,7 @@ pub mod livecheck;
 pub mod params;
 pub mod pipeline;
 pub mod redirects;
+pub mod rediscovery;
 pub mod report;
 pub mod soft404;
 pub mod spatial;
@@ -49,6 +50,7 @@ pub use pipeline::{
     StudyEnv, StudyOptions,
 };
 pub use redirects::{validate_redirect, validate_redirect_with_retry, RedirectVerdict};
+pub use rediscovery::{content_fingerprint, rediscover, RediscoveryRescue, RediscoveryStage};
 pub use report::{fold_finding, LinkFinding, Study, StudyReport};
 pub use soft404::{soft404_probe, soft404_probe_with_retry, Soft404Verdict};
 pub use spatial::{spatial_coverage, spatial_coverage_with_retry, SpatialCoverage};

@@ -51,6 +51,10 @@ pub struct StudyEnv<'a> {
     /// latency, so those stages stay bit-identical to their un-timed
     /// originals. The latency stream is seeded from `retry.seed`.
     pub cdx_timeout_ms: Option<Millis>,
+    /// Lexical-signature rediscovery index over the live web (E19). `None`
+    /// — the default — makes the rediscovery stage a no-op, keeping every
+    /// archive-only output bit-identical.
+    pub rescue: Option<&'a permadead_rescue::RescueIndex>,
 }
 
 /// Per-link accumulator the stages fill in. `None` means "not yet run" for
@@ -72,6 +76,7 @@ pub struct LinkAnalysis {
     pub spatial: Option<SpatialCoverage>,
     pub typo: Option<TypoCandidate>,
     pub param_rescue: Option<ParamReorderRescue>,
+    pub rediscovery: Option<crate::rediscovery::RediscoveryRescue>,
     /// Retries spent on this link so far, by cause. Stages that retry fold
     /// their outcome counts in; [`analyze_link`] diffs around each stage to
     /// attribute them. Zero under the default single-attempt policy.
@@ -96,6 +101,7 @@ impl LinkAnalysis {
             spatial: None,
             typo: None,
             param_rescue: None,
+            rediscovery: None,
             retries: RetryCounts::default(),
             retry_backoff_ms: 0,
         }
@@ -116,6 +122,7 @@ impl LinkAnalysis {
             spatial: self.spatial,
             typo: self.typo,
             param_rescue: self.param_rescue,
+            rediscovery: self.rediscovery,
         }
     }
 }
@@ -343,6 +350,7 @@ pub fn default_stages() -> Vec<Box<dyn Stage>> {
         Box::new(PostMarkingStage),
         Box::new(TemporalStage),
         Box::new(RescueScanStage),
+        Box::new(crate::rediscovery::RediscoveryStage),
     ]
 }
 
@@ -360,6 +368,9 @@ pub struct StudyOptions {
     /// CDX client timeout for the redirect and rescue stages; `None` (the
     /// default) draws no latency and changes nothing.
     pub cdx_timeout_ms: Option<Millis>,
+    /// Rediscovery index shared across workers. `None` (the default) keeps
+    /// the rediscovery stage dormant and the study archive-only.
+    pub rescue: Option<std::sync::Arc<permadead_rescue::RescueIndex>>,
 }
 
 impl Default for StudyOptions {
@@ -369,6 +380,7 @@ impl Default for StudyOptions {
             stages: default_stages(),
             retry: RetryPolicy::single(),
             cdx_timeout_ms: None,
+            rescue: None,
         }
     }
 }
@@ -388,6 +400,14 @@ impl StudyOptions {
 
     pub fn with_cdx_timeout_ms(mut self, timeout_ms: Option<Millis>) -> Self {
         self.cdx_timeout_ms = timeout_ms;
+        self
+    }
+
+    pub fn with_rescue(
+        mut self,
+        rescue: Option<std::sync::Arc<permadead_rescue::RescueIndex>>,
+    ) -> Self {
+        self.rescue = rescue;
         self
     }
 
@@ -602,6 +622,7 @@ mod tests {
             now: SimTime::from_ymd(2022, 3, 1),
             retry: RetryPolicy::single(),
             cdx_timeout_ms: None,
+            rescue: None,
         }
     }
 
@@ -618,6 +639,7 @@ mod tests {
                 "post-marking",
                 "temporal",
                 "rescue-scan",
+                "rediscovery",
             ]
         );
     }
@@ -776,6 +798,7 @@ mod tests {
             ],
             retry: RetryPolicy::single(),
             cdx_timeout_ms: None,
+            rescue: None,
         };
         let (findings, stats) = run_study(&env, &ds, &options);
         assert_eq!(findings.len(), 3);

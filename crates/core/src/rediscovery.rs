@@ -1,0 +1,251 @@
+//! Lexical-signature rediscovery (extension E19).
+//!
+//! §4 rescues a dead link only through archived copies; when the ladder
+//! comes up empty the paper stops. Klein & Nelson's title-based rediscovery
+//! goes one step further: the last archived *content* copy of the dead URL
+//! still carries the page's title and shingle signature, and searching the
+//! live web for that signature often finds the page at its new home — a
+//! `Moved`-without-redirect restructuring leaves the content reachable, just
+//! not from the old URL.
+//!
+//! [`RediscoveryStage`] runs after the whole archive ladder. It fires only
+//! when the study was given a [`RescueIndex`] *and* the link is not
+//! genuinely alive, takes the link's [`content_fingerprint`], retrieves
+//! top-k candidates from the index, and validates each one with a real
+//! fetch through the simulated network (faults and all): a rescue is
+//! declared only when the candidate serves a final 200 whose title and body
+//! still match the fingerprint above the `permadead_rescue` thresholds.
+//! Unlike the §4 ladder — which can at best point a reader at a frozen
+//! archived copy — a validated rediscovery upgrades the dead link to a
+//! *live* URL.
+
+use crate::pipeline::{LinkAnalysis, Stage, StudyEnv};
+use crate::soft404::Soft404Verdict;
+use permadead_archive::{ArchiveStore, BodyClass};
+use permadead_net::{Client, LiveStatus, SimTime};
+use permadead_rescue::{
+    Fingerprint, RescueIndex, DEFAULT_TOP_K, SHINGLE_K, SKETCH_THRESHOLD, TITLE_THRESHOLD,
+};
+use permadead_text::MinHashSketch;
+use permadead_url::Url;
+
+/// A validated rediscovery: where the dead link's content lives now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RediscoveryRescue {
+    /// The live URL serving the fingerprinted content today.
+    pub new_url: String,
+    /// Title similarity between the fingerprint and the *served* page.
+    pub title_similarity: f64,
+    /// Sketch similarity between the fingerprint and the *served* body.
+    pub content_similarity: f64,
+}
+
+/// The last pre-marking content (2xx) snapshot of `url`, reduced to the
+/// lexical signature the index understands. `None` when the archive never
+/// stored a content copy before tagging — rediscovery has nothing to search
+/// with (§5.2's never-archived population stays beyond its reach).
+pub fn content_fingerprint(
+    archive: &ArchiveStore,
+    url: &Url,
+    marked_at: SimTime,
+) -> Option<Fingerprint> {
+    archive
+        .snapshots_of(url)
+        .into_iter()
+        .rfind(|s| s.captured < marked_at && s.body_class == BodyClass::Content)
+        .map(|s| Fingerprint { title: s.title.clone(), sketch: s.sketch })
+}
+
+/// Query the index for `fp` and validate candidates against the live web at
+/// `env.now`. Candidates are tried best-first; the first one that serves a
+/// final 200 still matching the fingerprint wins. The validation fetch goes
+/// through the ordinary [`Client`], so transient faults and geo-blocks can
+/// honestly defeat a rescue, exactly as they defeat a live check.
+pub fn rediscover(
+    env: &StudyEnv<'_>,
+    index: &RescueIndex,
+    dead_url: &Url,
+    fp: &Fingerprint,
+) -> Option<RediscoveryRescue> {
+    let dead = dead_url.to_string();
+    let client = Client::new();
+    for cand in index.query(fp, DEFAULT_TOP_K) {
+        let entry = &index.entries()[cand.entry];
+        if entry.url == dead {
+            continue;
+        }
+        let Ok(candidate_url) = Url::parse(&entry.url) else {
+            continue;
+        };
+        let record = client.get(env.web, &candidate_url, env.now);
+        if record.live_status() != LiveStatus::Ok {
+            continue;
+        }
+        let served_title =
+            permadead_text::html::extract_title(&record.body).unwrap_or_default();
+        let title_similarity = permadead_rescue::title_similarity(&fp.title, &served_title);
+        let content_similarity =
+            fp.sketch.similarity(&MinHashSketch::of(&record.body, SHINGLE_K));
+        if title_similarity >= TITLE_THRESHOLD && content_similarity >= SKETCH_THRESHOLD {
+            return Some(RediscoveryRescue {
+                new_url: entry.url.clone(),
+                title_similarity,
+                content_similarity,
+            });
+        }
+    }
+    None
+}
+
+/// E19 pipeline stage: lexical-signature rediscovery after the archive
+/// ladder. A no-op (and a stats miss) unless the study carries an index.
+pub struct RediscoveryStage;
+
+impl Stage for RediscoveryStage {
+    fn name(&self) -> &'static str {
+        "rediscovery"
+    }
+
+    fn run(&self, env: &StudyEnv<'_>, acc: &mut LinkAnalysis) -> bool {
+        let Some(index) = env.rescue else {
+            return false;
+        };
+        // a link the live check + soft-404 probe already cleared needs no
+        // rescue of any kind
+        let alive = acc.live.as_ref().is_some_and(|l| l.is_final_200())
+            && acc.soft404 == Some(Soft404Verdict::Genuine);
+        if alive {
+            return false;
+        }
+        let Some(fp) = content_fingerprint(env.archive, &acc.entry.url, acc.entry.marked_at)
+        else {
+            return false;
+        };
+        acc.rediscovery = rediscover(env, index, &acc.entry.url, &fp);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permadead_archive::Snapshot;
+    use permadead_net::{Network, RetryPolicy, StatusCode};
+    use permadead_rescue::RescueEntry;
+    use permadead_text::render_page;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn t(y: i32) -> SimTime {
+        SimTime::from_ymd(y, 6, 15)
+    }
+
+    /// Serves one fixed page at one URL; everything else NXDOMAINs.
+    struct OnePageNet {
+        url: String,
+        body: String,
+    }
+
+    impl Network for OnePageNet {
+        fn request(&self, req: &permadead_net::Request) -> permadead_net::ServeResult {
+            if req.url.to_string() == self.url {
+                Ok(permadead_net::Response::ok(self.body.clone()))
+            } else {
+                Err(permadead_net::FetchError::Dns(permadead_net::DnsError::NxDomain))
+            }
+        }
+    }
+
+    fn env<'a>(web: &'a dyn Network, archive: &'a ArchiveStore) -> StudyEnv<'a> {
+        StudyEnv {
+            web,
+            archive,
+            now: t(2022),
+            retry: RetryPolicy::single(),
+            cdx_timeout_ms: None,
+            rescue: None,
+        }
+    }
+
+    #[test]
+    fn fingerprint_prefers_last_pre_marking_content_copy() {
+        let mut archive = ArchiveStore::new();
+        let url = u("http://e.org/x");
+        let page = |title: &str| render_page(title, &["some body text for the page"]);
+        archive.insert(Snapshot::from_observation(
+            &url, t(2010), StatusCode::OK, None, &page("Early Title"),
+        ));
+        archive.insert(Snapshot::from_observation(
+            &url, t(2014), StatusCode::OK, None, &page("Later Title"),
+        ));
+        archive.insert(Snapshot::from_observation(&url, t(2016), StatusCode(404), None, ""));
+        // post-marking content must not leak into the fingerprint
+        archive.insert(Snapshot::from_observation(
+            &url, t(2020), StatusCode::OK, None, &page("Post Marking Title"),
+        ));
+        let fp = content_fingerprint(&archive, &url, t(2018)).unwrap();
+        assert_eq!(fp.title, "Later Title");
+        assert!(content_fingerprint(&archive, &url, t(2009)).is_none());
+    }
+
+    #[test]
+    fn rediscover_validates_against_the_live_web() {
+        let body = render_page("Steve Portfolio", &["a body about steve and his portfolio work"]);
+        let moved = "http://e.org/portfolio/steve";
+        let index = RescueIndex::from_entries(vec![RescueEntry {
+            url: moved.to_string(),
+            title: "Steve Portfolio".to_string(),
+            sketch: MinHashSketch::of(&body, SHINGLE_K),
+        }]);
+        let fp = Fingerprint {
+            title: "Steve Portfolio".to_string(),
+            sketch: MinHashSketch::of(&body, SHINGLE_K),
+        };
+        let archive = ArchiveStore::new();
+
+        // candidate serves the matching body: rescued
+        let net = OnePageNet { url: moved.to_string(), body: body.clone() };
+        let e = env(&net, &archive);
+        let rescue = rediscover(&e, &index, &u("http://e.org/artists/steve"), &fp).unwrap();
+        assert_eq!(rescue.new_url, moved);
+        assert_eq!(rescue.content_similarity, 1.0);
+
+        // candidate is dark (NXDOMAIN): the index alone proves nothing
+        let dark = OnePageNet { url: "http://other.org/".into(), body: String::new() };
+        let e = env(&dark, &archive);
+        assert_eq!(rediscover(&e, &index, &u("http://e.org/artists/steve"), &fp), None);
+
+        // candidate now serves *different* content: validation rejects it
+        let swapped = OnePageNet {
+            url: moved.to_string(),
+            body: render_page("Totally Unrelated", &["entirely different words live here now"]),
+        };
+        let e = env(&swapped, &archive);
+        assert_eq!(rediscover(&e, &index, &u("http://e.org/artists/steve"), &fp), None);
+    }
+
+    #[test]
+    fn rediscover_skips_the_dead_url_itself() {
+        let body = render_page("Self Match", &["the very same page body text"]);
+        let dead = "http://e.org/self";
+        let index = RescueIndex::from_entries(vec![RescueEntry {
+            url: dead.to_string(),
+            title: "Self Match".to_string(),
+            sketch: MinHashSketch::of(&body, SHINGLE_K),
+        }]);
+        let fp = Fingerprint {
+            title: "Self Match".to_string(),
+            sketch: MinHashSketch::of(&body, SHINGLE_K),
+        };
+        let archive = ArchiveStore::new();
+        let net = OnePageNet { url: dead.to_string(), body };
+        let e = env(&net, &archive);
+        assert_eq!(
+            rediscover(&e, &index, &u(dead), &fp),
+            None,
+            "re-finding the dead URL is not a rescue"
+        );
+    }
+}

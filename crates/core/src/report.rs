@@ -32,6 +32,9 @@ pub struct LinkFinding {
     /// Extension (E12): an archived copy differing only in query-parameter
     /// order — the §5.2 implication, made operational.
     pub param_rescue: Option<ParamReorderRescue>,
+    /// Extension (E19): a validated lexical-signature rediscovery — the
+    /// page's content found alive at a new URL.
+    pub rediscovery: Option<crate::rediscovery::RediscoveryRescue>,
 }
 
 impl LinkFinding {
@@ -124,6 +127,7 @@ impl Study {
             now,
             retry: options.retry,
             cdx_timeout_ms: options.cdx_timeout_ms,
+            rescue: options.rescue.as_deref(),
         };
         let (findings, stage_stats) = run_study(&env, dataset, &options);
         Study {
@@ -269,6 +273,9 @@ pub fn fold_finding(r: &mut StudyReport, f: &LinkFinding, sign: isize) {
     if f.param_rescue.is_some() {
         bump(&mut r.param_reorder_rescuable, sign);
     }
+    if f.rediscovery.is_some() {
+        bump(&mut r.rediscovery_rescued, sign);
+    }
 }
 
 /// The headline numbers, mirroring the paper's conclusion and section stats.
@@ -307,6 +314,10 @@ pub struct StudyReport {
     /// only in query-parameter order (the paper proposes this rescue as
     /// future work and gives no number).
     pub param_reorder_rescuable: usize,
+    /// Extension E19: dead links whose content was rediscovered alive at a
+    /// new URL via its lexical signature (title + shingle sketch), validated
+    /// by a live fetch. Zero unless the study carried a rediscovery index.
+    pub rediscovery_rescued: usize,
     /// Per-stage execution counters from the run. Equality ignores timing
     /// (see [`StageStats`]), so two runs of the same dataset compare equal
     /// regardless of worker count or machine speed.
@@ -361,6 +372,11 @@ impl StudyReport {
                 "param-reorder rescuable (ext. E12)",
                 "n/a",
                 fraction(self.param_reorder_rescuable, self.never_archived.max(1)),
+            ),
+            row(
+                "rediscovery-rescued (ext. E19)",
+                "n/a",
+                fraction(self.rediscovery_rescued, n),
             ),
         ];
         format!(

@@ -45,6 +45,8 @@ pub struct ServeMetrics {
     pub reaudit_links_total: Counter,
     /// Incremental re-runs whose memoized finding actually changed.
     pub reaudit_changed_total: Counter,
+    /// Fresh checks whose rediscovery stage validated a new live URL.
+    pub rescue_rescued_total: Counter,
     /// Cumulative latency histogram over handled requests.
     bucket_counts: Vec<Counter>,
     latency_sum_nanos: Counter,
@@ -80,6 +82,7 @@ impl ServeMetrics {
             inflight: AtomicI64::new(0),
             reaudit_links_total: Counter::default(),
             reaudit_changed_total: Counter::default(),
+            rescue_rescued_total: Counter::default(),
             bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
             latency_sum_nanos: Counter::default(),
             latency_count: Counter::default(),
@@ -150,6 +153,9 @@ impl ServeMetrics {
     /// watch scheduler's snapshot. Watch counters come straight from that
     /// snapshot — the scheduler is the single source of truth, so `/metrics`
     /// is in exact parity with `/watchlist` by construction.
+    /// `rescue_index_pages` is the size of the service's rediscovery index
+    /// (0 with rediscovery off); every `permadead_rescue_*` series renders
+    /// unconditionally so scrapers see a stable metric set either way.
     pub fn render_prometheus(
         &self,
         cache: &CacheStats,
@@ -157,6 +163,7 @@ impl ServeMetrics {
         queue_depth: usize,
         origin_budget: &[(String, u64)],
         watch: &WatchSnapshot,
+        rescue_index_pages: usize,
     ) -> String {
         let mut out = String::with_capacity(4096);
         let mut metric = |name: &str, kind: &str, help: &str, lines: &[String]| {
@@ -463,6 +470,28 @@ impl ServeMetrics {
             "The active dead-link detection policy (info-style gauge).",
             &[format!("permadead_watch_policy{{policy=\"{}\"}} 1", watch.policy)],
         );
+
+        // the rediscovery rescue stage (E19); all-zero with rediscovery off
+        let rescue_queries =
+            stages.iter().find(|s| s.name == "rediscovery").map(|s| s.hits).unwrap_or(0);
+        metric(
+            "permadead_rescue_queries_total",
+            "counter",
+            "Links the rediscovery stage searched the index for.",
+            &[format!("permadead_rescue_queries_total {rescue_queries}")],
+        );
+        metric(
+            "permadead_rescue_rescued_total",
+            "counter",
+            "Fresh checks whose rediscovery validated the content at a new live URL.",
+            &[format!("permadead_rescue_rescued_total {}", self.rescue_rescued_total.get())],
+        );
+        metric(
+            "permadead_rescue_index_pages",
+            "gauge",
+            "Live pages in the rediscovery index (0 when rediscovery is off).",
+            &[format!("permadead_rescue_index_pages {rescue_index_pages}")],
+        );
         out
     }
 }
@@ -487,7 +516,7 @@ mod tests {
         let m = ServeMetrics::new();
         m.observe_latency(0.0002); // falls in every bucket from 0.25ms up
         m.observe_latency(0.3); // only the 1.0 bucket
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"0.00025\"} 1"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("permadead_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
@@ -511,7 +540,7 @@ mod tests {
             ..Default::default()
         };
         let text =
-            m.render_prometheus(&cache, &MetricsSnapshot::default(), 2, &[], &WatchSnapshot::default());
+            m.render_prometheus(&cache, &MetricsSnapshot::default(), 2, &[], &WatchSnapshot::default(), 0);
         for needle in [
             "# TYPE permadead_requests_total counter",
             "permadead_requests_total{endpoint=\"check\"} 1",
@@ -569,7 +598,7 @@ mod tests {
     #[test]
     fn origin_budget_series_render_per_exhausted_host() {
         let m = ServeMetrics::new();
-        let none = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
+        let none = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
         // preamble always present, no series until a host exhausts its budget
         assert!(none.contains("# TYPE permadead_origin_retry_budget_exhausted_total counter"));
         assert!(!none.contains("permadead_origin_retry_budget_exhausted_total{"));
@@ -581,6 +610,7 @@ mod tests {
             0,
             &exhausted,
             &WatchSnapshot::default(),
+            0,
         );
         assert!(text.contains(
             "permadead_origin_retry_budget_exhausted_total{host=\"flappy.org\"} 3"
@@ -596,7 +626,7 @@ mod tests {
         s.retries.exhausted += 1;
         m.merge_stage_stats(&[s.clone()]);
         m.merge_stage_stats(&[s]);
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
         assert!(text.contains("permadead_retries_total{cause=\"connect-timeout\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"rate-limited\"} 2"));
         assert!(text.contains("permadead_retries_total{cause=\"unavailable\"} 0"));
@@ -609,7 +639,7 @@ mod tests {
         m.count_route("report");
         m.reaudit_links_total.add(4);
         m.reaudit_changed_total.add(1);
-        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default());
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
         for needle in [
             "permadead_requests_total{endpoint=\"report\"} 1",
             "# TYPE permadead_reaudit_links_total counter",
@@ -618,6 +648,30 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing: {needle}");
         }
+    }
+
+    #[test]
+    fn rescue_series_always_render() {
+        let m = ServeMetrics::new();
+        // rediscovery off: every series present, all zero
+        let off = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
+        for needle in [
+            "# TYPE permadead_rescue_queries_total counter",
+            "permadead_rescue_queries_total 0",
+            "permadead_rescue_rescued_total 0",
+            "# TYPE permadead_rescue_index_pages gauge",
+            "permadead_rescue_index_pages 0",
+        ] {
+            assert!(off.contains(needle), "missing: {needle}");
+        }
+        // rediscovery on: queries come from the stage counter, rescues from
+        // the dedicated counter, pages from the caller
+        m.merge_stage_stats(&[stat("rediscovery", 7)]);
+        m.rescue_rescued_total.add(2);
+        let on = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 341);
+        assert!(on.contains("permadead_rescue_queries_total 7"), "{on}");
+        assert!(on.contains("permadead_rescue_rescued_total 2"));
+        assert!(on.contains("permadead_rescue_index_pages 341"));
     }
 
     #[test]
@@ -643,7 +697,7 @@ mod tests {
             policy: "health-score",
         };
         let text =
-            m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &watch);
+            m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &watch, 0);
         for needle in [
             "# TYPE permadead_watch_due_total counter",
             "permadead_watch_due_total 9",

@@ -458,6 +458,7 @@ fn handle_metrics(inner: &Inner) -> HttpResponse {
         inner.queue_probe.len(),
         &inner.service.origin_budget_snapshot(),
         &watch,
+        inner.service.rescue_index_pages(),
     );
     HttpResponse::metrics(text)
 }
@@ -470,6 +471,9 @@ fn handle_check(inner: &Inner, req: &HttpRequest) -> HttpResponse {
         Ok((outcome, stats)) => {
             if let Some(stats) = stats {
                 inner.metrics.merge_stage_stats(&stats);
+            }
+            if outcome.rediscovered {
+                inner.metrics.rescue_rescued_total.incr();
             }
             HttpResponse::json(200, outcome.body)
         }
@@ -500,6 +504,9 @@ fn handle_batch(inner: &Inner, req: &HttpRequest) -> HttpResponse {
             Ok((outcome, stats)) => {
                 if let Some(stats) = stats {
                     inner.metrics.merge_stage_stats(&stats);
+                }
+                if outcome.rediscovered {
+                    inner.metrics.rescue_rescued_total.incr();
                 }
                 items.push(outcome.body);
             }
@@ -596,6 +603,7 @@ fn handle_report(inner: &Inner) -> HttpResponse {
         .num("hostname_level_zero", report.hostname_level_zero)
         .num("unique_edit_distance_1", report.unique_edit_distance_1)
         .num("param_reorder_rescuable", report.param_reorder_rescuable)
+        .num("rediscovery_rescued", report.rediscovery_rescued)
         .render();
     HttpResponse::json(200, body)
 }
@@ -622,22 +630,81 @@ fn handle_watchlist(inner: &Inner) -> HttpResponse {
         })
         .collect();
     drop(sched);
+    HttpResponse::json(200, watchlist_json(&snap, &items))
+}
+
+/// Assemble the `/watchlist` response body. Split out (and `pub(crate)` for
+/// the tests) because the old inline `format!` spliced the policy and state
+/// names into the JSON unescaped — correct for today's static names, but a
+/// quote or backslash in a future policy label would have emitted invalid
+/// JSON. Everything dynamic now goes through [`crate::json::quote`].
+/// `items` must already be rendered JSON objects (the watcher URLs inside
+/// them are escaped by the [`crate::json::Object`] builder).
+pub(crate) fn watchlist_json(snap: &permadead_sched::WatchSnapshot, items: &[String]) -> String {
     let states: Vec<String> = snap
         .states
         .iter()
         .iter()
-        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .map(|(name, count)| format!("{}:{count}", crate::json::quote(name)))
         .collect();
-    HttpResponse::json(
-        200,
-        format!(
-            "{{\"size\":{},\"pending\":{},\"tagged\":{},\"policy\":\"{}\",\"states\":{{{}}},\"watchers\":[{}]}}",
-            snap.watchlist,
-            snap.pending,
-            snap.tagged_now,
-            snap.policy,
-            states.join(","),
-            items.join(",")
-        ),
+    format!(
+        "{{\"size\":{},\"pending\":{},\"tagged\":{},\"policy\":{},\"states\":{{{}}},\"watchers\":[{}]}}",
+        snap.watchlist,
+        snap.pending,
+        snap.tagged_now,
+        crate::json::quote(snap.policy),
+        states.join(","),
+        items.join(",")
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::watchlist_json;
+    use permadead_sched::WatchSnapshot;
+
+    /// The watchlist body must stay valid JSON even when the policy name (or
+    /// a future state label) carries quotes, backslashes, or control bytes —
+    /// exactly the hostile inputs the old inline `format!` forwarded raw.
+    #[test]
+    fn watchlist_json_escapes_hostile_policy_names() {
+        let snap = WatchSnapshot {
+            watchlist: 3,
+            pending: 1,
+            tagged_now: 2,
+            policy: "evil\"name\\with\tcontrol",
+            ..WatchSnapshot::default()
+        };
+        let body = watchlist_json(&snap, &[]);
+        assert!(
+            body.contains("\"policy\":\"evil\\\"name\\\\with\\tcontrol\""),
+            "policy not escaped: {body}"
+        );
+        // No raw quote survives inside the policy value: stripping every
+        // escaped sequence first must leave only the structural quotes.
+        let stripped = body.replace("\\\\", "").replace("\\\"", "");
+        assert_eq!(
+            stripped.matches('"').count() % 2,
+            0,
+            "unbalanced quotes, body is not valid JSON: {body}"
+        );
+        assert!(body.contains("\"states\":{\"healthy\":0"));
+        assert!(body.ends_with("\"watchers\":[]}"));
+    }
+
+    #[test]
+    fn watchlist_json_renders_counts_and_items() {
+        let mut snap = WatchSnapshot {
+            watchlist: 2,
+            pending: 5,
+            tagged_now: 1,
+            ..WatchSnapshot::default()
+        };
+        snap.states.healthy = 1;
+        snap.states.tagged = 1;
+        let items = vec!["{\"url\":\"http://a.example/\"}".to_string()];
+        let body = watchlist_json(&snap, &items);
+        assert!(body.starts_with("{\"size\":2,\"pending\":5,\"tagged\":1,"));
+        assert!(body.contains("\"tagged\":1},\"watchers\":[{\"url\":\"http://a.example/\"}]}"));
+    }
 }

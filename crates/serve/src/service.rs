@@ -22,11 +22,13 @@ use permadead_core::{
     StudyEnv, StudyOptions,
 };
 use permadead_net::{MetricsSnapshot, RetryPolicy, SimTime};
+use permadead_rescue::RescueIndex;
 use permadead_sim::{Scenario, ScenarioConfig};
 use permadead_url::Url;
 use permadead_web::LiveWeb;
 use permadead_worldstore::World;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where a queried URL's provenance came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,10 @@ pub struct CheckOutcome {
     /// Full response body (JSON object), including the `cached` flag.
     pub body: String,
     pub cached: bool,
+    /// The fresh analysis behind this body found a rediscovery rescue.
+    /// Always `false` for cache hits (a hit runs zero pipeline work), so
+    /// counters fed by this track fresh rescues, like the stage stats.
+    pub rediscovered: bool,
 }
 
 /// The seeded world behind a service: either a freshly generated
@@ -106,6 +112,9 @@ pub struct AuditService {
     /// checks have scheduled this much cumulative backoff, later checks
     /// against it run single-attempt and each refusal is counted.
     origin_budget: Option<OriginLedger>,
+    /// Rediscovery index (`--rediscovery on`). `None` keeps the pipeline's
+    /// rediscovery stage dormant and every answer archive-only.
+    rescue: Option<Arc<RescueIndex>>,
 }
 
 impl AuditService {
@@ -149,6 +158,7 @@ impl AuditService {
             cache: ShardedCache::new(cache),
             retry: RetryPolicy::single(),
             origin_budget: None,
+            rescue: None,
         }
     }
 
@@ -181,7 +191,24 @@ impl AuditService {
             cache: ShardedCache::new(cache),
             retry: RetryPolicy::single(),
             origin_budget: None,
+            rescue: None,
         }
+    }
+
+    /// Enable lexical-signature rediscovery (E19): the pipeline's
+    /// rediscovery stage queries `rescue` for every non-alive link that has
+    /// a pre-marking content fingerprint. For a snapshot-backed service,
+    /// pull the index out of the [`World`] before handing it over
+    /// (`world.rescue.clone()`); for a generated one, build it from the
+    /// scenario's web at study time.
+    pub fn with_rescue(mut self, rescue: Option<Arc<RescueIndex>>) -> AuditService {
+        self.rescue = rescue;
+        self
+    }
+
+    /// Pages in the active rediscovery index (0 when rediscovery is off).
+    pub fn rescue_index_pages(&self) -> usize {
+        self.rescue.as_deref().map(RescueIndex::len).unwrap_or(0)
     }
 
     /// Replace the live-check retry policy (`--retries` on the CLI). Anything
@@ -273,7 +300,9 @@ impl AuditService {
             self.world.archive(),
             &self.dataset,
             self.study_time(),
-            StudyOptions::default().with_retry(self.retry),
+            StudyOptions::default()
+                .with_retry(self.retry)
+                .with_rescue(self.rescue.clone()),
         )
     }
 
@@ -304,6 +333,7 @@ impl AuditService {
                 CheckOutcome {
                     body: finish_body(&core, true),
                     cached: true,
+                    rediscovered: false,
                 },
                 None,
             ));
@@ -325,6 +355,7 @@ impl AuditService {
             now: self.study_time(),
             retry,
             cdx_timeout_ms: None,
+            rescue: self.rescue.as_deref(),
         };
         let mut stats = empty_stats(&self.stages);
         let finding = analyze_link(&env, &self.stages, index, entry, &mut stats);
@@ -360,6 +391,8 @@ impl AuditService {
             _ => obj.raw("dataset_index", "null"),
         };
         obj = obj.raw("rescue", render_recommendation(recommendation.as_ref()));
+        obj = obj.raw("rediscovery", render_rediscovery(finding.rediscovery.as_ref()));
+        let rediscovered = finding.rediscovery.is_some();
         let core = obj.render();
         // `core` is a complete object; finish_body splices the cached flag in
         self.cache.insert(&key, core.clone(), now);
@@ -367,6 +400,7 @@ impl AuditService {
             CheckOutcome {
                 body: finish_body(&core, false),
                 cached: false,
+                rediscovered,
             },
             Some(stats),
         ))
@@ -423,6 +457,17 @@ fn finish_body(core: &str, cached: bool) -> String {
     debug_assert!(core.ends_with('}'));
     let flag = if cached { "true" } else { "false" };
     format!("{},\"cached\":{}}}", &core[..core.len() - 1], flag)
+}
+
+fn render_rediscovery(r: Option<&permadead_core::RediscoveryRescue>) -> String {
+    let Some(r) = r else {
+        return "null".into();
+    };
+    Object::new()
+        .str("new_url", &r.new_url)
+        .num("title_similarity", format!("{:.4}", r.title_similarity))
+        .num("content_similarity", format!("{:.4}", r.content_similarity))
+        .render()
 }
 
 fn render_recommendation(rec: Option<&Recommendation>) -> String {

@@ -54,7 +54,18 @@ pub fn world_from_scenario(scenario: Scenario, scale: &str) -> World {
         // scenario seed); recorded so `World::load` re-aims `LiveWeb::new`
         content_seed: scenario.config.seed ^ 0xC0FFEE,
     };
+    // Index the live web's reachable pages at study time so a snapshot-backed
+    // service can run the rediscovery stage without regenerating the
+    // scenario. The build is bit-identical for any worker count, so the
+    // snapshot bytes stay deterministic.
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let rescue = permadead_rescue::RescueIndex::build(
+        &scenario.web,
+        scenario.config.study_time,
+        jobs,
+    );
     World::assemble(meta, scenario.web, scenario.archive, interner, march, september, all)
+        .with_rescue(rescue)
 }
 
 /// Where a `(seed, scale)` world lives inside a cache directory.
@@ -73,18 +84,27 @@ pub struct WorldCacheOutcome {
     pub size_bytes: u64,
     /// Wall-clock of the load (hit) or the generate + lower + save (miss).
     pub elapsed: std::time::Duration,
+    /// On a miss that found a file it could not trust, why the snapshot was
+    /// discarded (wrong header, wrong format version, corruption). `None`
+    /// for clean misses and for hits.
+    pub notice: Option<String>,
 }
 
 impl WorldCacheOutcome {
     /// One operator-facing line: `world cache hit: … (412 KiB, 3.2ms)`.
+    /// Misses that discarded an untrustworthy file say why.
     pub fn describe(&self) -> String {
-        format!(
+        let mut line = format!(
             "world cache {}: {} ({} bytes, {:.1?})",
             if self.hit { "hit" } else { "miss" },
             self.path.display(),
             self.size_bytes,
             self.elapsed,
-        )
+        );
+        if let Some(notice) = &self.notice {
+            line.push_str(&format!(" — stale snapshot ignored: {notice}"));
+        }
+        line
     }
 }
 
@@ -100,7 +120,10 @@ pub fn load_or_generate(
 ) -> std::io::Result<(World, WorldCacheOutcome)> {
     let path = world_cache_path(dir, config.seed, scale);
     let t0 = std::time::Instant::now();
+    let mut notice = None;
     if path.exists() {
+        // wrong world under the right name, or undecodable: fall through to
+        // regeneration, remembering why so the operator line can say so
         match World::load(&path) {
             Ok(world)
                 if world.meta.seed == config.seed
@@ -109,19 +132,38 @@ pub fn load_or_generate(
                     && world.meta.sample_size == config.sample_size as u32 =>
             {
                 let size_bytes = std::fs::metadata(&path)?.len();
-                let outcome =
-                    WorldCacheOutcome { hit: true, path, size_bytes, elapsed: t0.elapsed() };
+                let outcome = WorldCacheOutcome {
+                    hit: true,
+                    path,
+                    size_bytes,
+                    elapsed: t0.elapsed(),
+                    notice: None,
+                };
                 return Ok((world, outcome));
             }
-            // wrong world under the right name, or undecodable: fall through
-            Ok(_) | Err(_) => {}
+            Ok(world) => {
+                notice = Some(format!(
+                    "header mismatch (file has seed {} scale {:?} rot_links {} sample {}, \
+                     wanted seed {} scale {:?} rot_links {} sample {})",
+                    world.meta.seed,
+                    world.meta.scale,
+                    world.meta.rot_links,
+                    world.meta.sample_size,
+                    config.seed,
+                    scale,
+                    config.rot_links,
+                    config.sample_size,
+                ));
+            }
+            Err(e) => notice = Some(format!("undecodable snapshot ({e})")),
         }
     }
     std::fs::create_dir_all(dir)?;
     let scenario = Scenario::generate(config);
     let world = world_from_scenario(scenario, scale);
     let size_bytes = world.save(&path)?;
-    let outcome = WorldCacheOutcome { hit: false, path, size_bytes, elapsed: t0.elapsed() };
+    let outcome =
+        WorldCacheOutcome { hit: false, path, size_bytes, elapsed: t0.elapsed(), notice };
     Ok((world, outcome))
 }
 
@@ -192,6 +234,71 @@ mod tests {
         let (world, out2) = load_or_generate(&dir, cfg(), "small").unwrap();
         assert!(!out2.hit);
         assert_eq!(world.meta.seed, 7);
+        // the operator line still says "world cache miss" (scripts grep for
+        // it) and now explains why the on-disk file was not trusted
+        let line = out2.describe();
+        assert!(line.contains("world cache miss"), "{line}");
+        assert!(line.contains("stale snapshot ignored"), "{line}");
+        assert!(out2.notice.as_deref().unwrap().contains("undecodable snapshot"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_checksum_is_regenerated_with_notice() {
+        let dir = tmpdir("truncated");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        let bytes = std::fs::read(&out.path).unwrap();
+        // chop the trailing checksum: the codec must report, not panic
+        std::fs::write(&out.path, &bytes[..bytes.len() - 4]).unwrap();
+        let (world, out2) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(!out2.hit);
+        assert_eq!(world.meta.seed, 7);
+        assert!(out2.notice.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_format_version_is_regenerated_with_notice() {
+        let dir = tmpdir("version");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        let mut bytes = std::fs::read(&out.path).unwrap();
+        // masquerade as format v1 (bytes 4..8 hold the version word)
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&out.path, &bytes).unwrap();
+        let (world, out2) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(!out2.hit, "a v1 file must be regenerated, not trusted");
+        assert_eq!(world.meta.seed, 7);
+        let line = out2.describe();
+        assert!(line.contains("world cache miss"), "{line}");
+        assert!(out2.notice.as_deref().unwrap().contains("decode error"), "{:?}", out2.notice);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_notice_names_both_worlds() {
+        let dir = tmpdir("mismatch-notice");
+        let (_, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        let path8 = world_cache_path(&dir, 8, "small");
+        std::fs::rename(&out.path, &path8).unwrap();
+        let cfg8 = ScenarioConfig { rot_links: 40, ..ScenarioConfig::small(8) };
+        let (_, out8) = load_or_generate(&dir, cfg8, "small").unwrap();
+        assert!(!out8.hit);
+        let notice = out8.notice.as_deref().unwrap();
+        assert!(notice.contains("header mismatch"), "{notice}");
+        assert!(notice.contains("seed 7") && notice.contains("seed 8"), "{notice}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_carries_the_rescue_index() {
+        let dir = tmpdir("rescue");
+        let (generated, _) = load_or_generate(&dir, cfg(), "small").unwrap();
+        let (loaded, out) = load_or_generate(&dir, cfg(), "small").unwrap();
+        assert!(out.hit);
+        let built = generated.rescue.as_ref().expect("generated world carries an index");
+        let thawed = loaded.rescue.as_ref().expect("snapshot-backed world carries an index");
+        assert!(!built.is_empty(), "seed-7 world has live pages to index");
+        assert_eq!(built, thawed);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,13 +11,17 @@ pub struct Cdf {
 }
 
 impl Cdf {
-    /// Build from samples. Panics on NaN.
+    /// Build from samples. Panics on NaN — unlike [`crate::percentile`],
+    /// which silently ignores NaNs, a CDF's sample count is part of its
+    /// meaning (every `eval` divides by it), so dropping points here would
+    /// quietly reshape a figure. The sort itself uses the IEEE-754 total
+    /// order and cannot panic.
     pub fn new(mut samples: Vec<f64>) -> Cdf {
         assert!(
             samples.iter().all(|x| !x.is_nan()),
             "NaN sample in CDF input"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 
@@ -95,7 +99,7 @@ impl Cdf {
             .chain(other.sorted.iter())
             .copied()
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
         xs.iter()
             .map(|&x| (self.eval(x) - other.eval(x)).abs())

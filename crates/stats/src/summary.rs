@@ -14,12 +14,18 @@ pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
 
-/// p-th percentile (nearest-rank). `p` in `[0, 100]`. Panics on empty input.
+/// p-th percentile (nearest-rank). `p` in `[0, 100]`.
+///
+/// NaN policy: NaN samples are ignored — the percentile is taken over the
+/// remaining ordered values, the same way a figure ignores a point it
+/// cannot place on an axis. (The old `partial_cmp().expect("no NaNs")`
+/// sort aborted the whole report instead; `f64::total_cmp` keeps the sort
+/// total.) Panics when no non-NaN sample remains, including empty input.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    assert!(!v.is_empty(), "percentile of empty slice");
+    v.sort_by(f64::total_cmp);
     if p == 0.0 {
         return v[0];
     }
@@ -70,6 +76,23 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_ignores_nan_samples() {
+        // Regression: this input used to panic inside sort_by via
+        // `partial_cmp().expect("no NaNs")`.
+        let v = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(median(&[f64::NAN, 5.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_all_nan_panics() {
+        percentile(&[f64::NAN, f64::NAN], 50.0);
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum CodecError {
     ChecksumMismatch { expected: u64, found: u64 },
     /// Trailing bytes after the checksum.
     TrailingBytes { at: usize },
+    /// An interned-string symbol pointed outside the decoded interner.
+    BadSymbol { at: usize, sym: u32 },
 }
 
 impl fmt::Display for CodecError {
@@ -43,6 +45,9 @@ impl fmt::Display for CodecError {
                 "checksum mismatch: stream says {expected:#018x}, contents hash to {found:#018x}"
             ),
             CodecError::TrailingBytes { at } => write!(f, "trailing bytes after checksum at {at}"),
+            CodecError::BadSymbol { at, sym } => {
+                write!(f, "symbol {sym} at byte {at} not in the interner")
+            }
         }
     }
 }

@@ -58,10 +58,18 @@ impl Interner {
 
     /// The string behind `sym`. Panics on a symbol from another interner.
     pub fn resolve(&self, sym: Sym) -> &str {
+        self.try_resolve(sym)
+            .unwrap_or_else(|| panic!("symbol {} out of range ({} interned)", sym.0, self.len()))
+    }
+
+    /// Fallible [`Self::resolve`], for decoders reading symbols from
+    /// untrusted bytes: a corrupted snapshot must surface a decode error,
+    /// not an out-of-bounds panic.
+    pub fn try_resolve(&self, sym: Sym) -> Option<&str> {
         let i = sym.0 as usize;
-        let end = self.ends[i] as usize;
+        let end = *self.ends.get(i)? as usize;
         let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
-        &self.arena[start..end]
+        self.arena.get(start..end)
     }
 
     /// Number of distinct strings interned.

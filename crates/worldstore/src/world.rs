@@ -28,6 +28,7 @@ use permadead_net::dns::{HostState, HostTimeline};
 use permadead_net::fault::{Fault, FaultProfile};
 use permadead_net::http::Vantage;
 use permadead_net::{SimTime, StatusCode};
+use permadead_rescue::{RescueEntry, RescueIndex};
 use permadead_text::sketch::{MinHashSketch, SKETCH_SIZE};
 use permadead_url::Url;
 use permadead_web::{LiveWeb, Page, PageEvent, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
@@ -38,7 +39,12 @@ use std::path::Path;
 /// Leading magic: "PDWS" = PermaDead World Snapshot.
 pub const MAGIC: [u8; 4] = *b"PDWS";
 /// Current format version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: archive snapshots carry their `<title>` and the optional rediscovery
+/// rescue index is serialized after the archive section. v1 files are
+/// rejected with `UnsupportedVersion` — callers (`serve::load_or_generate`)
+/// treat that as a cache miss and regenerate.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Generation provenance, stored in the snapshot header so a cache hit can
 /// verify it is answering for the right `(seed, scale)` before anything
@@ -75,6 +81,10 @@ pub struct World {
     pub all_tagged: LinkTable,
     pub web: LiveWeb,
     pub archive: ArchiveStore,
+    /// The lexical-signature rediscovery index over the live web at study
+    /// time, when the world was built with rescue support. Only the entry
+    /// list is serialized; postings rebuild deterministically on load.
+    pub rescue: Option<RescueIndex>,
 }
 
 /// A link row as plain borrowed strings, the construction-time currency
@@ -183,7 +193,13 @@ impl World {
             }
         }
 
-        World { meta, interner, march, september, all_tagged, web, archive }
+        World { meta, interner, march, september, all_tagged, web, archive, rescue: None }
+    }
+
+    /// Attach a rediscovery rescue index (serialized with the snapshot).
+    pub fn with_rescue(mut self, rescue: RescueIndex) -> World {
+        self.rescue = Some(rescue);
+        self
     }
 
     /// Serialize to the versioned binary snapshot format.
@@ -306,6 +322,28 @@ impl World {
             }
             w.u64(snap.sketch.digest);
             w.bool(snap.sketch.empty);
+            w.str(&snap.title);
+        }
+
+        // --- rescue index (entries only; postings rebuild on load).
+        // URLs/titles are written inline rather than interned: the index is
+        // optional, and threading its strings through the interner would
+        // perturb symbol assignment for worlds that carry no index. ---
+        match &self.rescue {
+            Some(idx) => {
+                w.bool(true);
+                w.len(idx.len());
+                for e in idx.entries() {
+                    w.str(&e.url);
+                    w.str(&e.title);
+                    for &m in e.sketch.mins() {
+                        w.u64(m);
+                    }
+                    w.u64(e.sketch.digest);
+                    w.bool(e.sketch.empty);
+                }
+            }
+            None => w.bool(false),
         }
 
         w.finish()
@@ -347,14 +385,14 @@ impl World {
         web.ranks.universe = r.u32()?;
         let n_ranks = r.len()?;
         for _ in 0..n_ranks {
-            let host = interner.resolve(Sym(r.u32()?)).to_string();
+            let host = read_sym_str(&mut r, &interner)?;
             let rank = r.u32()?;
             web.ranks.insert(&host, rank);
         }
 
         let n_zones = r.len()?;
         for _ in 0..n_zones {
-            let host = interner.resolve(Sym(r.u32()?)).to_string();
+            let host = read_sym_str(&mut r, &interner)?;
             let n_states = r.len()?;
             let mut tl = HostTimeline::new();
             for _ in 0..n_states {
@@ -374,7 +412,7 @@ impl World {
         let n_sites = r.len()?;
         for _ in 0..n_sites {
             let id = SiteId(r.u64()?);
-            let host = interner.resolve(Sym(r.u32()?)).to_string();
+            let host = read_sym_str(&mut r, &interner)?;
             let founded = SimTime(r.i64()?);
             let parked_from = if r.bool()? { Some(SimTime(r.i64()?)) } else { None };
             let lifecycle = SiteLifecycle { founded, parked_from };
@@ -418,14 +456,14 @@ impl World {
         let n_snaps = r.len()?;
         for _ in 0..n_snaps {
             let url_at = r.position();
-            let url_str = interner.resolve(Sym(r.u32()?));
-            let url = Url::parse(url_str).map_err(|_| CodecError::BadUtf8 { at: url_at })?;
+            let url_str = read_sym_str(&mut r, &interner)?;
+            let url = Url::parse(&url_str).map_err(|_| CodecError::BadUtf8 { at: url_at })?;
             let captured = SimTime(r.i64()?);
             let initial_status = StatusCode(r.u16()?);
             let redirect_target = if r.bool()? {
                 let t_at = r.position();
-                let t_str = interner.resolve(Sym(r.u32()?));
-                Some(Url::parse(t_str).map_err(|_| CodecError::BadUtf8 { at: t_at })?)
+                let t_str = read_sym_str(&mut r, &interner)?;
+                Some(Url::parse(&t_str).map_err(|_| CodecError::BadUtf8 { at: t_at })?)
             } else {
                 None
             };
@@ -442,6 +480,7 @@ impl World {
             }
             let digest = r.u64()?;
             let empty = r.bool()?;
+            let title = r.str()?;
             let surt = permadead_url::surt(&url);
             archive.insert(Snapshot {
                 url,
@@ -451,11 +490,35 @@ impl World {
                 redirect_target,
                 body_class,
                 sketch: MinHashSketch::from_parts(mins, digest, empty),
+                title,
             });
         }
 
+        let rescue = if r.bool()? {
+            let n_entries = r.len()?;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let url = r.str()?;
+                let title = r.str()?;
+                let mut mins = [0u64; SKETCH_SIZE];
+                for m in &mut mins {
+                    *m = r.u64()?;
+                }
+                let digest = r.u64()?;
+                let empty = r.bool()?;
+                entries.push(RescueEntry {
+                    url,
+                    title,
+                    sketch: MinHashSketch::from_parts(mins, digest, empty),
+                });
+            }
+            Some(RescueIndex::from_entries(entries))
+        } else {
+            None
+        };
+
         r.verify_checksum()?;
-        Ok(World { meta, interner, march, september, all_tagged, web, archive })
+        Ok(World { meta, interner, march, september, all_tagged, web, archive, rescue })
     }
 
     /// Write the snapshot to `path` (atomically: temp file + rename).
@@ -491,6 +554,17 @@ fn write_table(w: &mut Writer, t: &LinkTable) {
         w.i64(row.marked_at);
         w.u32(row.marked_by.0);
     }
+}
+
+/// Read a symbol and resolve it against the decoded interner, surfacing a
+/// decode error (not a panic) when corrupted bytes point outside it.
+fn read_sym_str(r: &mut Reader<'_>, interner: &Interner) -> Result<String, CodecError> {
+    let at = r.position();
+    let sym = Sym(r.u32()?);
+    interner
+        .try_resolve(sym)
+        .map(str::to_string)
+        .ok_or(CodecError::BadSymbol { at, sym: sym.0 })
 }
 
 fn read_table(r: &mut Reader<'_>) -> Result<LinkTable, CodecError> {
@@ -796,6 +870,52 @@ mod tests {
             assert_eq!(x.sketch.digest, y.sketch.digest);
             assert_eq!(x.sketch.mins(), y.sketch.mins());
         }
+    }
+
+    #[test]
+    fn snapshot_titles_round_trip() {
+        let world = build_world();
+        let loaded = World::from_bytes(&world.to_bytes()).unwrap();
+        let u = Url::parse("http://alive.example.org/artists/steve").unwrap();
+        let orig: Vec<_> = world.archive.snapshots_of(&u);
+        let back: Vec<_> = loaded.archive.snapshots_of(&u);
+        for (a, b) in orig.iter().zip(&back) {
+            assert_eq!(a.title, b.title);
+        }
+    }
+
+    #[test]
+    fn rescue_index_round_trips_and_answers_identically() {
+        let base = build_world();
+        let idx = permadead_rescue::RescueIndex::build(&base.web, t(2022), 2);
+        assert!(!idx.is_empty(), "the hand-built world has live pages");
+        let world = build_world().with_rescue(idx.clone());
+        let bytes = world.to_bytes();
+        assert_ne!(bytes, base.to_bytes(), "the index is part of the snapshot");
+        let loaded = World::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.rescue.as_ref(), Some(&idx));
+        assert_eq!(loaded.to_bytes(), bytes, "save → load → save stays byte-identical");
+
+        let fp = permadead_rescue::Fingerprint {
+            title: idx.entries()[0].title.clone(),
+            sketch: idx.entries()[0].sketch,
+        };
+        assert_eq!(
+            loaded.rescue.as_ref().unwrap().query(&fp, 3),
+            idx.query(&fp, 3),
+            "rebuilt postings answer queries identically"
+        );
+    }
+
+    #[test]
+    fn v1_snapshot_rejected_as_unsupported() {
+        let world = build_world();
+        let mut bytes = world.to_bytes();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            World::from_bytes(&bytes),
+            Err(CodecError::UnsupportedVersion(1))
+        ));
     }
 
     #[test]

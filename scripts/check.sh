@@ -44,6 +44,11 @@ probe=./target/release/serve-probe
 "$probe" "$addr" /metrics permadead_watchlist_size >/dev/null
 "$probe" "$addr" /metrics 'permadead_watch_state{state="healthy"}' >/dev/null
 "$probe" "$addr" /metrics 'permadead_watch_policy{policy="iabot-strikes"}' >/dev/null
+# rescue series render even with no --rediscovery index (all zeros), so
+# dashboards never see the metric set change shape
+"$probe" "$addr" /metrics permadead_rescue_queries_total >/dev/null
+"$probe" "$addr" /metrics permadead_rescue_rescued_total >/dev/null
+"$probe" "$addr" /metrics permadead_rescue_index_pages >/dev/null
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
@@ -95,6 +100,20 @@ fi
 rm -f "$policy_out"
 echo "check.sh: policy-table golden green"
 
+# Rediscovery-rescue golden: the E19 ladder (archive rescues vs
+# lexical-signature rediscovery vs the ground-truth ceiling) is a pure
+# function of (seed, scale) and identical for every PERMADEAD_JOBS; the
+# binary itself asserts the extra rescue rate is strictly positive.
+rescue_out="$(mktemp)"
+PERMADEAD_SEED=42 PERMADEAD_SCALE=small PERMADEAD_JOBS=4 \
+    ./target/release/repro_rescue_table >"$rescue_out" 2>/dev/null
+if ! diff -u results/RESCUE_TABLE_seed42.txt "$rescue_out"; then
+    echo "check.sh: rescue table drifted from results/RESCUE_TABLE_seed42.txt" >&2
+    exit 1
+fi
+rm -f "$rescue_out"
+echo "check.sh: rescue-table golden green"
+
 # World-cache round trip: `audit --world-cache` must miss (generate + save),
 # then hit (decode the snapshot), and print the identical report — only the
 # per-stage wall-clock latency rows may differ. Then the world-scale bench
@@ -135,6 +154,10 @@ if ./target/release/permadead watch --policy bogus 2>/dev/null; then
 fi
 if ./target/release/permadead watch --strikes 0 2>/dev/null; then
     echo "check.sh: permadead watch accepted --strikes 0" >&2
+    exit 1
+fi
+if ./target/release/permadead watch --rediscovery bogus 2>/dev/null; then
+    echo "check.sh: permadead watch accepted --rediscovery bogus" >&2
     exit 1
 fi
 echo "check.sh: watch flag validation green"

@@ -9,6 +9,7 @@ pub use permadead_bot as bot;
 pub use permadead_core as analysis;
 pub use permadead_net as net;
 pub use permadead_policy as policy;
+pub use permadead_rescue as rescue;
 pub use permadead_sched as sched;
 pub use permadead_serve as serve;
 pub use permadead_sim as sim;

@@ -191,3 +191,56 @@ fn soft404_seed_is_dataset_indexed() {
     }
     assert!(probed > 10, "too few probed links ({probed}) to pin the seed");
 }
+
+/// The rediscovery index contract: the sharded build is bit-identical for
+/// every worker count — entries, title postings, and sketch postings — so
+/// top-k retrieval and a full study with the rescue stage armed can never
+/// depend on `--jobs`. This is what lets the worldcache serialize the index
+/// into a deterministic snapshot.
+#[test]
+fn rescue_index_and_rescued_study_identical_across_worker_counts() {
+    use permadead::rescue::{Fingerprint, RescueIndex, DEFAULT_TOP_K};
+
+    let s = scenario();
+    let serial = RescueIndex::build(&s.web, s.config.study_time, 1);
+    assert!(serial.len() > 100, "index too small to exercise sharding");
+    // probe retrieval with every 97th indexed page's own signature
+    let fingerprints: Vec<Fingerprint> = serial
+        .entries()
+        .iter()
+        .step_by(97)
+        .map(|e| Fingerprint { title: e.title.clone(), sketch: e.sketch })
+        .collect();
+    for jobs in [2usize, 8] {
+        let sharded = RescueIndex::build(&s.web, s.config.study_time, jobs);
+        assert_eq!(serial, sharded, "index diverged at jobs={jobs}");
+        for fp in &fingerprints {
+            assert_eq!(
+                serial.query(fp, DEFAULT_TOP_K),
+                sharded.query(fp, DEFAULT_TOP_K),
+                "top-k retrieval diverged at jobs={jobs}"
+            );
+        }
+    }
+
+    let index = std::sync::Arc::new(serial);
+    let run = |jobs: usize| {
+        Study::run_with(
+            &s.web,
+            &s.archive,
+            &dataset(),
+            s.config.study_time,
+            StudyOptions::with_jobs(jobs).with_rescue(Some(index.clone())),
+        )
+    };
+    let base = run(1);
+    assert!(
+        base.stage_stats.iter().any(|st| st.name == "rediscovery" && st.hits > 0),
+        "rediscovery stage never searched — the gate is broken"
+    );
+    for jobs in [2usize, 8] {
+        let sharded = run(jobs);
+        assert_eq!(base.findings, sharded.findings, "rescued findings diverged at jobs={jobs}");
+        assert_eq!(base.stage_stats, sharded.stage_stats);
+    }
+}

@@ -218,3 +218,93 @@ fn whole_run_is_deterministic() {
     let rb = Study::run(&b.web, &b.archive, &db, b.config.study_time).report();
     assert_eq!(ra, rb);
 }
+
+/// E19 end to end on a hand-built world: a page that moved without leaving
+/// a redirect is invisible to every archive-based rescue, but its
+/// pre-marking 200 snapshot carries a lexical signature the rediscovery
+/// stage can match against the live index — producing the page's new URL.
+#[test]
+fn moved_page_without_redirect_is_rescued_by_rediscovery_only() {
+    use permadead::analysis::{DatasetEntry, StudyOptions};
+    use permadead::archive::{ArchiveStore, Snapshot};
+    use permadead::net::{SimTime, StatusCode};
+    use permadead::rescue::RescueIndex;
+    use permadead::url::Url;
+    use permadead::web::{LiveWeb, Page, PageEvent, PageId, Site, SiteId, SiteLifecycle, UnknownPathPolicy};
+
+    let t = |y: i32| SimTime::from_ymd(y, 6, 15);
+    let mut web = LiveWeb::new(4242);
+    let mut site = Site::new(
+        SiteId(1),
+        "journal.example.org",
+        SiteLifecycle::active_from(t(2004)),
+        UnknownPathPolicy::NotFound,
+    );
+    let mut page = Page::new(PageId(1), t(2008), "/research/papers.html");
+    page.push_event(t(2016), PageEvent::Moved { to_path: "/archive/papers.html".into() });
+    // the operator only wires up a redirect years after the study
+    page.push_event(t(2020), PageEvent::RedirectAdded);
+    site.add_page(page);
+    // a decoy so retrieval has something to rank below the real match
+    site.add_page(Page::new(PageId(2), t(2009), "/misc/contact.html"));
+    web.add_site(site);
+
+    let dead_url = Url::parse("http://journal.example.org/research/papers.html").unwrap();
+    // archive the page while it still answered 200 at the old path
+    let mut archive = ArchiveStore::new();
+    let crawl = web
+        .site_by_host("journal.example.org", t(2012))
+        .unwrap()
+        .serve("/research/papers.html", t(2012), web.content());
+    assert_eq!(crawl.status, StatusCode::OK, "pre-move crawl must capture content");
+    archive.insert(Snapshot::from_observation(
+        &dead_url,
+        t(2012),
+        StatusCode::OK,
+        None,
+        &crawl.body,
+    ));
+
+    let ds = permadead::analysis::Dataset {
+        label: "moved-page".into(),
+        entries: vec![DatasetEntry {
+            url: dead_url.clone(),
+            article: "Example Article".into(),
+            added_at: t(2010),
+            marked_at: SimTime::from_ymd(2016, 9, 1),
+            marked_by: "InternetArchiveBot".into(),
+        }],
+    };
+
+    let study_time = t(2017);
+    let without = Study::run_with(&web, &archive, &ds, study_time, StudyOptions::with_jobs(1));
+    let f = &without.findings[0];
+    assert!(!f.genuinely_alive(), "old URL must be dead at study time");
+    assert!(
+        f.redirect_verdict.as_ref().is_none_or(|v| !v.is_valid()),
+        "no redirect exists in 2017, so §4.2 must not rescue"
+    );
+    assert!(f.rediscovery.is_none(), "no index, no rediscovery");
+
+    let index = std::sync::Arc::new(RescueIndex::build(&web, study_time, 2));
+    let with = Study::run_with(
+        &web,
+        &archive,
+        &ds,
+        study_time,
+        StudyOptions::with_jobs(1).with_rescue(Some(index)),
+    );
+    let rescue = with.findings[0]
+        .rediscovery
+        .as_ref()
+        .expect("rediscovery must relocate the moved page");
+    assert_eq!(rescue.new_url, "http://journal.example.org/archive/papers.html");
+    assert!(rescue.title_similarity >= 0.5, "title sim {}", rescue.title_similarity);
+    assert!(rescue.content_similarity >= 0.6, "content sim {}", rescue.content_similarity);
+    assert_eq!(with.report().rediscovery_rescued, 1);
+
+    // everything else about the finding is untouched by the new stage
+    let mut masked = with.findings[0].clone();
+    masked.rediscovery = None;
+    assert_eq!(&masked, f, "rediscovery stage must be purely additive");
+}
