@@ -8,12 +8,19 @@
 //!
 //! ```text
 //! bench-serve [--requests N] [--clients C] [--unique U] [--seed S] [--workers W]
+//!             [--mode close|keepalive]
 //! ```
 //!
 //! `--unique` bounds how many distinct URLs the clients cycle through;
 //! with N ≫ U the steady state is cache-hit-dominated, which is the regime
 //! an IABot-style consumer would see (the same contested links re-checked
 //! across many pages).
+//!
+//! `--mode close` (default) opens a fresh connection per request — the
+//! historical measurement, dominated by connection setup/teardown. `--mode
+//! keepalive` holds one connection per client and pipelines requests
+//! sequentially over it, which is what the event-driven server's HTTP/1.1
+//! keep-alive support is for; the two lines persist side by side.
 
 use permadead_serve::{start, AuditService, CacheConfig, ServerConfig};
 use permadead_sim::ScenarioConfig;
@@ -29,6 +36,7 @@ struct Opts {
     unique: usize,
     seed: u64,
     workers: usize,
+    keepalive: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -38,12 +46,21 @@ fn parse_opts() -> Result<Opts, String> {
         unique: 64,
         seed: 42,
         workers: 4,
+        keepalive: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} is missing its value"))?;
+        if flag == "--mode" {
+            opts.keepalive = match value.as_str() {
+                "keepalive" => true,
+                "close" => false,
+                other => return Err(format!("flag --mode must be close|keepalive, got {other:?}")),
+            };
+            continue;
+        }
         let n: u64 = value
             .parse()
             .map_err(|_| format!("flag {flag} has invalid value {value:?}"))?;
@@ -73,6 +90,49 @@ fn get(addr: SocketAddr, path: &str) -> std::io::Result<(bool, String)> {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     Ok((ok, body))
+}
+
+/// One GET over an already-open keep-alive connection: write the request,
+/// read status line + headers, then exactly `Content-Length` body bytes so
+/// the stream is positioned for the next request.
+fn get_keepalive(stream: &mut TcpStream, path: &str) -> std::io::Result<bool> {
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes(),
+    )?;
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // headers end at the first blank line; one-byte reads are fine here
+    // because the loopback kernel buffer makes them memcpy-cheap and the
+    // parse stays trivially correct
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        head.push(byte[0]);
+        if head.len() > 64 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+    }
+    let head_text = String::from_utf8_lossy(&head);
+    let ok = head_text.starts_with("HTTP/1.1 200");
+    let content_length: usize = head_text
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(ok)
 }
 
 fn metric(metrics_body: &str, name: &str) -> f64 {
@@ -120,8 +180,9 @@ fn main() -> ExitCode {
         eprintln!("error: dataset produced no URLs to query");
         return ExitCode::FAILURE;
     }
+    let mode = if opts.keepalive { "keepalive" } else { "close" };
     eprintln!(
-        "[bench-serve] {} workers on {addr}: {} requests, {} clients, {} distinct urls",
+        "[bench-serve] {} workers on {addr}: {} requests, {} clients, {} distinct urls, {mode} mode",
         opts.workers, opts.requests, opts.clients, urls.len()
     );
 
@@ -130,18 +191,36 @@ fn main() -> ExitCode {
     let mut threads = Vec::new();
     for client in 0..opts.clients {
         let urls = urls.clone();
+        let keepalive = opts.keepalive;
         threads.push(std::thread::spawn(move || {
             let mut latencies_ms = Vec::with_capacity(per_client);
             let mut errors = 0usize;
+            // keep-alive mode: one connection for the client's whole run
+            // (re-opened only if the server drops it)
+            let mut conn: Option<TcpStream> = None;
             for i in 0..per_client {
                 // stride by client so the first pass over the URL space is
                 // spread across clients instead of all hitting url[0] at once
                 let url = &urls[(client + i * opts.clients) % urls.len()];
                 let path = format!("/check?url={}", percent_encode(url));
                 let t = Instant::now();
-                match get(addr, &path) {
-                    Ok((true, _)) => latencies_ms.push(t.elapsed().as_secs_f64() * 1e3),
-                    Ok((false, _)) | Err(_) => errors += 1,
+                if keepalive {
+                    if conn.is_none() {
+                        conn = TcpStream::connect(addr).ok();
+                    }
+                    match conn.as_mut().map(|s| get_keepalive(s, &path)) {
+                        Some(Ok(true)) => latencies_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                        Some(Ok(false)) => errors += 1,
+                        Some(Err(_)) | None => {
+                            errors += 1;
+                            conn = None;
+                        }
+                    }
+                } else {
+                    match get(addr, &path) {
+                        Ok((true, _)) => latencies_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                        Ok((false, _)) | Err(_) => errors += 1,
+                    }
                 }
             }
             (latencies_ms, errors)
@@ -178,7 +257,8 @@ fn main() -> ExitCode {
         }
     };
     let line = format!(
-        "{{\"bench\":\"serve/loopback\",\"requests\":{completed},\"errors\":{errors},\
+        "{{\"bench\":\"serve/loopback\",\"mode\":\"{mode}\",\"requests\":{completed},\
+         \"errors\":{errors},\
          \"clients\":{},\"workers\":{},\"unique_urls\":{},\"elapsed_s\":{elapsed_s:.3},\
          \"requests_per_sec\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\
          \"cache_hit_ratio\":{hit_ratio:.4}}}",

@@ -33,7 +33,7 @@ fn main() -> ExitCode {
         argv,
         &[
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
-            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "retries",
+            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "max-conns", "retries",
             "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
             "min-span-days", "policy", "cadence", "host-budget", "world-cache", "rediscovery",
         ],
@@ -107,7 +107,9 @@ fn print_help() {
          \x20 --cache-cap C     (serve) verdict-cache capacity in entries (default 4096)\n\
          \x20 --shards N        (serve) cache shard count (default 8)\n\
          \x20 --ttl-secs S      (serve) cache entry TTL in simulated seconds (default 3600)\n\
-         \x20 --queue-cap Q     (serve) pending-connection queue before 503s (default 64)\n\
+         \x20 --queue-cap Q     (serve) parsed requests queued for a worker before 503s (default 64)\n\
+         \x20 --max-conns C     (serve) open connections the reactor holds at once; beyond\n\
+         \x20                   this, new arrivals get an immediate 503 (default 10240)\n\
          \x20 --origin-retry-budget-ms B   (serve) cap on cumulative retry backoff per origin;\n\
          \x20                   exhausted hosts fall back to single-attempt checks (default: off)\n\
          \x20 --days D          (watch) simulated days to replay (default 30)\n\
@@ -473,6 +475,7 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|_| "flag --port must fit in 16 bits")?,
         workers: args.get_usize("workers", 4)?.max(1),
         queue_cap: args.get_usize("queue-cap", 64)?.max(1),
+        max_conns: args.get_usize("max-conns", 10_240)?.max(1),
         ..permadead_serve::ServerConfig::default()
     };
     let retry = retry_policy_from(args)?;

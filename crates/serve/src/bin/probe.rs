@@ -2,26 +2,49 @@
 //!
 //! ```text
 //! serve-probe <host:port> <path> [expect-substring]
+//! serve-probe <host:port> --flood <N>
 //! ```
 //!
-//! Issues one GET, prints the status line and body to stdout, and exits
-//! non-zero if the request fails, the status is not 200, or the body does
-//! not contain the expected substring. `scripts/check.sh` drives it against
-//! a freshly started `permadead serve` so CI needs no curl.
+//! Default mode issues one GET, prints the status line and body to stdout,
+//! and exits non-zero if the request fails, the status is not 200, or the
+//! body does not contain the expected substring. `scripts/check.sh` drives
+//! it against a freshly started `permadead serve` so CI needs no curl.
+//!
+//! `--flood N` is the concurrent-connection proof for the event-driven
+//! server: open N sockets, *hold them all open* having sent only a partial
+//! request line on each (so every one of them parks in the reactor's slab,
+//! never reaching a worker), then — with all N still connected — issue a
+//! normal `/healthz` request and require it to complete promptly. A
+//! thread-per-connection server with a bounded pool dies here; the reactor
+//! holds N fds and one buffer each. Exits non-zero if fewer than 99% of the
+//! sockets connect or the probe request fails or takes over 5 seconds.
+//! Running as a separate process keeps the fd load split between client and
+//! server, so N can approach the per-process fd ceiling on both sides.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (addr, path) = match (args.first(), args.get(1)) {
         (Some(a), Some(p)) => (a.clone(), p.clone()),
         _ => {
-            eprintln!("usage: serve-probe <host:port> <path> [expect-substring]");
+            eprintln!("usage: serve-probe <host:port> <path> [expect-substring]\n       serve-probe <host:port> --flood <N>");
             return ExitCode::FAILURE;
         }
     };
+    if path == "--flood" {
+        let n: usize = match args.get(2).and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("serve-probe: --flood needs a connection count");
+                return ExitCode::FAILURE;
+            }
+        };
+        return flood(&addr, n);
+    }
     let expect = args.get(2);
 
     let mut stream = match TcpStream::connect(&addr) {
@@ -52,5 +75,70 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn flood(addr: &str, n: usize) -> ExitCode {
+    let mut held: Vec<TcpStream> = Vec::with_capacity(n);
+    let started = Instant::now();
+    for i in 0..n {
+        match TcpStream::connect(addr) {
+            Ok(mut s) => {
+                // a partial request line: enough to occupy a connection
+                // slot and a read buffer, never enough to reach a worker
+                let _ = s.write_all(b"GET /healthz HT");
+                held.push(s);
+            }
+            Err(e) => {
+                // loopback connects shouldn't fail below the fd ceiling;
+                // tolerate a tiny shortfall, fail on anything systemic
+                if i * 100 < n * 99 {
+                    eprintln!("serve-probe: flood connect #{i}/{n} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                break;
+            }
+        }
+    }
+    let opened = held.len();
+    eprintln!(
+        "serve-probe: holding {opened} idle connections ({}ms to open)",
+        started.elapsed().as_millis()
+    );
+
+    // with every connection still parked, a fresh request must go through
+    let t0 = Instant::now();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-probe: probe connect under flood: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let request = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("serve-probe: probe write under flood: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut response = String::new();
+    if let Err(e) = stream.read_to_string(&mut response) {
+        eprintln!("serve-probe: probe read under flood: {e}");
+        return ExitCode::FAILURE;
+    }
+    let elapsed = t0.elapsed();
+    if !response.starts_with("HTTP/1.1 200") || !response.contains("\"status\":\"ok\"") {
+        eprintln!("serve-probe: bad /healthz under flood: {}", response.lines().next().unwrap_or(""));
+        return ExitCode::FAILURE;
+    }
+    if elapsed > Duration::from_secs(5) {
+        eprintln!("serve-probe: /healthz took {elapsed:?} under flood");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "flood ok: {opened} connections held, /healthz in {:.1}ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+    drop(held);
     ExitCode::SUCCESS
 }

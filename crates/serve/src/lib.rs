@@ -35,6 +35,7 @@
 //! ```
 
 pub mod cache;
+pub mod conn;
 pub mod json;
 pub mod metrics;
 pub mod origin;

@@ -47,6 +47,12 @@ pub struct ServeMetrics {
     pub reaudit_changed_total: Counter,
     /// Fresh checks whose rediscovery stage validated a new live URL.
     pub rescue_rescued_total: Counter,
+    /// Responses the reactor could not deliver: the connection died (or was
+    /// reclaimed) with bytes still queued — each one is work a worker did
+    /// that no client received.
+    pub write_aborted_total: Counter,
+    /// Connections currently held open by the reactor.
+    pub open_connections: AtomicI64,
     /// Cumulative latency histogram over handled requests.
     bucket_counts: Vec<Counter>,
     latency_sum_nanos: Counter,
@@ -83,6 +89,8 @@ impl ServeMetrics {
             reaudit_links_total: Counter::default(),
             reaudit_changed_total: Counter::default(),
             rescue_rescued_total: Counter::default(),
+            write_aborted_total: Counter::default(),
+            open_connections: AtomicI64::new(0),
             bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
             latency_sum_nanos: Counter::default(),
             latency_count: Counter::default(),
@@ -211,6 +219,24 @@ impl ServeMetrics {
             "counter",
             "Handler panics caught by the worker loop.",
             &[format!("permadead_worker_panics_total {}", self.worker_panics_total.get())],
+        );
+        metric(
+            "permadead_serve_write_aborted_total",
+            "counter",
+            "Responses not fully delivered: the connection died with bytes still queued.",
+            &[format!(
+                "permadead_serve_write_aborted_total {}",
+                self.write_aborted_total.get()
+            )],
+        );
+        metric(
+            "permadead_serve_open_connections",
+            "gauge",
+            "Connections currently held open by the reactor.",
+            &[format!(
+                "permadead_serve_open_connections {}",
+                self.open_connections.load(Ordering::Relaxed).max(0)
+            )],
         );
         metric(
             "permadead_inflight_requests",
@@ -645,6 +671,22 @@ mod tests {
             "# TYPE permadead_reaudit_links_total counter",
             "permadead_reaudit_links_total 4",
             "permadead_reaudit_changed_total 1",
+        ] {
+            assert!(text.contains(needle), "missing: {needle}");
+        }
+    }
+
+    #[test]
+    fn reactor_delivery_series_render() {
+        let m = ServeMetrics::new();
+        m.write_aborted_total.add(3);
+        m.open_connections.store(17, Ordering::Relaxed);
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
+        for needle in [
+            "# TYPE permadead_serve_write_aborted_total counter",
+            "permadead_serve_write_aborted_total 3",
+            "# TYPE permadead_serve_open_connections gauge",
+            "permadead_serve_open_connections 17",
         ] {
             assert!(text.contains(needle), "missing: {needle}");
         }

@@ -1,13 +1,25 @@
-//! The HTTP server: acceptor thread, crossbeam-channel worker pool, the
-//! background watch scheduler, and admission control.
+//! The HTTP server: one event-driven reactor thread owning every socket, a
+//! crossbeam-channel worker pool for CPU-bound analysis, the background
+//! watch scheduler, and admission control.
 //!
-//! Accepted connections are `try_send`-dispatched into a **bounded** channel
-//! of [`Job`]s. Workers pull from it; when every worker is busy and the queue
-//! is full the acceptor answers `503 Service Unavailable` with `Retry-After`
-//! *itself* and closes the socket — the one response cheap enough to serve
-//! inline. That is the whole degradation story: bounded queue, bounded
-//! workers, explicit back-pressure to the client instead of unbounded memory
-//! growth.
+//! **Transport/compute split.** The reactor thread (an epoll readiness loop
+//! from the vendored [`reactor`] crate) performs *all* socket I/O: it
+//! accepts, reads request bytes into per-connection buffers, runs the
+//! incremental parser in [`crate::wire`], and writes responses only when
+//! sockets are writable, tracking offsets across partial writes
+//! ([`crate::conn`]). Complete requests are `try_send`-dispatched into a
+//! **bounded** channel of [`Job`]s; workers pull from it, compute the
+//! response, and hand it back through a completion queue plus a wakeup
+//! pipe. A slow or stalled client therefore holds one buffer and one fd —
+//! never a worker thread, and never a read/write timeout (the old blocking
+//! path's 5s read and 250ms write timeouts are gone because nothing blocks).
+//!
+//! When every worker is busy and the queue is full, the reactor queues a
+//! `503 Service Unavailable` + `Retry-After` as an ordinary nonblocking
+//! write — the one response cheap enough to produce without a worker. That
+//! is the whole degradation story: bounded queue, bounded workers, bounded
+//! connection table (`max_conns`), explicit back-pressure to the client
+//! instead of unbounded memory growth.
 //!
 //! The same worker pool also executes the continuous-monitoring workload: a
 //! background pump thread pops due re-checks off the [`permadead_sched`]
@@ -26,18 +38,23 @@
 //! | `/watchlist`     | GET    | JSON state of every watched link                   |
 //! | `/report`        | GET    | incremental study report over the batch dataset    |
 //! | `/metrics`       | GET    | Prometheus text                                    |
-//! | `/healthz`       | GET    | JSON: queue depth, worker count, watchlist size    |
+//! | `/healthz`       | GET    | JSON: queue depth, workers, conns, watchlist size  |
 
+use crate::conn::{Conn, ConnState, ReadStep, WriteStep};
 use crate::metrics::ServeMetrics;
 use crate::service::AuditService;
-use crate::wire::{query_param, read_request, HttpRequest, HttpResponse, WireError};
+use crate::wire::{query_param, HttpRequest, HttpResponse, WireError};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use permadead_core::IncrementalAudit;
 use permadead_net::{Duration, SimTime};
 use permadead_sched::{Cadence, PolicySpec, Scheduler, SchedulerConfig, WatchSnapshot};
 use permadead_url::Url;
+use reactor::slab::Slab;
+use reactor::{Events, Interest, Poll, Token, Waker};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -71,16 +88,26 @@ impl Default for WatchConfig {
     }
 }
 
-/// Server shape: listener address and pool/queue/batch bounds.
+/// Server shape: listener address and pool/queue/connection bounds.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Port to bind on 127.0.0.1; `0` picks an ephemeral port.
+    /// Port to bind on 127.0.0.1; `0` picks an ephemeral port (the bound
+    /// address is what [`ServerHandle::addr`] reports — callers must print
+    /// *that*, not the requested port).
     pub port: u16,
     /// Worker threads handling requests.
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker before admission
+    /// Parsed requests allowed to wait for a worker before admission
     /// control starts refusing with 503.
     pub queue_cap: usize,
+    /// Open connections the reactor will hold at once; beyond this, new
+    /// arrivals get an immediate best-effort 503 (`--max-conns`).
+    pub max_conns: usize,
+    /// Kernel send-buffer size applied to every accepted socket; `None`
+    /// leaves the kernel's autotuning alone. Pinning it bounds how much of
+    /// a response the kernel absorbs for a stalled reader, which makes
+    /// write back-pressure observable (the partial-write tests rely on it).
+    pub sndbuf: Option<usize>,
     /// Maximum URLs accepted in one `POST /batch` (or `POST /watch`).
     pub max_batch: usize,
     /// Seconds advertised in `Retry-After` on an admission refusal.
@@ -98,6 +125,8 @@ impl Default for ServerConfig {
             port: 0,
             workers: 4,
             queue_cap: 64,
+            max_conns: 10_240,
+            sndbuf: None,
             max_batch: 256,
             retry_after_secs: 1,
             debug_endpoints: false,
@@ -106,14 +135,29 @@ impl Default for ServerConfig {
     }
 }
 
-/// One unit of worker-pool work: an accepted connection, or a due re-check
-/// pumped in by the watch scheduler.
+/// One unit of worker-pool work: a parsed request off a connection, or a due
+/// re-check pumped in by the watch scheduler. Workers never see a socket.
 enum Job {
-    Conn(TcpStream),
-    Recheck { id: usize, due: SimTime },
+    Request {
+        slot: usize,
+        generation: u64,
+        request: HttpRequest,
+    },
+    Recheck {
+        id: usize,
+        due: SimTime,
+    },
 }
 
-/// Everything workers share.
+/// A finished response on its way back to the reactor.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    keep_alive: bool,
+    response: HttpResponse,
+}
+
+/// Everything workers and the reactor share.
 struct Inner {
     service: AuditService,
     metrics: ServeMetrics,
@@ -123,6 +167,11 @@ struct Inner {
     /// A non-consuming view of the pending queue, for the depth gauge only
     /// (never `recv`d, so no job is ever stolen from the workers).
     queue_probe: Receiver<Job>,
+    /// Worker → reactor: finished responses awaiting a writable socket.
+    completions: Mutex<VecDeque<Completion>>,
+    /// Pulls the reactor out of `epoll_wait` when a completion lands or
+    /// shutdown begins.
+    waker: Waker,
     /// The continuous-monitoring scheduler. Lock discipline: take briefly,
     /// never while holding another lock, and never across a network fetch —
     /// the fetch half of a re-check runs unlocked in the worker.
@@ -161,12 +210,15 @@ impl Inner {
 pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
+    /// The *bound* address — with `port: 0` this carries the
+    /// kernel-assigned ephemeral port, which is what tests and scripts
+    /// must connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
@@ -188,12 +240,12 @@ impl ServerHandle {
     /// Stop accepting, drain the queue, and join every thread.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        // unblock the acceptor's blocking accept() with one throwaway
-        // connection; it sees the flag and exits, dropping its sender. The
-        // pump notices the flag within one tick and drops the other sender;
-        // with both gone the workers drain the queue and exit.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
+        // the waker pulls the reactor out of epoll_wait; it sees the flag,
+        // tears down every connection, and drops its job sender. The pump
+        // notices the flag within one tick and drops the other sender; with
+        // both gone the workers drain the queue and exit.
+        let _ = self.inner.waker.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         if let Some(h) = self.pump.take() {
@@ -205,10 +257,21 @@ impl ServerHandle {
     }
 }
 
-/// Bind, spawn the pool and the watch pump, and return immediately.
+/// Poll-set token for the listening socket (connection slots use their slab
+/// keys, which can never reach these sentinels).
+const TOKEN_LISTENER: Token = Token(usize::MAX);
+/// Poll-set token for the wakeup pipe.
+const TOKEN_WAKER: Token = Token(usize::MAX - 1);
+
+/// Bind, spawn the reactor + pool + watch pump, and return immediately.
 pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let poll = Poll::new()?;
+    let waker = Waker::new(&poll, TOKEN_WAKER)?;
+    poll.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+
     let (tx, rx) = bounded::<Job>(config.queue_cap.max(1));
     let scheduler = Scheduler::new(SchedulerConfig {
         policy: config.watch.policy,
@@ -222,6 +285,8 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         queue_probe: rx.clone(),
+        completions: Mutex::new(VecDeque::new()),
+        waker,
         watch: Mutex::new(scheduler),
         watch_offset: AtomicI64::new(0),
         reaudit: Mutex::new(None),
@@ -230,22 +295,7 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         .map(|_| {
             let rx = rx.clone();
             let inner = inner.clone();
-            std::thread::spawn(move || {
-                for job in rx.iter() {
-                    // The pool is fixed-size: a panicking handler must not
-                    // kill the worker, or the pool silently shrinks until no
-                    // thread is left to answer queued jobs.
-                    let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        match job {
-                            Job::Conn(stream) => handle_connection(&inner, stream),
-                            Job::Recheck { id, due } => handle_recheck(&inner, id, due),
-                        }
-                    }));
-                    if handled.is_err() {
-                        inner.metrics.worker_panics_total.incr();
-                    }
-                }
-            })
+            std::thread::spawn(move || worker_loop(&inner, rx))
         })
         .collect();
     drop(rx);
@@ -255,18 +305,75 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         let tx = tx.clone();
         std::thread::spawn(move || pump_loop(&inner, tx))
     };
-    let acceptor = {
+    let reactor = {
         let inner = inner.clone();
-        std::thread::spawn(move || accept_loop(listener, tx, &inner))
+        std::thread::spawn(move || {
+            Reactor {
+                inner: &inner,
+                poll,
+                listener,
+                tx,
+                conns: Slab::new(),
+                accept_paused: false,
+                closed_since_pause: false,
+            }
+            .run()
+        })
     };
 
     Ok(ServerHandle {
         addr,
         inner,
-        acceptor: Some(acceptor),
+        reactor: Some(reactor),
         pump: Some(pump),
         workers,
     })
+}
+
+/// One worker: CPU-bound request handling and watch re-checks, zero socket
+/// I/O. The pool is fixed-size, so a panicking handler must not kill the
+/// worker — it is caught, counted, and answered with a 500 (the blocking
+/// path used to silently drop the connection instead).
+fn worker_loop(inner: &Inner, rx: Receiver<Job>) {
+    for job in rx.iter() {
+        match job {
+            Job::Request {
+                slot,
+                generation,
+                request,
+            } => {
+                inner.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(inner, &request)
+                }));
+                inner.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+                let (route_name, response) = match handled {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        inner.metrics.worker_panics_total.incr();
+                        ("other", HttpResponse::error(500, "internal error"))
+                    }
+                };
+                inner.metrics.count_route(route_name);
+                inner.metrics.count_status(response.status);
+                inner.completions.lock().push_back(Completion {
+                    slot,
+                    generation,
+                    keep_alive: request.keep_alive,
+                    response,
+                });
+                let _ = inner.waker.wake();
+            }
+            Job::Recheck { id, due } => {
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_recheck(inner, id, due)
+                }));
+                if handled.is_err() {
+                    inner.metrics.worker_panics_total.incr();
+                }
+            }
+        }
+    }
 }
 
 /// The background scheduler thread: every tick, pop everything due on the
@@ -329,30 +436,6 @@ fn handle_recheck(inner: &Inner, id: usize, due: SimTime) {
     inner.metrics.reaudit_changed_total.add(outcome.changed as u64);
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<Job>, inner: &Inner) {
-    for stream in listener.incoming() {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            break; // tx drops here; workers drain the queue and exit
-        }
-        let Ok(stream) = stream else { continue };
-        match tx.try_send(Job::Conn(stream)) {
-            Ok(()) => {}
-            Err(TrySendError::Full(Job::Conn(mut stream))) => {
-                inner.metrics.rejected_total.incr();
-                inner.metrics.count_status(503);
-                // Best-effort refusal: a rejected client that never reads
-                // must not stall the acceptor on a full socket buffer.
-                let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
-                let resp = HttpResponse::error(503, "server at capacity, retry later")
-                    .with_header("Retry-After", retry_after_secs(inner).to_string());
-                let _ = resp.write_to(&mut stream);
-            }
-            Err(TrySendError::Full(Job::Recheck { .. })) => unreachable!("acceptor sends Conn"),
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
 /// Seconds a refused client should wait before retrying, scaled by how much
 /// work is already queued ahead of it. The configured `retry_after_secs` used
 /// to be advertised verbatim — so every client refused during a burst came
@@ -366,41 +449,263 @@ fn retry_after_secs(inner: &Inner) -> u32 {
     base.saturating_mul(1 + occupied).min(60)
 }
 
-fn handle_connection(inner: &Inner, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
-    let started = Instant::now();
-    let request = match read_request(&mut stream) {
-        Ok(Ok(req)) => req,
-        Ok(Err(WireError::Closed)) => return, // shutdown poke / port scan
-        Ok(Err(WireError::TooLarge)) => {
-            respond(inner, &mut stream, "other", HttpResponse::error(413, "request too large"));
-            return;
-        }
-        Ok(Err(WireError::BadRequest)) => {
-            respond(inner, &mut stream, "other", HttpResponse::error(400, "malformed request"));
-            return;
-        }
-        Err(_) => return, // socket error mid-read; nothing to answer
-    };
-
-    inner.metrics.inflight.fetch_add(1, Ordering::Relaxed);
-    // decrement via a drop guard so a panicking handler can't leak the gauge
-    struct InflightGuard<'a>(&'a ServeMetrics);
-    impl Drop for InflightGuard<'_> {
-        fn drop(&mut self) {
-            self.0.inflight.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-    let _inflight = InflightGuard(&inner.metrics);
-    let (route, response) = route(inner, &request);
-    respond(inner, &mut stream, route, response);
-    inner.metrics.observe_latency(started.elapsed().as_secs_f64());
+/// The event loop's owned state: poll set, listener, connection slab, and
+/// the job sender whose drop (on exit) lets the workers drain and stop.
+struct Reactor<'a> {
+    inner: &'a Arc<Inner>,
+    poll: Poll,
+    listener: TcpListener,
+    tx: Sender<Job>,
+    conns: Slab<Conn<TcpStream>>,
+    /// The listener is out of the poll set (fd table exhausted); resume
+    /// once a connection closes.
+    accept_paused: bool,
+    closed_since_pause: bool,
 }
 
-fn respond(inner: &Inner, stream: &mut TcpStream, route: &str, response: HttpResponse) {
-    inner.metrics.count_route(route);
-    inner.metrics.count_status(response.status);
-    let _ = response.write_to(stream);
+impl Reactor<'_> {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            // The 500ms timeout is a safety net only — completions and
+            // shutdown arrive through the waker, readiness through epoll.
+            if self.poll.poll(&mut events, Some(std::time::Duration::from_millis(500))).is_err() {
+                break;
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let batch: Vec<reactor::Event> = events.iter().collect();
+            let mut accept_ready = false;
+            for ev in batch {
+                match ev.token() {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKER => self.inner.waker.drain(),
+                    Token(slot) => self.on_conn_event(slot, ev),
+                }
+            }
+            self.drain_completions();
+            if accept_ready {
+                self.accept_burst();
+            }
+            self.maybe_resume_accept();
+        }
+        // teardown: closing the fds also evicts them from the poll set;
+        // dropping `tx` afterwards releases the workers
+        for (_slot, conn) in self.conns.drain() {
+            drop(conn);
+        }
+        self.inner.metrics.open_connections.store(0, Ordering::Relaxed);
+    }
+
+    /// Accept until `EAGAIN`. Beyond `max_conns` each arrival gets an
+    /// immediate best-effort 503 (its socket buffer is empty, so the single
+    /// nonblocking write succeeds); on fd-table exhaustion the listener
+    /// leaves the poll set until a connection closes, instead of spinning
+    /// on a readable-but-unacceptable listener.
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    if let Some(bytes) = self.inner.config.sndbuf {
+                        let _ = reactor::set_send_buffer_size(stream.as_raw_fd(), bytes);
+                    }
+                    if self.conns.len() >= self.inner.config.max_conns.max(1) {
+                        self.inner.metrics.rejected_total.incr();
+                        self.inner.metrics.count_status(503);
+                        let resp = HttpResponse::error(503, "server at capacity, retry later")
+                            .with_header("Retry-After", retry_after_secs(self.inner).to_string());
+                        let _ = std::io::Write::write(&mut stream, &resp.serialize(false));
+                        continue; // drop closes
+                    }
+                    let fd = stream.as_raw_fd();
+                    let (slot, generation) = self.conns.insert(Conn::new(stream, 0));
+                    if let Some(conn) = self.conns.get_mut(slot) {
+                        conn.generation = generation;
+                    }
+                    if self.poll.register(fd, Token(slot), Interest::READABLE).is_err() {
+                        self.conns.remove(slot);
+                        continue;
+                    }
+                    self.inner.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    // ENFILE/EMFILE: no fd for the next accept — pause
+                    self.pause_accept();
+                    break;
+                }
+                // transient (ECONNABORTED etc.): the level-triggered poll
+                // re-reports the listener if more arrivals are pending
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn pause_accept(&mut self) {
+        if !self.accept_paused {
+            let _ = self.poll.deregister(self.listener.as_raw_fd());
+            self.accept_paused = true;
+            self.closed_since_pause = false;
+        }
+    }
+
+    fn maybe_resume_accept(&mut self) {
+        if self.accept_paused
+            && self.closed_since_pause
+            && self
+                .poll
+                .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
+                .is_ok()
+        {
+            self.accept_paused = false;
+        }
+    }
+
+    fn on_conn_event(&mut self, slot: usize, ev: reactor::Event) {
+        let Some(conn) = self.conns.get_mut(slot) else {
+            return; // closed earlier in this same batch
+        };
+        match conn.state {
+            ConnState::Reading => {
+                if ev.is_readable() || ev.is_closed() {
+                    self.advance_reading(slot, true);
+                }
+            }
+            ConnState::Writing { .. } => {
+                if ev.is_writable() || ev.is_closed() {
+                    self.drive_write(slot);
+                }
+            }
+            ConnState::Dispatched => {
+                // Interest is NONE while a worker holds the request, but
+                // epoll always reports hard errors. A dead peer's slot is
+                // reclaimed now; the completion will miss the generation
+                // and be counted as an aborted write.
+                if ev.is_closed() {
+                    self.close_conn(slot);
+                }
+            }
+        }
+    }
+
+    /// Drive a `Reading` connection: optionally pull bytes off the socket,
+    /// then act on the parse result. `do_read = false` is the keep-alive
+    /// path where a pipelined request may already be buffered.
+    fn advance_reading(&mut self, slot: usize, do_read: bool) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        let step = if do_read { conn.read_step() } else { conn.try_parse() };
+        match step {
+            ReadStep::More => {}
+            ReadStep::Closed => self.close_conn(slot),
+            ReadStep::Bad(err) => {
+                // parse failures are answered, not dropped: 400 for
+                // malformed bytes, 413 for anything over the caps
+                self.inner.metrics.count_route("other");
+                self.inner.metrics.count_status(err.status());
+                let response = match err {
+                    WireError::TooLarge => HttpResponse::error(413, "request too large"),
+                    _ => HttpResponse::error(400, "malformed request"),
+                };
+                if let Some(conn) = self.conns.get_mut(slot) {
+                    conn.queue_response(response.serialize(false), true);
+                }
+                self.drive_write(slot);
+            }
+            ReadStep::Request(request) => self.dispatch(slot, request),
+        }
+    }
+
+    /// Hand a complete request to the worker pool, or refuse it with the
+    /// admission-control 503 — now an ordinary queued nonblocking write
+    /// instead of the old acceptor-inline blocking one.
+    fn dispatch(&mut self, slot: usize, request: HttpRequest) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        let generation = conn.generation;
+        let fd = conn.stream.as_raw_fd();
+        match self.tx.try_send(Job::Request {
+            slot,
+            generation,
+            request,
+        }) {
+            Ok(()) => {
+                // park: no readiness wanted until the worker answers
+                let _ = self.poll.reregister(fd, Token(slot), Interest::NONE);
+            }
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.rejected_total.incr();
+                self.inner.metrics.count_status(503);
+                let resp = HttpResponse::error(503, "server at capacity, retry later")
+                    .with_header("Retry-After", retry_after_secs(self.inner).to_string());
+                if let Some(conn) = self.conns.get_mut(slot) {
+                    conn.started = None; // refusals don't sample latency
+                    conn.queue_response(resp.serialize(false), true);
+                }
+                self.drive_write(slot);
+            }
+            Err(TrySendError::Disconnected(_)) => self.close_conn(slot),
+        }
+    }
+
+    /// Move a worker's finished responses onto their sockets. Stale
+    /// completions — the client vanished while its request was computing —
+    /// count as aborted writes: a response existed and was never delivered.
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = self.inner.completions.lock().pop_front();
+            let Some(c) = completion else { break };
+            match self.conns.get_gen_mut(c.slot, c.generation) {
+                None => self.inner.metrics.write_aborted_total.incr(),
+                Some(conn) => {
+                    conn.queue_response(c.response.serialize(c.keep_alive), !c.keep_alive);
+                    self.drive_write(c.slot);
+                }
+            }
+        }
+    }
+
+    /// Push queued bytes; on back-pressure wait for writability, on success
+    /// close or (keep-alive) rearm for the next request.
+    fn drive_write(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        let fd = conn.stream.as_raw_fd();
+        match conn.write_step() {
+            WriteStep::Done => {
+                if let Some(started) = conn.started.take() {
+                    self.inner.metrics.observe_latency(started.elapsed().as_secs_f64());
+                }
+                let close_after = matches!(conn.state, ConnState::Writing { close_after: true });
+                if close_after {
+                    self.close_conn(slot);
+                } else {
+                    conn.reset_for_next_request();
+                    let _ = self.poll.reregister(fd, Token(slot), Interest::READABLE);
+                    // a pipelined request may already be buffered; serve it
+                    // without waiting for new readiness
+                    self.advance_reading(slot, false);
+                }
+            }
+            WriteStep::Blocked => {
+                let _ = self.poll.reregister(fd, Token(slot), Interest::WRITABLE);
+            }
+            WriteStep::Aborted(_undelivered) => {
+                self.inner.metrics.write_aborted_total.incr();
+                if let Some(started) = conn.started.take() {
+                    self.inner.metrics.observe_latency(started.elapsed().as_secs_f64());
+                }
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if self.conns.remove(slot).is_some() {
+            self.inner.metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.closed_since_pause = true;
+        }
+    }
 }
 
 fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
@@ -434,17 +739,18 @@ fn route(inner: &Inner, req: &HttpRequest) -> (&'static str, HttpResponse) {
     }
 }
 
-/// `/healthz`: liveness plus the three numbers an operator triages with —
-/// how much work is queued, how many hands are on deck, and how big the
-/// monitoring population is.
+/// `/healthz`: liveness plus the numbers an operator triages with — how
+/// much work is queued, how many hands are on deck, how many sockets are
+/// open, and how big the monitoring population is.
 fn handle_healthz(inner: &Inner) -> HttpResponse {
     let watchlist = inner.watch.lock().len();
     HttpResponse::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"pending\":{},\"workers\":{},\"watchlist\":{}}}",
+            "{{\"status\":\"ok\",\"pending\":{},\"workers\":{},\"conns\":{},\"watchlist\":{}}}",
             inner.queue_probe.len(),
             inner.config.workers.max(1),
+            inner.metrics.open_connections.load(Ordering::Relaxed).max(0),
             watchlist,
         ),
     )

@@ -1,18 +1,23 @@
-//! Minimal HTTP/1.1 wire handling over `std::net::TcpStream`.
+//! Minimal HTTP/1.1 wire handling, parser-first: request bytes accumulate in
+//! a per-connection buffer and [`parse_request`] is re-run as chunks arrive,
+//! so the reactor can feed it from a nonblocking socket without ever parking
+//! a thread on I/O. The service speaks just enough HTTP for its endpoints:
+//! request-line, headers, and optional `Content-Length` body in; status,
+//! headers, and body out.
 //!
-//! The service speaks just enough HTTP for its four endpoints: request-line,
-//! headers, and optional `Content-Length` body in; status, headers, and body
-//! out; `Connection: close` on every response (one request per connection
-//! keeps the worker pool's accounting trivial and is plenty for an audit
-//! sidecar). Limits are enforced while *reading*, so a misbehaving client
-//! cannot balloon a worker's memory.
+//! Limits are enforced *by the parser*, so a misbehaving client cannot
+//! balloon a connection's memory: headers are capped at [`MAX_HEADER_BYTES`],
+//! bodies at [`MAX_BODY_BYTES`], and a request that smells like smuggling —
+//! duplicate or non-numeric `Content-Length` — is rejected outright rather
+//! than guessed at. The parser also reports exactly how many bytes the
+//! request consumed, so a pipelined follow-up request is never swallowed
+//! into the current body.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{Read, Write};
 
-/// Hard caps on what we read from a socket.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Hard caps on what we buffer from a socket.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed request: method, path, raw query string, and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,121 +26,176 @@ pub struct HttpRequest {
     pub path: String,
     pub query: Option<String>,
     pub body: String,
+    /// Whether the client asked to reuse the connection after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only with an
+    /// explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be parsed — each maps to one 4xx.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// Malformed request line or headers.
+    /// Malformed request line or headers (incl. duplicate/non-numeric
+    /// `Content-Length`) → 400.
     BadRequest,
-    /// Headers or body exceeded the fixed caps.
+    /// Headers or declared body exceeded the fixed caps → 413.
     TooLarge,
     /// Clean EOF before a request line (client connected and left).
     Closed,
 }
 
-/// Read one `\n`-terminated line into `out`, consuming at most `cap` bytes.
-/// Returns the byte count consumed (`0` = EOF before any byte) or
-/// [`WireError::TooLarge`] the moment the cap is crossed — the check runs
-/// per buffered chunk, so a line drip-fed without a newline can never grow
-/// past `cap` plus one internal buffer.
-fn read_line_capped<R: BufRead>(
-    reader: &mut R,
-    out: &mut String,
-    cap: usize,
-) -> std::io::Result<Result<usize, WireError>> {
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        let (found_newline, used) = {
-            let available = match reader.fill_buf() {
-                Ok(b) => b,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if available.is_empty() {
-                break; // EOF
-            }
-            match available.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    buf.extend_from_slice(&available[..=i]);
-                    (true, i + 1)
-                }
-                None => {
-                    buf.extend_from_slice(available);
-                    (false, available.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if buf.len() > cap {
-            return Ok(Err(WireError::TooLarge));
-        }
-        if found_newline {
-            break;
+impl WireError {
+    /// The status code this parse failure answers with (0 = nothing to say).
+    pub fn status(self) -> u16 {
+        match self {
+            WireError::BadRequest => 400,
+            WireError::TooLarge => 413,
+            WireError::Closed => 0,
         }
     }
-    out.push_str(&String::from_utf8_lossy(&buf));
-    Ok(Ok(buf.len()))
 }
 
-/// Read one request from the stream.
-pub fn read_request<S: Read>(stream: &mut S) -> std::io::Result<Result<HttpRequest, WireError>> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut header_bytes = match read_line_capped(&mut reader, &mut line, MAX_HEADER_BYTES)? {
-        Ok(0) => return Ok(Err(WireError::Closed)),
-        Ok(n) => n,
-        Err(e) => return Ok(Err(e)),
+/// One step of the incremental parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// Not enough bytes yet; read more and call again.
+    Incomplete,
+    /// A full request, plus exactly how many buffer bytes it used — the
+    /// caller drains `consumed` and *only* `consumed`, so bytes of a
+    /// pipelined next request stay in the buffer instead of being read
+    /// into this request's body.
+    Complete { request: HttpRequest, consumed: usize },
+    /// Hopeless: answer with `err.status()` and close.
+    Bad(WireError),
+}
+
+/// Find the end of the header block: the byte index just past the first
+/// empty line. Tolerates bare-`\n` line endings like the blocking parser
+/// always has.
+fn headers_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0usize;
+    for (i, &b) in buf.iter().enumerate() {
+        if b == b'\n' {
+            let line = &buf[line_start..i];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            if line.is_empty() && line_start > 0 {
+                return Some(i + 1);
+            }
+            line_start = i + 1;
+        }
+    }
+    None
+}
+
+/// Try to parse one request out of `buf`. Pure and restartable: callers
+/// re-invoke it on the same (grown) buffer until it stops being
+/// [`Parse::Incomplete`].
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(head_len) = headers_end(buf) else {
+        // No terminator yet. A header block that has already outgrown the
+        // cap will never become valid, so fail now instead of buffering
+        // a drip-fed request-line forever.
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad(WireError::TooLarge);
+        }
+        return Parse::Incomplete;
     };
-    let mut parts = line.split_whitespace();
+    if head_len > MAX_HEADER_BYTES {
+        return Parse::Bad(WireError::TooLarge);
+    }
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Ok(Err(WireError::BadRequest));
+        return Parse::Bad(WireError::BadRequest);
     };
     if !version.starts_with("HTTP/1.") {
-        return Ok(Err(WireError::BadRequest));
+        return Parse::Bad(WireError::BadRequest);
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
     };
-    let method = method.to_string();
 
-    let mut content_length: usize = 0;
-    loop {
-        let mut header = String::new();
-        // request line and headers share one MAX_HEADER_BYTES budget
-        match read_line_capped(&mut reader, &mut header, MAX_HEADER_BYTES - header_bytes)? {
-            Ok(0) => return Ok(Err(WireError::BadRequest)), // EOF mid-headers
-            Ok(n) => header_bytes += n,
-            Err(e) => return Ok(Err(e)),
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminator line itself
         }
-        let trimmed = header.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = trimmed.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                match value.trim().parse::<usize>() {
-                    Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
-                    Ok(_) => return Ok(Err(WireError::TooLarge)),
-                    Err(_) => return Ok(Err(WireError::BadRequest)),
-                }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Bad(WireError::BadRequest);
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // Two Content-Length headers is the classic request-smuggling
+            // shape; even two *agreeing* copies get a 400, per RFC 9112's
+            // "reject the message" option, instead of a silent guess.
+            if content_length.is_some() {
+                return Parse::Bad(WireError::BadRequest);
+            }
+            // digits only: `usize::from_str` tolerates a leading `+`,
+            // which RFC 9110's 1*DIGIT grammar does not
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Parse::Bad(WireError::BadRequest);
+            }
+            match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = Some(n),
+                _ => return Parse::Bad(WireError::TooLarge),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
             }
         }
     }
 
-    let mut body_bytes = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body_bytes)?;
+    let content_length = content_length.unwrap_or(0);
+    let consumed = head_len + content_length;
+    if buf.len() < consumed {
+        return Parse::Incomplete;
     }
-    let body = String::from_utf8_lossy(&body_bytes).into_owned();
-    Ok(Ok(HttpRequest {
-        method,
-        path,
-        query,
-        body,
-    }))
+    let body = String::from_utf8_lossy(&buf[head_len..consumed]).into_owned();
+    Parse::Complete {
+        request: HttpRequest {
+            method: method.to_string(),
+            path,
+            query,
+            body,
+            keep_alive,
+        },
+        consumed,
+    }
+}
+
+/// Read one request from a blocking stream — the incremental parser driven
+/// by a read loop. Kept for tests and any synchronous caller; the server
+/// itself feeds [`parse_request`] straight from the reactor.
+pub fn read_request<S: Read>(stream: &mut S) -> std::io::Result<Result<HttpRequest, WireError>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf) {
+            Parse::Complete { request, .. } => return Ok(Ok(request)),
+            Parse::Bad(e) => return Ok(Err(e)),
+            Parse::Incomplete => {}
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            // EOF with an incomplete request: nothing at all is a clean
+            // hangup, a partial request is malformed.
+            return Ok(Err(if buf.is_empty() { WireError::Closed } else { WireError::BadRequest }));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
 }
 
 /// An outgoing response.
@@ -190,23 +250,33 @@ impl HttpResponse {
         self
     }
 
-    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Render the full wire bytes (status line + headers + body) in one
+    /// buffer, the shape the reactor queues for nonblocking writes.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
-        );
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .into_bytes();
         for (name, value) in &self.headers {
-            out.push_str(name);
-            out.push_str(": ");
-            out.push_str(value);
-            out.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        out.push_str("\r\n");
-        stream.write_all(out.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Blocking convenience for synchronous callers (always
+    /// `Connection: close`, matching the one-shot usage).
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
+        stream.write_all(&self.serialize(false))?;
         stream.flush()
     }
 }
@@ -315,8 +385,19 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/check");
         assert_eq!(req.query.as_deref(), Some("url=x"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
         let req = parse("POST /batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
         assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse("GET / HTTP/1.0\r\nHost: a\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(old_ka.keep_alive);
     }
 
     #[test]
@@ -345,10 +426,102 @@ mod tests {
         assert_eq!(parse("GET / HTTP/1.1\r\n"), Err(WireError::BadRequest));
     }
 
+    // ------ the hostile-request sweep: smuggling-shaped Content-Length ------
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // disagreeing copies: the smuggling classic
+        let raw = "POST /batch HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 1\r\n\r\nabcd";
+        assert_eq!(parse(raw), Err(WireError::BadRequest));
+        // even agreeing copies are refused rather than guessed at
+        let raw = "POST /batch HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        assert_eq!(parse(raw), Err(WireError::BadRequest));
+    }
+
+    #[test]
+    fn nonnumeric_content_length_is_rejected() {
+        for cl in ["abc", "-1", "4x", "0x10", "4 4", "+4"] {
+            let raw = format!("POST /batch HTTP/1.1\r\nContent-Length: {cl}\r\n\r\nabcd");
+            assert_eq!(parse(&raw), Err(WireError::BadRequest), "Content-Length: {cl}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_not_a_drop() {
+        let raw = format!("POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse(&raw), Err(WireError::TooLarge));
+        // exactly at the cap is still fine (parser waits for the body)
+        let raw = format!("POST /batch HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        assert_eq!(parse_request(raw.as_bytes()), Parse::Incomplete);
+    }
+
+    #[test]
+    fn garbage_header_line_is_bad_request() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nnot-a-header\r\n\r\n"), Err(WireError::BadRequest));
+        assert_eq!(parse("GET /\r\n\r\n"), Err(WireError::BadRequest));
+        assert_eq!(parse("GET / SPDY/3\r\n\r\n"), Err(WireError::BadRequest));
+    }
+
+    // ------ incremental parsing: the reactor's view ------
+
+    #[test]
+    fn incremental_byte_by_byte() {
+        let raw = b"POST /batch HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+        for cut in 0..raw.len() {
+            assert_eq!(
+                parse_request(&raw[..cut]),
+                Parse::Incomplete,
+                "premature completion at {cut} bytes"
+            );
+        }
+        match parse_request(raw) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.body, "xyz");
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consumed_stops_at_the_request_boundary() {
+        // a pipelined second request must NOT be eaten as body bytes
+        let raw = b"POST /batch HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /next HTTP/1.1\r\n\r\n";
+        match parse_request(raw) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.body, "ok");
+                let rest = &raw[consumed..];
+                match parse_request(rest) {
+                    Parse::Complete { request, consumed } => {
+                        assert_eq!(request.path, "/next");
+                        assert_eq!(consumed, rest.len());
+                    }
+                    other => panic!("second request unparsed: {other:?}"),
+                }
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_error_statuses() {
+        assert_eq!(WireError::BadRequest.status(), 400);
+        assert_eq!(WireError::TooLarge.status(), 413);
+        assert_eq!(WireError::Closed.status(), 0);
+    }
+
     #[test]
     fn response_renders_headers() {
         let r = HttpResponse::text(503, "busy").with_header("Retry-After", "1");
         assert_eq!(r.status, 503);
         assert_eq!(r.headers, vec![("Retry-After", "1".to_string())]);
+        let bytes = r.serialize(false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy"));
+        let ka = String::from_utf8(r.serialize(true)).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
     }
 }

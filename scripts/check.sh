@@ -50,6 +50,21 @@ probe=./target/release/serve-probe
 "$probe" "$addr" /metrics permadead_rescue_rescued_total >/dev/null
 "$probe" "$addr" /metrics permadead_rescue_index_pages >/dev/null
 
+# Reactor smoke: the event-driven server's own series render, and the
+# golden request sequence above produced exactly the counters the blocking
+# path used to produce (one /check, all of it 2xx, nothing aborted).
+"$probe" "$addr" /metrics permadead_serve_open_connections >/dev/null
+"$probe" "$addr" /metrics 'permadead_serve_write_aborted_total 0' >/dev/null
+"$probe" "$addr" /metrics 'permadead_requests_total{endpoint="check"} 1' >/dev/null
+"$probe" "$addr" /metrics 'permadead_responses_total{class="5xx"} 0' >/dev/null
+echo "check.sh: reactor metrics parity green"
+
+# 10k concurrent connections: a second process holds 10000 idle sockets
+# mid-request while a fresh /healthz must still answer promptly. Split
+# across two processes so each side stays under the per-process fd limit.
+"$probe" "$addr" --flood 10000
+echo "check.sh: reactor 10k-connection flood green"
+
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 trap - EXIT
@@ -161,5 +176,27 @@ if ./target/release/permadead watch --rediscovery bogus 2>/dev/null; then
     exit 1
 fi
 echo "check.sh: watch flag validation green"
+
+# Serve bench: close-mode is directly comparable to the historical
+# thread-per-connection line (~8.4k req/s); keepalive-mode exercises the
+# reactor's HTTP/1.1 connection reuse. Both lines persist side by side.
+bench_close="$(./target/release/bench-serve --requests 2000 --clients 8 2>/dev/null | tail -1)"
+bench_ka="$(./target/release/bench-serve --requests 6000 --clients 8 --mode keepalive 2>/dev/null | tail -1)"
+printf '%s\n%s\n' "$bench_close" "$bench_ka" > results/BENCH_serve.json
+close_rps="$(sed -n 's/.*"requests_per_sec":\([0-9.]*\).*/\1/p' <<<"$bench_close")"
+ka_rps="$(sed -n 's/.*"requests_per_sec":\([0-9.]*\).*/\1/p' <<<"$bench_ka")"
+echo "check.sh: bench-serve close=${close_rps} req/s, keepalive=${ka_rps} req/s"
+# floor well above the old blocking server's ~8.4k so a regression back to
+# thread-per-connection behavior fails loudly, with margin for CI noise
+# (the reactor measures ~26k on the 1-core container)
+if ! awk -v rps="$close_rps" 'BEGIN { exit !(rps >= 12000) }'; then
+    echo "check.sh: close-mode throughput ${close_rps} req/s under the 12k floor" >&2
+    exit 1
+fi
+if ! awk -v rps="$ka_rps" 'BEGIN { exit !(rps >= 12000) }'; then
+    echo "check.sh: keepalive throughput ${ka_rps} req/s under the 12k floor" >&2
+    exit 1
+fi
+echo "check.sh: serve bench green"
 
 echo "check.sh: all green"

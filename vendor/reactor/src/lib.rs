@@ -1,0 +1,459 @@
+//! Offline stand-in for `mio`: the minimal readiness-polling surface an
+//! event-driven server needs, with no dependency below `std`.
+//!
+//! The build environment has no crates.io access, so — like the sibling
+//! `rand`/`crossbeam` stubs — this vendors the API subset the workspace
+//! uses instead of the real crate:
+//!
+//! - [`Poll`]: a level-triggered epoll instance; register file descriptors
+//!   with a [`Token`] and an [`Interest`], then [`Poll::poll`] for batches
+//!   of [`Event`]s.
+//! - [`Waker`]: a self-pipe that lets *other* threads (worker pools,
+//!   shutdown paths) pull a blocked `poll` out of its wait.
+//! - [`slab::Slab`]: the token→connection registry, reusing slots with a
+//!   free list the way mio-based servers keep tokens dense.
+//!
+//! Syscalls are declared directly against the C library the binary already
+//! links (`epoll_create1`/`epoll_ctl`/`epoll_wait`/`pipe2`), so no `libc`
+//! crate is needed. Linux-only by construction — the one platform the
+//! container targets; other targets get a compile error rather than a
+//! silently different event loop.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("the vendored reactor only speaks epoll; build on Linux or gate the caller");
+
+pub mod slab;
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+mod sys {
+    //! The raw epoll/pipe surface. `std` already links libc; declaring the
+    //! prototypes here is what the `libc` crate would have done for us.
+    use std::os::raw::{c_int, c_void};
+
+    // x86_64 Linux packs epoll_event; other arches (aarch64) align it. The
+    // kernel ABI is packed on every arch except the historical ones that
+    // are not — `#[repr(packed)]` matches glibc's definition everywhere
+    // epoll exists.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_SNDBUF: c_int = 7;
+    pub const SO_RCVBUF: c_int = 8;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+}
+
+/// Pin a socket's kernel send buffer to roughly `bytes` (the kernel doubles
+/// the value for bookkeeping and clamps to its limits). Setting it also
+/// turns off send-buffer autotuning for the socket — which is the point:
+/// a bounded buffer makes back-pressure (and partial-write handling)
+/// observable instead of letting the kernel absorb megabytes of response.
+pub fn set_send_buffer_size(fd: std::os::fd::RawFd, bytes: usize) -> std::io::Result<()> {
+    setsockopt_int(fd, sys::SO_SNDBUF, bytes as i32)
+}
+
+/// Pin a socket's kernel receive buffer, bounding the window it advertises.
+pub fn set_recv_buffer_size(fd: std::os::fd::RawFd, bytes: usize) -> std::io::Result<()> {
+    setsockopt_int(fd, sys::SO_RCVBUF, bytes as i32)
+}
+
+fn setsockopt_int(fd: std::os::fd::RawFd, opt: i32, value: i32) -> std::io::Result<()> {
+    let rc = unsafe {
+        sys::setsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            opt,
+            &value as *const i32 as *const std::os::raw::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Identifies one registration in the poll set; the server maps tokens to
+/// connection slots via [`slab::Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a registration wants. Level-triggered: as long as the
+/// condition holds, every `poll` reports it again — state machines never
+/// miss an edge they were too busy to consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+    /// No readiness at all — errors and hangups still surface, which is
+    /// exactly what a connection parked on a worker wants.
+    pub const NONE: Interest = Interest(0);
+
+    #[must_use]
+    pub fn union(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+/// One readiness report out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    mask: u32,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    pub fn is_readable(&self) -> bool {
+        self.mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.mask & sys::EPOLLOUT != 0
+    }
+
+    /// Error or hangup: the kernel reports these regardless of interest.
+    pub fn is_closed(&self) -> bool {
+        self.mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+
+    /// The peer shut down its write half (FIN seen) — reads will drain
+    /// whatever is buffered and then return 0.
+    pub fn is_read_closed(&self) -> bool {
+        self.mask & (sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness events.
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: Token(e.data as usize),
+            mask: e.events,
+        })
+    }
+}
+
+/// A level-triggered epoll instance. All methods take `&self`; the kernel
+/// serializes `epoll_ctl` against `epoll_wait`, so a [`Waker`] (or any
+/// other thread holding a reference) may mutate the interest set while the
+/// reactor thread is blocked in [`Poll::poll`].
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.bits(),
+            data: token.0 as u64,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Add `fd` to the poll set. The fd must stay open until
+    /// [`Poll::deregister`] — closing it removes it implicitly, which is the
+    /// normal teardown path for connections.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change an existing registration's token or interest.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Remove `fd` from the poll set without closing it (used to pause the
+    /// listener when the connection table or fd table is full).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, Token(0), Interest::NONE)
+    }
+
+    /// Block until at least one registration is ready, `timeout` elapses
+    /// (`None` = forever), or a [`Waker`] fires. EINTR retries internally.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: std::os::raw::c_int = match timeout {
+            None => -1,
+            // round up so a 100µs timeout is a 1ms sleep, not a spin
+            Some(d) => {
+                let ms = d.as_millis();
+                let ms = if Duration::from_millis(ms as u64) < d { ms + 1 } else { ms };
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        loop {
+            let rc = unsafe {
+                sys::epoll_wait(self.epfd, events.buf.as_mut_ptr(), events.buf.len() as i32, timeout_ms)
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            events.len = rc as usize;
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Poll::poll`]: the classic self-pipe.
+/// `wake` is cheap, non-blocking, and safe from any thread; the reactor
+/// must [`Waker::drain`] on readiness or the pipe stays readable forever
+/// (level-triggered).
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Create the pipe and register its read end with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let mut fds = [0 as std::os::raw::c_int; 2];
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        poll.register(waker.read_fd, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Make the next (or current) `poll` return. A full pipe means wakeups
+    /// are already pending, which is success, not failure.
+    pub fn wake(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let rc = unsafe { sys::write(self.write_fd, (&byte as *const u8).cast(), 1) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Consume every pending wakeup byte (called by the reactor when the
+    /// waker token reports readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let rc = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if rc <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+// The pipe fds are only ever written (wake) or read (drain); both are
+// atomic syscalls on O_NONBLOCK pipes, so sharing across threads is sound.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_reports_readable_tcp() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poll.register(server.as_raw_fd(), Token(7), Interest::READABLE).unwrap();
+
+        // nothing to read yet: a short poll times out with zero events
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"x").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        assert!(!ev.is_closed());
+
+        // peer FIN surfaces as read-closed (RDHUP), still readable
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("rdhup event");
+        assert!(ev.is_read_closed());
+
+        let mut buf = [0u8; 8];
+        let mut server = server;
+        assert_eq!(server.read(&mut buf).unwrap(), 1);
+        assert_eq!(server.read(&mut buf).unwrap(), 0, "EOF after FIN");
+    }
+
+    #[test]
+    fn reregister_moves_interest() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        client.write_all(b"y").unwrap();
+
+        // registered with no interest: pending data must NOT wake us
+        poll.register(server.as_raw_fd(), Token(1), Interest::NONE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "Interest::NONE must suppress readable");
+
+        poll.reregister(server.as_raw_fd(), Token(2), Interest::READABLE.union(Interest::WRITABLE)).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("event after reregister");
+        assert_eq!(ev.token(), Token(2));
+        assert!(ev.is_readable() && ev.is_writable());
+
+        poll.deregister(server.as_raw_fd()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty(), "deregistered fd still reported");
+    }
+
+    #[test]
+    fn waker_crosses_threads() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(99)).unwrap());
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        // no timeout: only the waker can end this wait
+        poll.poll(&mut events, None).unwrap();
+        let ev = events.iter().next().expect("waker event");
+        assert_eq!(ev.token(), Token(99));
+        assert!(ev.is_readable());
+        waker.drain();
+        // drained: the next short poll is quiet again
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce() {
+        let poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll, Token(5)).unwrap();
+        for _ in 0..100_000 {
+            waker.wake().unwrap(); // must never error, even with the pipe full
+        }
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(events.iter().next().unwrap().token(), Token(5));
+        waker.drain();
+    }
+}

@@ -1,0 +1,187 @@
+//! The token→value registry behind a reactor: dense `usize` keys, O(1)
+//! insert/remove, slot reuse through a free list — the subset of the `slab`
+//! crate an event loop needs to map epoll tokens back to connections.
+//!
+//! Slot reuse means a token can outlive its connection: a worker may finish
+//! a request for slot 3 after the reactor closed it and accepted a new
+//! client into the same slot. Every entry therefore carries a `u64`
+//! generation assigned at insert; lookups by `(key, generation)` refuse
+//! stale tokens instead of writing one client's response to another's
+//! socket.
+
+/// One occupied slot or a link in the free list.
+enum Entry<T> {
+    Vacant { next_free: Option<usize> },
+    Occupied { value: T, generation: u64 },
+}
+
+/// A generation-checked slab.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free_head: Option<usize>,
+    len: usize,
+    next_generation: u64,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free_head: None,
+            len: 0,
+            next_generation: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value, returning `(key, generation)`. Keys are reused from
+    /// the free list before the slab grows.
+    pub fn insert(&mut self, value: T) -> (usize, u64) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.len += 1;
+        match self.free_head {
+            Some(key) => {
+                self.free_head = match self.entries[key] {
+                    Entry::Vacant { next_free } => next_free,
+                    Entry::Occupied { .. } => unreachable!("free list points at occupied slot"),
+                };
+                self.entries[key] = Entry::Occupied { value, generation };
+                (key, generation)
+            }
+            None => {
+                self.entries.push(Entry::Occupied { value, generation });
+                (self.entries.len() - 1, generation)
+            }
+        }
+    }
+
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied { value, .. }) => Some(value),
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied { value, .. }) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Lookup that refuses a slot whose occupant changed since `generation`
+    /// was handed out.
+    pub fn get_gen_mut(&mut self, key: usize, generation: u64) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied { value, generation: g }) if *g == generation => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value at `key`; the slot goes on the free list.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        match self.entries.get_mut(key) {
+            Some(entry @ Entry::Occupied { .. }) => {
+                let old = std::mem::replace(
+                    entry,
+                    Entry::Vacant {
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = Some(key);
+                self.len -= 1;
+                match old {
+                    Entry::Occupied { value, .. } => Some(value),
+                    Entry::Vacant { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Visit every occupied slot (used for teardown at shutdown).
+    pub fn drain(&mut self) -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (key, entry) in self.entries.iter_mut().enumerate() {
+            if matches!(entry, Entry::Occupied { .. }) {
+                let old = std::mem::replace(
+                    entry,
+                    Entry::Vacant {
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = Some(key);
+                if let Entry::Occupied { value, .. } = old {
+                    out.push((key, value));
+                }
+            }
+        }
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_reuse() {
+        let mut slab = Slab::new();
+        let (a, _) = slab.insert("a");
+        let (b, _) = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        // freed slot is reused, generation moves on
+        let (c, _) = slab.insert("c");
+        assert_eq!(c, a);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn generation_refuses_stale_tokens() {
+        let mut slab = Slab::new();
+        let (key, gen1) = slab.insert(1);
+        slab.remove(key);
+        let (key2, gen2) = slab.insert(2);
+        assert_eq!(key, key2, "slot reused");
+        assert!(slab.get_gen_mut(key, gen1).is_none(), "stale generation accepted");
+        assert_eq!(slab.get_gen_mut(key, gen2), Some(&mut 2));
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut slab = Slab::new();
+        for i in 0..5 {
+            slab.insert(i);
+        }
+        slab.remove(2);
+        let mut drained = slab.drain();
+        drained.sort();
+        assert_eq!(drained, vec![(0, 0), (1, 1), (3, 3), (4, 4)]);
+        assert!(slab.is_empty());
+        // slots all reusable afterwards
+        for i in 0..5 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.len(), 5);
+    }
+}
