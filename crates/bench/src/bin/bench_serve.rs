@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! bench-serve [--requests N] [--clients C] [--unique U] [--seed S] [--workers W]
-//!             [--mode close|keepalive]
+//!             [--reactors R] [--mode close|keepalive]
 //! ```
 //!
 //! `--unique` bounds how many distinct URLs the clients cycle through;
@@ -21,6 +21,16 @@
 //! keepalive` holds one connection per client and pipelines requests
 //! sequentially over it, which is what the event-driven server's HTTP/1.1
 //! keep-alive support is for; the two lines persist side by side.
+//!
+//! This is a **closed-loop** bench: each client waits for a response before
+//! issuing its next request, so a server stall slows the offered load down
+//! with it and the latency percentiles hide the backlog (coordinated
+//! omission). `bench-loadgen` is the open-loop counterpart. To label these
+//! numbers honestly next to it, the line carries `max_ms` (the worst single
+//! response observed) and `missed_issue_slots`: how many requests were
+//! issued later than the uniform pacing implied by the client's own average
+//! issue gap — a post-hoc measure of how far the closed loop self-throttled
+//! away from steady pacing.
 
 use permadead_serve::{start, AuditService, CacheConfig, ServerConfig};
 use permadead_sim::ScenarioConfig;
@@ -36,6 +46,7 @@ struct Opts {
     unique: usize,
     seed: u64,
     workers: usize,
+    reactors: usize,
     keepalive: bool,
 }
 
@@ -46,6 +57,7 @@ fn parse_opts() -> Result<Opts, String> {
         unique: 64,
         seed: 42,
         workers: 4,
+        reactors: 1,
         keepalive: false,
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +82,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--unique" => opts.unique = (n as usize).max(1),
             "--seed" => opts.seed = n,
             "--workers" => opts.workers = (n as usize).max(1),
+            "--reactors" => opts.reactors = (n as usize).max(1),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -135,6 +148,25 @@ fn get_keepalive(stream: &mut TcpStream, path: &str) -> std::io::Result<bool> {
     Ok(ok)
 }
 
+/// Closed-loop honesty label: a client *intends* to issue its next request
+/// one typical cadence (the median issue gap) after the previous one; a
+/// request misses that slot when its actual gap ran more than 1ms over,
+/// i.e. a slow response visibly held the next issue back. A smooth run
+/// flags only the latency tail; under a stall each client flags exactly
+/// the requests that were pinned behind it — which is the point: a 400ms
+/// stall delays only `clients` issues here, while the open-loop bench
+/// keeps every arrival the schedule offered during the stall.
+fn count_missed_issue_slots(issue_offsets_s: &[f64]) -> usize {
+    if issue_offsets_s.len() < 2 {
+        return 0;
+    }
+    let mut gaps: Vec<f64> = issue_offsets_s.windows(2).map(|w| w[1] - w[0]).collect();
+    let mut sorted = gaps.clone();
+    sorted.sort_by(f64::total_cmp);
+    let pace = sorted[sorted.len() / 2];
+    gaps.drain(..).filter(|g| *g > pace + 1e-3).count()
+}
+
 fn metric(metrics_body: &str, name: &str) -> f64 {
     metrics_body
         .lines()
@@ -162,6 +194,7 @@ fn main() -> ExitCode {
         service,
         ServerConfig {
             workers: opts.workers,
+            reactors: opts.reactors,
             // admission control is not under test here: queue deep enough
             // that the load pattern, not 503s, shapes the latency numbers
             queue_cap: (opts.clients * 4).max(64),
@@ -182,8 +215,8 @@ fn main() -> ExitCode {
     }
     let mode = if opts.keepalive { "keepalive" } else { "close" };
     eprintln!(
-        "[bench-serve] {} workers on {addr}: {} requests, {} clients, {} distinct urls, {mode} mode",
-        opts.workers, opts.requests, opts.clients, urls.len()
+        "[bench-serve] {} workers / {} reactor(s) on {addr}: {} requests, {} clients, {} distinct urls, {mode} mode",
+        opts.workers, opts.reactors, opts.requests, opts.clients, urls.len()
     );
 
     let per_client = opts.requests.div_ceil(opts.clients);
@@ -194,6 +227,7 @@ fn main() -> ExitCode {
         let keepalive = opts.keepalive;
         threads.push(std::thread::spawn(move || {
             let mut latencies_ms = Vec::with_capacity(per_client);
+            let mut issue_offsets_s = Vec::with_capacity(per_client);
             let mut errors = 0usize;
             // keep-alive mode: one connection for the client's whole run
             // (re-opened only if the server drops it)
@@ -203,6 +237,7 @@ fn main() -> ExitCode {
                 // spread across clients instead of all hitting url[0] at once
                 let url = &urls[(client + i * opts.clients) % urls.len()];
                 let path = format!("/check?url={}", percent_encode(url));
+                issue_offsets_s.push(t0.elapsed().as_secs_f64());
                 let t = Instant::now();
                 if keepalive {
                     if conn.is_none() {
@@ -223,14 +258,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            (latencies_ms, errors)
+            (latencies_ms, issue_offsets_s, errors)
         }));
     }
     let mut latencies_ms = Vec::with_capacity(per_client * opts.clients);
     let mut errors = 0usize;
+    let mut missed_issue_slots = 0usize;
     for t in threads {
-        let (l, e) = t.join().expect("client thread");
+        let (l, issues, e) = t.join().expect("client thread");
         latencies_ms.extend(l);
+        missed_issue_slots += count_missed_issue_slots(&issues);
         errors += e;
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
@@ -256,14 +293,23 @@ fn main() -> ExitCode {
             format!("{:.3}", percentile(&latencies_ms, p))
         }
     };
+    let max_ms = if latencies_ms.is_empty() {
+        "null".to_string()
+    } else {
+        format!("{:.3}", latencies_ms.iter().cloned().fold(f64::MIN, f64::max))
+    };
     let line = format!(
-        "{{\"bench\":\"serve/loopback\",\"mode\":\"{mode}\",\"requests\":{completed},\
+        "{{\"bench\":\"serve/loopback\",\"loop\":\"closed\",\"mode\":\"{mode}\",\
+         \"requests\":{completed},\
          \"errors\":{errors},\
-         \"clients\":{},\"workers\":{},\"unique_urls\":{},\"elapsed_s\":{elapsed_s:.3},\
-         \"requests_per_sec\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\
+         \"clients\":{},\"workers\":{},\"reactors\":{},\"unique_urls\":{},\
+         \"elapsed_s\":{elapsed_s:.3},\
+         \"requests_per_sec\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\"max_ms\":{max_ms},\
+         \"missed_issue_slots\":{missed_issue_slots},\
          \"cache_hit_ratio\":{hit_ratio:.4}}}",
         opts.clients,
         opts.workers,
+        opts.reactors,
         urls.len(),
         completed as f64 / elapsed_s.max(1e-9),
         pct(50.0),

@@ -7,7 +7,8 @@
 //! permadead figures  [--seed N] [--scale small|paper] [--jobs N]
 //! permadead forensics[--seed N] [--limit K] [--jobs N]
 //! permadead bots     [--seed N]
-//! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--cache-cap C]
+//! permadead serve    [--seed N] [--scale small|paper] [--port P] [--workers W] [--reactors R]
+//!                    [--cache-cap C]
 //!                    [--retries N] [--retry-budget-ms B] [--origin-retry-budget-ms B]
 //!                    [--rediscovery on|off]
 //! permadead watch    [--seed N] [--scale small|paper] [--sample N] [--days D]
@@ -33,7 +34,7 @@ fn main() -> ExitCode {
         argv,
         &[
             "seed", "scale", "csv", "cdx", "limit", "sample", "jobs", "stage-csv", "port",
-            "workers", "cache-cap", "shards", "ttl-secs", "queue-cap", "max-conns", "retries",
+            "workers", "reactors", "cache-cap", "shards", "ttl-secs", "queue-cap", "max-conns", "retries",
             "retry-budget-ms", "retry-table", "origin-retry-budget-ms", "days", "strikes",
             "min-span-days", "policy", "cadence", "host-budget", "world-cache", "rediscovery",
         ],
@@ -103,7 +104,9 @@ fn print_help() {
          \x20 --retry-budget-ms B   (audit/serve) cumulative backoff budget per link (default 30000)\n\
          \x20 --limit K         (forensics) how many links to narrate (default 5)\n\
          \x20 --port P          (serve) TCP port, 0 = ephemeral (default 7436)\n\
-         \x20 --workers W       (serve) worker threads (default 4)\n\
+         \x20 --workers W       (serve) worker threads (default: one per available core)\n\
+         \x20 --reactors R      (serve) reactor/event-loop threads, each with its own\n\
+         \x20                   SO_REUSEPORT listener on the shared port (default 1)\n\
          \x20 --cache-cap C     (serve) verdict-cache capacity in entries (default 4096)\n\
          \x20 --shards N        (serve) cache shard count (default 8)\n\
          \x20 --ttl-secs S      (serve) cache entry TTL in simulated seconds (default 3600)\n\
@@ -470,10 +473,17 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         capacity: args.get_usize("cache-cap", 4096)?.max(1),
         ttl: permadead_net::Duration::seconds(args.get_u64("ttl-secs", 3600)? as i64),
     };
+    // worker pool defaults to the machine: one thread per available core
+    // (workers do the blocking service calls, so cores is the right unit;
+    // the reactor count stays an explicit opt-in)
+    let default_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
     let config = permadead_serve::ServerConfig {
         port: u16::try_from(args.get_u64("port", 7436)?)
             .map_err(|_| "flag --port must fit in 16 bits")?,
-        workers: args.get_usize("workers", 4)?.max(1),
+        workers: args.get_usize("workers", default_workers)?.max(1),
+        reactors: args.get_usize("reactors", 1)?.max(1),
         queue_cap: args.get_usize("queue-cap", 64)?.max(1),
         max_conns: args.get_usize("max-conns", 10_240)?.max(1),
         ..permadead_serve::ServerConfig::default()
@@ -498,8 +508,10 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("[permadead] rediscovery index ready: {} pages", index.len());
     }
     eprintln!(
-        "[permadead] serve: {} workers, cache {} entries × {} shards, {} live-check attempt(s)",
+        "[permadead] serve: {} workers ({}), {} reactor(s), cache {} entries × {} shards, {} live-check attempt(s)",
         config.workers,
+        if args.get("workers").is_some() { "from --workers" } else { "from available cores" },
+        config.reactors,
         cache.capacity,
         cache.shards,
         retry.max_attempts,

@@ -1,0 +1,286 @@
+//! The open-loop injector: fires a [`Schedule`](crate::schedule::Schedule)
+//! at a live server and records per-request timing against the *schedule*,
+//! not against when the bytes actually left.
+//!
+//! The schedule is partitioned across a dedicated pool of injector threads
+//! by index (`i % threads`), which keeps every thread's sub-schedule
+//! time-ordered and makes the partition itself deterministic. Each thread
+//! sleeps until an entry's scheduled instant and then issues the request on
+//! a fresh connection. Crucially, a thread never *skips or reschedules* an
+//! entry because the server is slow: if responses back up, subsequent
+//! entries fire late, the lateness is recorded, and the schedule-based
+//! latency of every delayed request includes the delay. That is the
+//! anti-coordinated-omission contract:
+//!
+//! ```text
+//! sched_latency  = completion − scheduled_send   (what a user experienced)
+//! resp_latency   = completion − actual_send      (what the server saw)
+//! lateness       = actual_send − scheduled_send  (injector-side queueing)
+//! sched_latency  = resp_latency + lateness  ≥  resp_latency,  always
+//! ```
+//!
+//! A closed-loop bench reports only `resp_latency` and silently drops the
+//! lateness term; under a stall the two percentile curves diverge, and this
+//! injector keeps both so the divergence is measurable.
+
+use crate::schedule::{Op, Schedule};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Injector pool shape and timeouts.
+#[derive(Debug, Clone)]
+pub struct InjectorConfig {
+    /// Dedicated injector threads. More threads = less self-induced
+    /// lateness when responses are slow; the schedule itself never changes.
+    pub threads: usize,
+    pub connect_timeout: Duration,
+    pub read_timeout: Duration,
+    /// A request whose lateness exceeds this missed its intended issue slot
+    /// (reported as `missed_slots`).
+    pub miss_tolerance: Duration,
+}
+
+impl Default for InjectorConfig {
+    fn default() -> Self {
+        InjectorConfig {
+            threads: 4,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            miss_tolerance: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One fired request's timing and outcome.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// When the schedule said to fire, nanoseconds from run start.
+    pub scheduled_nanos: u64,
+    /// `actual_send − scheduled_send` (≥ 0: the injector never fires early).
+    pub lateness_nanos: u64,
+    /// `completion − scheduled_send` — the coordinated-omission-proof number.
+    pub sched_latency_nanos: u64,
+    /// `completion − actual_send` — what a closed-loop bench would report.
+    pub resp_latency_nanos: u64,
+    /// HTTP status, or 0 for a transport failure (connect/read error).
+    pub status: u16,
+    /// Phase label from the schedule entry (`check` / `watch`).
+    pub phase: &'static str,
+}
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 3);
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn render_request(op: &Op) -> Vec<u8> {
+    match op {
+        Op::Check { url } => format!(
+            "GET /check?url={} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n",
+            percent_encode(url)
+        )
+        .into_bytes(),
+        Op::Watch { body } => format!(
+            "POST /watch HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .into_bytes(),
+    }
+}
+
+/// Issue one request on a fresh connection; returns the HTTP status (0 on
+/// any transport failure — the sample still exists, failures are data).
+fn issue(addr: SocketAddr, payload: &[u8], cfg: &InjectorConfig) -> u16 {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, cfg.connect_timeout) else {
+        return 0;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    if stream.write_all(payload).is_err() {
+        return 0;
+    }
+    let mut buf = Vec::with_capacity(1024);
+    if stream.read_to_end(&mut buf).is_err() {
+        return 0;
+    }
+    // "HTTP/1.1 200 OK" — status is bytes 9..12
+    let head = std::str::from_utf8(buf.get(..12).unwrap_or(&[])).unwrap_or("");
+    head.get(9..12).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// Fire the whole schedule at `addr` and return one [`Sample`] per entry,
+/// ordered by scheduled time. Blocks until every entry has been fired and
+/// answered (or failed).
+pub fn fire(addr: SocketAddr, schedule: &Schedule, cfg: &InjectorConfig) -> Vec<Sample> {
+    let threads = cfg.threads.max(1);
+    let start = Instant::now();
+    let mut partitions: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let requests = &schedule.requests;
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(requests.len() / threads + 1);
+                    for entry in requests.iter().skip(worker).step_by(threads) {
+                        let due = Duration::from_nanos(entry.at_nanos);
+                        // sleep to the scheduled instant; if we're already
+                        // past it (server slowness backed this thread up),
+                        // fire immediately and record the lateness
+                        let now = start.elapsed();
+                        if let Some(wait) = due.checked_sub(now) {
+                            std::thread::sleep(wait);
+                        }
+                        let payload = render_request(&entry.op);
+                        let sent = start.elapsed();
+                        let status = issue(addr, &payload, &cfg);
+                        let done = start.elapsed();
+                        samples.push(Sample {
+                            scheduled_nanos: entry.at_nanos,
+                            lateness_nanos: (sent.as_nanos() as u64).saturating_sub(entry.at_nanos),
+                            sched_latency_nanos: (done.as_nanos() as u64)
+                                .saturating_sub(entry.at_nanos),
+                            resp_latency_nanos: (done - sent).as_nanos() as u64,
+                            status,
+                            phase: entry.op.phase(),
+                        });
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("injector thread")).collect()
+    });
+    let mut all: Vec<Sample> = partitions.drain(..).flatten().collect();
+    all.sort_by_key(|s| s.scheduled_nanos);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ArrivalProcess, Schedule, ScheduleSpec};
+    use std::net::TcpListener;
+
+    /// A one-thread-at-a-time HTTP stub: every connection gets `delay_ms` of
+    /// service time before the canned 200. Sequential service means queueing
+    /// delay compounds — exactly the stall shape coordinated omission hides.
+    fn stub_server(delay_ms: u64) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { break };
+                let mut buf = [0u8; 2048];
+                let mut seen = Vec::new();
+                // read until the blank line ends the headers (plus any body
+                // bytes the client pipelined — the stub doesn't care)
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            seen.extend_from_slice(&buf[..n]);
+                            if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+                let _ = stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok");
+                if seen.is_empty() {
+                    break; // poisoned shutdown connection
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn tiny_schedule(rate_hz: f64, duration_secs: f64) -> Schedule {
+        let universe = vec![("http://a.example/x".to_string(), 1)];
+        Schedule::generate(
+            &ScheduleSpec {
+                process: ArrivalProcess::FixedRate { rate_hz },
+                duration_secs,
+                seed: 9,
+                ..ScheduleSpec::default()
+            },
+            &universe,
+        )
+    }
+
+    #[test]
+    fn every_entry_is_fired_and_sampled_once() {
+        let (addr, _server) = stub_server(0);
+        let schedule = tiny_schedule(100.0, 0.3);
+        let samples = fire(
+            addr,
+            &schedule,
+            &InjectorConfig { threads: 3, ..InjectorConfig::default() },
+        );
+        assert_eq!(samples.len(), schedule.len(), "open loop drops nothing");
+        assert!(samples.iter().all(|s| s.status == 200), "stub always answers 200");
+        // per-request invariant: schedule-based latency dominates
+        for s in &samples {
+            assert_eq!(s.sched_latency_nanos, s.resp_latency_nanos + s.lateness_nanos);
+        }
+        // merged output is ordered by schedule, not completion
+        assert!(samples.windows(2).all(|w| w[0].scheduled_nanos <= w[1].scheduled_nanos));
+    }
+
+    #[test]
+    fn server_stall_shows_up_as_lateness_not_omission() {
+        // 25ms sequential service vs 10ms offered inter-arrival on ONE
+        // injector thread: the queue grows, every later request fires
+        // later, and the schedule-based view keeps the whole backlog.
+        let (addr, _server) = stub_server(25);
+        let schedule = tiny_schedule(100.0, 0.25);
+        let samples = fire(
+            addr,
+            &schedule,
+            &InjectorConfig { threads: 1, ..InjectorConfig::default() },
+        );
+        assert_eq!(samples.len(), schedule.len());
+        let mut sched: Vec<u64> = samples.iter().map(|s| s.sched_latency_nanos).collect();
+        let mut resp: Vec<u64> = samples.iter().map(|s| s.resp_latency_nanos).collect();
+        sched.sort_unstable();
+        resp.sort_unstable();
+        let p99 = |v: &[u64]| v[(v.len() * 99 / 100).min(v.len() - 1)];
+        // response-based p99 ~25ms; schedule-based p99 carries the queueing
+        // delay (last request is ~15 service times behind schedule)
+        assert!(
+            p99(&sched) > p99(&resp) * 3,
+            "stall hidden: sched p99 {} vs resp p99 {}",
+            p99(&sched),
+            p99(&resp)
+        );
+        let late = samples.iter().filter(|s| s.lateness_nanos > 1_000_000).count();
+        assert!(late > samples.len() / 2, "most requests should fire late, got {late}");
+    }
+
+    #[test]
+    fn transport_failures_become_status_zero_samples() {
+        // a bound-then-dropped listener: connections are refused
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let schedule = tiny_schedule(200.0, 0.05);
+        let samples = fire(addr, &schedule, &InjectorConfig::default());
+        assert_eq!(samples.len(), schedule.len(), "failures are samples, not gaps");
+        assert!(samples.iter().all(|s| s.status == 0));
+    }
+}

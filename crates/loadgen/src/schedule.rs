@@ -1,0 +1,462 @@
+//! Deterministic arrival schedules.
+//!
+//! A schedule is the full list of `(instant, operation)` pairs the injector
+//! will fire, computed before a single byte hits the network. Determinism is
+//! the load generator's core contract: the same `(spec, universe)` yields a
+//! bit-identical schedule on every run, every machine, and every injector
+//! thread count, so benchmark results are comparable across commits and the
+//! CI can diff the schedule head against a pinned golden.
+//!
+//! Two independent seeded streams feed the schedule:
+//!
+//! - the **check stream** (seed) drives inter-arrival sampling and URL
+//!   draws for the foreground `/check` traffic;
+//! - the **watch-pump stream** (seed ⊕ odd constant) drives the background
+//!   `POST /watch` phase.
+//!
+//! Separate streams mean enabling or disabling the watch pump never
+//! perturbs the check traffic — the phases compose, they don't interleave
+//! their randomness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How foreground inter-arrival gaps are sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals with the given mean rate — the classic
+    /// memoryless model of independent user arrivals.
+    Poisson { rate_hz: f64 },
+    /// Constant inter-arrivals: `1/rate` apart, exactly. The CI smoke uses
+    /// this so req/s floors don't inherit sampling variance.
+    FixedRate { rate_hz: f64 },
+}
+
+impl ArrivalProcess {
+    fn rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } | ArrivalProcess::FixedRate { rate_hz } => rate_hz,
+        }
+    }
+}
+
+/// Sinusoidal rate modulation approximating the day/night swing of real
+/// inbound traffic: `m(t) = 1 + amplitude·sin(2πt/period)`. An amplitude of
+/// 0.5 means peak traffic runs at 1.5× the base rate and the trough at 0.5×.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCurve {
+    /// Swing around the base rate, in `[0, 1)`.
+    pub amplitude: f64,
+    /// Seconds per full cycle (86 400 for a real day; benches compress it).
+    pub period_secs: f64,
+}
+
+impl DiurnalCurve {
+    /// The rate multiplier at `t` seconds into the run, floored away from
+    /// zero so a full-amplitude trough can't stall the schedule forever.
+    fn modulation(&self, t_secs: f64) -> f64 {
+        let m = 1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t_secs / self.period_secs).sin();
+        m.max(0.05)
+    }
+}
+
+/// Extra skew on top of the Zipf draw: with probability `fraction`, the draw
+/// is forced uniformly into the `count` most popular URLs. This models the
+/// "everyone checks the same trending link" bursts that pure Zipf smooths
+/// over, and concentrates load on a few verdict-cache shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSkew {
+    pub count: usize,
+    pub fraction: f64,
+}
+
+/// The concurrent background phase: `POST /watch` registrations pumped at a
+/// fixed rate while the check traffic runs, so the bench exercises the
+/// server's monitoring path under foreground load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchPumpSpec {
+    pub rate_hz: f64,
+    /// URLs per `POST /watch` body.
+    pub batch: usize,
+}
+
+/// Everything that determines a schedule, besides the URL universe.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpec {
+    pub process: ArrivalProcess,
+    pub diurnal: Option<DiurnalCurve>,
+    pub duration_secs: f64,
+    pub seed: u64,
+    /// Zipf exponent over popularity rank: weight ∝ `1/rank^alpha`.
+    pub zipf_alpha: f64,
+    pub hot: Option<HotSkew>,
+    pub watch_pump: Option<WatchPumpSpec>,
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        ScheduleSpec {
+            process: ArrivalProcess::Poisson { rate_hz: 100.0 },
+            diurnal: None,
+            duration_secs: 1.0,
+            seed: 42,
+            zipf_alpha: 0.8,
+            hot: None,
+            watch_pump: None,
+        }
+    }
+}
+
+/// One scheduled operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `GET /check?url=…`.
+    Check { url: String },
+    /// `POST /watch` with a newline-delimited URL body.
+    Watch { body: String },
+}
+
+impl Op {
+    /// The phase label this operation reports under.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            Op::Check { .. } => "check",
+            Op::Watch { .. } => "watch",
+        }
+    }
+}
+
+/// One entry in the arrival timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledRequest {
+    /// Nanoseconds after the run's start instant this request must fire.
+    pub at_nanos: u64,
+    pub op: Op,
+}
+
+/// A complete arrival timeline, sorted by fire time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub requests: Vec<ScheduledRequest>,
+}
+
+/// Zipf-weighted URL sampler over `(url, rank)` pairs. Cumulative weights
+/// are precomputed once; each draw is one uniform sample + binary search.
+struct ZipfDraw<'a> {
+    universe: &'a [(String, u32)],
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl<'a> ZipfDraw<'a> {
+    fn new(universe: &'a [(String, u32)], alpha: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(universe.len());
+        let mut total = 0.0;
+        for (_, rank) in universe {
+            total += f64::from((*rank).max(1)).powf(-alpha);
+            cumulative.push(total);
+        }
+        ZipfDraw {
+            universe,
+            cumulative,
+            total,
+        }
+    }
+
+    /// Indices of the `count` most popular URLs (lowest ranks, ties broken
+    /// by position so the hot set is deterministic).
+    fn hottest(&self, count: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.universe.len()).collect();
+        order.sort_by_key(|&i| (self.universe[i].1, i));
+        order.truncate(count.max(1));
+        order
+    }
+
+    fn draw(&self, rng: &mut SmallRng) -> &'a str {
+        let needle = rng.gen_range(0.0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= needle);
+        &self.universe[idx.min(self.universe.len() - 1)].0
+    }
+}
+
+impl Schedule {
+    /// Compute the full timeline for `spec` over `universe`. Pure: no
+    /// clocks, no I/O, no dependence on who will fire it.
+    pub fn generate(spec: &ScheduleSpec, universe: &[(String, u32)]) -> Schedule {
+        assert!(!universe.is_empty(), "schedule needs a non-empty URL universe");
+        assert!(spec.duration_secs > 0.0, "duration must be positive");
+        assert!(spec.process.rate_hz() > 0.0, "rate must be positive");
+
+        let zipf = ZipfDraw::new(universe, spec.zipf_alpha);
+        let hot_set = spec.hot.map(|h| zipf.hottest(h.count));
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let mut requests = Vec::new();
+
+        // foreground check stream
+        let base_gap = 1.0 / spec.process.rate_hz();
+        let mut t = 0.0f64;
+        loop {
+            let raw_gap = match spec.process {
+                ArrivalProcess::FixedRate { .. } => base_gap,
+                ArrivalProcess::Poisson { .. } => {
+                    // inverse-CDF exponential; 1-U keeps ln() off exactly 0
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    -(1.0 - u).ln() * base_gap
+                }
+            };
+            let modulation = spec.diurnal.map_or(1.0, |d| d.modulation(t));
+            t += raw_gap / modulation;
+            if t >= spec.duration_secs {
+                break;
+            }
+            let url = match (&spec.hot, &hot_set) {
+                (Some(h), Some(set)) if rng.gen_range(0.0..1.0) < h.fraction => {
+                    let pick = set[rng.gen_range(0..set.len())];
+                    zipf.universe[pick].0.as_str()
+                }
+                _ => zipf.draw(&mut rng),
+            };
+            requests.push(ScheduledRequest {
+                at_nanos: (t * 1e9) as u64,
+                op: Op::Check { url: url.to_string() },
+            });
+        }
+
+        // background watch pump, on its own stream so enabling it never
+        // perturbs the check timeline above
+        if let Some(pump) = spec.watch_pump {
+            let mut pump_rng = SmallRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+            let gap = 1.0 / pump.rate_hz.max(0.001);
+            let mut t = gap; // first pump lands one gap in, not at t=0
+            while t < spec.duration_secs {
+                let body: Vec<String> = (0..pump.batch.max(1))
+                    .map(|_| zipf.draw(&mut pump_rng).to_string())
+                    .collect();
+                requests.push(ScheduledRequest {
+                    at_nanos: (t * 1e9) as u64,
+                    op: Op::Watch { body: body.join("\n") },
+                });
+                t += gap;
+            }
+        }
+
+        // merge the phases into one timeline; the sort key includes the
+        // phase so equal instants order deterministically
+        requests.sort_by(|a, b| (a.at_nanos, a.op.phase()).cmp(&(b.at_nanos, b.op.phase())));
+        Schedule { requests }
+    }
+
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The first `n` entries as stable text lines (`at_nanos phase target`),
+    /// for pinned-seed goldens: any drift in the RNG, the samplers, or the
+    /// merge order shows up as a CI diff.
+    pub fn head_lines(&self, n: usize) -> Vec<String> {
+        self.requests
+            .iter()
+            .take(n)
+            .map(|r| match &r.op {
+                Op::Check { url } => format!("{} check {url}", r.at_nanos),
+                Op::Watch { body } => {
+                    let first = body.lines().next().unwrap_or("");
+                    format!("{} watch[{}] {first}", r.at_nanos, body.lines().count())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: usize) -> Vec<(String, u32)> {
+        (0..n)
+            .map(|i| (format!("http://host{i}.example/page"), (i as u32) + 1))
+            .collect()
+    }
+
+    fn spec(process: ArrivalProcess) -> ScheduleSpec {
+        ScheduleSpec {
+            process,
+            duration_secs: 2.0,
+            seed: 7,
+            ..ScheduleSpec::default()
+        }
+    }
+
+    #[test]
+    fn same_spec_same_universe_is_bit_identical() {
+        let u = universe(50);
+        let s = spec(ArrivalProcess::Poisson { rate_hz: 200.0 });
+        let a = Schedule::generate(&s, &u);
+        let b = Schedule::generate(&s, &u);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seed_changes_the_timeline() {
+        let u = universe(50);
+        let a = Schedule::generate(&spec(ArrivalProcess::Poisson { rate_hz: 200.0 }), &u);
+        let mut s2 = spec(ArrivalProcess::Poisson { rate_hz: 200.0 });
+        s2.seed = 8;
+        let b = Schedule::generate(&s2, &u);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fixed_rate_spacing_is_exact() {
+        let u = universe(10);
+        let s = spec(ArrivalProcess::FixedRate { rate_hz: 100.0 });
+        let sched = Schedule::generate(&s, &u);
+        // 100/s over 2s, first at t=10ms: 199 requests, 10ms apart
+        assert_eq!(sched.len(), 199);
+        for (i, r) in sched.requests.iter().enumerate() {
+            let expected = ((i as f64 + 1.0) * 0.01 * 1e9) as u64;
+            let delta = r.at_nanos.abs_diff(expected);
+            assert!(delta <= 1_000, "entry {i}: {} vs {expected}", r.at_nanos);
+        }
+    }
+
+    #[test]
+    fn poisson_hits_the_offered_rate_on_average() {
+        let u = universe(10);
+        let s = ScheduleSpec {
+            process: ArrivalProcess::Poisson { rate_hz: 500.0 },
+            duration_secs: 4.0,
+            seed: 11,
+            ..ScheduleSpec::default()
+        };
+        let sched = Schedule::generate(&s, &u);
+        let n = sched.len() as f64;
+        // 2000 expected, σ=√2000≈45; ±10% is >4σ of headroom
+        assert!((1800.0..2200.0).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn zipf_draws_favor_the_popularity_head() {
+        let u = universe(100);
+        let s = ScheduleSpec {
+            process: ArrivalProcess::Poisson { rate_hz: 2000.0 },
+            duration_secs: 2.0,
+            seed: 3,
+            zipf_alpha: 1.0,
+            ..ScheduleSpec::default()
+        };
+        let sched = Schedule::generate(&s, &u);
+        let count_for = |url: &str| {
+            sched
+                .requests
+                .iter()
+                .filter(|r| matches!(&r.op, Op::Check { url: u } if u == url))
+                .count()
+        };
+        let head = count_for("http://host0.example/page"); // rank 1
+        let tail = count_for("http://host99.example/page"); // rank 100
+        assert!(
+            head > tail * 10,
+            "rank 1 drawn {head}×, rank 100 drawn {tail}× — no popularity head"
+        );
+    }
+
+    #[test]
+    fn hot_skew_concentrates_draws_beyond_zipf() {
+        let u = universe(100);
+        let base = ScheduleSpec {
+            process: ArrivalProcess::Poisson { rate_hz: 2000.0 },
+            duration_secs: 2.0,
+            seed: 5,
+            zipf_alpha: 0.5,
+            ..ScheduleSpec::default()
+        };
+        let hot = ScheduleSpec {
+            hot: Some(HotSkew { count: 3, fraction: 0.7 }),
+            ..base.clone()
+        };
+        let head_share = |sched: &Schedule| {
+            let hot_urls: Vec<String> = (0..3).map(|i| format!("http://host{i}.example/page")).collect();
+            let hits = sched
+                .requests
+                .iter()
+                .filter(|r| matches!(&r.op, Op::Check { url } if hot_urls.contains(url)))
+                .count();
+            hits as f64 / sched.len() as f64
+        };
+        let plain = head_share(&Schedule::generate(&base, &u));
+        let skewed = head_share(&Schedule::generate(&hot, &u));
+        assert!(
+            skewed > plain + 0.3,
+            "hot skew should concentrate the head: {plain:.2} → {skewed:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_packs_more_arrivals_than_trough() {
+        let u = universe(10);
+        let s = ScheduleSpec {
+            process: ArrivalProcess::FixedRate { rate_hz: 1000.0 },
+            diurnal: Some(DiurnalCurve { amplitude: 0.8, period_secs: 2.0 }),
+            duration_secs: 2.0,
+            seed: 1,
+            ..ScheduleSpec::default()
+        };
+        let sched = Schedule::generate(&s, &u);
+        // first half of the cycle is the peak (sin > 0), second the trough
+        let peak = sched.requests.iter().filter(|r| r.at_nanos < 1_000_000_000).count();
+        let trough = sched.len() - peak;
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough} — diurnal modulation missing"
+        );
+    }
+
+    #[test]
+    fn watch_pump_rides_along_without_perturbing_check_traffic() {
+        let u = universe(20);
+        let without = Schedule::generate(&spec(ArrivalProcess::Poisson { rate_hz: 300.0 }), &u);
+        let mut with_spec = spec(ArrivalProcess::Poisson { rate_hz: 300.0 });
+        with_spec.watch_pump = Some(WatchPumpSpec { rate_hz: 10.0, batch: 4 });
+        let with = Schedule::generate(&with_spec, &u);
+
+        let checks = |s: &Schedule| -> Vec<ScheduledRequest> {
+            s.requests.iter().filter(|r| r.op.phase() == "check").cloned().collect()
+        };
+        assert_eq!(checks(&without), checks(&with), "watch pump perturbed the check stream");
+        let watches = with.requests.iter().filter(|r| r.op.phase() == "watch").count();
+        assert_eq!(watches, 19, "10/s over 2s starting at t=0.1s");
+        // bodies carry the requested batch size
+        let Some(ScheduledRequest { op: Op::Watch { body }, .. }) =
+            with.requests.iter().find(|r| r.op.phase() == "watch")
+        else {
+            panic!("no watch op")
+        };
+        assert_eq!(body.lines().count(), 4);
+        // merged timeline is sorted
+        assert!(with.requests.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+    }
+
+    #[test]
+    fn head_lines_are_stable_and_parseable() {
+        let u = universe(5);
+        let mut s = spec(ArrivalProcess::FixedRate { rate_hz: 50.0 });
+        s.watch_pump = Some(WatchPumpSpec { rate_hz: 5.0, batch: 2 });
+        let sched = Schedule::generate(&s, &u);
+        let head = sched.head_lines(10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(head, Schedule::generate(&s, &u).head_lines(10));
+        for line in &head {
+            let mut parts = line.splitn(3, ' ');
+            parts.next().unwrap().parse::<u64>().expect("nanos");
+            let phase = parts.next().unwrap();
+            assert!(phase == "check" || phase.starts_with("watch["), "{line}");
+            assert!(parts.next().unwrap().starts_with("http://"), "{line}");
+        }
+    }
+}

@@ -27,6 +27,23 @@ pub struct EndpointCounter {
     pub count: Counter,
 }
 
+/// One reactor thread's transport counters. With `--reactors N` every
+/// reactor owns its own listener and connection table, so aggregate series
+/// alone can't show a skewed accept split or one reactor monopolizing the
+/// write-abort budget — these render as `permadead_serve_reactor_*`
+/// series labeled `{reactor="k"}` next to the unlabeled aggregates.
+#[derive(Default)]
+pub struct ReactorMetrics {
+    /// Connections this reactor accepted (or adopted via hand-off).
+    pub accepted_total: Counter,
+    /// Connections this reactor currently holds open.
+    pub open_connections: AtomicI64,
+    /// Responses this reactor failed to deliver.
+    pub write_aborted_total: Counter,
+    /// Requests this reactor dispatched into the worker pool.
+    pub dispatched_total: Counter,
+}
+
 /// Shared server metrics. One instance per server, touched by every worker.
 pub struct ServeMetrics {
     /// Requests fully handled, by route (`other` = 404s and bad requests).
@@ -53,6 +70,10 @@ pub struct ServeMetrics {
     pub write_aborted_total: Counter,
     /// Connections currently held open by the reactor.
     pub open_connections: AtomicI64,
+    /// Per-reactor transport counters, one slot per reactor thread. The
+    /// aggregate counters above keep counting across all reactors — existing
+    /// dashboards and the CI greps read those; these add the breakdown.
+    pub reactors: Vec<ReactorMetrics>,
     /// Cumulative latency histogram over handled requests.
     bucket_counts: Vec<Counter>,
     latency_sum_nanos: Counter,
@@ -72,6 +93,13 @@ impl Default for ServeMetrics {
 
 impl ServeMetrics {
     pub fn new() -> Self {
+        Self::with_reactors(1)
+    }
+
+    /// Metrics for a server running `reactors` reactor threads; every
+    /// per-reactor series exists from the start (zeros included) so scrapers
+    /// see a stable label set for the server's whole lifetime.
+    pub fn with_reactors(reactors: usize) -> Self {
         ServeMetrics {
             by_endpoint: ROUTES
                 .iter()
@@ -91,6 +119,7 @@ impl ServeMetrics {
             rescue_rescued_total: Counter::default(),
             write_aborted_total: Counter::default(),
             open_connections: AtomicI64::new(0),
+            reactors: (0..reactors.max(1)).map(|_| ReactorMetrics::default()).collect(),
             bucket_counts: LATENCY_BUCKETS.iter().map(|_| Counter::default()).collect(),
             latency_sum_nanos: Counter::default(),
             latency_count: Counter::default(),
@@ -237,6 +266,71 @@ impl ServeMetrics {
                 "permadead_serve_open_connections {}",
                 self.open_connections.load(Ordering::Relaxed).max(0)
             )],
+        );
+        // the per-reactor breakdown of the transport aggregates above
+        metric(
+            "permadead_serve_reactor_accepted_total",
+            "counter",
+            "Connections accepted (or adopted via hand-off), by reactor.",
+            &self
+                .reactors
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    format!(
+                        "permadead_serve_reactor_accepted_total{{reactor=\"{i}\"}} {}",
+                        r.accepted_total.get()
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_serve_reactor_dispatched_total",
+            "counter",
+            "Requests dispatched into the worker pool, by reactor.",
+            &self
+                .reactors
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    format!(
+                        "permadead_serve_reactor_dispatched_total{{reactor=\"{i}\"}} {}",
+                        r.dispatched_total.get()
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_serve_reactor_open_connections",
+            "gauge",
+            "Connections currently held open, by reactor.",
+            &self
+                .reactors
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    format!(
+                        "permadead_serve_reactor_open_connections{{reactor=\"{i}\"}} {}",
+                        r.open_connections.load(Ordering::Relaxed).max(0)
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        metric(
+            "permadead_serve_reactor_write_aborted_total",
+            "counter",
+            "Undeliverable responses, by reactor.",
+            &self
+                .reactors
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    format!(
+                        "permadead_serve_reactor_write_aborted_total{{reactor=\"{i}\"}} {}",
+                        r.write_aborted_total.get()
+                    )
+                })
+                .collect::<Vec<_>>(),
         );
         metric(
             "permadead_inflight_requests",
@@ -690,6 +784,34 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing: {needle}");
         }
+    }
+
+    #[test]
+    fn per_reactor_series_render_for_every_reactor() {
+        let m = ServeMetrics::with_reactors(2);
+        m.reactors[0].accepted_total.add(5);
+        m.reactors[0].dispatched_total.add(4);
+        m.reactors[1].accepted_total.add(3);
+        m.reactors[1].open_connections.store(2, Ordering::Relaxed);
+        m.reactors[1].write_aborted_total.incr();
+        let text = m.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
+        for needle in [
+            "# TYPE permadead_serve_reactor_accepted_total counter",
+            "permadead_serve_reactor_accepted_total{reactor=\"0\"} 5",
+            "permadead_serve_reactor_accepted_total{reactor=\"1\"} 3",
+            "permadead_serve_reactor_dispatched_total{reactor=\"0\"} 4",
+            "permadead_serve_reactor_dispatched_total{reactor=\"1\"} 0",
+            "permadead_serve_reactor_open_connections{reactor=\"0\"} 0",
+            "permadead_serve_reactor_open_connections{reactor=\"1\"} 2",
+            "permadead_serve_reactor_write_aborted_total{reactor=\"1\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing: {needle}");
+        }
+        // a single-reactor server still renders the labeled breakdown
+        let single = ServeMetrics::new();
+        let text = single.render_prometheus(&CacheStats::default(), &MetricsSnapshot::default(), 0, &[], &WatchSnapshot::default(), 0);
+        assert!(text.contains("permadead_serve_reactor_accepted_total{reactor=\"0\"} 0"));
+        assert!(!text.contains("reactor=\"1\""));
     }
 
     #[test]

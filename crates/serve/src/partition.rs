@@ -1,0 +1,178 @@
+//! Consistent-hash partitioning of the verdict-cache key space.
+//!
+//! With one reactor, which shard a URL lands in only matters for lock
+//! contention. With N reactors all hitting the cache concurrently, the
+//! partition function becomes part of the serving architecture: every
+//! reactor must agree on it without coordination (it is pure), keys must
+//! spread evenly so no shard's lock becomes the hot one, and — because
+//! operators resize shard counts between runs — growing the shard set
+//! should move as few keys as possible, keeping most of a warm cache's
+//! keys valid on their old shards.
+//!
+//! A modulo partition (`hash % shards`) satisfies the first two properties
+//! and catastrophically fails the third: going from 8 to 9 shards remaps
+//! ~8/9 of all keys. The classic fix is a **hash ring with virtual nodes**:
+//! each shard owns `VNODES` pseudo-random points on a u64 circle, and a key
+//! belongs to the first shard point clockwise from the key's own hash.
+//! Adding a shard inserts only that shard's points, so only the arcs they
+//! cut off move — an expected `1/(n+1)` of the key space, independent of
+//! how the other shards are laid out.
+//!
+//! ```text
+//!        0 ──────────────── u64::MAX
+//!        │ s0 ─┐ ┌─ s2   ┌─ s1 …     (VNODES points per shard,
+//!   ring ●─────●─●───────●─────●──▶   FNV-hashed "shard-i/vnode-j")
+//!              ▲
+//!        key hash falls here → owned by the next point clockwise (s2)
+//! ```
+//!
+//! Everything is seeded from FNV-1a over stable strings, so the ring — and
+//! therefore every key→shard decision — is bit-identical across runs,
+//! processes, and reactor threads.
+
+use crate::cache::fnv1a;
+
+/// Virtual nodes per shard. 64 points per shard keeps the maximum shard
+/// arc within ~2× the mean for the shard counts the cache uses (≤ 64)
+/// while the ring stays small enough to binary-search in a few cache lines.
+pub const VNODES: usize = 64;
+
+/// SplitMix64 finalizer. FNV-1a of short, similar strings (vnode labels,
+/// same-host URLs) differs mostly in its low bits, and ring arithmetic
+/// compares *full* u64 values — unmixed, the points clump and some shards
+/// own 3× their fair arc. One multiply-xor cascade restores avalanche;
+/// applied to both ring points and key hashes so the circle stays uniform.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over `shards` partitions.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; ties broken by shard id so the
+    /// ring is a pure function of the shard count.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Build the ring for `shards` partitions (clamped to at least 1).
+    pub fn new(shards: usize) -> HashRing {
+        let shards = shards.max(1);
+        let mut points: Vec<(u64, u32)> = (0..shards)
+            .flat_map(|s| {
+                (0..VNODES)
+                    .map(move |v| (mix64(fnv1a(&format!("shard-{s}/vnode-{v}"))), s as u32))
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// How many partitions the ring covers.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: hash it onto the circle, walk clockwise to
+    /// the first shard point (wrapping past `u64::MAX` to the ring start).
+    pub fn shard_for(&self, key: &str) -> usize {
+        self.shard_for_hash(fnv1a(key))
+    }
+
+    /// Same, for a pre-computed FNV-1a hash (the cache hashes once and
+    /// reuses it).
+    pub fn shard_for_hash(&self, hash: u64) -> usize {
+        self.owner_of_position(mix64(hash))
+    }
+
+    /// The shard owning a raw position on the circle (post-mixing).
+    fn owner_of_position(&self, pos: u64) -> usize {
+        let idx = self.points.partition_point(|&(p, _)| p < pos);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for key in ["http://a.example/", "http://b.example/x?y=1", "zzz", ""] {
+            assert_eq!(a.shard_for(key), b.shard_for(key));
+        }
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn every_shard_owns_keys_and_load_is_balanced() {
+        let ring = HashRing::new(8);
+        let mut counts = vec![0usize; 8];
+        for i in 0..8000 {
+            counts[ring.shard_for(&format!("http://host{i}.example/page/{i}"))] += 1;
+        }
+        let mean = 1000.0;
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > mean * 0.4 && (c as f64) < mean * 2.0,
+                "shard {shard} holds {c} of 8000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_a_bounded_fraction_of_keys() {
+        // 8 → 9 shards: modulo would remap ~8/9 (~89%) of keys; the ring
+        // moves an expected 1/9 (~11%). Assert well under the modulo
+        // disaster and that every moved key went TO the new shard.
+        let old = HashRing::new(8);
+        let new = HashRing::new(9);
+        let keys: Vec<String> = (0..4000).map(|i| format!("http://h{i}.example/p{i}")).collect();
+        let mut moved = 0usize;
+        for k in &keys {
+            let (o, n) = (old.shard_for(k), new.shard_for(k));
+            if o != n {
+                moved += 1;
+                assert_eq!(n, 8, "key {k} moved {o}→{n}, not to the new shard");
+            }
+        }
+        let fraction = moved as f64 / keys.len() as f64;
+        assert!(
+            fraction < 0.30,
+            "ring moved {moved}/{} keys ({fraction:.2}) on 8→9 growth",
+            keys.len()
+        );
+        assert!(moved > 0, "a new shard that owns nothing is not sharding");
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = HashRing::new(1);
+        for i in 0..100 {
+            assert_eq!(ring.shard_for(&format!("k{i}")), 0);
+        }
+        // 0 is clamped like the cache clamps its shard count
+        assert_eq!(HashRing::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn wraparound_past_the_last_point_lands_on_the_first() {
+        let ring = HashRing::new(4);
+        let last = ring.points.last().unwrap().0;
+        if last < u64::MAX {
+            let first_shard = ring.points[0].1 as usize;
+            assert_eq!(ring.owner_of_position(last + 1), first_shard);
+            assert_eq!(ring.owner_of_position(u64::MAX), first_shard);
+        }
+        // and a position sitting exactly ON a point belongs to that point
+        let (p, s) = ring.points[ring.points.len() / 2];
+        assert_eq!(ring.owner_of_position(p), s as usize);
+    }
+}

@@ -1,18 +1,33 @@
-//! The HTTP server: one event-driven reactor thread owning every socket, a
-//! crossbeam-channel worker pool for CPU-bound analysis, the background
-//! watch scheduler, and admission control.
+//! The HTTP server: one or more event-driven reactor threads owning the
+//! sockets, a crossbeam-channel worker pool for CPU-bound analysis, the
+//! background watch scheduler, and admission control.
 //!
-//! **Transport/compute split.** The reactor thread (an epoll readiness loop
-//! from the vendored [`reactor`] crate) performs *all* socket I/O: it
-//! accepts, reads request bytes into per-connection buffers, runs the
-//! incremental parser in [`crate::wire`], and writes responses only when
-//! sockets are writable, tracking offsets across partial writes
-//! ([`crate::conn`]). Complete requests are `try_send`-dispatched into a
-//! **bounded** channel of [`Job`]s; workers pull from it, compute the
-//! response, and hand it back through a completion queue plus a wakeup
-//! pipe. A slow or stalled client therefore holds one buffer and one fd —
-//! never a worker thread, and never a read/write timeout (the old blocking
-//! path's 5s read and 250ms write timeouts are gone because nothing blocks).
+//! **Transport/compute split.** Each reactor thread (an epoll readiness loop
+//! from the vendored [`reactor`] crate) performs *all* socket I/O for the
+//! connections it owns: it accepts, reads request bytes into per-connection
+//! buffers, runs the incremental parser in [`crate::wire`], and writes
+//! responses only when sockets are writable, tracking offsets across partial
+//! writes ([`crate::conn`]). Complete requests are `try_send`-dispatched
+//! into a **bounded** channel of [`Job`]s; workers pull from it, compute the
+//! response, and hand it back through the owning reactor's completion queue
+//! plus its wakeup pipe. A slow or stalled client therefore holds one buffer
+//! and one fd — never a worker thread, and never a read/write timeout (the
+//! old blocking path's 5s read and 250ms write timeouts are gone because
+//! nothing blocks).
+//!
+//! **Scale-out.** `reactors: N` runs N reactor threads. Preferred layout:
+//! every reactor binds its *own* listener on the same port via
+//! `SO_REUSEPORT`, so the kernel shards the accept queue and no accept lock
+//! exists in userspace. If the socket option can't be set (or `reuseport:
+//! false`), the server falls back to a **sharded accept hand-off**: reactor
+//! 0 owns the single listener and deals accepted sockets round-robin to its
+//! peers through per-reactor hand-off queues + wakers. Either way a
+//! connection lives its whole life on one reactor; workers route completions
+//! back by the reactor index carried in the job. The verdict cache is
+//! partitioned by consistent hashing over the URL ([`crate::partition`]), so
+//! reactors and workers never serialize on one cache lock. Shutdown drains
+//! gracefully: accepting stops immediately, idle connections close, and
+//! in-flight requests get [`DRAIN_DEADLINE_MS`] to finish.
 //!
 //! When every worker is busy and the queue is full, the reactor queues a
 //! `503 Service Unavailable` + `Retry-After` as an ordinary nonblocking
@@ -115,6 +130,14 @@ pub struct ServerConfig {
     /// Enable `/debug/sleep` and `/debug/watch-advance` (load tests exercise
     /// admission control and the watch clock with them).
     pub debug_endpoints: bool,
+    /// Reactor threads. Each owns its own poll set, connection table, and —
+    /// when `SO_REUSEPORT` is available — its own listener on the shared
+    /// port. `max_conns` is enforced per reactor.
+    pub reactors: usize,
+    /// Allow the `SO_REUSEPORT` listener group (the default). `false` forces
+    /// the sharded accept hand-off fallback, where reactor 0 owns the only
+    /// listener — tests use this to exercise the fallback deterministically.
+    pub reuseport: bool,
     /// The continuous-monitoring workload behind `POST /watch`.
     pub watch: WatchConfig,
 }
@@ -130,6 +153,8 @@ impl Default for ServerConfig {
             max_batch: 256,
             retry_after_secs: 1,
             debug_endpoints: false,
+            reactors: 1,
+            reuseport: true,
             watch: WatchConfig::default(),
         }
     }
@@ -139,6 +164,9 @@ impl Default for ServerConfig {
 /// re-check pumped in by the watch scheduler. Workers never see a socket.
 enum Job {
     Request {
+        /// Index of the reactor that owns the connection — the worker routes
+        /// the completion back through this reactor's queue and waker.
+        reactor: usize,
         slot: usize,
         generation: u64,
         request: HttpRequest,
@@ -149,7 +177,7 @@ enum Job {
     },
 }
 
-/// A finished response on its way back to the reactor.
+/// A finished response on its way back to its reactor.
 struct Completion {
     slot: usize,
     generation: u64,
@@ -157,7 +185,20 @@ struct Completion {
     response: HttpResponse,
 }
 
-/// Everything workers and the reactor share.
+/// One reactor's mailbox: what workers (completions) and sibling reactors
+/// (hand-off sockets) push at it from outside its thread.
+struct ReactorShared {
+    /// Worker → reactor: finished responses awaiting a writable socket.
+    completions: Mutex<VecDeque<Completion>>,
+    /// Reactor 0 → this reactor, hand-off mode only: accepted sockets this
+    /// reactor should adopt. Empty forever in the `SO_REUSEPORT` layout.
+    handoff: Mutex<VecDeque<TcpStream>>,
+    /// Pulls this reactor out of `epoll_wait` when a completion or hand-off
+    /// lands, or shutdown begins.
+    waker: Waker,
+}
+
+/// Everything workers and the reactors share.
 struct Inner {
     service: AuditService,
     metrics: ServeMetrics,
@@ -167,11 +208,8 @@ struct Inner {
     /// A non-consuming view of the pending queue, for the depth gauge only
     /// (never `recv`d, so no job is ever stolen from the workers).
     queue_probe: Receiver<Job>,
-    /// Worker → reactor: finished responses awaiting a writable socket.
-    completions: Mutex<VecDeque<Completion>>,
-    /// Pulls the reactor out of `epoll_wait` when a completion lands or
-    /// shutdown begins.
-    waker: Waker,
+    /// Per-reactor mailboxes, indexed by reactor id.
+    reactors: Vec<ReactorShared>,
     /// The continuous-monitoring scheduler. Lock discipline: take briefly,
     /// never while holding another lock, and never across a network fetch —
     /// the fetch half of a re-check runs unlocked in the worker.
@@ -210,9 +248,12 @@ impl Inner {
 pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    reactor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Whether the listener group actually got `SO_REUSEPORT` (false = the
+    /// hand-off fallback is active, or only one reactor runs).
+    reuseport_active: bool,
 }
 
 impl ServerHandle {
@@ -237,15 +278,31 @@ impl ServerHandle {
         self.inner.watch.lock().snapshot()
     }
 
-    /// Stop accepting, drain the queue, and join every thread.
+    /// How many reactor threads serve this listener group.
+    pub fn reactor_count(&self) -> usize {
+        self.inner.reactors.len()
+    }
+
+    /// Whether the kernel is sharding accepts via `SO_REUSEPORT` (false
+    /// with one reactor, or when the hand-off fallback engaged).
+    pub fn reuseport_active(&self) -> bool {
+        self.reuseport_active
+    }
+
+    /// Stop accepting, drain in-flight work, and join every thread. Each
+    /// reactor closes its idle connections immediately and gives requests
+    /// already dispatched (or responses mid-write) up to
+    /// [`DRAIN_DEADLINE_MS`] to finish before tearing down.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        // the waker pulls the reactor out of epoll_wait; it sees the flag,
-        // tears down every connection, and drops its job sender. The pump
-        // notices the flag within one tick and drops the other sender; with
-        // both gone the workers drain the queue and exit.
-        let _ = self.inner.waker.wake();
-        if let Some(h) = self.reactor.take() {
+        // each waker pulls its reactor out of epoll_wait; the reactor sees
+        // the flag, drains gracefully, and drops its job sender. The pump
+        // notices the flag within one tick and drops the last sender; with
+        // all of them gone the workers drain the queue and exit.
+        for shared in &self.inner.reactors {
+            let _ = shared.waker.wake();
+        }
+        for h in self.reactors.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.pump.take() {
@@ -263,14 +320,76 @@ const TOKEN_LISTENER: Token = Token(usize::MAX);
 /// Poll-set token for the wakeup pipe.
 const TOKEN_WAKER: Token = Token(usize::MAX - 1);
 
-/// Bind, spawn the reactor + pool + watch pump, and return immediately.
+/// How long a draining reactor waits for dispatched requests and mid-flight
+/// writes to finish before tearing the remaining connections down. Idle
+/// connections close immediately, so shutdown with no work in flight is
+/// instant — the deadline only bounds responses the server still owes.
+pub const DRAIN_DEADLINE_MS: u64 = 2_000;
+
+/// Try to build an `SO_REUSEPORT` listener group: `n` independent listeners
+/// on the same loopback port, each destined for its own reactor. Any
+/// failure (option unsupported, later bind losing a race) rolls the whole
+/// attempt back — the caller falls back to the hand-off layout.
+fn try_reuseport_group(port: u16, n: usize) -> Option<(SocketAddr, Vec<TcpListener>)> {
+    const LOOPBACK: [u8; 4] = [127, 0, 0, 1];
+    let first = reactor::bind_reuseport(LOOPBACK, port).ok()?;
+    first.set_nonblocking(true).ok()?;
+    let addr = first.local_addr().ok()?;
+    let mut group = vec![first];
+    for _ in 1..n {
+        let l = reactor::bind_reuseport(LOOPBACK, addr.port()).ok()?;
+        l.set_nonblocking(true).ok()?;
+        group.push(l);
+    }
+    Some((addr, group))
+}
+
+/// Bind the listener group, spawn the reactors + pool + watch pump, and
+/// return immediately.
 pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let poll = Poll::new()?;
-    let waker = Waker::new(&poll, TOKEN_WAKER)?;
-    poll.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+    let n = config.reactors.max(1);
+    // Listener layout: with one reactor a plain bind (no socket options to
+    // negotiate); with several, prefer the SO_REUSEPORT group and fall back
+    // to one listener owned by reactor 0 that deals sockets to its peers.
+    let mut listeners: Vec<Option<TcpListener>>;
+    let addr: SocketAddr;
+    let mut reuseport_active = false;
+    let group = if n > 1 && config.reuseport { try_reuseport_group(config.port, n) } else { None };
+    match group {
+        Some((bound, group)) => {
+            addr = bound;
+            listeners = group.into_iter().map(Some).collect();
+            reuseport_active = true;
+        }
+        None => {
+            let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+            listener.set_nonblocking(true)?;
+            addr = listener.local_addr()?;
+            listeners = Vec::with_capacity(n);
+            listeners.push(Some(listener));
+            for _ in 1..n {
+                listeners.push(None);
+            }
+        }
+    }
+
+    // One poll set + waker per reactor; wakers live in Inner so workers and
+    // siblings can reach them, polls move into their reactor threads.
+    let mut polls = Vec::with_capacity(n);
+    let mut shared = Vec::with_capacity(n);
+    for listener in &listeners {
+        let poll = Poll::new()?;
+        let waker = Waker::new(&poll, TOKEN_WAKER)?;
+        if let Some(l) = listener {
+            poll.register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        }
+        polls.push(poll);
+        shared.push(ReactorShared {
+            completions: Mutex::new(VecDeque::new()),
+            handoff: Mutex::new(VecDeque::new()),
+            waker,
+        });
+    }
 
     let (tx, rx) = bounded::<Job>(config.queue_cap.max(1));
     let scheduler = Scheduler::new(SchedulerConfig {
@@ -280,13 +399,12 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
     });
     let inner = Arc::new(Inner {
         service,
-        metrics: ServeMetrics::new(),
+        metrics: ServeMetrics::with_reactors(n),
         config: config.clone(),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         queue_probe: rx.clone(),
-        completions: Mutex::new(VecDeque::new()),
-        waker,
+        reactors: shared,
         watch: Mutex::new(scheduler),
         watch_offset: AtomicI64::new(0),
         reaudit: Mutex::new(None),
@@ -305,28 +423,41 @@ pub fn start(service: AuditService, config: ServerConfig) -> std::io::Result<Ser
         let tx = tx.clone();
         std::thread::spawn(move || pump_loop(&inner, tx))
     };
-    let reactor = {
-        let inner = inner.clone();
-        std::thread::spawn(move || {
-            Reactor {
-                inner: &inner,
-                poll,
-                listener,
-                tx,
-                conns: Slab::new(),
-                accept_paused: false,
-                closed_since_pause: false,
-            }
-            .run()
+    let handoff_mode = n > 1 && !reuseport_active;
+    let reactors: Vec<JoinHandle<()>> = polls
+        .into_iter()
+        .zip(listeners)
+        .enumerate()
+        .map(|(idx, (poll, listener))| {
+            let inner = inner.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                Reactor {
+                    inner: &inner,
+                    idx,
+                    handoff_mode,
+                    rr: 0,
+                    poll,
+                    listener,
+                    tx,
+                    conns: Slab::new(),
+                    accept_paused: false,
+                    closed_since_pause: false,
+                    draining: false,
+                }
+                .run()
+            })
         })
-    };
+        .collect();
+    drop(tx);
 
     Ok(ServerHandle {
         addr,
         inner,
-        reactor: Some(reactor),
+        reactors,
         pump: Some(pump),
         workers,
+        reuseport_active,
     })
 }
 
@@ -338,6 +469,7 @@ fn worker_loop(inner: &Inner, rx: Receiver<Job>) {
     for job in rx.iter() {
         match job {
             Job::Request {
+                reactor,
                 slot,
                 generation,
                 request,
@@ -356,13 +488,15 @@ fn worker_loop(inner: &Inner, rx: Receiver<Job>) {
                 };
                 inner.metrics.count_route(route_name);
                 inner.metrics.count_status(response.status);
-                inner.completions.lock().push_back(Completion {
+                // route the completion back to the reactor owning the socket
+                let shared = &inner.reactors[reactor];
+                shared.completions.lock().push_back(Completion {
                     slot,
                     generation,
                     keep_alive: request.keep_alive,
                     response,
                 });
-                let _ = inner.waker.wake();
+                let _ = shared.waker.wake();
             }
             Job::Recheck { id, due } => {
                 let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -449,18 +583,28 @@ fn retry_after_secs(inner: &Inner) -> u32 {
     base.saturating_mul(1 + occupied).min(60)
 }
 
-/// The event loop's owned state: poll set, listener, connection slab, and
-/// the job sender whose drop (on exit) lets the workers drain and stop.
+/// One event loop's owned state: poll set, listener (absent on hand-off
+/// peers), connection slab, and a job-sender clone whose drop (on exit)
+/// helps release the workers.
 struct Reactor<'a> {
     inner: &'a Arc<Inner>,
+    /// This reactor's index into `Inner::reactors` and the metrics slots.
+    idx: usize,
+    /// Reactor 0 owns the only listener and deals sockets to its peers.
+    handoff_mode: bool,
+    /// Round-robin cursor for hand-off dealing.
+    rr: usize,
     poll: Poll,
-    listener: TcpListener,
+    listener: Option<TcpListener>,
     tx: Sender<Job>,
     conns: Slab<Conn<TcpStream>>,
     /// The listener is out of the poll set (fd table exhausted); resume
     /// once a connection closes.
     accept_paused: bool,
     closed_since_pause: bool,
+    /// Shutdown drain in progress: no new accepts, keep-alive connections
+    /// close after their in-flight response instead of rearming.
+    draining: bool,
 }
 
 impl Reactor<'_> {
@@ -480,56 +624,128 @@ impl Reactor<'_> {
             for ev in batch {
                 match ev.token() {
                     TOKEN_LISTENER => accept_ready = true,
-                    TOKEN_WAKER => self.inner.waker.drain(),
+                    TOKEN_WAKER => self.inner.reactors[self.idx].waker.drain(),
                     Token(slot) => self.on_conn_event(slot, ev),
                 }
             }
+            self.adopt_handoffs();
             self.drain_completions();
             if accept_ready {
                 self.accept_burst();
             }
             self.maybe_resume_accept();
         }
-        // teardown: closing the fds also evicts them from the poll set;
-        // dropping `tx` afterwards releases the workers
-        for (_slot, conn) in self.conns.drain() {
-            drop(conn);
-        }
-        self.inner.metrics.open_connections.store(0, Ordering::Relaxed);
+        self.drain_gracefully();
     }
 
-    /// Accept until `EAGAIN`. Beyond `max_conns` each arrival gets an
-    /// immediate best-effort 503 (its socket buffer is empty, so the single
-    /// nonblocking write succeeds); on fd-table exhaustion the listener
-    /// leaves the poll set until a connection closes, instead of spinning
-    /// on a readable-but-unacceptable listener.
-    fn accept_burst(&mut self) {
+    /// Graceful drain: stop accepting now, close idle connections now, and
+    /// give connections the server owes a response (request dispatched, or
+    /// bytes mid-write) up to [`DRAIN_DEADLINE_MS`] to finish.
+    fn drain_gracefully(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poll.deregister(listener.as_raw_fd());
+        }
+        // sockets dealt to us but never adopted: refuse by closing (drop)
+        self.inner.reactors[self.idx].handoff.lock().clear();
+        // idle (Reading) connections owe nothing — close immediately
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Reading))
+            .map(|(slot, _)| slot)
+            .collect();
+        for slot in idle {
+            self.close_conn(slot);
+        }
+        let deadline = Instant::now() + std::time::Duration::from_millis(DRAIN_DEADLINE_MS);
+        let mut events = Events::with_capacity(256);
+        while !self.conns.is_empty() && Instant::now() < deadline {
+            if self.poll.poll(&mut events, Some(std::time::Duration::from_millis(25))).is_err() {
+                break;
+            }
+            let batch: Vec<reactor::Event> = events.iter().collect();
+            for ev in batch {
+                match ev.token() {
+                    TOKEN_LISTENER => {}
+                    TOKEN_WAKER => self.inner.reactors[self.idx].waker.drain(),
+                    Token(slot) => self.on_conn_event(slot, ev),
+                }
+            }
+            self.drain_completions();
+        }
+        // teardown whatever outlived the deadline; closing the fds also
+        // evicts them from the poll set, and dropping `tx` (when `self`
+        // drops) helps release the workers
+        let abandoned = self.conns.drain().len() as i64;
+        self.inner.metrics.open_connections.fetch_sub(abandoned, Ordering::Relaxed);
+        self.inner.metrics.reactors[self.idx].open_connections.store(0, Ordering::Relaxed);
+    }
+
+    /// Adopt sockets reactor 0 dealt to this reactor (hand-off mode only).
+    fn adopt_handoffs(&mut self) {
         loop {
-            match self.listener.accept() {
-                Ok((mut stream, _)) => {
-                    let _ = stream.set_nonblocking(true);
-                    let _ = stream.set_nodelay(true);
-                    if let Some(bytes) = self.inner.config.sndbuf {
-                        let _ = reactor::set_send_buffer_size(stream.as_raw_fd(), bytes);
+            let stream = self.inner.reactors[self.idx].handoff.lock().pop_front();
+            let Some(stream) = stream else { break };
+            self.install(stream);
+        }
+    }
+
+    /// Take ownership of an accepted socket: tune it, enforce `max_conns`
+    /// (per reactor), and register it for readiness. Shared by the accept
+    /// path and the hand-off adoption path.
+    fn install(&mut self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        if let Some(bytes) = self.inner.config.sndbuf {
+            let _ = reactor::set_send_buffer_size(stream.as_raw_fd(), bytes);
+        }
+        if self.conns.len() >= self.inner.config.max_conns.max(1) {
+            self.inner.metrics.rejected_total.incr();
+            self.inner.metrics.count_status(503);
+            let resp = HttpResponse::error(503, "server at capacity, retry later")
+                .with_header("Retry-After", retry_after_secs(self.inner).to_string());
+            // best-effort single write: the socket buffer is empty, so it
+            // succeeds unless the client already vanished (drop closes)
+            let _ = std::io::Write::write(&mut stream, &resp.serialize(false));
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        let (slot, generation) = self.conns.insert(Conn::new(stream, 0));
+        if let Some(conn) = self.conns.get_mut(slot) {
+            conn.generation = generation;
+        }
+        if self.poll.register(fd, Token(slot), Interest::READABLE).is_err() {
+            self.conns.remove(slot);
+            return;
+        }
+        self.inner.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+        let mine = &self.inner.metrics.reactors[self.idx];
+        mine.open_connections.fetch_add(1, Ordering::Relaxed);
+        mine.accepted_total.incr();
+    }
+
+    /// Accept until `EAGAIN`. In hand-off mode reactor 0 deals sockets
+    /// round-robin across the group; otherwise (and for its own share) the
+    /// accepting reactor installs them locally. On fd-table exhaustion the
+    /// listener leaves the poll set until a connection closes, instead of
+    /// spinning on a readable-but-unacceptable listener.
+    fn accept_burst(&mut self) {
+        let group = self.inner.reactors.len();
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.handoff_mode {
+                        self.rr = (self.rr + 1) % group;
+                        if self.rr != self.idx {
+                            let peer = &self.inner.reactors[self.rr];
+                            peer.handoff.lock().push_back(stream);
+                            let _ = peer.waker.wake();
+                            continue;
+                        }
                     }
-                    if self.conns.len() >= self.inner.config.max_conns.max(1) {
-                        self.inner.metrics.rejected_total.incr();
-                        self.inner.metrics.count_status(503);
-                        let resp = HttpResponse::error(503, "server at capacity, retry later")
-                            .with_header("Retry-After", retry_after_secs(self.inner).to_string());
-                        let _ = std::io::Write::write(&mut stream, &resp.serialize(false));
-                        continue; // drop closes
-                    }
-                    let fd = stream.as_raw_fd();
-                    let (slot, generation) = self.conns.insert(Conn::new(stream, 0));
-                    if let Some(conn) = self.conns.get_mut(slot) {
-                        conn.generation = generation;
-                    }
-                    if self.poll.register(fd, Token(slot), Interest::READABLE).is_err() {
-                        self.conns.remove(slot);
-                        continue;
-                    }
-                    self.inner.metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+                    self.install(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
@@ -545,19 +761,20 @@ impl Reactor<'_> {
     }
 
     fn pause_accept(&mut self) {
-        if !self.accept_paused {
-            let _ = self.poll.deregister(self.listener.as_raw_fd());
+        if let (false, Some(listener)) = (self.accept_paused, &self.listener) {
+            let _ = self.poll.deregister(listener.as_raw_fd());
             self.accept_paused = true;
             self.closed_since_pause = false;
         }
     }
 
     fn maybe_resume_accept(&mut self) {
+        let Some(listener) = &self.listener else { return };
         if self.accept_paused
             && self.closed_since_pause
             && self
                 .poll
-                .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
+                .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)
                 .is_ok()
         {
             self.accept_paused = false;
@@ -626,11 +843,13 @@ impl Reactor<'_> {
         let generation = conn.generation;
         let fd = conn.stream.as_raw_fd();
         match self.tx.try_send(Job::Request {
+            reactor: self.idx,
             slot,
             generation,
             request,
         }) {
             Ok(()) => {
+                self.inner.metrics.reactors[self.idx].dispatched_total.incr();
                 // park: no readiness wanted until the worker answers
                 let _ = self.poll.reregister(fd, Token(slot), Interest::NONE);
             }
@@ -654,10 +873,13 @@ impl Reactor<'_> {
     /// count as aborted writes: a response existed and was never delivered.
     fn drain_completions(&mut self) {
         loop {
-            let completion = self.inner.completions.lock().pop_front();
+            let completion = self.inner.reactors[self.idx].completions.lock().pop_front();
             let Some(c) = completion else { break };
             match self.conns.get_gen_mut(c.slot, c.generation) {
-                None => self.inner.metrics.write_aborted_total.incr(),
+                None => {
+                    self.inner.metrics.write_aborted_total.incr();
+                    self.inner.metrics.reactors[self.idx].write_aborted_total.incr();
+                }
                 Some(conn) => {
                     conn.queue_response(c.response.serialize(c.keep_alive), !c.keep_alive);
                     self.drive_write(c.slot);
@@ -677,7 +899,9 @@ impl Reactor<'_> {
                     self.inner.metrics.observe_latency(started.elapsed().as_secs_f64());
                 }
                 let close_after = matches!(conn.state, ConnState::Writing { close_after: true });
-                if close_after {
+                // draining: the response the server owed is delivered, and
+                // keep-alive must not admit new requests past the drain
+                if close_after || self.draining {
                     self.close_conn(slot);
                 } else {
                     conn.reset_for_next_request();
@@ -692,6 +916,7 @@ impl Reactor<'_> {
             }
             WriteStep::Aborted(_undelivered) => {
                 self.inner.metrics.write_aborted_total.incr();
+                self.inner.metrics.reactors[self.idx].write_aborted_total.incr();
                 if let Some(started) = conn.started.take() {
                     self.inner.metrics.observe_latency(started.elapsed().as_secs_f64());
                 }
@@ -703,6 +928,7 @@ impl Reactor<'_> {
     fn close_conn(&mut self, slot: usize) {
         if self.conns.remove(slot).is_some() {
             self.inner.metrics.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.inner.metrics.reactors[self.idx].open_connections.fetch_sub(1, Ordering::Relaxed);
             self.closed_since_pause = true;
         }
     }
@@ -747,9 +973,10 @@ fn handle_healthz(inner: &Inner) -> HttpResponse {
     HttpResponse::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"pending\":{},\"workers\":{},\"conns\":{},\"watchlist\":{}}}",
+            "{{\"status\":\"ok\",\"pending\":{},\"workers\":{},\"reactors\":{},\"conns\":{},\"watchlist\":{}}}",
             inner.queue_probe.len(),
             inner.config.workers.max(1),
+            inner.reactors.len(),
             inner.metrics.open_connections.load(Ordering::Relaxed).max(0),
             watchlist,
         ),

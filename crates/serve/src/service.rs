@@ -443,6 +443,22 @@ impl AuditService {
             .map(|e| e.url.to_string())
             .collect()
     }
+
+    /// The load generator's URL universe: sampled dataset URLs paired with
+    /// their site's popularity rank from the world's rank table (lower =
+    /// more popular; unranked hosts report the universe tail). Open-loop
+    /// schedules draw from this with Zipf weights so offered traffic has
+    /// the same popularity head the paper observed.
+    pub fn ranked_urls(&self, count: usize) -> Vec<(String, u32)> {
+        let ranks = &self.world.web().ranks;
+        self.sample_urls(count)
+            .into_iter()
+            .map(|raw| {
+                let rank = Url::parse(&raw).map(|u| ranks.rank(u.host())).unwrap_or(ranks.universe + 1);
+                (raw, rank)
+            })
+            .collect()
+    }
 }
 
 /// Stable per-URL pipeline index for URLs outside the parity dataset. Masked

@@ -1,0 +1,205 @@
+//! End-to-end tests for the sharded multi-reactor server: `--reactors N`
+//! must change *throughput structure* (N listeners / N connection tables),
+//! never *answers*. Verdicts, cache accounting, and the per-reactor metric
+//! breakdown are checked against a single-reactor twin, in both listener
+//! layouts (SO_REUSEPORT group and the sharded accept hand-off fallback),
+//! plus the graceful drain on shutdown.
+
+use permadead_serve::{start, AuditService, CacheConfig, ServerConfig, ServerHandle};
+use permadead_sim::ScenarioConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+fn metric_value(metrics_body: &str, series: &str) -> f64 {
+    metrics_body
+        .lines()
+        .find(|l| l.starts_with(series) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {series} not found"))
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    let cfg = ScenarioConfig {
+        rot_links: 40,
+        ..ScenarioConfig::small(7)
+    };
+    let service = AuditService::new(cfg, CacheConfig::default());
+    start(service, config).expect("server starts")
+}
+
+/// The acceptance bar: a 2-reactor server answers every `/check` with the
+/// byte-identical verdict a 1-reactor server gives, and — because the
+/// consistent-hash cache partition is a pure function of the URL — the
+/// cache hit/miss ledger lands on identical totals for the same traffic.
+#[test]
+fn two_reactors_match_single_reactor_verdicts_and_cache_ledger() {
+    let single = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let sharded = spawn_server(ServerConfig {
+        workers: 2,
+        reactors: 2,
+        ..ServerConfig::default()
+    });
+    assert_eq!(sharded.reactor_count(), 2);
+
+    let urls = single.service().sample_urls(24);
+    assert!(!urls.is_empty());
+    // two passes: the first misses and fills, the second must hit
+    for _pass in 0..2 {
+        for url in &urls {
+            let path = format!("/check?url={}", percent_encode(url));
+            let (s1, b1) = get(single.addr(), &path);
+            let (s2, b2) = get(sharded.addr(), &path);
+            assert!(s1.contains("200"), "{s1}");
+            assert_eq!(s1, s2);
+            assert_eq!(b1, b2, "verdict diverged for {url}");
+        }
+    }
+    let a = single.service().cache_stats();
+    let b = sharded.service().cache_stats();
+    assert_eq!((a.hits, a.misses), (b.hits, b.misses), "cache ledger diverged");
+    assert_eq!(a.hits, urls.len() as u64, "second pass should hit every URL");
+
+    // the sharded server's healthz advertises its reactor count
+    let (_, health) = get(sharded.addr(), "/healthz");
+    assert!(health.contains("\"reactors\":2"), "{health}");
+    single.shutdown();
+    sharded.shutdown();
+}
+
+/// The SO_REUSEPORT group actually engages on Linux, and every accepted
+/// connection is owned by exactly one reactor: per-reactor accepted_total
+/// sums to the aggregate open+closed connection count.
+#[test]
+fn reuseport_group_engages_and_accounts_every_connection() {
+    let handle = spawn_server(ServerConfig {
+        workers: 2,
+        reactors: 2,
+        ..ServerConfig::default()
+    });
+    assert!(handle.reuseport_active(), "SO_REUSEPORT should engage on Linux");
+
+    for _ in 0..20 {
+        let (status, _) = get(handle.addr(), "/healthz");
+        assert!(status.contains("200"), "{status}");
+    }
+    let (_, metrics) = get(handle.addr(), "/metrics");
+    let r0 = metric_value(&metrics, "permadead_serve_reactor_accepted_total{reactor=\"0\"}");
+    let r1 = metric_value(&metrics, "permadead_serve_reactor_accepted_total{reactor=\"1\"}");
+    // 21 accepted so far (the /metrics one may not have counted itself yet)
+    assert!(
+        r0 + r1 >= 21.0,
+        "per-reactor accepts must cover all connections: {r0} + {r1}"
+    );
+    handle.shutdown();
+}
+
+/// With `reuseport: false` the fallback engages: reactor 0 owns the only
+/// listener and deals sockets round-robin, so BOTH reactors end up serving
+/// — and answers still match the single-reactor world.
+#[test]
+fn handoff_fallback_spreads_connections_and_serves_correctly() {
+    let handle = spawn_server(ServerConfig {
+        workers: 2,
+        reactors: 2,
+        reuseport: false,
+        ..ServerConfig::default()
+    });
+    assert!(!handle.reuseport_active());
+
+    let urls = handle.service().sample_urls(8);
+    for url in &urls {
+        let path = format!("/check?url={}", percent_encode(url));
+        let (status, body) = get(handle.addr(), &path);
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"url\""), "{body}");
+    }
+    for _ in 0..12 {
+        let (status, _) = get(handle.addr(), "/healthz");
+        assert!(status.contains("200"), "{status}");
+    }
+    let (_, metrics) = get(handle.addr(), "/metrics");
+    let r0 = metric_value(&metrics, "permadead_serve_reactor_accepted_total{reactor=\"0\"}");
+    let r1 = metric_value(&metrics, "permadead_serve_reactor_accepted_total{reactor=\"1\"}");
+    // strict round-robin: 20+ connections so far split ~evenly
+    assert!(r0 >= 9.0, "reactor 0 starved: {r0} vs {r1}");
+    assert!(r1 >= 9.0, "reactor 1 starved: {r0} vs {r1}");
+    let d0 = metric_value(&metrics, "permadead_serve_reactor_dispatched_total{reactor=\"0\"}");
+    let d1 = metric_value(&metrics, "permadead_serve_reactor_dispatched_total{reactor=\"1\"}");
+    assert!(d0 >= 1.0 && d1 >= 1.0, "both reactors must dispatch work: {d0}/{d1}");
+    handle.shutdown();
+}
+
+/// Graceful drain: a request already dispatched to a worker when shutdown
+/// begins still gets its response; idle connections close immediately, so
+/// the whole drain finishes well under the deadline.
+#[test]
+fn shutdown_drains_inflight_request_before_teardown() {
+    let handle = spawn_server(ServerConfig {
+        workers: 2,
+        reactors: 2,
+        debug_endpoints: true,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // an idle keep-alive connection: owes nothing, must be closed promptly
+    let mut idle = TcpStream::connect(addr).expect("idle connect");
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // a request that will still be computing when shutdown starts
+    let inflight = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /debug/sleep?ms=600 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        response
+    });
+    // let the request reach a worker before pulling the plug
+    std::thread::sleep(Duration::from_millis(200));
+
+    let begun = Instant::now();
+    handle.shutdown();
+    let took = begun.elapsed();
+
+    let response = inflight.join().expect("inflight thread");
+    assert!(response.contains("200"), "in-flight request dropped: {response:?}");
+    assert!(response.contains("slept"), "{response:?}");
+    // drain waited for the ~600ms sleep but nowhere near the 2s deadline
+    assert!(took < Duration::from_millis(1900), "drain overshot: {took:?}");
+
+    // the idle connection was closed by the drain, not left hanging
+    let mut buf = [0u8; 16];
+    let n = idle.read(&mut buf).expect("idle read after shutdown");
+    assert_eq!(n, 0, "idle connection should see EOF");
+}

@@ -199,4 +199,48 @@ if ! awk -v rps="$ka_rps" 'BEGIN { exit !(rps >= 12000) }'; then
 fi
 echo "check.sh: serve bench green"
 
+# Open-loop load bench. First the determinism golden: the schedule head on
+# the pinned seed is a pure function of (spec, world) — any drift in the
+# RNG, the Zipf sampler, or the phase merge shows up as a diff here before
+# it quietly invalidates every cross-commit benchmark comparison.
+sched_out="$(mktemp)"
+./target/release/bench-loadgen --rate 300 --duration 2 --seed 42 --unique 64 \
+    --watch-rate 10 --print-schedule-head 20 2>/dev/null >"$sched_out"
+if ! diff -u results/LOADGEN_SCHEDULE_seed42.txt "$sched_out"; then
+    echo "check.sh: loadgen schedule drifted from results/LOADGEN_SCHEDULE_seed42.txt" >&2
+    exit 1
+fi
+rm -f "$sched_out"
+echo "check.sh: loadgen schedule golden green"
+
+# Then the ~2s fixed-rate open-loop smoke against a 2-reactor server: the
+# injector fires the same spec as the golden above and the report persists
+# to results/BENCH_loadgen.json. Gates: the offered 300/s must be achieved
+# (floor 200/s — a 2-reactor group must at least sustain the single-reactor
+# smoke rate), injector lateness p99 must stay bounded (ceiling 250ms —
+# generous for the 1-core container, but a seized reactor blows through it),
+# and every scheduled request must complete at the transport level.
+bench_lg="$(./target/release/bench-loadgen --rate 300 --duration 2 --seed 42 --unique 64 \
+    --watch-rate 10 --reactors 2 --injectors 4 2>/dev/null | tail -1)"
+lg_rps="$(sed -n 's/.*"achieved_rps":\([0-9.]*\).*/\1/p' <<<"$bench_lg")"
+lg_late="$(sed -n 's/.*"lateness_p99_ms":\([0-9.]*\).*/\1/p' <<<"$bench_lg")"
+echo "check.sh: bench-loadgen achieved=${lg_rps} req/s, lateness p99=${lg_late} ms"
+if ! awk -v rps="$lg_rps" 'BEGIN { exit !(rps >= 200) }'; then
+    echo "check.sh: open-loop throughput ${lg_rps} req/s under the 200 floor" >&2
+    exit 1
+fi
+if ! awk -v late="$lg_late" 'BEGIN { exit !(late <= 250) }'; then
+    echo "check.sh: injector lateness p99 ${lg_late} ms over the 250ms ceiling" >&2
+    exit 1
+fi
+if grep -q '"transport":[1-9]' <<<"$bench_lg"; then
+    echo "check.sh: open-loop run had transport failures: $bench_lg" >&2
+    exit 1
+fi
+if [ ! -s results/BENCH_loadgen.json ]; then
+    echo "check.sh: bench-loadgen did not persist BENCH_loadgen.json" >&2
+    exit 1
+fi
+echo "check.sh: open-loop loadgen smoke green"
+
 echo "check.sh: all green"

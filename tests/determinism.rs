@@ -171,6 +171,88 @@ fn policy_lab_timelines_identical_across_worker_counts() {
     }
 }
 
+/// The load generator's determinism contract: a schedule is a pure function
+/// of `(spec, universe)` — bit-identical timeline AND URL stream on every
+/// regeneration — and the injector pool is only an execution detail: firing
+/// the same schedule with 1, 2, or 8 injector threads must sample exactly
+/// the same arrivals (every scheduled instant fired once, none invented,
+/// none dropped). This is what makes `bench-loadgen` numbers comparable
+/// across machines with different `--injectors` settings.
+#[test]
+fn loadgen_schedule_identical_across_injector_thread_counts() {
+    use permadead::loadgen::{
+        fire, ArrivalProcess, InjectorConfig, Schedule, ScheduleSpec, WatchPumpSpec,
+    };
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    let s = scenario();
+    let ranks = &s.web.ranks;
+    let universe: Vec<(String, u32)> = dataset()
+        .entries
+        .iter()
+        .take(48)
+        .map(|e| (e.url.to_string(), ranks.rank(e.url.host())))
+        .collect();
+
+    let spec = ScheduleSpec {
+        process: ArrivalProcess::Poisson { rate_hz: 400.0 },
+        duration_secs: 0.5,
+        seed: 42,
+        watch_pump: Some(WatchPumpSpec { rate_hz: 20.0, batch: 3 }),
+        ..ScheduleSpec::default()
+    };
+    let schedule = Schedule::generate(&spec, &universe);
+    assert!(schedule.len() > 100, "schedule too small to exercise the pool");
+    // pure regeneration: same timeline, same URLs, same watch bodies
+    assert_eq!(schedule, Schedule::generate(&spec, &universe));
+
+    // a minimal always-200 stub so the injector has something to hit
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { break };
+            let mut buf = [0u8; 4096];
+            let mut seen = Vec::new();
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        seen.extend_from_slice(&buf[..n]);
+                        if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = stream.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+            );
+        }
+    });
+
+    // ties sort deterministically by (instant, phase); the injector's merge
+    // only orders by instant, so normalize both sides the same way
+    let mut expected: Vec<(u64, &str)> = schedule
+        .requests
+        .iter()
+        .map(|r| (r.at_nanos, r.op.phase()))
+        .collect();
+    expected.sort_unstable();
+    for threads in [1usize, 2, 8] {
+        let samples = fire(
+            addr,
+            &schedule,
+            &InjectorConfig { threads, ..InjectorConfig::default() },
+        );
+        let mut fired: Vec<(u64, &str)> =
+            samples.iter().map(|s| (s.scheduled_nanos, s.phase)).collect();
+        fired.sort_unstable();
+        assert_eq!(fired, expected, "arrival stream diverged at threads={threads}");
+    }
+}
+
 /// Regression pin for the soft-404 probe seed: shard workers must key the
 /// probe's randomness on the link's *dataset index*, never on a
 /// shard-relative position. Recomputing each probe serially from the

@@ -59,8 +59,24 @@ mod sys {
     pub const O_CLOEXEC: c_int = 0o2000000;
 
     pub const SOL_SOCKET: c_int = 1;
+    pub const SO_REUSEADDR: c_int = 2;
     pub const SO_SNDBUF: c_int = 7;
     pub const SO_RCVBUF: c_int = 8;
+    pub const SO_REUSEPORT: c_int = 15;
+
+    pub const AF_INET: c_int = 2;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct sockaddr_in`, network byte order for port and address.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SockaddrIn {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
 
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
@@ -82,6 +98,9 @@ mod sys {
             optval: *const c_void,
             optlen: u32,
         ) -> c_int;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn bind(fd: c_int, addr: *const SockaddrIn, addrlen: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
     }
 }
 
@@ -97,6 +116,50 @@ pub fn set_send_buffer_size(fd: std::os::fd::RawFd, bytes: usize) -> std::io::Re
 /// Pin a socket's kernel receive buffer, bounding the window it advertises.
 pub fn set_recv_buffer_size(fd: std::os::fd::RawFd, bytes: usize) -> std::io::Result<()> {
     setsockopt_int(fd, sys::SO_RCVBUF, bytes as i32)
+}
+
+/// Enable `SO_REUSEPORT` on a not-yet-bound socket. Every listener in a
+/// reuseport group must set this *before* `bind`, which is why plain
+/// `std::net::TcpListener::bind` (socket+bind+listen in one call) cannot be
+/// used for scale-out accept sharding — see [`bind_reuseport`].
+pub fn set_reuse_port(fd: std::os::fd::RawFd) -> std::io::Result<()> {
+    setsockopt_int(fd, sys::SO_REUSEPORT, 1)
+}
+
+/// Bind a fresh IPv4 TCP listener on `ip:port` with `SO_REUSEPORT` (and
+/// `SO_REUSEADDR`) set before the bind, so several listeners — one per
+/// reactor thread — can share one port and let the kernel shard incoming
+/// connections across their accept queues.
+///
+/// `port` may be `0`: the kernel assigns an ephemeral port on the first call
+/// and the caller binds the remaining group members to the resolved address.
+/// Returns an ordinary [`std::net::TcpListener`] (already in the listening
+/// state, still blocking — callers set nonblocking like any other listener).
+pub fn bind_reuseport(ip: [u8; 4], port: u16) -> std::io::Result<std::net::TcpListener> {
+    use std::os::fd::FromRawFd;
+    let fd = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    // from_raw_fd now so every error path below closes the socket
+    let listener = unsafe { std::net::TcpListener::from_raw_fd(fd) };
+    setsockopt_int(fd, sys::SO_REUSEADDR, 1)?;
+    set_reuse_port(fd)?;
+    let addr = sys::SockaddrIn {
+        sin_family: sys::AF_INET as u16,
+        sin_port: port.to_be(),
+        sin_addr: u32::from_ne_bytes(ip),
+        sin_zero: [0; 8],
+    };
+    let rc = unsafe { sys::bind(fd, &addr, std::mem::size_of::<sys::SockaddrIn>() as u32) };
+    if rc < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let rc = unsafe { sys::listen(fd, 1024) };
+    if rc < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(listener)
 }
 
 fn setsockopt_int(fd: std::os::fd::RawFd, opt: i32, value: i32) -> std::io::Result<()> {
@@ -442,6 +505,36 @@ mod tests {
         poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
         assert!(events.is_empty());
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn reuseport_group_shares_one_port() {
+        // two listeners on the same ephemeral port: both accept, and the
+        // kernel routes each client to exactly one of them
+        let a = bind_reuseport([127, 0, 0, 1], 0).expect("first reuseport bind");
+        let port = a.local_addr().unwrap().port();
+        let b = bind_reuseport([127, 0, 0, 1], port).expect("second reuseport bind");
+        assert_eq!(b.local_addr().unwrap().port(), port);
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut clients: Vec<TcpStream> = (0..16)
+            .map(|_| TcpStream::connect(("127.0.0.1", port)).expect("connect to group"))
+            .collect();
+        for c in &mut clients {
+            c.write_all(b"hello").unwrap();
+        }
+        // each connection must be accepted by exactly one group member
+        std::thread::sleep(Duration::from_millis(50));
+        let mut accepted = 0;
+        for l in [&a, &b] {
+            while let Ok((_s, _)) = l.accept() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, clients.len(), "reuseport group lost connections");
+        // a plain bind without reuseport on the same port must fail while
+        // the group holds it
+        assert!(TcpListener::bind(("127.0.0.1", port)).is_err());
     }
 
     #[test]

@@ -113,6 +113,15 @@ impl<T> Slab<T> {
         }
     }
 
+    /// Iterate every occupied `(key, &value)` pair without disturbing the
+    /// slab (used to pick which connections to close when draining).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries.iter().enumerate().filter_map(|(key, entry)| match entry {
+            Entry::Occupied { value, .. } => Some((key, value)),
+            Entry::Vacant { .. } => None,
+        })
+    }
+
     /// Visit every occupied slot (used for teardown at shutdown).
     pub fn drain(&mut self) -> Vec<(usize, T)> {
         let mut out = Vec::with_capacity(self.len);
@@ -165,6 +174,17 @@ mod tests {
         assert_eq!(key, key2, "slot reused");
         assert!(slab.get_gen_mut(key, gen1).is_none(), "stale generation accepted");
         assert_eq!(slab.get_gen_mut(key, gen2), Some(&mut 2));
+    }
+
+    #[test]
+    fn iter_visits_only_occupied_slots() {
+        let mut slab = Slab::new();
+        for i in 0..4 {
+            slab.insert(i * 10);
+        }
+        slab.remove(1);
+        let seen: Vec<(usize, i32)> = slab.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (2, 20), (3, 30)]);
     }
 
     #[test]
